@@ -1,0 +1,150 @@
+//! Iteration-time profiling (Sec. 4.1).
+//!
+//! `PolluxAgent` records the measured time per training iteration for
+//! every `(placement shape, batch size)` configuration its job runs
+//! under. Samples for the same configuration are averaged, which both
+//! denoises the fit inputs and keeps the observation set small no
+//! matter how long the job runs.
+
+use pollux_models::{FitObservation, FitPriors, PlacementShape};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Aggregated iteration-time samples keyed by configuration.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ThroughputProfiler {
+    samples: BTreeMap<(PlacementShape, u64), SampleAgg>,
+    max_gpus_seen: u32,
+    max_nodes_seen: u32,
+}
+
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+struct SampleAgg {
+    sum: f64,
+    count: u64,
+}
+
+impl ThroughputProfiler {
+    /// Creates an empty profiler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one measured iteration time (seconds) under the given
+    /// configuration. Non-finite or non-positive measurements are
+    /// ignored (e.g. timer glitches across suspensions).
+    pub fn record(&mut self, shape: PlacementShape, batch_size: u64, t_iter: f64) {
+        if !t_iter.is_finite() || t_iter <= 0.0 || batch_size == 0 {
+            return;
+        }
+        let agg = self.samples.entry((shape, batch_size)).or_default();
+        agg.sum += t_iter;
+        agg.count += 1;
+        self.max_gpus_seen = self.max_gpus_seen.max(shape.gpus);
+        self.max_nodes_seen = self.max_nodes_seen.max(shape.nodes);
+    }
+
+    /// Number of distinct configurations with at least one sample.
+    pub fn num_configurations(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Total number of recorded samples.
+    pub fn num_samples(&self) -> u64 {
+        self.samples.values().map(|a| a.count).sum()
+    }
+
+    /// The mean iteration time of a configuration, if sampled.
+    pub fn mean_t_iter(&self, shape: PlacementShape, batch_size: u64) -> Option<f64> {
+        self.samples
+            .get(&(shape, batch_size))
+            .map(|a| a.sum / a.count as f64)
+    }
+
+    /// The per-configuration mean observations, ready for θsys fitting.
+    pub fn observations(&self) -> Vec<FitObservation> {
+        self.samples
+            .iter()
+            .map(|(&(shape, batch_size), agg)| FitObservation {
+                shape,
+                batch_size,
+                t_iter: agg.sum / agg.count as f64,
+            })
+            .collect()
+    }
+
+    /// The exploration priors implied by the recorded data.
+    pub fn priors(&self) -> FitPriors {
+        FitPriors {
+            max_gpus_seen: self.max_gpus_seen,
+            max_nodes_seen: self.max_nodes_seen,
+        }
+    }
+
+    /// Largest GPU count this job has ever run with.
+    pub fn max_gpus_seen(&self) -> u32 {
+        self.max_gpus_seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape(g: u32, n: u32) -> PlacementShape {
+        PlacementShape::new(g, n).unwrap()
+    }
+
+    #[test]
+    fn records_and_averages() {
+        let mut p = ThroughputProfiler::new();
+        p.record(shape(1, 1), 128, 0.2);
+        p.record(shape(1, 1), 128, 0.4);
+        p.record(shape(2, 1), 128, 0.15);
+        assert_eq!(p.num_configurations(), 2);
+        assert_eq!(p.num_samples(), 3);
+        assert!((p.mean_t_iter(shape(1, 1), 128).unwrap() - 0.3).abs() < 1e-12);
+        assert!((p.mean_t_iter(shape(2, 1), 128).unwrap() - 0.15).abs() < 1e-12);
+        assert_eq!(p.mean_t_iter(shape(4, 1), 128), None);
+    }
+
+    #[test]
+    fn ignores_bogus_measurements() {
+        let mut p = ThroughputProfiler::new();
+        p.record(shape(1, 1), 128, f64::NAN);
+        p.record(shape(1, 1), 128, -1.0);
+        p.record(shape(1, 1), 128, 0.0);
+        p.record(shape(1, 1), 0, 1.0);
+        assert_eq!(p.num_samples(), 0);
+    }
+
+    #[test]
+    fn priors_track_exploration() {
+        let mut p = ThroughputProfiler::new();
+        assert_eq!(
+            p.priors(),
+            FitPriors {
+                max_gpus_seen: 0,
+                max_nodes_seen: 0
+            }
+        );
+        p.record(shape(1, 1), 128, 0.1);
+        p.record(shape(4, 2), 128, 0.1);
+        let pr = p.priors();
+        assert_eq!(pr.max_gpus_seen, 4);
+        assert_eq!(pr.max_nodes_seen, 2);
+        assert_eq!(p.max_gpus_seen(), 4);
+    }
+
+    #[test]
+    fn observations_reflect_means() {
+        let mut p = ThroughputProfiler::new();
+        p.record(shape(1, 1), 128, 0.1);
+        p.record(shape(1, 1), 256, 0.2);
+        p.record(shape(1, 1), 256, 0.3);
+        let obs = p.observations();
+        assert_eq!(obs.len(), 2);
+        let o256 = obs.iter().find(|o| o.batch_size == 256).unwrap();
+        assert!((o256.t_iter - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,25 @@
+//! Baseline schedulers from the Pollux evaluation (Sec. 2.3 / 5.2).
+//!
+//! - [`tiresias`] — **Tiresias(+TunedJobs)**: non-resource-adaptive.
+//!   Jobs run with their user-submitted GPU count; scheduling uses
+//!   least-attained-service (discretized two-queue) priorities with
+//!   preemption and consolidated placement.
+//! - [`optimus`] — **Optimus(+Oracle)**: only-resource-adaptive. Uses
+//!   the agent-fitted throughput model (the paper substitutes its own
+//!   model for Optimus's parameter-server-specific one) and an oracle
+//!   for remaining work, and greedily assigns GPUs by marginal
+//!   JCT improvement. Batch sizes stay user-fixed.
+//! - [`or_etal`] — **Or et al.**: throughput-based cloud autoscaler
+//!   that grows the batch size linearly with workers and provisions
+//!   nodes while throughput scaling efficiency stays above a
+//!   threshold — the Fig 10 comparison point.
+//! - [`placement`] — shared consolidated-placement helpers.
+
+pub mod optimus;
+pub mod or_etal;
+pub mod placement;
+pub mod tiresias;
+
+pub use optimus::Optimus;
+pub use or_etal::OrEtAlAutoscaler;
+pub use tiresias::{Tiresias, TiresiasConfig};

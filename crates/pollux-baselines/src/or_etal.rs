@@ -1,0 +1,287 @@
+//! Or et al.'s throughput-based autoscaler ("Resource Elasticity in
+//! Distributed Deep Learning", MLSys '20), the Fig 10 comparison point.
+//!
+//! The autoscaler allows the batch size to grow with the number of
+//! workers (linear scaling, capped by memory and the global limit) and
+//! provisions nodes while the **system-throughput** scaling efficiency
+//! stays above a threshold. Because throughput does not depend on
+//! training progress, the recommended size is reached quickly and then
+//! stays flat (Fig 10a) — it cannot know that large batches are
+//! statistically wasteful early in training.
+
+use pollux_cluster::{AllocationMatrix, ClusterSpec};
+use pollux_models::PlacementShape;
+use pollux_simulator::{PolicyJobView, SchedulingPolicy};
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// Or et al. autoscaler configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OrEtAlConfig {
+    /// Minimum acceptable throughput-scaling efficiency
+    /// `THROUGHPUT(K·g) / (K · THROUGHPUT(g))`.
+    pub scaling_threshold: f64,
+    /// GPUs per provisioned node.
+    pub gpus_per_node: u32,
+    /// Largest allowed cluster size.
+    pub max_nodes: u32,
+    /// Smallest allowed cluster size.
+    pub min_nodes: u32,
+}
+
+impl Default for OrEtAlConfig {
+    fn default() -> Self {
+        Self {
+            scaling_threshold: 0.7,
+            gpus_per_node: 4,
+            max_nodes: 16,
+            min_nodes: 1,
+        }
+    }
+}
+
+/// The Or et al. policy: single-tenant throughput-driven autoscaling.
+#[derive(Debug, Clone, Default)]
+pub struct OrEtAlAutoscaler {
+    config: OrEtAlConfig,
+}
+
+impl OrEtAlAutoscaler {
+    /// Creates the policy.
+    pub fn new(config: OrEtAlConfig) -> Self {
+        Self { config }
+    }
+
+    /// The batch size the policy would use on `gpus` GPUs: linear
+    /// scaling of the per-GPU maximum, capped by the global limit.
+    fn batch_for(&self, job: &PolicyJobView<'_>, gpus: u32) -> u64 {
+        (job.limits.max_per_gpu * gpus as u64)
+            .min(job.limits.max_global)
+            .max(job.limits.min)
+    }
+
+    /// Throughput at `nodes` nodes with the scaled batch, from the
+    /// job's fitted model (or `None` before a report exists).
+    fn throughput_at(&self, job: &PolicyJobView<'_>, nodes: u32) -> Option<f64> {
+        let report = job.report.as_ref()?;
+        let gpus = nodes * self.config.gpus_per_node;
+        let shape = PlacementShape::new(gpus, nodes)?;
+        let m = self.batch_for(job, gpus);
+        Some(report.model.throughput.throughput(shape, m))
+    }
+
+    /// The largest node count whose throughput-scaling efficiency
+    /// versus one node stays above the threshold.
+    fn recommend_nodes(&self, job: &PolicyJobView<'_>) -> u32 {
+        let Some(base) = self.throughput_at(job, 1) else {
+            return self.config.min_nodes;
+        };
+        if base <= 0.0 {
+            return self.config.min_nodes;
+        }
+        let mut best = self.config.min_nodes.max(1);
+        for n in (self.config.min_nodes.max(1))..=self.config.max_nodes {
+            match self.throughput_at(job, n) {
+                Some(t) if t / (n as f64 * base) >= self.config.scaling_threshold => best = n,
+                _ => {}
+            }
+        }
+        best
+    }
+}
+
+impl SchedulingPolicy for OrEtAlAutoscaler {
+    fn name(&self) -> &'static str {
+        "or-etal"
+    }
+
+    fn desired_nodes(
+        &mut self,
+        _now: f64,
+        jobs: &[PolicyJobView<'_>],
+        _spec: &ClusterSpec,
+        _rng: &mut StdRng,
+    ) -> Option<u32> {
+        // Single-tenant: size the cluster for the (first) job.
+        jobs.first().map(|j| self.recommend_nodes(j))
+    }
+
+    fn schedule(
+        &mut self,
+        _now: f64,
+        jobs: &[PolicyJobView<'_>],
+        spec: &ClusterSpec,
+        _rng: &mut StdRng,
+    ) -> AllocationMatrix {
+        // Hand the whole cluster to the job (single-tenant scenario).
+        let mut m = AllocationMatrix::zeros(jobs.len(), spec.num_nodes());
+        if !jobs.is_empty() {
+            for (n, node) in spec.iter() {
+                m.set(0, n.index(), node.gpus);
+            }
+        }
+        m
+    }
+
+    fn choose_batch_size(&self, job: &PolicyJobView<'_>) -> Option<u64> {
+        let gpus: u32 = job.current_placement.iter().sum();
+        if gpus == 0 {
+            None
+        } else {
+            Some(self.batch_for(job, gpus))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pollux_agent::PolluxAgent;
+    use pollux_cluster::JobId;
+    use pollux_models::GradientStats;
+    use pollux_workload::{ModelKind, ModelProfile, UserConfig};
+    use rand::SeedableRng;
+
+    struct Owned {
+        profile: ModelProfile,
+        agent: PolluxAgent,
+        placement: Vec<u32>,
+    }
+
+    impl Owned {
+        fn new(num_nodes: usize) -> Self {
+            let profile = ModelKind::ResNet50ImageNet.profile();
+            let mut agent = PolluxAgent::new(profile.m0, profile.eta0, profile.limits).unwrap();
+            for (g, n) in [
+                (1u32, 1u32),
+                (2, 1),
+                (4, 1),
+                (8, 2),
+                (16, 4),
+                (32, 8),
+                (64, 16),
+            ] {
+                let shape = PlacementShape::new(g, n).unwrap();
+                for mult in [1u64, 4, 16] {
+                    let m = profile.m0 * mult;
+                    if profile
+                        .limits
+                        .range(shape)
+                        .is_some_and(|(lo, hi)| m >= lo && m <= hi)
+                    {
+                        agent.observe_iteration(shape, m, profile.params.t_iter(shape, m));
+                    }
+                }
+            }
+            assert!(agent.refit());
+            agent.observe_gradient_stats(
+                GradientStats::new(600.0 / profile.m0 as f64, 1.0).unwrap(),
+            );
+            Self {
+                profile,
+                agent,
+                placement: vec![0; num_nodes],
+            }
+        }
+
+        fn view(&self) -> PolicyJobView<'_> {
+            PolicyJobView {
+                id: JobId(0),
+                user: UserConfig {
+                    gpus: 4,
+                    batch_size: self.profile.m0,
+                },
+                profile: &self.profile,
+                limits: self.profile.limits,
+                report: self.agent.report(),
+                gputime: 0.0,
+                submit_time: 0.0,
+                current_placement: &self.placement,
+                batch_size: self.profile.m0,
+                remaining_work: 1e8,
+            }
+        }
+    }
+
+    #[test]
+    fn recommends_many_nodes_for_scalable_throughput() {
+        // With linear batch scaling, throughput keeps scaling well, so
+        // the recommendation lands near the maximum — Fig 10a's flat
+        // high line.
+        let owned = Owned::new(16);
+        let policy = OrEtAlAutoscaler::default();
+        let n = policy.recommend_nodes(&owned.view());
+        assert!(n >= 8, "recommended only {n} nodes");
+    }
+
+    #[test]
+    fn recommendation_is_constant_over_progress() {
+        // Throughput-based scaling ignores training progress by
+        // construction: same report, same recommendation.
+        let owned = Owned::new(16);
+        let policy = OrEtAlAutoscaler::default();
+        let a = policy.recommend_nodes(&owned.view());
+        let b = policy.recommend_nodes(&owned.view());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn no_report_keeps_minimum() {
+        let profile = ModelKind::ResNet50ImageNet.profile();
+        let placement = vec![0u32; 4];
+        let view = PolicyJobView {
+            id: JobId(0),
+            user: UserConfig {
+                gpus: 1,
+                batch_size: profile.m0,
+            },
+            profile: &profile,
+            limits: profile.limits,
+            report: None,
+            gputime: 0.0,
+            submit_time: 0.0,
+            current_placement: &placement,
+            batch_size: profile.m0,
+            remaining_work: 1e8,
+        };
+        let policy = OrEtAlAutoscaler::default();
+        assert_eq!(policy.recommend_nodes(&view), 1);
+    }
+
+    #[test]
+    fn batch_scales_linearly_with_gpus_up_to_cap() {
+        let owned = Owned::new(4);
+        let policy = OrEtAlAutoscaler::default();
+        let v = owned.view();
+        assert_eq!(policy.batch_for(&v, 1), v.limits.max_per_gpu);
+        assert_eq!(policy.batch_for(&v, 4), v.limits.max_per_gpu * 4);
+        // Capped at the global limit for very large clusters.
+        let huge = policy.batch_for(&v, 100_000);
+        assert_eq!(huge, v.limits.max_global);
+    }
+
+    #[test]
+    fn schedule_gives_job_the_whole_cluster() {
+        let owned = Owned::new(2);
+        let mut policy = OrEtAlAutoscaler::default();
+        let spec = ClusterSpec::homogeneous(2, 4).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let views = vec![owned.view()];
+        let m = policy.schedule(0.0, &views, &spec, &mut rng);
+        assert_eq!(m.gpus_of(0), 8);
+        assert!(m.is_feasible(&spec));
+    }
+
+    #[test]
+    fn choose_batch_size_uses_current_gpus() {
+        let mut owned = Owned::new(2);
+        owned.placement = vec![4, 4];
+        let policy = OrEtAlAutoscaler::default();
+        let v = owned.view();
+        assert_eq!(policy.choose_batch_size(&v), Some(v.limits.max_per_gpu * 8));
+        // Unplaced jobs: no choice.
+        owned.placement = vec![0, 0];
+        let v = owned.view();
+        assert_eq!(policy.choose_batch_size(&v), None);
+    }
+}

@@ -1,0 +1,115 @@
+//! Consolidated placement helpers shared by the baselines.
+//!
+//! Both Tiresias and Optimus co-locate job replicas onto as few nodes
+//! as possible (Sec. 2.3 notes Tiresias "co-locates job replicas for
+//! more efficient synchronization").
+
+/// Attempts to place `need` GPUs onto the nodes with free capacities
+/// `free`, using as few nodes as possible (fullest-free-first).
+///
+/// Returns the per-node allocation row, or `None` when the total free
+/// capacity is insufficient. On success the `free` vector is updated
+/// in place.
+pub fn pack_consolidated(need: u32, free: &mut [u32]) -> Option<Vec<u32>> {
+    if need == 0 {
+        return Some(vec![0; free.len()]);
+    }
+    let total: u32 = free.iter().sum();
+    if total < need {
+        return None;
+    }
+    // Nodes sorted by free capacity descending (stable on index for
+    // determinism).
+    let mut order: Vec<usize> = (0..free.len()).collect();
+    order.sort_by(|&a, &b| free[b].cmp(&free[a]).then(a.cmp(&b)));
+
+    let mut row = vec![0u32; free.len()];
+    let mut remaining = need;
+    for &n in &order {
+        if remaining == 0 {
+            break;
+        }
+        let take = remaining.min(free[n]);
+        if take > 0 {
+            row[n] = take;
+            free[n] -= take;
+            remaining -= take;
+        }
+    }
+    debug_assert_eq!(remaining, 0, "total capacity was checked upfront");
+    Some(row)
+}
+
+/// Tries to keep a job's existing placement: succeeds when every node
+/// still has the required free capacity. On success, capacity is
+/// deducted from `free`.
+pub fn keep_placement(current: &[u32], free: &mut [u32]) -> bool {
+    if current.len() != free.len() {
+        return false;
+    }
+    if current.iter().zip(free.iter()).any(|(&c, &f)| c > f) {
+        return false;
+    }
+    for (f, &c) in free.iter_mut().zip(current) {
+        *f -= c;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packs_onto_fullest_nodes_first() {
+        let mut free = vec![2, 4, 3];
+        let row = pack_consolidated(5, &mut free).unwrap();
+        // Fullest first: node 1 (4), then node 2 (1).
+        assert_eq!(row, vec![0, 4, 1]);
+        assert_eq!(free, vec![2, 0, 2]);
+    }
+
+    #[test]
+    fn single_node_when_it_fits() {
+        let mut free = vec![4, 4];
+        let row = pack_consolidated(3, &mut free).unwrap();
+        assert_eq!(row.iter().filter(|&&g| g > 0).count(), 1);
+    }
+
+    #[test]
+    fn fails_when_insufficient() {
+        let mut free = vec![1, 1];
+        assert!(pack_consolidated(3, &mut free).is_none());
+        // Free capacities untouched on failure.
+        assert_eq!(free, vec![1, 1]);
+    }
+
+    #[test]
+    fn zero_need_is_trivial() {
+        let mut free = vec![1, 2];
+        assert_eq!(pack_consolidated(0, &mut free).unwrap(), vec![0, 0]);
+        assert_eq!(free, vec![1, 2]);
+    }
+
+    #[test]
+    fn keep_placement_reserves_capacity() {
+        let mut free = vec![4, 2];
+        assert!(keep_placement(&[2, 1], &mut free));
+        assert_eq!(free, vec![2, 1]);
+    }
+
+    #[test]
+    fn keep_placement_fails_without_capacity() {
+        let mut free = vec![1, 2];
+        assert!(!keep_placement(&[2, 0], &mut free));
+        assert_eq!(free, vec![1, 2]);
+        assert!(!keep_placement(&[1], &mut free), "width mismatch");
+    }
+
+    #[test]
+    fn deterministic_tiebreak_by_index() {
+        let mut free = vec![4, 4, 4];
+        let row = pack_consolidated(4, &mut free).unwrap();
+        assert_eq!(row, vec![4, 0, 0]);
+    }
+}

@@ -1,0 +1,265 @@
+//! Tiresias (Gu et al., NSDI '19), as idealized in the Pollux
+//! evaluation (Sec. 5.2).
+//!
+//! Non-resource-adaptive: every job runs with its user-submitted GPU
+//! count for its whole lifetime. Scheduling follows discretized
+//! least-attained-service: jobs below an attained-GPU-time threshold
+//! form the high-priority queue, the rest the low-priority queue;
+//! within each queue jobs are served FIFO by submission time. Jobs are
+//! preempted when higher-priority jobs need their GPUs, and replicas
+//! are placed consolidated (fewest nodes).
+
+use crate::placement::{keep_placement, pack_consolidated};
+use pollux_cluster::{AllocationMatrix, ClusterSpec};
+use pollux_simulator::{PolicyJobView, SchedulingPolicy};
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// Tiresias configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TiresiasConfig {
+    /// Attained-service threshold (GPU-seconds) splitting the two
+    /// priority queues.
+    pub queue_threshold: f64,
+}
+
+impl Default for TiresiasConfig {
+    fn default() -> Self {
+        Self {
+            // One GPU-hour: small jobs finish entirely in the high
+            // priority queue.
+            queue_threshold: 3600.0,
+        }
+    }
+}
+
+/// The Tiresias scheduling policy.
+#[derive(Debug, Clone, Default)]
+pub struct Tiresias {
+    config: TiresiasConfig,
+}
+
+impl Tiresias {
+    /// Creates the policy.
+    pub fn new(config: TiresiasConfig) -> Self {
+        Self { config }
+    }
+}
+
+impl SchedulingPolicy for Tiresias {
+    fn name(&self) -> &'static str {
+        "tiresias"
+    }
+
+    fn schedule(
+        &mut self,
+        _now: f64,
+        jobs: &[PolicyJobView<'_>],
+        spec: &ClusterSpec,
+        _rng: &mut StdRng,
+    ) -> AllocationMatrix {
+        let mut matrix = AllocationMatrix::zeros(jobs.len(), spec.num_nodes());
+
+        // Priority order: high queue (attained < threshold) first,
+        // FIFO within queue.
+        let mut order: Vec<usize> = (0..jobs.len()).collect();
+        order.sort_by(|&a, &b| {
+            let qa = jobs[a].gputime >= self.config.queue_threshold;
+            let qb = jobs[b].gputime >= self.config.queue_threshold;
+            qa.cmp(&qb).then(
+                jobs[a]
+                    .submit_time
+                    .partial_cmp(&jobs[b].submit_time)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
+        });
+
+        // Select the prefix of jobs that fit in total capacity
+        // (backfilling past jobs that do not fit).
+        let mut budget = spec.total_gpus();
+        let mut selected = Vec::new();
+        for &j in &order {
+            let need = jobs[j].user.gpus.max(1);
+            if need <= budget {
+                selected.push(j);
+                budget -= need;
+            }
+        }
+
+        let mut free: Vec<u32> = spec.iter().map(|(_, s)| s.gpus).collect();
+
+        // First pass: keep placements of already-running selected jobs
+        // to avoid gratuitous checkpoint-restarts.
+        let mut needs_placing = Vec::new();
+        for &j in &selected {
+            let view = &jobs[j];
+            let current_gpus: u32 = view.current_placement.iter().sum();
+            if current_gpus == view.user.gpus.max(1)
+                && keep_placement(view.current_placement, &mut free)
+            {
+                for (n, &g) in view.current_placement.iter().enumerate() {
+                    matrix.set(j, n, g);
+                }
+            } else {
+                needs_placing.push(j);
+            }
+        }
+
+        // Second pass: consolidated placement for the rest.
+        for j in needs_placing {
+            let need = jobs[j].user.gpus.max(1);
+            if let Some(row) = pack_consolidated(need, &mut free) {
+                matrix.set_row(j, row);
+            }
+        }
+        matrix
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pollux_cluster::JobId;
+    use pollux_models::BatchSizeLimits;
+    use pollux_workload::{ModelKind, UserConfig};
+    use rand::SeedableRng;
+
+    struct Ctx {
+        profile: pollux_workload::ModelProfile,
+    }
+
+    impl Ctx {
+        fn new() -> Self {
+            Self {
+                profile: ModelKind::ResNet18Cifar10.profile(),
+            }
+        }
+
+        fn view<'a>(
+            &'a self,
+            id: u32,
+            gpus: u32,
+            gputime: f64,
+            submit: f64,
+            placement: &'a [u32],
+        ) -> PolicyJobView<'a> {
+            PolicyJobView {
+                id: JobId(id),
+                user: UserConfig {
+                    gpus,
+                    batch_size: self.profile.m0,
+                },
+                profile: &self.profile,
+                limits: BatchSizeLimits::new(
+                    self.profile.m0,
+                    self.profile.limits.max_global,
+                    self.profile.limits.max_per_gpu,
+                )
+                .unwrap(),
+                report: None,
+                gputime,
+                submit_time: submit,
+                current_placement: placement,
+                batch_size: self.profile.m0,
+                remaining_work: 1e6,
+            }
+        }
+    }
+
+    #[test]
+    fn allocates_user_gpu_counts() {
+        let ctx = Ctx::new();
+        let empty = vec![0u32; 2];
+        let jobs = vec![
+            ctx.view(0, 2, 0.0, 0.0, &empty),
+            ctx.view(1, 4, 0.0, 10.0, &empty),
+        ];
+        let spec = ClusterSpec::homogeneous(2, 4).unwrap();
+        let mut t = Tiresias::default();
+        let mut rng = StdRng::seed_from_u64(0);
+        let m = t.schedule(0.0, &jobs, &spec, &mut rng);
+        assert_eq!(m.gpus_of(0), 2);
+        assert_eq!(m.gpus_of(1), 4);
+        assert!(m.is_feasible(&spec));
+    }
+
+    #[test]
+    fn high_queue_preempts_long_running_jobs() {
+        let ctx = Ctx::new();
+        // Job 0 has exceeded the queue threshold and holds all GPUs;
+        // job 1 is new. Job 1 should win the GPUs.
+        let holding = vec![4u32];
+        let empty = vec![0u32];
+        let jobs = vec![
+            ctx.view(0, 4, 10_000.0, 0.0, &holding),
+            ctx.view(1, 4, 0.0, 100.0, &empty),
+        ];
+        let spec = ClusterSpec::homogeneous(1, 4).unwrap();
+        let mut t = Tiresias::default();
+        let mut rng = StdRng::seed_from_u64(0);
+        let m = t.schedule(200.0, &jobs, &spec, &mut rng);
+        assert_eq!(m.gpus_of(1), 4, "new job should preempt:\n{m}");
+        assert_eq!(m.gpus_of(0), 0);
+    }
+
+    #[test]
+    fn fifo_within_queue() {
+        let ctx = Ctx::new();
+        let empty = vec![0u32];
+        let jobs = vec![
+            ctx.view(0, 4, 0.0, 50.0, &empty),
+            ctx.view(1, 4, 0.0, 10.0, &empty),
+        ];
+        let spec = ClusterSpec::homogeneous(1, 4).unwrap();
+        let mut t = Tiresias::default();
+        let mut rng = StdRng::seed_from_u64(0);
+        let m = t.schedule(100.0, &jobs, &spec, &mut rng);
+        // Earlier submission wins.
+        assert_eq!(m.gpus_of(1), 4);
+        assert_eq!(m.gpus_of(0), 0);
+    }
+
+    #[test]
+    fn keeps_running_placement_when_possible() {
+        let ctx = Ctx::new();
+        let placed = vec![0u32, 2];
+        let jobs = vec![ctx.view(0, 2, 100.0, 0.0, &placed)];
+        let spec = ClusterSpec::homogeneous(2, 4).unwrap();
+        let mut t = Tiresias::default();
+        let mut rng = StdRng::seed_from_u64(0);
+        let m = t.schedule(60.0, &jobs, &spec, &mut rng);
+        assert_eq!(m.row(0), &[0, 2], "placement should be preserved");
+    }
+
+    #[test]
+    fn backfills_small_jobs_past_big_ones() {
+        let ctx = Ctx::new();
+        let empty = vec![0u32];
+        // Job 0 wants 8 GPUs (doesn't fit on a 4-GPU cluster); job 1
+        // wants 2 and should run anyway.
+        let jobs = vec![
+            ctx.view(0, 8, 0.0, 0.0, &empty),
+            ctx.view(1, 2, 0.0, 10.0, &empty),
+        ];
+        let spec = ClusterSpec::homogeneous(1, 4).unwrap();
+        let mut t = Tiresias::default();
+        let mut rng = StdRng::seed_from_u64(0);
+        let m = t.schedule(0.0, &jobs, &spec, &mut rng);
+        assert_eq!(m.gpus_of(0), 0);
+        assert_eq!(m.gpus_of(1), 2);
+    }
+
+    #[test]
+    fn consolidates_multi_gpu_jobs() {
+        let ctx = Ctx::new();
+        let empty = vec![0u32; 4];
+        let jobs = vec![ctx.view(0, 4, 0.0, 0.0, &empty)];
+        let spec = ClusterSpec::homogeneous(4, 4).unwrap();
+        let mut t = Tiresias::default();
+        let mut rng = StdRng::seed_from_u64(0);
+        let m = t.schedule(0.0, &jobs, &spec, &mut rng);
+        // All 4 GPUs on one node.
+        assert_eq!(m.nodes_of(0), 1);
+        assert_eq!(m.gpus_of(0), 4);
+    }
+}

@@ -1,0 +1,9 @@
+//! Regenerates the extra ablation studies (overlap model, restart
+//! penalty, GA vs random search).
+
+fn main() {
+    pollux_bench::banner("Ablations — overlap model, restart penalty, GA vs random search");
+    let result = pollux_experiments::ablations::run(7);
+    pollux_bench::maybe_write_json("ablations", &result);
+    println!("{result}");
+}

@@ -1,0 +1,20 @@
+//! Regenerates the gradient-accumulation extension experiment.
+
+use pollux_experiments::ext_accum::{run, run_with_cap, ModelKind};
+
+fn main() {
+    pollux_bench::banner("Extension — gradient accumulation in the goodput search");
+    println!("Calibrated profiles (memory cap rarely binds — honest negative result):\n");
+    for (kind, gpus, nodes) in [
+        (ModelKind::DeepSpeech2Arctic, 8u32, 2u32),
+        (ModelKind::ResNet50ImageNet, 16, 4),
+    ] {
+        let result = run(kind, gpus, nodes);
+        pollux_bench::maybe_write_json(&format!("ext_accum_{gpus}g{nodes}n"), &result);
+        println!("{result}\n");
+    }
+    println!("Memory-tight variant (per-GPU cap 64 — a larger model / smaller GPUs):\n");
+    let tight = run_with_cap(ModelKind::ResNet50ImageNet, 16, 4, Some(64));
+    pollux_bench::maybe_write_json("ext_accum_tight", &tight);
+    println!("{tight}");
+}

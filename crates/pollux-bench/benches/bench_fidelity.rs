@@ -1,0 +1,19 @@
+//! Regenerates the Sec 5.3 simulator-fidelity factors.
+
+use pollux_experiments::{fidelity, table2};
+
+fn main() {
+    let traces = pollux_bench::traces_from_env(2);
+    pollux_bench::banner("Sec 5.3 — simulator fidelity (JCT reduction factors)");
+    let t = table2::run(&table2::Table2Options {
+        traces,
+        ..Default::default()
+    });
+    match fidelity::from_table2(&t) {
+        Some(f) => {
+            pollux_bench::maybe_write_json("fidelity", &f);
+            println!("{f}");
+        }
+        None => println!("insufficient data"),
+    }
+}

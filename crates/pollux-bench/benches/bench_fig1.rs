@@ -1,0 +1,8 @@
+//! Regenerates Fig 1 (batch size vs scalability trade-offs).
+
+fn main() {
+    pollux_bench::banner("Fig 1 — trade-offs between batch size, scalability, training stage");
+    let result = pollux_experiments::fig1::run();
+    pollux_bench::maybe_write_json("fig1", &result);
+    println!("{result}");
+}

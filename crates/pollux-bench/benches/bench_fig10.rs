@@ -1,0 +1,17 @@
+//! Regenerates Fig 10 (cloud auto-scaling comparison).
+//!
+//! `POLLUX_IMAGENET_SCALE` (default 0.25) shrinks the ImageNet job for
+//! quicker runs; set 1.0 for the full-size experiment.
+
+fn main() {
+    let scale = std::env::var("POLLUX_IMAGENET_SCALE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(0.25)
+        .clamp(0.01, 1.0);
+    pollux_bench::banner("Fig 10 — goodput-driven cloud auto-scaling (ImageNet)");
+    println!("(ImageNet job scaled to {scale} of full size)");
+    let result = pollux_experiments::fig10::run(scale, 16);
+    pollux_bench::maybe_write_json("fig10", &result);
+    println!("{result}");
+}

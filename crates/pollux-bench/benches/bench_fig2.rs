@@ -1,0 +1,9 @@
+//! Regenerates Fig 2 (statistical efficiency; Eqn 7 validation on the
+//! trainer substrate).
+
+fn main() {
+    pollux_bench::banner("Fig 2 — statistical efficiency (ImageNet profile + real gradients)");
+    let result = pollux_experiments::fig2::run();
+    pollux_bench::maybe_write_json("fig2", &result);
+    println!("{result}");
+}

@@ -1,0 +1,8 @@
+//! Regenerates Fig 3 (throughput-model fit).
+
+fn main() {
+    pollux_bench::banner("Fig 3 — throughput model fit (ResNet-50/ImageNet)");
+    let result = pollux_experiments::fig3::run(0.05, 1);
+    pollux_bench::maybe_write_json("fig3", &result);
+    println!("{result}");
+}

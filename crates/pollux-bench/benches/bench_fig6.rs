@@ -1,0 +1,8 @@
+//! Regenerates Fig 6 (submissions per hour).
+
+fn main() {
+    pollux_bench::banner("Fig 6 — workload submissions per hour");
+    let result = pollux_experiments::fig6::run(8);
+    pollux_bench::maybe_write_json("fig6", &result);
+    println!("{result}");
+}

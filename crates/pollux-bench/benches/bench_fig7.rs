@@ -1,0 +1,9 @@
+//! Regenerates Fig 7 (realistic user-configured job sweep).
+
+fn main() {
+    let traces = pollux_bench::traces_from_env(2);
+    pollux_bench::banner("Fig 7 — workloads with realistic (user-configured) jobs");
+    let result = pollux_experiments::fig7::run(traces);
+    pollux_bench::maybe_write_json("fig7", &result);
+    println!("{result}");
+}

@@ -1,0 +1,9 @@
+//! Regenerates Fig 8 (load sweep).
+
+fn main() {
+    let traces = pollux_bench::traces_from_env(1);
+    pollux_bench::banner("Fig 8 — sensitivity to job load");
+    let result = pollux_experiments::fig8::run(traces);
+    pollux_bench::maybe_write_json("fig8", &result);
+    println!("{result}");
+}

@@ -1,0 +1,9 @@
+//! Regenerates Fig 9 (interference avoidance sweep).
+
+fn main() {
+    let traces = pollux_bench::traces_from_env(1);
+    pollux_bench::banner("Fig 9 — impact of interference avoidance");
+    let result = pollux_experiments::fig9::run(traces);
+    pollux_bench::maybe_write_json("fig9", &result);
+    println!("{result}");
+}

@@ -1,0 +1,17 @@
+//! Regenerates Table 2 (testbed comparison) via the simulator.
+//!
+//! `POLLUX_TRACES=8` reproduces the paper's 8-trace averaging.
+
+use pollux_experiments::table2::{run, Table2Options};
+
+fn main() {
+    let traces = pollux_bench::traces_from_env(2);
+    pollux_bench::banner("Table 2 — Pollux vs Optimus+Oracle vs Tiresias+TunedJobs");
+    let opts = Table2Options {
+        traces,
+        ..Default::default()
+    };
+    let result = run(&opts);
+    pollux_bench::maybe_write_json("table2", &result);
+    println!("{result}");
+}

@@ -1,0 +1,9 @@
+//! Regenerates Table 3 (job-weight decay sweep).
+
+fn main() {
+    let traces = pollux_bench::traces_from_env(1);
+    pollux_bench::banner("Table 3 — impact of job weights (λ)");
+    let result = pollux_experiments::table3::run(traces);
+    pollux_bench::maybe_write_json("table3", &result);
+    println!("{result}");
+}

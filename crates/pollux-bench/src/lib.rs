@@ -1,0 +1,63 @@
+//! Shared helpers for the bench targets.
+//!
+//! Every table and figure of the paper's evaluation has a
+//! `harness = false` bench target that *regenerates its rows/series*
+//! (rather than timing code); `perf` is a conventional Criterion bench
+//! of the hot paths. Simulation-heavy targets read the
+//! `POLLUX_TRACES` environment variable to pick how many traces to
+//! average (default: a quick setting; the paper averages 8).
+
+/// Number of traces to average, from `POLLUX_TRACES` (clamped to
+/// `[1, 16]`), defaulting to `quick_default`.
+pub fn traces_from_env(quick_default: u64) -> u64 {
+    std::env::var("POLLUX_TRACES")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(quick_default)
+        .clamp(1, 16)
+}
+
+/// Prints a standard experiment banner.
+pub fn banner(what: &str) {
+    println!("==============================================================");
+    println!("Pollux reproduction: {what}");
+    println!("==============================================================");
+}
+
+/// Writes the experiment's structured result as JSON when
+/// `POLLUX_JSON_DIR` is set (to `<dir>/<name>.json`), so plots can be
+/// regenerated outside Rust. No-op otherwise.
+pub fn maybe_write_json<T: serde::Serialize>(name: &str, value: &T) {
+    let Ok(dir) = std::env::var("POLLUX_JSON_DIR") else {
+        return;
+    };
+    let path = std::path::Path::new(&dir).join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("failed to write {}: {e}", path.display());
+            } else {
+                println!("(wrote {})", path.display());
+            }
+        }
+        Err(e) => eprintln!("failed to serialize {name}: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_override_is_clamped() {
+        std::env::remove_var("POLLUX_TRACES");
+        assert_eq!(traces_from_env(2), 2);
+        std::env::set_var("POLLUX_TRACES", "100");
+        assert_eq!(traces_from_env(2), 16);
+        std::env::set_var("POLLUX_TRACES", "0");
+        assert_eq!(traces_from_env(2), 1);
+        std::env::set_var("POLLUX_TRACES", "junk");
+        assert_eq!(traces_from_env(3), 3);
+        std::env::remove_var("POLLUX_TRACES");
+    }
+}

@@ -1,0 +1,350 @@
+//! The allocation matrix `A` (Sec. 4.2).
+//!
+//! Row `A_j` is job `j`'s placement vector; `A[j][n]` is the number of
+//! GPUs from node `n` allocated to job `j`. The genetic algorithm in
+//! `pollux-sched` mutates, crosses over, and repairs these matrices;
+//! this module provides the representation and the structural queries.
+
+use crate::ids::NodeId;
+use crate::spec::ClusterSpec;
+use pollux_models::PlacementShape;
+use serde::{Deserialize, Serialize};
+
+/// A jobs × nodes GPU allocation matrix.
+///
+/// # Examples
+///
+/// ```
+/// use pollux_cluster::{AllocationMatrix, ClusterSpec};
+///
+/// let spec = ClusterSpec::homogeneous(2, 4).unwrap();
+/// let mut a = AllocationMatrix::zeros(2, 2);
+/// a.set(0, 0, 2); // job 0: 2 GPUs on node 0
+/// a.set(1, 0, 1); // job 1: 1 GPU on node 0, 2 on node 1 (distributed)
+/// a.set(1, 1, 2);
+/// assert!(a.is_feasible(&spec));
+/// assert!(!a.is_distributed(0));
+/// assert!(a.is_distributed(1));
+/// let shape = a.shape_of(1).unwrap();
+/// assert_eq!((shape.gpus, shape.nodes), (3, 2));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AllocationMatrix {
+    num_nodes: usize,
+    rows: Vec<Vec<u32>>,
+}
+
+impl AllocationMatrix {
+    /// An all-zero matrix with `num_jobs` rows and `num_nodes` columns.
+    pub fn zeros(num_jobs: usize, num_nodes: usize) -> Self {
+        Self {
+            num_nodes,
+            rows: vec![vec![0; num_nodes]; num_jobs],
+        }
+    }
+
+    /// Builds a matrix from explicit rows. Returns `None` when rows
+    /// have inconsistent lengths.
+    pub fn from_rows(rows: Vec<Vec<u32>>, num_nodes: usize) -> Option<Self> {
+        if rows.iter().any(|r| r.len() != num_nodes) {
+            None
+        } else {
+            Some(Self { num_nodes, rows })
+        }
+    }
+
+    /// Number of job rows.
+    pub fn num_jobs(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of node columns.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// The placement vector of job row `j`.
+    pub fn row(&self, j: usize) -> &[u32] {
+        &self.rows[j]
+    }
+
+    /// GPUs allocated to job `j` on node `n`.
+    pub fn get(&self, j: usize, n: usize) -> u32 {
+        self.rows[j][n]
+    }
+
+    /// Sets the GPUs allocated to job `j` on node `n`.
+    pub fn set(&mut self, j: usize, n: usize, gpus: u32) {
+        self.rows[j][n] = gpus;
+    }
+
+    /// Overwrites the whole row for job `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `row.len() != num_nodes`.
+    pub fn set_row(&mut self, j: usize, row: Vec<u32>) {
+        assert_eq!(row.len(), self.num_nodes, "row width mismatch");
+        self.rows[j] = row;
+    }
+
+    /// Appends an empty row for a newly submitted job and returns its
+    /// row index.
+    pub fn push_job(&mut self) -> usize {
+        self.rows.push(vec![0; self.num_nodes]);
+        self.rows.len() - 1
+    }
+
+    /// Removes the row for a finished job.
+    pub fn remove_job(&mut self, j: usize) {
+        self.rows.remove(j);
+    }
+
+    /// Resizes the node dimension (cloud auto-scaling). Shrinking
+    /// drops allocations on removed nodes.
+    pub fn resize_nodes(&mut self, num_nodes: usize) {
+        for row in &mut self.rows {
+            row.resize(num_nodes, 0);
+        }
+        self.num_nodes = num_nodes;
+    }
+
+    /// Total GPUs allocated to job `j`, `K = Σ_n A[j][n]`.
+    pub fn gpus_of(&self, j: usize) -> u32 {
+        self.rows[j].iter().sum()
+    }
+
+    /// Number of distinct nodes occupied by job `j`.
+    pub fn nodes_of(&self, j: usize) -> u32 {
+        self.rows[j].iter().filter(|&&g| g > 0).count() as u32
+    }
+
+    /// The `(K, N)` placement shape of job `j`, or `None` when the job
+    /// holds no GPUs.
+    pub fn shape_of(&self, j: usize) -> Option<PlacementShape> {
+        let gpus = self.gpus_of(j);
+        if gpus == 0 {
+            None
+        } else {
+            PlacementShape::new(gpus, self.nodes_of(j))
+        }
+    }
+
+    /// True when job `j` spans more than one node.
+    pub fn is_distributed(&self, j: usize) -> bool {
+        self.nodes_of(j) > 1
+    }
+
+    /// Total GPUs allocated on node `n` across all jobs.
+    pub fn gpus_used_on(&self, n: usize) -> u32 {
+        self.rows.iter().map(|r| r[n]).sum()
+    }
+
+    /// Total GPUs allocated across the whole matrix.
+    pub fn total_gpus_used(&self) -> u32 {
+        (0..self.num_nodes).map(|n| self.gpus_used_on(n)).sum()
+    }
+
+    /// Node columns whose usage exceeds the cluster capacity.
+    pub fn over_capacity_nodes(&self, spec: &ClusterSpec) -> Vec<NodeId> {
+        (0..self.num_nodes.min(spec.num_nodes()))
+            .filter(|&n| self.gpus_used_on(n) > spec.gpus_on(NodeId(n as u32)))
+            .map(|n| NodeId(n as u32))
+            .collect()
+    }
+
+    /// True when every node is within its GPU capacity and the matrix
+    /// width matches the cluster.
+    pub fn is_feasible(&self, spec: &ClusterSpec) -> bool {
+        self.num_nodes == spec.num_nodes()
+            && (0..self.num_nodes).all(|n| self.gpus_used_on(n) <= spec.gpus_on(NodeId(n as u32)))
+    }
+
+    /// Row indices of *distributed* jobs (spanning ≥ 2 nodes) that
+    /// occupy node `n` — the quantity the interference-avoidance
+    /// constraint bounds by 1 per node (Sec. 4.2.1).
+    pub fn distributed_jobs_on(&self, n: usize) -> Vec<usize> {
+        (0..self.rows.len())
+            .filter(|&j| self.rows[j][n] > 0 && self.is_distributed(j))
+            .collect()
+    }
+
+    /// True when no node hosts two or more distributed jobs.
+    pub fn satisfies_interference_avoidance(&self) -> bool {
+        (0..self.num_nodes).all(|n| self.distributed_jobs_on(n).len() <= 1)
+    }
+
+    /// True when job `j` has an identical placement in `other`
+    /// (no restart needed when re-applying the matrix).
+    pub fn row_equals(&self, j: usize, other: &AllocationMatrix) -> bool {
+        j < other.rows.len() && self.rows[j] == other.rows[j]
+    }
+
+    /// Iterates over `(job_row, placement)` for all rows.
+    pub fn iter_rows(&self) -> impl Iterator<Item = (usize, &[u32])> + '_ {
+        self.rows.iter().enumerate().map(|(j, r)| (j, r.as_slice()))
+    }
+}
+
+impl std::fmt::Display for AllocationMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (j, row) in self.rows.iter().enumerate() {
+            write!(f, "job {j:>3}: ")?;
+            for g in row {
+                write!(f, "{g:>3}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn spec() -> ClusterSpec {
+        ClusterSpec::homogeneous(4, 4).unwrap()
+    }
+
+    #[test]
+    fn zeros_is_feasible_and_empty() {
+        let a = AllocationMatrix::zeros(3, 4);
+        assert_eq!(a.num_jobs(), 3);
+        assert_eq!(a.total_gpus_used(), 0);
+        assert!(a.is_feasible(&spec()));
+        assert_eq!(a.shape_of(0), None);
+    }
+
+    #[test]
+    fn from_rows_validates_width() {
+        assert!(AllocationMatrix::from_rows(vec![vec![1, 2]], 2).is_some());
+        assert!(AllocationMatrix::from_rows(vec![vec![1, 2, 3]], 2).is_none());
+    }
+
+    #[test]
+    fn shape_reduction() {
+        let mut a = AllocationMatrix::zeros(2, 4);
+        a.set(0, 0, 2);
+        a.set(0, 2, 1);
+        assert_eq!(a.shape_of(0), PlacementShape::new(3, 2));
+        assert!(a.is_distributed(0));
+        a.set(1, 3, 4);
+        assert_eq!(a.shape_of(1), PlacementShape::new(4, 1));
+        assert!(!a.is_distributed(1));
+    }
+
+    #[test]
+    fn capacity_checks() {
+        let mut a = AllocationMatrix::zeros(2, 4);
+        a.set(0, 0, 3);
+        a.set(1, 0, 2);
+        // Node 0 has 5 > 4 GPUs allocated.
+        assert!(!a.is_feasible(&spec()));
+        assert_eq!(a.over_capacity_nodes(&spec()), vec![NodeId(0)]);
+        a.set(1, 0, 1);
+        assert!(a.is_feasible(&spec()));
+        assert!(a.over_capacity_nodes(&spec()).is_empty());
+    }
+
+    #[test]
+    fn interference_detection() {
+        let mut a = AllocationMatrix::zeros(3, 4);
+        // Job 0 distributed across nodes 0-1; job 1 distributed across 1-2.
+        a.set(0, 0, 2);
+        a.set(0, 1, 2);
+        a.set(1, 1, 1);
+        a.set(1, 2, 1);
+        // Job 2 co-located on node 1 — does not count as interference.
+        a.set(2, 1, 1);
+        assert!(!a.satisfies_interference_avoidance());
+        assert_eq!(a.distributed_jobs_on(1), vec![0, 1]);
+        // Moving job 1 entirely to node 2 resolves the conflict.
+        a.set(1, 1, 0);
+        a.set(1, 2, 2);
+        assert!(a.satisfies_interference_avoidance());
+    }
+
+    #[test]
+    fn push_and_remove_jobs() {
+        let mut a = AllocationMatrix::zeros(1, 2);
+        let j = a.push_job();
+        assert_eq!(j, 1);
+        a.set(j, 1, 2);
+        assert_eq!(a.gpus_of(1), 2);
+        a.remove_job(0);
+        assert_eq!(a.num_jobs(), 1);
+        assert_eq!(a.gpus_of(0), 2);
+    }
+
+    #[test]
+    fn resize_nodes_preserves_and_drops() {
+        let mut a = AllocationMatrix::zeros(1, 2);
+        a.set(0, 1, 3);
+        a.resize_nodes(4);
+        assert_eq!(a.num_nodes(), 4);
+        assert_eq!(a.gpus_of(0), 3);
+        a.resize_nodes(1);
+        assert_eq!(a.gpus_of(0), 0);
+    }
+
+    #[test]
+    fn row_equality_for_restart_detection() {
+        let mut a = AllocationMatrix::zeros(2, 2);
+        let mut b = AllocationMatrix::zeros(2, 2);
+        a.set(0, 0, 2);
+        b.set(0, 0, 2);
+        b.set(1, 1, 1);
+        assert!(a.row_equals(0, &b));
+        assert!(!a.row_equals(1, &b));
+        // Out-of-range rows in `other` are never equal.
+        let small = AllocationMatrix::zeros(1, 2);
+        assert!(!a.row_equals(1, &small));
+    }
+
+    #[test]
+    fn display_renders_rows() {
+        let mut a = AllocationMatrix::zeros(1, 2);
+        a.set(0, 1, 3);
+        let s = a.to_string();
+        assert!(s.contains("job   0:"));
+        assert!(s.contains('3'));
+    }
+
+    proptest! {
+        #[test]
+        fn usage_sums_are_consistent(
+            rows in proptest::collection::vec(
+                proptest::collection::vec(0u32..5, 4), 1..6)
+        ) {
+            let a = AllocationMatrix::from_rows(rows.clone(), 4).unwrap();
+            // Column sums equal row sums in total.
+            let by_cols: u32 = (0..4).map(|n| a.gpus_used_on(n)).sum();
+            let by_rows: u32 = (0..rows.len()).map(|j| a.gpus_of(j)).sum();
+            prop_assert_eq!(by_cols, by_rows);
+            prop_assert_eq!(a.total_gpus_used(), by_cols);
+            // Shapes are consistent with row contents.
+            for j in 0..a.num_jobs() {
+                match a.shape_of(j) {
+                    Some(s) => {
+                        prop_assert_eq!(s.gpus, a.gpus_of(j));
+                        prop_assert_eq!(s.nodes, a.nodes_of(j));
+                        prop_assert!(s.nodes <= s.gpus);
+                    }
+                    None => prop_assert_eq!(a.gpus_of(j), 0),
+                }
+            }
+        }
+
+        #[test]
+        fn feasibility_matches_over_capacity_list(
+            rows in proptest::collection::vec(
+                proptest::collection::vec(0u32..7, 4), 1..6)
+        ) {
+            let a = AllocationMatrix::from_rows(rows, 4).unwrap();
+            let spec = ClusterSpec::homogeneous(4, 4).unwrap();
+            prop_assert_eq!(a.is_feasible(&spec), a.over_capacity_nodes(&spec).is_empty());
+        }
+    }
+}

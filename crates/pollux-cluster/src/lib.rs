@@ -1,0 +1,22 @@
+//! Cluster topology and GPU allocation matrices.
+//!
+//! `PolluxSched` reasons about the cluster through an **allocation
+//! matrix** `A` (Sec. 4.2): row `A_j` is the placement vector of job
+//! `j`, and `A[j][n]` is the number of GPUs allocated to job `j` on
+//! node `n`. This crate provides:
+//!
+//! - [`spec::ClusterSpec`] — node inventory and GPU capacities;
+//! - [`alloc::AllocationMatrix`] — the matrix with capacity checks,
+//!   placement-shape reduction, and the queries the genetic algorithm's
+//!   repair step needs;
+//! - [`ids`] — strongly-typed job/node identifiers.
+
+pub mod alloc;
+pub mod ids;
+pub mod rack;
+pub mod spec;
+
+pub use alloc::AllocationMatrix;
+pub use ids::{JobId, NodeId};
+pub use rack::RackTopology;
+pub use spec::{ClusterSpec, NodeSpec};

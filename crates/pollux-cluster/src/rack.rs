@@ -1,0 +1,145 @@
+//! Rack topology: the node → rack mapping needed by the rack-aware
+//! throughput extension (`pollux_models::rack`).
+//!
+//! Sec. 3.2 of the paper notes `T_sync` "can be extended to account
+//! for rack-level locality by adding a third pair of parameters"; the
+//! model side lives in `pollux-models::rack`, and this module supplies
+//! the cluster side: which nodes share a rack, and the reduction of a
+//! placement row to a `(K, N, R)` shape.
+
+use crate::ids::NodeId;
+use pollux_models::RackPlacementShape;
+use serde::{Deserialize, Serialize};
+
+/// Assignment of nodes to racks.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RackTopology {
+    /// `rack_of[n]` is the rack index of node `n`.
+    rack_of: Vec<u32>,
+    num_racks: u32,
+}
+
+impl RackTopology {
+    /// Builds a topology from an explicit node → rack assignment.
+    ///
+    /// Returns `None` when the assignment is empty or rack indices are
+    /// not contiguous from 0 (every rack in `0..max+1` must own at
+    /// least one node).
+    pub fn new(rack_of: Vec<u32>) -> Option<Self> {
+        if rack_of.is_empty() {
+            return None;
+        }
+        let num_racks = rack_of.iter().max().expect("non-empty") + 1;
+        let mut seen = vec![false; num_racks as usize];
+        for &r in &rack_of {
+            seen[r as usize] = true;
+        }
+        if seen.iter().all(|&s| s) {
+            Some(Self { rack_of, num_racks })
+        } else {
+            None
+        }
+    }
+
+    /// A topology of `num_nodes` nodes grouped into consecutive racks
+    /// of `nodes_per_rack` (the last rack may be smaller).
+    pub fn grouped(num_nodes: u32, nodes_per_rack: u32) -> Option<Self> {
+        if num_nodes == 0 || nodes_per_rack == 0 {
+            return None;
+        }
+        Self::new((0..num_nodes).map(|n| n / nodes_per_rack).collect())
+    }
+
+    /// Number of nodes covered by the topology.
+    pub fn num_nodes(&self) -> usize {
+        self.rack_of.len()
+    }
+
+    /// Number of racks.
+    pub fn num_racks(&self) -> u32 {
+        self.num_racks
+    }
+
+    /// The rack of node `n`.
+    pub fn rack_of(&self, n: NodeId) -> u32 {
+        self.rack_of[n.index()]
+    }
+
+    /// Reduces a placement row (GPUs per node) to its rack-aware
+    /// `(K, N, R)` shape, or `None` when the row holds no GPUs or is
+    /// wider than the topology.
+    pub fn shape_of_row(&self, row: &[u32]) -> Option<RackPlacementShape> {
+        if row.len() > self.rack_of.len() {
+            return None;
+        }
+        let gpus: u32 = row.iter().sum();
+        if gpus == 0 {
+            return None;
+        }
+        let nodes = row.iter().filter(|&&g| g > 0).count() as u32;
+        let mut rack_used = vec![false; self.num_racks as usize];
+        for (n, &g) in row.iter().enumerate() {
+            if g > 0 {
+                rack_used[self.rack_of[n] as usize] = true;
+            }
+        }
+        let racks = rack_used.iter().filter(|&&u| u).count() as u32;
+        RackPlacementShape::new(gpus, nodes, racks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validation() {
+        assert!(RackTopology::new(vec![]).is_none());
+        assert!(RackTopology::new(vec![0, 0, 1, 1]).is_some());
+        // Rack 1 missing: indices not contiguous.
+        assert!(RackTopology::new(vec![0, 0, 2]).is_none());
+        assert!(RackTopology::grouped(0, 2).is_none());
+        assert!(RackTopology::grouped(4, 0).is_none());
+    }
+
+    #[test]
+    fn grouped_layout() {
+        let t = RackTopology::grouped(10, 4).unwrap();
+        assert_eq!(t.num_nodes(), 10);
+        assert_eq!(t.num_racks(), 3);
+        assert_eq!(t.rack_of(NodeId(0)), 0);
+        assert_eq!(t.rack_of(NodeId(3)), 0);
+        assert_eq!(t.rack_of(NodeId(4)), 1);
+        assert_eq!(t.rack_of(NodeId(9)), 2);
+    }
+
+    #[test]
+    fn shape_reduction_counts_racks() {
+        let t = RackTopology::grouped(8, 4).unwrap();
+        // 2 GPUs on node 0, 1 on node 1: same rack.
+        assert_eq!(
+            t.shape_of_row(&[2, 1, 0, 0, 0, 0, 0, 0]),
+            RackPlacementShape::new(3, 2, 1)
+        );
+        // Nodes 0 and 4: different racks.
+        assert_eq!(
+            t.shape_of_row(&[2, 0, 0, 0, 2, 0, 0, 0]),
+            RackPlacementShape::new(4, 2, 2)
+        );
+        // Empty row.
+        assert_eq!(t.shape_of_row(&[0; 8]), None);
+        // Row wider than topology.
+        assert_eq!(t.shape_of_row(&[1; 9]), None);
+    }
+
+    #[test]
+    fn rack_shape_feeds_rack_aware_model() {
+        use pollux_models::{RackAwareParams, ThroughputParams};
+        let base = ThroughputParams::new(0.05, 1e-3, 0.02, 0.001, 0.08, 0.004, 2.0).unwrap();
+        let params = RackAwareParams::new(base, 0.25, 0.01).unwrap();
+        let t = RackTopology::grouped(8, 4).unwrap();
+        let intra = t.shape_of_row(&[2, 2, 0, 0, 0, 0, 0, 0]).unwrap();
+        let cross = t.shape_of_row(&[2, 0, 0, 0, 2, 0, 0, 0]).unwrap();
+        assert!(params.throughput(intra, 1024) > params.throughput(cross, 1024));
+    }
+}

@@ -1,0 +1,143 @@
+//! Node inventory: how many GPUs each node offers.
+
+use crate::ids::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Specification of a single node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeSpec {
+    /// Number of GPUs installed on this node (≥ 1).
+    pub gpus: u32,
+}
+
+/// The cluster's node inventory.
+///
+/// The paper's testbed is 16 nodes × 4 GPUs (AWS g4dn.12xlarge); the
+/// simulator also uses 4-GPU nodes. Heterogeneous capacities are
+/// supported for the auto-scaling experiments, where nodes are added
+/// and removed dynamically.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    nodes: Vec<NodeSpec>,
+}
+
+impl ClusterSpec {
+    /// Builds a cluster from per-node specs. Returns `None` when the
+    /// list is empty or any node has zero GPUs.
+    pub fn new(nodes: Vec<NodeSpec>) -> Option<Self> {
+        if nodes.is_empty() || nodes.iter().any(|n| n.gpus == 0) {
+            None
+        } else {
+            Some(Self { nodes })
+        }
+    }
+
+    /// A homogeneous cluster of `num_nodes` nodes with `gpus_per_node`
+    /// GPUs each (the common case in the paper's evaluation).
+    pub fn homogeneous(num_nodes: u32, gpus_per_node: u32) -> Option<Self> {
+        if num_nodes == 0 {
+            return None;
+        }
+        Self::new(vec![
+            NodeSpec {
+                gpus: gpus_per_node
+            };
+            num_nodes as usize
+        ])
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// GPU capacity of node `n`.
+    pub fn gpus_on(&self, n: NodeId) -> u32 {
+        self.nodes[n.index()].gpus
+    }
+
+    /// Total GPUs across the cluster.
+    pub fn total_gpus(&self) -> u32 {
+        self.nodes.iter().map(|n| n.gpus).sum()
+    }
+
+    /// Iterates over `(NodeId, NodeSpec)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, NodeSpec)> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (NodeId(i as u32), s))
+    }
+
+    /// Returns a new spec with `count` extra nodes of `gpus` GPUs each
+    /// appended (cloud scale-out).
+    pub fn grown(&self, count: u32, gpus: u32) -> Option<Self> {
+        if gpus == 0 {
+            return None;
+        }
+        let mut nodes = self.nodes.clone();
+        nodes.extend(std::iter::repeat_n(NodeSpec { gpus }, count as usize));
+        Some(Self { nodes })
+    }
+
+    /// Returns a new spec with the last `count` nodes removed
+    /// (cloud scale-in), or `None` when that would empty the cluster.
+    pub fn shrunk(&self, count: u32) -> Option<Self> {
+        let keep = self.nodes.len().checked_sub(count as usize)?;
+        if keep == 0 {
+            return None;
+        }
+        Some(Self {
+            nodes: self.nodes[..keep].to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn homogeneous_cluster() {
+        let c = ClusterSpec::homogeneous(16, 4).unwrap();
+        assert_eq!(c.num_nodes(), 16);
+        assert_eq!(c.total_gpus(), 64);
+        assert_eq!(c.gpus_on(NodeId(15)), 4);
+    }
+
+    #[test]
+    fn rejects_degenerate_specs() {
+        assert!(ClusterSpec::homogeneous(0, 4).is_none());
+        assert!(ClusterSpec::homogeneous(4, 0).is_none());
+        assert!(ClusterSpec::new(vec![]).is_none());
+        assert!(ClusterSpec::new(vec![NodeSpec { gpus: 0 }]).is_none());
+    }
+
+    #[test]
+    fn heterogeneous_total() {
+        let c = ClusterSpec::new(vec![NodeSpec { gpus: 8 }, NodeSpec { gpus: 2 }]).unwrap();
+        assert_eq!(c.total_gpus(), 10);
+        assert_eq!(c.gpus_on(NodeId(0)), 8);
+        assert_eq!(c.gpus_on(NodeId(1)), 2);
+    }
+
+    #[test]
+    fn grow_and_shrink() {
+        let c = ClusterSpec::homogeneous(4, 4).unwrap();
+        let g = c.grown(2, 4).unwrap();
+        assert_eq!(g.num_nodes(), 6);
+        assert_eq!(g.total_gpus(), 24);
+        let s = g.shrunk(5).unwrap();
+        assert_eq!(s.num_nodes(), 1);
+        assert!(g.shrunk(6).is_none());
+        assert!(g.shrunk(7).is_none());
+        assert!(c.grown(1, 0).is_none());
+    }
+
+    #[test]
+    fn iter_yields_all_nodes() {
+        let c = ClusterSpec::homogeneous(3, 4).unwrap();
+        let ids: Vec<u32> = c.iter().map(|(id, _)| id.0).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,23 @@
+//! The Pollux scheduling policy — the paper's primary contribution,
+//! assembled from the workspace's building blocks:
+//!
+//! - each job's `PolluxAgent` (from `pollux-agent`) profiles
+//!   throughput, estimates the gradient noise scale, fits θsys, and
+//!   tunes `(m, η)` for its current allocation;
+//! - `PolluxSched` (from `pollux-sched`) re-optimizes cluster-wide
+//!   allocations every interval with a genetic algorithm over the
+//!   jobs' goodput models;
+//! - optionally, the goodput-driven autoscaler resizes the cluster in
+//!   cloud settings (Sec. 4.2.2).
+//!
+//! [`policy::PolluxPolicy`] packages all of this behind the
+//! simulator's `SchedulingPolicy` interface; [`runner`] provides
+//! one-call drivers used by the examples and experiments.
+
+pub mod policy;
+pub mod runner;
+pub mod service;
+
+pub use policy::{PolluxConfig, PolluxPolicy};
+pub use runner::{run_trace, ConfigChoice};
+pub use service::{ClusterService, JobHandle, ServiceConfig};

@@ -1,0 +1,369 @@
+//! `PolluxPolicy`: the co-adaptive scheduler behind the
+//! `SchedulingPolicy` interface.
+
+use pollux_cluster::{AllocationMatrix, ClusterSpec, JobId};
+use pollux_models::{BatchSizeLimits, EfficiencyModel, GoodputModel, ThroughputParams};
+use pollux_sched::{
+    job_weight, AutoscaleConfig, Autoscaler, PolluxSched, SchedConfig, SchedJob, WeightConfig,
+};
+use pollux_simulator::{PolicyJobView, SchedulingPolicy};
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// Builds the prior-driven bootstrap [`SchedJob`] for a job that has
+/// not produced an agent report yet.
+///
+/// A fresh job has no throughput observations, so its bootstrap model
+/// assumes *perfect scaling* (`T_grad ∝ m/K`, no sync cost) and zero
+/// noise scale (no batch-size benefit), with the scale-out cap
+/// starting at 2 — the paper's exploration behavior (Sec. 4.1,
+/// "Prior-driven exploration"): new jobs start small and are grown as
+/// their agents learn.
+pub(crate) fn bootstrap_sched_job(
+    id: JobId,
+    limits: BatchSizeLimits,
+    weight: f64,
+    current_placement: Vec<u32>,
+) -> SchedJob {
+    let params = ThroughputParams::new(0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 1.0)
+        .expect("static bootstrap params are valid");
+    let eff = EfficiencyModel::from_noise_scale(limits.min, 0.0).expect("limits.min >= 1");
+    let model = GoodputModel::new(params, eff, limits).expect("eff.m0 == limits.min");
+    let min_gpus = limits.min_gpus().max(1);
+    SchedJob {
+        id,
+        model,
+        min_gpus,
+        gpu_cap: min_gpus.max(2),
+        weight,
+        current_placement,
+    }
+}
+
+/// Configuration of the full Pollux policy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PolluxConfig {
+    /// Scheduler settings (GA, weights, interval).
+    pub sched: SchedConfig,
+    /// Cloud auto-scaling; `None` keeps a fixed cluster.
+    pub autoscale: Option<AutoscaleConfig>,
+    /// Let agents re-tune batch sizes and learning rates (the paper's
+    /// co-adaptation). Disabling this yields an *only-resource-adaptive*
+    /// Pollux — the GA allocator over fixed user batch sizes — used by
+    /// the co-adaptation ablation.
+    pub adapt_batch_size: bool,
+}
+
+impl Default for PolluxConfig {
+    fn default() -> Self {
+        Self {
+            sched: SchedConfig::default(),
+            autoscale: None,
+            adapt_batch_size: true,
+        }
+    }
+}
+
+/// The Pollux scheduling policy.
+pub struct PolluxPolicy {
+    sched: PolluxSched,
+    weights: WeightConfig,
+    autoscaler: Option<Autoscaler>,
+    adapt_batch_size: bool,
+}
+
+impl PolluxPolicy {
+    /// Creates the policy. Returns `None` when the autoscale
+    /// configuration is invalid.
+    pub fn new(config: PolluxConfig) -> Option<Self> {
+        let autoscaler = match config.autoscale {
+            Some(c) => Some(Autoscaler::new(c)?),
+            None => None,
+        };
+        Some(Self {
+            sched: PolluxSched::new(config.sched),
+            weights: config.sched.weights,
+            autoscaler,
+            adapt_batch_size: config.adapt_batch_size,
+        })
+    }
+
+    /// Converts the policy views into scheduler jobs, synthesizing the
+    /// prior-driven bootstrap model ([`bootstrap_sched_job`]) for jobs
+    /// without an agent report.
+    fn sched_jobs(&self, jobs: &[PolicyJobView<'_>]) -> Vec<SchedJob> {
+        jobs.iter()
+            .map(|view| {
+                let weight = job_weight(&self.weights, view.gputime);
+                match &view.report {
+                    Some(report) => SchedJob {
+                        id: view.id,
+                        model: report.model,
+                        min_gpus: report.min_gpus,
+                        gpu_cap: report.gpu_cap,
+                        weight,
+                        current_placement: view.current_placement.to_vec(),
+                    },
+                    None => bootstrap_sched_job(
+                        view.id,
+                        view.limits,
+                        weight,
+                        view.current_placement.to_vec(),
+                    ),
+                }
+            })
+            .collect()
+    }
+}
+
+impl SchedulingPolicy for PolluxPolicy {
+    fn name(&self) -> &'static str {
+        if self.adapt_batch_size {
+            "pollux"
+        } else {
+            "pollux-fixed-batch"
+        }
+    }
+
+    fn adapts_batch_size(&self) -> bool {
+        self.adapt_batch_size
+    }
+
+    fn schedule(
+        &mut self,
+        _now: f64,
+        jobs: &[PolicyJobView<'_>],
+        spec: &ClusterSpec,
+        rng: &mut StdRng,
+    ) -> AllocationMatrix {
+        let sched_jobs = self.sched_jobs(jobs);
+        self.sched.schedule(&sched_jobs, spec, rng)
+    }
+
+    fn desired_nodes(
+        &mut self,
+        _now: f64,
+        jobs: &[PolicyJobView<'_>],
+        spec: &ClusterSpec,
+        rng: &mut StdRng,
+    ) -> Option<u32> {
+        let autoscaler = self.autoscaler.as_ref()?;
+        if jobs.is_empty() {
+            return None;
+        }
+        let sched_jobs = self.sched_jobs(jobs);
+        Some(
+            autoscaler
+                .recommend(&sched_jobs, spec.num_nodes() as u32, rng)
+                .nodes,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pollux_agent::PolluxAgent;
+    use pollux_cluster::JobId;
+    use pollux_models::{GradientStats, PlacementShape};
+    use pollux_sched::GaConfig;
+    use pollux_workload::{ModelKind, ModelProfile, UserConfig};
+    use rand::SeedableRng;
+
+    fn quick_config() -> PolluxConfig {
+        let mut c = PolluxConfig::default();
+        c.sched.ga = GaConfig {
+            population: 20,
+            generations: 10,
+            ..Default::default()
+        };
+        c
+    }
+
+    struct Owned {
+        profile: ModelProfile,
+        agent: Option<PolluxAgent>,
+        placement: Vec<u32>,
+        gputime: f64,
+    }
+
+    impl Owned {
+        fn fresh(kind: ModelKind, nodes: usize) -> Self {
+            Self {
+                profile: kind.profile(),
+                agent: None,
+                placement: vec![0; nodes],
+                gputime: 0.0,
+            }
+        }
+
+        fn fitted(kind: ModelKind, phi: f64, nodes: usize) -> Self {
+            let profile = kind.profile();
+            let mut agent = PolluxAgent::new(profile.m0, profile.eta0, profile.limits).unwrap();
+            for (g, n) in [(1u32, 1u32), (2, 1), (4, 1), (8, 2)] {
+                let shape = PlacementShape::new(g, n).unwrap();
+                agent.observe_iteration(
+                    shape,
+                    profile.m0,
+                    profile.params.t_iter(shape, profile.m0),
+                );
+            }
+            assert!(agent.refit());
+            agent.observe_gradient_stats(GradientStats::new(phi / profile.m0 as f64, 1.0).unwrap());
+            Self {
+                profile,
+                agent: Some(agent),
+                placement: vec![0; nodes],
+                gputime: 0.0,
+            }
+        }
+
+        fn view(&self, id: u32) -> PolicyJobView<'_> {
+            PolicyJobView {
+                id: JobId(id),
+                user: UserConfig {
+                    gpus: 1,
+                    batch_size: self.profile.m0,
+                },
+                profile: &self.profile,
+                limits: self.profile.limits,
+                report: self.agent.as_ref().and_then(|a| a.report()),
+                gputime: self.gputime,
+                submit_time: id as f64,
+                current_placement: &self.placement,
+                batch_size: self.profile.m0,
+                remaining_work: 1e6,
+            }
+        }
+    }
+
+    #[test]
+    fn fresh_jobs_start_small() {
+        // Two brand-new jobs on a big cluster: the bootstrap cap of 2
+        // keeps each at 1-2 GPUs.
+        let a = Owned::fresh(ModelKind::ResNet18Cifar10, 4);
+        let b = Owned::fresh(ModelKind::NeuMFMovieLens, 4);
+        let jobs = vec![a.view(0), b.view(1)];
+        let spec = ClusterSpec::homogeneous(4, 4).unwrap();
+        let mut p = PolluxPolicy::new(quick_config()).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = p.schedule(0.0, &jobs, &spec, &mut rng);
+        for j in 0..2 {
+            let g = m.gpus_of(j);
+            assert!((1..=2).contains(&g), "job {j} got {g} GPUs:\n{m}");
+        }
+    }
+
+    #[test]
+    fn fitted_scalable_jobs_grow() {
+        let mut owned = Owned::fitted(ModelKind::ResNet18Cifar10, 4000.0, 4);
+        // The job has held 8 GPUs before: cap is 16.
+        owned
+            .agent
+            .as_mut()
+            .unwrap()
+            .note_allocation(PlacementShape::new(8, 2).unwrap());
+        let jobs = vec![owned.view(0)];
+        let spec = ClusterSpec::homogeneous(4, 4).unwrap();
+        let mut p = PolluxPolicy::new(quick_config()).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = p.schedule(0.0, &jobs, &spec, &mut rng);
+        assert!(
+            m.gpus_of(0) >= 8,
+            "scalable job got {} GPUs:\n{m}",
+            m.gpus_of(0)
+        );
+    }
+
+    #[test]
+    fn respects_agent_scale_cap() {
+        // Fitted job that has only ever held 1 GPU: cap 2.
+        let owned = Owned::fitted(ModelKind::ResNet18Cifar10, 50_000.0, 4);
+        // note_allocation was called with up to 8 GPUs inside fitted();
+        // build a fresh one with a single observation instead.
+        let profile = ModelKind::ResNet18Cifar10.profile();
+        let mut agent = PolluxAgent::new(profile.m0, profile.eta0, profile.limits).unwrap();
+        let s1 = PlacementShape::single();
+        agent.observe_iteration(s1, profile.m0, profile.params.t_iter(s1, profile.m0));
+        assert!(agent.refit());
+        agent.observe_gradient_stats(GradientStats::new(400.0, 1.0).unwrap());
+        let small = Owned {
+            profile,
+            agent: Some(agent),
+            placement: vec![0; 4],
+            gputime: 0.0,
+        };
+        let jobs = vec![small.view(0)];
+        let spec = ClusterSpec::homogeneous(4, 4).unwrap();
+        let mut p = PolluxPolicy::new(quick_config()).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = p.schedule(0.0, &jobs, &spec, &mut rng);
+        assert!(m.gpus_of(0) <= 2, "cap violated: {} GPUs", m.gpus_of(0));
+        drop(owned);
+    }
+
+    #[test]
+    fn weights_decay_with_gputime() {
+        // A job far past the GPU-time threshold gets a lower weight,
+        // shifting allocations toward the fresh job when both compete.
+        let mut old = Owned::fitted(ModelKind::ResNet18Cifar10, 4000.0, 1);
+        old.gputime = 100.0 * 3600.0;
+        old.agent
+            .as_mut()
+            .unwrap()
+            .note_allocation(PlacementShape::new(8, 2).unwrap());
+        let mut fresh = Owned::fitted(ModelKind::ResNet18Cifar10, 4000.0, 1);
+        fresh
+            .agent
+            .as_mut()
+            .unwrap()
+            .note_allocation(PlacementShape::new(8, 2).unwrap());
+        let jobs = vec![old.view(0), fresh.view(1)];
+        let spec = ClusterSpec::homogeneous(1, 4).unwrap();
+        let mut p = PolluxPolicy::new(quick_config()).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let m = p.schedule(0.0, &jobs, &spec, &mut rng);
+        assert!(
+            m.gpus_of(1) >= m.gpus_of(0),
+            "fresh {} vs old {}\n{m}",
+            m.gpus_of(1),
+            m.gpus_of(0)
+        );
+    }
+
+    #[test]
+    fn autoscaling_hook_recommends_nodes() {
+        let mut config = quick_config();
+        config.autoscale = Some(AutoscaleConfig {
+            max_nodes: 8,
+            ga: GaConfig {
+                population: 16,
+                generations: 8,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        let owned = Owned::fitted(ModelKind::ResNet18Cifar10, 100_000.0, 4);
+        let jobs = vec![owned.view(0)];
+        let spec = ClusterSpec::homogeneous(4, 4).unwrap();
+        let mut p = PolluxPolicy::new(config).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = p.desired_nodes(0.0, &jobs, &spec, &mut rng);
+        assert!(n.is_some());
+        assert!((1..=8).contains(&n.unwrap()));
+        // Without autoscale config, the hook declines.
+        let mut p2 = PolluxPolicy::new(quick_config()).unwrap();
+        assert_eq!(p2.desired_nodes(0.0, &jobs, &spec, &mut rng), None);
+    }
+
+    #[test]
+    fn invalid_autoscale_config_rejected() {
+        let mut config = quick_config();
+        config.autoscale = Some(AutoscaleConfig {
+            low_util: 0.9,
+            high_util: 0.1,
+            ..Default::default()
+        });
+        assert!(PolluxPolicy::new(config).is_none());
+    }
+}

@@ -1,0 +1,546 @@
+//! A live cluster-service embedding of Pollux (Sec. 4.3).
+//!
+//! The paper deploys `PolluxSched` as a long-running service (in
+//! Kubernetes) and `PolluxAgent` as a library linked into each training
+//! job. This module provides the equivalent embeddable control plane:
+//!
+//! - [`ClusterService`] owns the shared state and a background
+//!   scheduler thread that re-optimizes allocations at a fixed
+//!   interval (60 s in the paper; configurable down to milliseconds
+//!   for tests);
+//! - [`JobHandle`] is the per-job client: training code reports
+//!   iteration timings and gradient statistics through it, and reads
+//!   back its current placement and `(m*, η)` tuning decision.
+//!
+//! All state is behind `parking_lot` locks; the scheduler thread is
+//! driven by `crossbeam` channels (a ticker plus a shutdown/trigger
+//! channel), so the service shuts down deterministically.
+
+use crate::policy::PolluxConfig;
+use crossbeam::channel::{bounded, tick, Receiver, Sender};
+use parking_lot::{Mutex, RwLock};
+use pollux_agent::{PolluxAgent, TuningDecision};
+use pollux_cluster::{AllocationMatrix, ClusterSpec, JobId};
+use pollux_models::{BatchSizeLimits, GradientStats, PlacementShape};
+use pollux_sched::{job_weight, Autoscaler, PolluxSched, SchedJob, WeightConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Configuration of the live service.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Pollux policy configuration (GA, weights, optional autoscale).
+    pub pollux: PolluxConfig,
+    /// Wall-clock interval between scheduling rounds.
+    pub interval: Duration,
+    /// RNG seed for the genetic algorithm.
+    pub seed: u64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            pollux: PolluxConfig::default(),
+            interval: Duration::from_secs(60),
+            seed: 0,
+        }
+    }
+}
+
+/// Commands accepted by the scheduler thread.
+enum Command {
+    /// Run a scheduling round now (in addition to the ticker).
+    Schedule,
+    /// Stop the scheduler thread.
+    Shutdown,
+}
+
+struct JobEntry {
+    agent: PolluxAgent,
+    gputime_seconds: f64,
+    placement: Vec<u32>,
+}
+
+struct Shared {
+    spec: RwLock<ClusterSpec>,
+    jobs: Mutex<HashMap<JobId, JobEntry>>,
+    /// Monotone counter of completed scheduling rounds.
+    rounds: RwLock<u64>,
+    weights: WeightConfig,
+}
+
+impl Shared {
+    /// One scheduling round: snapshot job models, run the GA, apply
+    /// the resulting placements.
+    fn schedule_once(
+        &self,
+        sched: &mut PolluxSched,
+        autoscaler: Option<&Autoscaler>,
+        rng: &mut StdRng,
+    ) {
+        // Snapshot job state under the lock, then release it before the
+        // (potentially long) genetic optimization so training threads
+        // are never blocked behind a scheduling round.
+        let (ids, sched_jobs) = {
+            let jobs = self.jobs.lock();
+            if jobs.is_empty() {
+                drop(jobs);
+                *self.rounds.write() += 1;
+                return;
+            }
+            let mut ids: Vec<JobId> = jobs.keys().copied().collect();
+            ids.sort();
+            let num_nodes = self.spec.read().num_nodes();
+            let sched_jobs: Vec<SchedJob> = ids
+                .iter()
+                .map(|id| {
+                    let entry = &jobs[id];
+                    let weight = job_weight(&self.weights, entry.gputime_seconds);
+                    let mut current = entry.placement.clone();
+                    current.resize(num_nodes, 0);
+                    match entry.agent.report() {
+                        Some(report) => SchedJob {
+                            id: *id,
+                            model: report.model,
+                            min_gpus: report.min_gpus,
+                            gpu_cap: report.gpu_cap,
+                            weight,
+                            current_placement: current,
+                        },
+                        None => crate::policy::bootstrap_sched_job(
+                            *id,
+                            entry.agent.limits(),
+                            weight,
+                            current,
+                        ),
+                    }
+                })
+                .collect();
+            (ids, sched_jobs)
+        };
+
+        // Optional cloud auto-scaling before allocation.
+        if let Some(scaler) = autoscaler {
+            let current_nodes = self.spec.read().num_nodes() as u32;
+            let decision = scaler.recommend(&sched_jobs, current_nodes, rng);
+            if decision.nodes != current_nodes {
+                let gpus = {
+                    let spec = self.spec.read();
+                    spec.gpus_on(pollux_cluster::NodeId(0))
+                };
+                if let Some(new_spec) = ClusterSpec::homogeneous(decision.nodes, gpus) {
+                    *self.spec.write() = new_spec;
+                }
+            }
+        }
+
+        let spec = self.spec.read().clone();
+        let matrix: AllocationMatrix = sched.schedule(&sched_jobs, &spec, rng);
+        // Re-acquire to apply; jobs completed mid-round are skipped.
+        let mut jobs = self.jobs.lock();
+        for (row, id) in ids.iter().enumerate() {
+            if let Some(entry) = jobs.get_mut(id) {
+                let mut placement = matrix.row(row).to_vec();
+                placement.resize(spec.num_nodes(), 0);
+                let gpus: u32 = placement.iter().sum();
+                if gpus > 0 {
+                    let nodes = placement.iter().filter(|&&g| g > 0).count() as u32;
+                    if let Some(shape) = PlacementShape::new(gpus, nodes) {
+                        entry.agent.note_allocation(shape);
+                    }
+                }
+                entry.placement = placement;
+            }
+        }
+        *self.rounds.write() += 1;
+    }
+}
+
+/// Client handle for one training job.
+#[derive(Clone)]
+pub struct JobHandle {
+    id: JobId,
+    shared: Arc<Shared>,
+}
+
+impl JobHandle {
+    /// This job's identifier.
+    pub fn id(&self) -> JobId {
+        self.id
+    }
+
+    /// Reports one measured training iteration (the `PolluxAgent`
+    /// profiling hook). `gputime` advances the job's attained service
+    /// for fairness weighting.
+    pub fn record_iteration(&self, shape: PlacementShape, batch_size: u64, t_iter: f64) {
+        let mut jobs = self.shared.jobs.lock();
+        if let Some(entry) = jobs.get_mut(&self.id) {
+            entry.agent.observe_iteration(shape, batch_size, t_iter);
+            entry.gputime_seconds += t_iter * shape.gpus as f64;
+        }
+    }
+
+    /// Reports fresh gradient statistics (noise-scale inputs).
+    pub fn record_gradient_stats(&self, stats: GradientStats) {
+        let mut jobs = self.shared.jobs.lock();
+        if let Some(entry) = jobs.get_mut(&self.id) {
+            entry.agent.observe_gradient_stats(stats);
+        }
+    }
+
+    /// Re-fits the job's θsys model from everything profiled so far.
+    /// Returns `false` when no observations exist yet.
+    pub fn refit(&self) -> bool {
+        let mut jobs = self.shared.jobs.lock();
+        jobs.get_mut(&self.id)
+            .map(|e| e.agent.refit())
+            .unwrap_or(false)
+    }
+
+    /// The placement currently assigned by the scheduler (GPUs per
+    /// node; empty vector before the first round).
+    pub fn placement(&self) -> Vec<u32> {
+        self.shared
+            .jobs
+            .lock()
+            .get(&self.id)
+            .map(|e| e.placement.clone())
+            .unwrap_or_default()
+    }
+
+    /// The agent's `(m*, η)` decision for the current placement, or
+    /// `None` while unallocated or before the first fit.
+    pub fn tuning(&self) -> Option<TuningDecision> {
+        let jobs = self.shared.jobs.lock();
+        let entry = jobs.get(&self.id)?;
+        let gpus: u32 = entry.placement.iter().sum();
+        if gpus == 0 {
+            return None;
+        }
+        let nodes = entry.placement.iter().filter(|&&g| g > 0).count() as u32;
+        let shape = PlacementShape::new(gpus, nodes)?;
+        entry.agent.tune(shape)
+    }
+}
+
+/// The live Pollux control plane.
+pub struct ClusterService {
+    shared: Arc<Shared>,
+    commands: Sender<Command>,
+    thread: Option<JoinHandle<()>>,
+    next_id: Mutex<u32>,
+}
+
+impl ClusterService {
+    /// Starts the service with a background scheduler thread.
+    ///
+    /// Returns `None` when the Pollux configuration is invalid (e.g.
+    /// inconsistent autoscale thresholds).
+    pub fn start(config: ServiceConfig, spec: ClusterSpec) -> Option<Self> {
+        let autoscaler = match config.pollux.autoscale {
+            Some(c) => Some(Autoscaler::new(c)?),
+            None => None,
+        };
+        let shared = Arc::new(Shared {
+            spec: RwLock::new(spec),
+            jobs: Mutex::new(HashMap::new()),
+            rounds: RwLock::new(0),
+            weights: config.pollux.sched.weights,
+        });
+        let (tx, rx): (Sender<Command>, Receiver<Command>) = bounded(16);
+        let ticker = tick(config.interval);
+        let thread_shared = Arc::clone(&shared);
+        let mut sched = PolluxSched::new(config.pollux.sched);
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let thread = std::thread::spawn(move || loop {
+            crossbeam::channel::select! {
+                recv(rx) -> cmd => match cmd {
+                    Ok(Command::Schedule) => {
+                        thread_shared.schedule_once(&mut sched, autoscaler.as_ref(), &mut rng);
+                    }
+                    Ok(Command::Shutdown) | Err(_) => break,
+                },
+                recv(ticker) -> _ => {
+                    thread_shared.schedule_once(&mut sched, autoscaler.as_ref(), &mut rng);
+                }
+            }
+        });
+        Some(Self {
+            shared,
+            commands: tx,
+            thread: Some(thread),
+            next_id: Mutex::new(0),
+        })
+    }
+
+    /// Registers a new training job and returns its handle.
+    ///
+    /// Returns `None` when `limits.min != m0` or `η0` is invalid (the
+    /// same contract as [`PolluxAgent::new`]).
+    pub fn submit(&self, m0: u64, eta0: f64, limits: BatchSizeLimits) -> Option<JobHandle> {
+        let agent = PolluxAgent::new(m0, eta0, limits)?;
+        let id = {
+            let mut next = self.next_id.lock();
+            let id = JobId(*next);
+            *next += 1;
+            id
+        };
+        let num_nodes = self.shared.spec.read().num_nodes();
+        self.shared.jobs.lock().insert(
+            id,
+            JobEntry {
+                agent,
+                gputime_seconds: 0.0,
+                placement: vec![0; num_nodes],
+            },
+        );
+        Some(JobHandle {
+            id,
+            shared: Arc::clone(&self.shared),
+        })
+    }
+
+    /// Deregisters a completed (or cancelled) job, freeing its GPUs at
+    /// the next scheduling round.
+    pub fn complete(&self, id: JobId) {
+        self.shared.jobs.lock().remove(&id);
+    }
+
+    /// Requests an immediate scheduling round (in addition to the
+    /// periodic ticker). Non-blocking; returns `false` if the service
+    /// is shutting down.
+    pub fn trigger_schedule(&self) -> bool {
+        self.commands.try_send(Command::Schedule).is_ok()
+    }
+
+    /// Blocks until at least `n` scheduling rounds have completed.
+    pub fn wait_for_rounds(&self, n: u64, timeout: Duration) -> bool {
+        let start = std::time::Instant::now();
+        while *self.shared.rounds.read() < n {
+            if start.elapsed() > timeout {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        true
+    }
+
+    /// Number of completed scheduling rounds.
+    pub fn rounds(&self) -> u64 {
+        *self.shared.rounds.read()
+    }
+
+    /// The current cluster specification (autoscaling may change it).
+    pub fn cluster_spec(&self) -> ClusterSpec {
+        self.shared.spec.read().clone()
+    }
+
+    /// Number of registered jobs.
+    pub fn num_jobs(&self) -> usize {
+        self.shared.jobs.lock().len()
+    }
+
+    /// Stops the scheduler thread and drops the service.
+    pub fn shutdown(mut self) {
+        let _ = self.commands.send(Command::Shutdown);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ClusterService {
+    fn drop(&mut self) {
+        let _ = self.commands.send(Command::Shutdown);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pollux_sched::GaConfig;
+    use pollux_workload::ModelKind;
+
+    fn quick_service(spec: ClusterSpec) -> ClusterService {
+        let mut pollux = PolluxConfig::default();
+        pollux.sched.ga = GaConfig {
+            population: 12,
+            generations: 6,
+            ..Default::default()
+        };
+        ClusterService::start(
+            ServiceConfig {
+                pollux,
+                interval: Duration::from_millis(5),
+                seed: 1,
+            },
+            spec,
+        )
+        .expect("valid service config")
+    }
+
+    fn feed_profile(handle: &JobHandle, kind: ModelKind) {
+        let profile = kind.profile();
+        for (g, n) in [(1u32, 1u32), (2, 1), (4, 1), (8, 2)] {
+            let shape = PlacementShape::new(g, n).unwrap();
+            handle.record_iteration(shape, profile.m0, profile.params.t_iter(shape, profile.m0));
+        }
+        assert!(handle.refit());
+        handle.record_gradient_stats(GradientStats::new(20.0, 1.0).unwrap());
+    }
+
+    #[test]
+    fn service_allocates_submitted_jobs() {
+        let service = quick_service(ClusterSpec::homogeneous(2, 4).unwrap());
+        let profile = ModelKind::ResNet18Cifar10.profile();
+        let a = service
+            .submit(profile.m0, profile.eta0, profile.limits)
+            .unwrap();
+        let b = service
+            .submit(profile.m0, profile.eta0, profile.limits)
+            .unwrap();
+        assert_ne!(a.id(), b.id());
+        assert_eq!(service.num_jobs(), 2);
+
+        let before = service.rounds();
+        assert!(service.trigger_schedule());
+        assert!(service.wait_for_rounds(before + 2, Duration::from_secs(10)));
+
+        // Fresh jobs are bootstrapped: each gets 1-2 GPUs.
+        for h in [&a, &b] {
+            let gpus: u32 = h.placement().iter().sum();
+            assert!((1..=2).contains(&gpus), "placement {:?}", h.placement());
+        }
+        service.shutdown();
+    }
+
+    #[test]
+    fn reports_unlock_scale_out_and_tuning() {
+        let service = quick_service(ClusterSpec::homogeneous(2, 4).unwrap());
+        let profile = ModelKind::ResNet18Cifar10.profile();
+        let h = service
+            .submit(profile.m0, profile.eta0, profile.limits)
+            .unwrap();
+        feed_profile(&h, ModelKind::ResNet18Cifar10);
+
+        // After a profiled report (the agent has seen up to 8 GPUs,
+        // cap 16), the scheduler should grant a substantial
+        // allocation on the idle 8-GPU cluster.
+        let before = service.rounds();
+        service.trigger_schedule();
+        assert!(service.wait_for_rounds(before + 2, Duration::from_secs(10)));
+        let gpus: u32 = h.placement().iter().sum();
+        assert!(gpus >= 4, "placement {:?}", h.placement());
+
+        let tuning = h.tuning().expect("fit + placement => tuning");
+        assert!(tuning.batch_size >= profile.m0);
+        assert!(tuning.learning_rate > 0.0);
+        service.shutdown();
+    }
+
+    #[test]
+    fn completed_jobs_release_gpus() {
+        let service = quick_service(ClusterSpec::homogeneous(1, 4).unwrap());
+        let profile = ModelKind::ResNet18Cifar10.profile();
+        let a = service
+            .submit(profile.m0, profile.eta0, profile.limits)
+            .unwrap();
+        let b = service
+            .submit(profile.m0, profile.eta0, profile.limits)
+            .unwrap();
+        feed_profile(&a, ModelKind::ResNet18Cifar10);
+        feed_profile(&b, ModelKind::ResNet18Cifar10);
+        let before = service.rounds();
+        service.trigger_schedule();
+        assert!(service.wait_for_rounds(before + 2, Duration::from_secs(10)));
+
+        service.complete(a.id());
+        assert_eq!(service.num_jobs(), 1);
+        let before = service.rounds();
+        service.trigger_schedule();
+        assert!(service.wait_for_rounds(before + 2, Duration::from_secs(10)));
+        // The survivor can now take the whole node (cap permitting).
+        let gpus: u32 = b.placement().iter().sum();
+        assert!(gpus >= 2, "placement {:?}", b.placement());
+        // The departed handle reads back empty.
+        assert!(a.placement().is_empty());
+        assert!(a.tuning().is_none());
+        service.shutdown();
+    }
+
+    #[test]
+    fn ticker_schedules_without_triggers() {
+        let service = quick_service(ClusterSpec::homogeneous(1, 4).unwrap());
+        assert!(service.wait_for_rounds(3, Duration::from_secs(10)));
+        service.shutdown();
+    }
+
+    #[test]
+    fn shutdown_via_drop_joins_thread() {
+        let service = quick_service(ClusterSpec::homogeneous(1, 2).unwrap());
+        drop(service); // Must not hang or panic.
+    }
+
+    #[test]
+    fn autoscaling_service_grows_cluster_for_scalable_job() {
+        use pollux_sched::AutoscaleConfig;
+        let mut pollux = PolluxConfig::default();
+        pollux.sched.ga = GaConfig {
+            population: 12,
+            generations: 6,
+            ..Default::default()
+        };
+        pollux.autoscale = Some(AutoscaleConfig {
+            max_nodes: 8,
+            ga: GaConfig {
+                population: 12,
+                generations: 6,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        let service = ClusterService::start(
+            ServiceConfig {
+                pollux,
+                interval: Duration::from_millis(5),
+                seed: 3,
+            },
+            ClusterSpec::homogeneous(1, 4).unwrap(),
+        )
+        .unwrap();
+        let profile = ModelKind::ResNet18Cifar10.profile();
+        let h = service
+            .submit(profile.m0, profile.eta0, profile.limits)
+            .unwrap();
+        // A well-profiled, high-φ job that has held many GPUs: the
+        // autoscaler should grow the cluster beyond the single node.
+        for (g, n) in [(1u32, 1u32), (2, 1), (4, 1), (8, 2), (16, 4)] {
+            let shape = PlacementShape::new(g, n).unwrap();
+            h.record_iteration(shape, profile.m0, profile.params.t_iter(shape, profile.m0));
+        }
+        assert!(h.refit());
+        h.record_gradient_stats(GradientStats::new(60.0, 1.0).unwrap());
+        let before = service.rounds();
+        service.trigger_schedule();
+        assert!(service.wait_for_rounds(before + 3, Duration::from_secs(20)));
+        let nodes = service.cluster_spec().num_nodes();
+        assert!(nodes > 1, "cluster stayed at {nodes} node(s)");
+        service.shutdown();
+    }
+
+    #[test]
+    fn invalid_submission_rejected() {
+        let service = quick_service(ClusterSpec::homogeneous(1, 4).unwrap());
+        let limits = BatchSizeLimits::new(128, 1024, 512).unwrap();
+        assert!(service.submit(64, 0.1, limits).is_none(), "m0 mismatch");
+        assert!(service.submit(128, 0.0, limits).is_none(), "bad eta0");
+        service.shutdown();
+    }
+}

@@ -1,0 +1,101 @@
+//! `pollux-sim` — run one scheduling policy on the standard evaluation
+//! workload (160 jobs, 8-hour submission window, 16 nodes × 4 GPUs)
+//! and print summary statistics.
+//!
+//! ```sh
+//! pollux-sim [pollux|optimus|tiresias|all] [seed]
+//! ```
+//!
+//! Environment:
+//! - `POLLUX_SIM_DEBUG=1` — print cluster state every simulated hour.
+//! - `POLLUX_JSON_OUT=<path>` — also dump the full `SimResult` (per-job
+//!   records, cluster series, allocation timeline) as JSON per policy,
+//!   to `<path>.<policy>.json`.
+//! - `POLLUX_TRACE_OUT=<path>` — save the generated workload trace as
+//!   JSON (reusable input for custom drivers).
+
+use pollux_baselines::{Optimus, Tiresias, TiresiasConfig};
+use pollux_cluster::ClusterSpec;
+use pollux_core::{run_trace, ConfigChoice, PolluxConfig, PolluxPolicy};
+use pollux_sched::GaConfig;
+use pollux_simulator::{SchedulingPolicy, SimConfig};
+use pollux_workload::{TraceConfig, TraceGenerator};
+use std::time::Instant;
+
+fn run_one(name: &str, policy: Box<dyn SchedulingPolicy>, seed: u64) {
+    let trace = TraceGenerator::new(TraceConfig {
+        seed,
+        ..Default::default()
+    })
+    .expect("valid trace config")
+    .generate();
+    let spec = ClusterSpec::homogeneous(16, 4).expect("valid cluster");
+    let sim = SimConfig {
+        max_sim_time: 96.0 * 3600.0,
+        seed,
+        ..Default::default()
+    };
+    if let Ok(path) = std::env::var("POLLUX_TRACE_OUT") {
+        let json = serde_json::to_string_pretty(&trace).expect("trace serializes");
+        std::fs::write(&path, json).expect("trace file writable");
+    }
+    let t0 = Instant::now();
+    let res =
+        run_trace(policy, &trace, ConfigChoice::Tuned, spec, sim).expect("valid simulation inputs");
+    if let Ok(path) = std::env::var("POLLUX_JSON_OUT") {
+        let json = serde_json::to_string_pretty(&res).expect("result serializes");
+        std::fs::write(format!("{path}.{name}.json"), json).expect("output file writable");
+    }
+    println!(
+        "{name:<10} wall {:>8.2?}  jobs {}  unfinished {}  avg JCT {:.2}h  p99 {:.1}h  \
+         makespan {:.1}h  stat-eff {:.1}%",
+        t0.elapsed(),
+        res.records.len(),
+        res.unfinished(),
+        res.avg_jct().unwrap_or(0.0) / 3600.0,
+        res.percentile_jct(99.0).unwrap_or(0.0) / 3600.0,
+        res.makespan() / 3600.0,
+        res.avg_cluster_efficiency().unwrap_or(0.0) * 100.0,
+    );
+}
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let seed = match std::env::args().nth(2) {
+        None => 1u64,
+        Some(v) => match v.parse() {
+            Ok(s) => s,
+            Err(_) => {
+                eprintln!("invalid seed {v:?}; usage: pollux-sim [policy] [seed]");
+                std::process::exit(2);
+            }
+        },
+    };
+    if !matches!(which.as_str(), "pollux" | "optimus" | "tiresias" | "all") {
+        eprintln!("usage: pollux-sim [pollux|optimus|tiresias|all] [seed]");
+        std::process::exit(2);
+    }
+    if which == "tiresias" || which == "all" {
+        run_one(
+            "tiresias",
+            Box::new(Tiresias::new(TiresiasConfig::default())),
+            seed,
+        );
+    }
+    if which == "optimus" || which == "all" {
+        run_one("optimus", Box::new(Optimus::new(4)), seed);
+    }
+    if which == "pollux" || which == "all" {
+        let mut cfg = PolluxConfig::default();
+        cfg.sched.ga = GaConfig {
+            population: 40,
+            generations: 20,
+            ..Default::default()
+        };
+        run_one(
+            "pollux",
+            Box::new(PolluxPolicy::new(cfg).expect("valid config")),
+            seed,
+        );
+    }
+}

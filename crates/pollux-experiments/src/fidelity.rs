@@ -1,0 +1,101 @@
+//! Simulator-fidelity check (Sec. 5.3).
+//!
+//! The paper validates its simulator by comparing the simulated JCT
+//! reductions against the testbed ones: simulated Pollux reduces avg
+//! JCT by 26 % vs Optimus+Oracle and 40 % vs Tiresias+TunedJobs
+//! (testbed: 25 % and 50 %). This module derives the same reduction
+//! factors from a [`crate::table2`] run.
+
+use crate::table2::{Policy, Table2Result};
+use serde::{Deserialize, Serialize};
+
+/// JCT-reduction factors relative to the baselines.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct FidelityResult {
+    /// Avg-JCT reduction vs Optimus+Oracle (paper simulation: 0.26).
+    pub reduction_vs_optimus: f64,
+    /// Avg-JCT reduction vs Tiresias+TunedJobs (paper simulation: 0.40).
+    pub reduction_vs_tiresias: f64,
+}
+
+/// Derives the reductions from a Table-2 result.
+pub fn from_table2(t: &Table2Result) -> Option<FidelityResult> {
+    let jct = |p: Policy| {
+        t.outcomes
+            .iter()
+            .find(|o| o.policy == p)
+            .map(|o| o.avg_jct_hours)
+    };
+    let pollux = jct(Policy::Pollux)?;
+    let optimus = jct(Policy::OptimusOracle)?;
+    let tiresias = jct(Policy::Tiresias)?;
+    if optimus <= 0.0 || tiresias <= 0.0 {
+        return None;
+    }
+    Some(FidelityResult {
+        reduction_vs_optimus: 1.0 - pollux / optimus,
+        reduction_vs_tiresias: 1.0 - pollux / tiresias,
+    })
+}
+
+impl std::fmt::Display for FidelityResult {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "Simulator fidelity (Sec 5.3): avg JCT reduction by Pollux"
+        )?;
+        writeln!(
+            f,
+            "  vs Optimus+Oracle:     {:.0}%   (paper simulation: 26%, testbed: 25%)",
+            self.reduction_vs_optimus * 100.0
+        )?;
+        write!(
+            f,
+            "  vs Tiresias+TunedJobs: {:.0}%   (paper simulation: 40%, testbed: 50%)",
+            self.reduction_vs_tiresias * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table2::PolicyOutcome;
+
+    fn outcome(policy: Policy, jct: f64) -> PolicyOutcome {
+        PolicyOutcome {
+            policy,
+            avg_jct_hours: jct,
+            p99_jct_hours: 0.0,
+            makespan_hours: 0.0,
+            avg_efficiency: 0.0,
+            job_throughput: 0.0,
+            job_goodput: 0.0,
+            unfinished: 0,
+        }
+    }
+
+    #[test]
+    fn reductions_from_synthetic_table() {
+        let t = Table2Result {
+            outcomes: vec![
+                outcome(Policy::Pollux, 1.2),
+                outcome(Policy::OptimusOracle, 1.6),
+                outcome(Policy::Tiresias, 2.4),
+            ],
+            traces: 1,
+        };
+        let f = from_table2(&t).unwrap();
+        assert!((f.reduction_vs_optimus - 0.25).abs() < 1e-9);
+        assert!((f.reduction_vs_tiresias - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_tables_rejected() {
+        let t = Table2Result {
+            outcomes: vec![outcome(Policy::Pollux, 1.0)],
+            traces: 1,
+        };
+        assert!(from_table2(&t).is_none());
+    }
+}

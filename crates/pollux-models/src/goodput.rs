@@ -1,0 +1,427 @@
+//! The combined goodput model (Eqn 6), batch-size optimization
+//! (Eqn 13), and `SPEEDUP` (Eqn 15).
+
+use crate::efficiency::EfficiencyModel;
+use crate::throughput::{PlacementShape, ThroughputParams};
+use pollux_opt::golden_section_max_int;
+use serde::{Deserialize, Serialize};
+
+/// Feasible batch-size range for a job.
+///
+/// The lower limit is the user's initial batch size `m0` (Pollux only
+/// considers `m ≥ m0`); the upper limit is the smaller of a global cap
+/// (e.g. dataset-size or convergence-driven) and per-GPU memory
+/// capacity times the number of allocated GPUs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BatchSizeLimits {
+    /// Initial and minimum total batch size `m0 ≥ 1`.
+    pub min: u64,
+    /// Largest total batch size that is ever worth considering.
+    pub max_global: u64,
+    /// Largest per-GPU local batch size that fits in GPU memory.
+    pub max_per_gpu: u64,
+}
+
+impl BatchSizeLimits {
+    /// Creates limits, validating `1 ≤ min ≤ max_global` and
+    /// `max_per_gpu ≥ 1`.
+    pub fn new(min: u64, max_global: u64, max_per_gpu: u64) -> Option<Self> {
+        if min >= 1 && min <= max_global && max_per_gpu >= 1 {
+            Some(Self {
+                min,
+                max_global,
+                max_per_gpu,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// The feasible total-batch-size interval under `shape`, or `None`
+    /// when even `m0` does not fit on the allocated GPUs.
+    pub fn range(&self, shape: PlacementShape) -> Option<(u64, u64)> {
+        let cap = self.max_per_gpu.saturating_mul(shape.gpus as u64);
+        let hi = cap.min(self.max_global);
+        if hi >= self.min {
+            Some((self.min, hi))
+        } else {
+            None
+        }
+    }
+
+    /// The minimum number of GPUs on which `m0` fits.
+    pub fn min_gpus(&self) -> u32 {
+        self.min.div_ceil(self.max_per_gpu).min(u32::MAX as u64) as u32
+    }
+}
+
+/// A job's goodput model at one instant of training:
+/// `GOODPUT_t(a, m) = THROUGHPUT(a, m) × EFFICIENCY_t(m)`.
+///
+/// # Examples
+///
+/// ```
+/// use pollux_models::{
+///     BatchSizeLimits, EfficiencyModel, GoodputModel, PlacementShape, ThroughputParams,
+/// };
+///
+/// let model = GoodputModel::new(
+///     ThroughputParams::new(0.01, 1e-3, 0.02, 0.002, 0.07, 0.008, 1.8).unwrap(),
+///     EfficiencyModel::from_noise_scale(128, 2000.0).unwrap(),
+///     BatchSizeLimits::new(128, 8192, 1024).unwrap(),
+/// )
+/// .unwrap();
+///
+/// // The most efficient batch size grows with the allocation (Eqn 13).
+/// let (m_small, _) = model.optimal_batch_size(PlacementShape::new(2, 1).unwrap()).unwrap();
+/// let (m_large, _) = model.optimal_batch_size(PlacementShape::new(16, 4).unwrap()).unwrap();
+/// assert!(m_large > m_small);
+///
+/// // SPEEDUP (Eqn 15) is 1 on a single GPU and sub-linear beyond.
+/// assert!((model.speedup(PlacementShape::single()) - 1.0).abs() < 1e-9);
+/// let s16 = model.speedup(PlacementShape::new(16, 4).unwrap());
+/// assert!(s16 > 1.0 && s16 < 16.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GoodputModel {
+    /// The fitted (or ground-truth) system-throughput parameters.
+    pub throughput: ThroughputParams,
+    /// The statistical-efficiency snapshot at the current iteration.
+    pub efficiency: EfficiencyModel,
+    /// Feasible batch sizes for this job.
+    pub limits: BatchSizeLimits,
+}
+
+impl GoodputModel {
+    /// Creates the combined model. Returns `None` when the efficiency
+    /// model's `m0` disagrees with `limits.min` (they must be the same
+    /// quantity).
+    pub fn new(
+        throughput: ThroughputParams,
+        efficiency: EfficiencyModel,
+        limits: BatchSizeLimits,
+    ) -> Option<Self> {
+        if efficiency.m0() != limits.min {
+            return None;
+        }
+        Some(Self {
+            throughput,
+            efficiency,
+            limits,
+        })
+    }
+
+    /// Evaluates `GOODPUT_t(a, m)` in useful examples per second.
+    ///
+    /// Returns 0 when `m` is infeasible under `shape`.
+    pub fn goodput(&self, shape: PlacementShape, m: u64) -> f64 {
+        match self.limits.range(shape) {
+            Some((lo, hi)) if m >= lo && m <= hi => {
+                self.throughput.throughput(shape, m) * self.efficiency.efficiency(m)
+            }
+            _ => 0.0,
+        }
+    }
+
+    /// Raw throughput (examples/s) at `m` under `shape`, 0 if infeasible.
+    pub fn raw_throughput(&self, shape: PlacementShape, m: u64) -> f64 {
+        match self.limits.range(shape) {
+            Some((lo, hi)) if m >= lo && m <= hi => self.throughput.throughput(shape, m),
+            _ => 0.0,
+        }
+    }
+
+    /// The most efficient batch size `m* = argmax_m GOODPUT(a, m)`
+    /// (Eqn 13), found by golden-section search over the feasible range
+    /// (goodput is unimodal in `m`; Sec. 4.1).
+    ///
+    /// Returns `(m*, GOODPUT(a, m*))`, or `None` when no feasible batch
+    /// size exists under `shape`.
+    pub fn optimal_batch_size(&self, shape: PlacementShape) -> Option<(u64, f64)> {
+        let (lo, hi) = self.limits.range(shape)?;
+        golden_section_max_int(|m| self.goodput(shape, m), lo, hi).ok()
+    }
+
+    /// `max_m GOODPUT(a, m)` or 0 when infeasible.
+    pub fn max_goodput(&self, shape: PlacementShape) -> f64 {
+        self.optimal_batch_size(shape).map_or(0.0, |(_, g)| g)
+    }
+
+    /// `SPEEDUP_j(A_j)` (Eqn 15): the goodput at `shape` (batch size
+    /// re-optimized) relative to the goodput of a single GPU (batch
+    /// size re-optimized).
+    ///
+    /// When `m0` does not fit on a single GPU the denominator instead
+    /// uses the minimum feasible co-located allocation, preserving the
+    /// property that the smallest feasible allocation has speedup 1.
+    pub fn speedup(&self, shape: PlacementShape) -> f64 {
+        let num = self.max_goodput(shape);
+        if num <= 0.0 {
+            return 0.0;
+        }
+        let base_shape = self.reference_shape();
+        let den = self.max_goodput(base_shape);
+        if den > 0.0 {
+            num / den
+        } else {
+            0.0
+        }
+    }
+
+    /// The reference (denominator) placement for [`Self::speedup`]:
+    /// one GPU when feasible, otherwise the fewest co-located GPUs on
+    /// which `m0` fits.
+    pub fn reference_shape(&self) -> PlacementShape {
+        let k = self.limits.min_gpus().max(1);
+        PlacementShape::new(k, 1).unwrap_or(PlacementShape::single())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn throughput_params() -> ThroughputParams {
+        ThroughputParams::new(0.05, 5.0e-4, 0.05, 0.002, 0.2, 0.01, 2.0).unwrap()
+    }
+
+    fn model(phi: f64) -> GoodputModel {
+        let tp = throughput_params();
+        let eff = EfficiencyModel::from_noise_scale(128, phi).unwrap();
+        let limits = BatchSizeLimits::new(128, 65_536, 512).unwrap();
+        GoodputModel::new(tp, eff, limits).unwrap()
+    }
+
+    #[test]
+    fn limits_validation() {
+        assert!(BatchSizeLimits::new(1, 1, 1).is_some());
+        assert!(BatchSizeLimits::new(0, 10, 1).is_none());
+        assert!(BatchSizeLimits::new(10, 9, 1).is_none());
+        assert!(BatchSizeLimits::new(1, 10, 0).is_none());
+    }
+
+    #[test]
+    fn range_respects_gpu_memory() {
+        let l = BatchSizeLimits::new(128, 10_000, 256).unwrap();
+        // 1 GPU: cap 256.
+        assert_eq!(l.range(PlacementShape::single()), Some((128, 256)));
+        // 8 GPUs: cap 2048.
+        assert_eq!(
+            l.range(PlacementShape::new(8, 2).unwrap()),
+            Some((128, 2048))
+        );
+        // Global cap binds with many GPUs.
+        assert_eq!(
+            l.range(PlacementShape::new(64, 16).unwrap()),
+            Some((128, 10_000))
+        );
+    }
+
+    #[test]
+    fn infeasible_when_m0_does_not_fit() {
+        let l = BatchSizeLimits::new(1024, 10_000, 256).unwrap();
+        assert_eq!(l.range(PlacementShape::single()), None);
+        assert_eq!(l.range(PlacementShape::new(3, 1).unwrap()), None);
+        assert!(l.range(PlacementShape::new(4, 1).unwrap()).is_some());
+        assert_eq!(l.min_gpus(), 4);
+    }
+
+    #[test]
+    fn model_rejects_m0_mismatch() {
+        let tp = throughput_params();
+        let eff = EfficiencyModel::from_noise_scale(100, 10.0).unwrap();
+        let limits = BatchSizeLimits::new(128, 1000, 512).unwrap();
+        assert!(GoodputModel::new(tp, eff, limits).is_none());
+    }
+
+    #[test]
+    fn goodput_is_throughput_times_efficiency() {
+        let g = model(1000.0);
+        let shape = PlacementShape::new(4, 1).unwrap();
+        let m = 512;
+        let expected = g.throughput.throughput(shape, m) * g.efficiency.efficiency(m);
+        assert!((g.goodput(shape, m) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn goodput_never_exceeds_throughput() {
+        let g = model(700.0);
+        for k in [1u32, 2, 4, 8, 16] {
+            let shape = PlacementShape::new(k, k.div_ceil(4)).unwrap();
+            for m in [128u64, 256, 1024, 4096] {
+                assert!(g.goodput(shape, m) <= g.raw_throughput(shape, m) + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn goodput_zero_outside_feasible_range() {
+        let g = model(1000.0);
+        let shape = PlacementShape::single();
+        // Above the 1-GPU memory cap of 512.
+        assert_eq!(g.goodput(shape, 1024), 0.0);
+        // Below m0 = 128.
+        assert_eq!(g.goodput(shape, 64), 0.0);
+    }
+
+    #[test]
+    fn optimal_batch_size_beats_endpoints() {
+        let g = model(2000.0);
+        let shape = PlacementShape::new(8, 2).unwrap();
+        let (m_star, best) = g.optimal_batch_size(shape).unwrap();
+        let (lo, hi) = g.limits.range(shape).unwrap();
+        assert!(m_star >= lo && m_star <= hi);
+        assert!(best >= g.goodput(shape, lo) - 1e-9);
+        assert!(best >= g.goodput(shape, hi) - 1e-9);
+        // Sanity: sample the range and confirm near-optimality.
+        let mut sampled_best = 0.0f64;
+        let mut m = lo;
+        while m <= hi {
+            sampled_best = sampled_best.max(g.goodput(shape, m));
+            m += 16;
+        }
+        assert!(
+            best >= sampled_best * 0.999,
+            "{best} vs sampled {sampled_best}"
+        );
+    }
+
+    #[test]
+    fn higher_noise_scale_prefers_larger_batches() {
+        // Fig 1b: later in training (higher φ), the best batch size grows.
+        let early = model(500.0);
+        let late = model(8000.0);
+        let shape = PlacementShape::new(16, 4).unwrap();
+        let (m_early, _) = early.optimal_batch_size(shape).unwrap();
+        let (m_late, _) = late.optimal_batch_size(shape).unwrap();
+        assert!(
+            m_late > m_early,
+            "late m* {m_late} should exceed early m* {m_early}"
+        );
+    }
+
+    #[test]
+    fn speedup_of_single_gpu_is_one() {
+        let g = model(1500.0);
+        let s = g.speedup(PlacementShape::single());
+        assert!((s - 1.0).abs() < 1e-9, "speedup = {s}");
+    }
+
+    #[test]
+    fn speedup_scales_sublinearly() {
+        let g = model(1500.0);
+        // Within a fixed locality class (all co-located), speedup is
+        // monotone in K and bounded by the ideal linear speedup.
+        let mut prev = 1.0;
+        for k in [2u32, 3, 4] {
+            let shape = PlacementShape::new(k, 1).unwrap();
+            let s = g.speedup(shape);
+            assert!(s >= prev - 1e-9, "speedup should not decrease: K={k} s={s}");
+            assert!(s <= k as f64 + 1e-9, "speedup {s} exceeds ideal {k}");
+            prev = s;
+        }
+        // Distributed placements stay bounded by linear speedup too.
+        for k in [8u32, 16] {
+            let shape = PlacementShape::new(k, k.div_ceil(4)).unwrap();
+            let s = g.speedup(shape);
+            assert!(s <= k as f64 + 1e-9);
+            assert!(s > 0.0);
+        }
+    }
+
+    #[test]
+    fn colocated_beats_spread_placement() {
+        // Sec 2.1: T_sync is smaller when replicas are co-located, so
+        // goodput at equal K favors fewer nodes.
+        let g = model(1500.0);
+        let packed = PlacementShape::new(4, 1).unwrap();
+        let spread = PlacementShape::new(4, 4).unwrap();
+        assert!(g.max_goodput(packed) > g.max_goodput(spread));
+    }
+
+    #[test]
+    fn speedup_reference_uses_min_feasible_gpus() {
+        let tp = throughput_params();
+        let eff = EfficiencyModel::from_noise_scale(1024, 3000.0).unwrap();
+        // m0 = 1024 needs at least 4 GPUs at 256/GPU.
+        let limits = BatchSizeLimits::new(1024, 65_536, 256).unwrap();
+        let g = GoodputModel::new(tp, eff, limits).unwrap();
+        assert_eq!(g.reference_shape(), PlacementShape::new(4, 1).unwrap());
+        // Infeasible shapes have zero speedup.
+        assert_eq!(g.speedup(PlacementShape::single()), 0.0);
+        // The reference shape itself has speedup 1.
+        let s = g.speedup(g.reference_shape());
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn goodput_is_unimodal_in_batch_size(
+            alpha_grad in 0.0f64..0.5,
+            beta_grad in 1e-5f64..1e-2,
+            alpha_sync in 0.0f64..0.5,
+            beta_sync in 0.0f64..0.05,
+            gamma in 1.0f64..10.0,
+            phi in 1.0f64..1e5,
+            gpus in 1u32..32,
+        ) {
+            // Sec 4.1 asserts GOODPUT(a, m) is unimodal in m, which is
+            // what justifies golden-section search. Verify on a grid:
+            // once the sampled values start decreasing, they never
+            // meaningfully increase again.
+            let tp = ThroughputParams::new(
+                alpha_grad, beta_grad, alpha_sync, beta_sync,
+                alpha_sync * 2.0, beta_sync * 2.0, gamma,
+            ).unwrap();
+            let eff = EfficiencyModel::from_noise_scale(128, phi).unwrap();
+            let limits = BatchSizeLimits::new(128, 65_536, 2048).unwrap();
+            let g = GoodputModel::new(tp, eff, limits).unwrap();
+            let nodes = gpus.div_ceil(4);
+            let shape = PlacementShape::new(gpus, nodes).unwrap();
+            let (lo, hi) = g.limits.range(shape).unwrap();
+            let step = ((hi - lo) / 200).max(1);
+            let mut vals = Vec::new();
+            let mut m = lo;
+            while m <= hi {
+                vals.push(g.goodput(shape, m));
+                m += step;
+            }
+            // Once the sequence turns downward, every later value must
+            // stay (weakly) below its predecessor — a second local rise
+            // would break unimodality.
+            let mut decreasing = false;
+            for w in vals.windows(2) {
+                let (prev, v) = (w[0], w[1]);
+                if decreasing {
+                    prop_assert!(v <= prev * (1.0 + 1e-9),
+                        "goodput rebounds after decreasing: {prev} -> {v}");
+                } else if v < prev * (1.0 - 1e-9) {
+                    decreasing = true;
+                }
+            }
+        }
+
+        #[test]
+        fn optimal_batch_is_feasible_and_near_global_max(
+            phi in 10.0f64..50_000.0,
+            gpus in 1u32..32,
+        ) {
+            let g = model(phi);
+            let nodes = gpus.div_ceil(4);
+            let shape = PlacementShape::new(gpus, nodes).unwrap();
+            let (m_star, best) = g.optimal_batch_size(shape).unwrap();
+            let (lo, hi) = g.limits.range(shape).unwrap();
+            prop_assert!(m_star >= lo && m_star <= hi);
+            // Coarse sampling should never beat golden-section by >0.5%.
+            let step = ((hi - lo) / 64).max(1);
+            let mut m = lo;
+            while m <= hi {
+                prop_assert!(g.goodput(shape, m) <= best * 1.005 + 1e-9,
+                    "m = {} beats m* = {}", m, m_star);
+                m += step;
+            }
+        }
+    }
+}

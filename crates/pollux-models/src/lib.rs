@@ -1,0 +1,41 @@
+//! The Pollux goodput model (Sec. 3 of the paper).
+//!
+//! Goodput is the product of **system throughput** (training examples
+//! processed per second, Eqns 8–11) and **statistical efficiency**
+//! (progress per example relative to the user's initial batch size,
+//! Eqn 7):
+//!
+//! ```text
+//! GOODPUT_t(a, m) = THROUGHPUT(a, m) × EFFICIENCY_t(m)
+//! ```
+//!
+//! This crate contains the pure math: no scheduling, no simulation.
+//!
+//! - [`efficiency`] — gradient noise scale φ_t and `EFFICIENCY_t(m)`.
+//! - [`throughput`] — the 7-parameter θsys model of `T_iter` and
+//!   `THROUGHPUT(a, m)`.
+//! - [`goodput`] — the combined model, batch-size optimization (Eqn 13)
+//!   and `SPEEDUP` (Eqn 15).
+//! - [`adascale`] — AdaScale learning-rate scaling (Eqn 5) and
+//!   scale-invariant progress accounting.
+//! - [`fit`] — fitting θsys to observed `(placement, m, T_iter)`
+//!   triples by RMSLE minimization with the paper's prior-driven
+//!   exploration masks.
+
+pub mod accum;
+pub mod adascale;
+pub mod efficiency;
+pub mod fit;
+pub mod goodput;
+pub mod rack;
+pub mod throughput;
+
+pub use accum::AccumulatedGoodput;
+pub use adascale::AdaScale;
+pub use efficiency::{EfficiencyModel, GradientStats};
+pub use fit::{
+    fit_throughput_params, fit_throughput_params_constrained, FitObservation, FitPriors, FitReport,
+};
+pub use goodput::{BatchSizeLimits, GoodputModel};
+pub use rack::{RackAwareParams, RackPlacementShape};
+pub use throughput::{PlacementShape, ThroughputParams};

@@ -1,0 +1,167 @@
+//! Rack-level locality extension of the throughput model.
+//!
+//! Sec. 3.2 notes that the `T_sync` model "can be extended to account
+//! for rack-level locality by adding a third pair of parameters". This
+//! module implements that extension: placements are summarized by
+//! `(K, N, R)` — GPUs, nodes, racks — and synchronization takes the
+//! slowest locality tier actually crossed:
+//!
+//! ```text
+//! T_sync = 0                                   K = 1
+//!        = α_local + β_local (K−2)             N = 1
+//!        = α_node  + β_node  (K−2)             N ≥ 2, R = 1
+//!        = α_rack  + β_rack  (K−2)             R ≥ 2
+//! ```
+
+use crate::throughput::{gamma_norm, PlacementShape, ThroughputParams};
+use serde::{Deserialize, Serialize};
+
+/// A placement summarized with rack-level locality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RackPlacementShape {
+    /// Total allocated GPUs `K ≥ 1`.
+    pub gpus: u32,
+    /// Occupied nodes `1 ≤ N ≤ K`.
+    pub nodes: u32,
+    /// Occupied racks `1 ≤ R ≤ N`.
+    pub racks: u32,
+}
+
+impl RackPlacementShape {
+    /// Creates a shape, validating `1 ≤ racks ≤ nodes ≤ gpus`.
+    pub fn new(gpus: u32, nodes: u32, racks: u32) -> Option<Self> {
+        if gpus >= 1 && nodes >= 1 && nodes <= gpus && racks >= 1 && racks <= nodes {
+            Some(Self { gpus, nodes, racks })
+        } else {
+            None
+        }
+    }
+
+    /// The rack-blind projection (drops the rack dimension).
+    pub fn flat(&self) -> PlacementShape {
+        PlacementShape::new(self.gpus, self.nodes).expect("validated at construction")
+    }
+}
+
+/// θsys extended with the rack synchronization pair (9 parameters).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RackAwareParams {
+    /// The base 7-parameter model (its `α_node`/`β_node` now describe
+    /// *intra-rack* cross-node synchronization).
+    pub base: ThroughputParams,
+    /// Synchronization constant across racks (s).
+    pub alpha_sync_rack: f64,
+    /// Synchronization retrogression per extra GPU, across racks (s).
+    pub beta_sync_rack: f64,
+}
+
+impl RackAwareParams {
+    /// Creates rack-aware parameters. The rack tier must be at least
+    /// as slow as the node tier at two GPUs (physical consistency);
+    /// negative or non-finite rack parameters are rejected.
+    pub fn new(base: ThroughputParams, alpha_sync_rack: f64, beta_sync_rack: f64) -> Option<Self> {
+        if !alpha_sync_rack.is_finite()
+            || !beta_sync_rack.is_finite()
+            || alpha_sync_rack < base.alpha_sync_node
+            || beta_sync_rack < 0.0
+        {
+            return None;
+        }
+        Some(Self {
+            base,
+            alpha_sync_rack,
+            beta_sync_rack,
+        })
+    }
+
+    /// `T_sync` with three locality tiers.
+    pub fn t_sync(&self, shape: RackPlacementShape) -> f64 {
+        let k = shape.gpus;
+        if k <= 1 {
+            0.0
+        } else if shape.racks > 1 {
+            self.alpha_sync_rack + self.beta_sync_rack * (k - 2) as f64
+        } else {
+            self.base.t_sync(shape.flat())
+        }
+    }
+
+    /// `T_iter` with the base γ-norm overlap model.
+    pub fn t_iter(&self, shape: RackPlacementShape, batch_size: u64) -> f64 {
+        let tg = self.base.t_grad(shape.flat(), batch_size);
+        let ts = self.t_sync(shape);
+        gamma_norm(tg, ts, self.base.gamma)
+    }
+
+    /// `THROUGHPUT(a, m)` with rack awareness.
+    pub fn throughput(&self, shape: RackPlacementShape, batch_size: u64) -> f64 {
+        let t = self.t_iter(shape, batch_size);
+        if t > 0.0 {
+            batch_size as f64 / t
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> ThroughputParams {
+        ThroughputParams::new(0.05, 1.0e-3, 0.02, 0.001, 0.08, 0.004, 2.0).unwrap()
+    }
+
+    fn params() -> RackAwareParams {
+        RackAwareParams::new(base(), 0.25, 0.01).unwrap()
+    }
+
+    #[test]
+    fn shape_validation() {
+        assert!(RackPlacementShape::new(8, 4, 2).is_some());
+        assert!(RackPlacementShape::new(8, 4, 5).is_none(), "racks > nodes");
+        assert!(RackPlacementShape::new(2, 4, 1).is_none(), "nodes > gpus");
+        assert!(RackPlacementShape::new(0, 0, 0).is_none());
+    }
+
+    #[test]
+    fn params_validation() {
+        assert!(RackAwareParams::new(base(), 0.25, 0.01).is_some());
+        // Rack tier faster than node tier is physically inconsistent.
+        assert!(RackAwareParams::new(base(), 0.01, 0.01).is_none());
+        assert!(RackAwareParams::new(base(), f64::NAN, 0.0).is_none());
+        assert!(RackAwareParams::new(base(), 0.25, -0.1).is_none());
+    }
+
+    #[test]
+    fn locality_tiers_are_ordered() {
+        let p = params();
+        let single = RackPlacementShape::new(1, 1, 1).unwrap();
+        let local = RackPlacementShape::new(4, 1, 1).unwrap();
+        let node = RackPlacementShape::new(4, 2, 1).unwrap();
+        let rack = RackPlacementShape::new(4, 2, 2).unwrap();
+        assert_eq!(p.t_sync(single), 0.0);
+        assert!(p.t_sync(local) < p.t_sync(node));
+        assert!(p.t_sync(node) < p.t_sync(rack));
+    }
+
+    #[test]
+    fn single_rack_matches_base_model() {
+        // With one rack the extension reduces exactly to Eqn 10.
+        let p = params();
+        for (g, n) in [(1u32, 1u32), (2, 1), (4, 1), (4, 2), (8, 4)] {
+            let shape = RackPlacementShape::new(g, n, 1).unwrap();
+            let m = 512;
+            assert_eq!(p.t_iter(shape, m), base().t_iter(shape.flat(), m));
+            assert_eq!(p.throughput(shape, m), base().throughput(shape.flat(), m));
+        }
+    }
+
+    #[test]
+    fn cross_rack_throughput_is_lower() {
+        let p = params();
+        let intra = RackPlacementShape::new(8, 2, 1).unwrap();
+        let cross = RackPlacementShape::new(8, 2, 2).unwrap();
+        assert!(p.throughput(cross, 2048) < p.throughput(intra, 2048));
+    }
+}

@@ -1,0 +1,396 @@
+//! Bound-constrained limited-memory quasi-Newton minimization.
+//!
+//! A practical replacement for the L-BFGS-B routine the original Pollux
+//! implementation calls through SciPy: limited-memory BFGS directions
+//! computed on the free variables (gradient-projection active set), with
+//! a projected-path backtracking Armijo line search. For the 7-parameter
+//! θsys fit this converges in a few dozen iterations.
+
+use crate::bounds::Bounds;
+use crate::numgrad::central_gradient;
+use crate::OptError;
+
+/// Options controlling [`lbfgsb_minimize`].
+#[derive(Debug, Clone)]
+pub struct LbfgsbOptions {
+    /// Maximum outer iterations.
+    pub max_iters: usize,
+    /// History length for the limited-memory Hessian approximation.
+    pub history: usize,
+    /// Convergence tolerance on the projected-gradient infinity norm.
+    pub grad_tol: f64,
+    /// Convergence tolerance on the relative objective decrease.
+    pub f_tol: f64,
+    /// Relative step used for numerical gradients.
+    pub grad_eps: f64,
+}
+
+impl Default for LbfgsbOptions {
+    fn default() -> Self {
+        Self {
+            max_iters: 200,
+            history: 8,
+            grad_tol: 1e-8,
+            f_tol: 1e-12,
+            grad_eps: 1e-7,
+        }
+    }
+}
+
+/// Result of a bound-constrained minimization.
+#[derive(Debug, Clone)]
+pub struct LbfgsbResult {
+    /// Final (feasible) point.
+    pub x: Vec<f64>,
+    /// Objective value at `x`.
+    pub fx: f64,
+    /// Outer iterations performed.
+    pub iters: usize,
+    /// True when a convergence criterion was met (vs. iteration cap).
+    pub converged: bool,
+}
+
+/// Minimizes `f` over the box `bounds` starting from `x0`.
+///
+/// The objective only needs to be defined inside the box: all probe
+/// points (including numeric-gradient probes after projection) stay
+/// feasible up to the gradient step `grad_eps`.
+///
+/// # Errors
+///
+/// - [`OptError::DimensionMismatch`] when `x0` and `bounds` disagree.
+/// - [`OptError::NonFiniteObjective`] when `f` is non-finite at the
+///   projected initial point.
+pub fn lbfgsb_minimize<F>(
+    mut f: F,
+    x0: &[f64],
+    bounds: &Bounds,
+    opts: &LbfgsbOptions,
+) -> Result<LbfgsbResult, OptError>
+where
+    F: FnMut(&[f64]) -> f64,
+{
+    if x0.len() != bounds.dim() {
+        return Err(OptError::DimensionMismatch {
+            point: x0.len(),
+            bounds: bounds.dim(),
+        });
+    }
+    let n = x0.len();
+    let mut x = bounds.projected(x0);
+    let mut fx = f(&x);
+    if !fx.is_finite() {
+        return Err(OptError::NonFiniteObjective);
+    }
+
+    // Wrap the objective so any excursion outside the box is projected
+    // back first; this keeps numeric-gradient probes feasible.
+    let mut safe_f = |p: &[f64]| {
+        if bounds.contains(p) {
+            f(p)
+        } else {
+            f(&bounds.projected(p))
+        }
+    };
+
+    let mut grad = central_gradient(&mut safe_f, &x, opts.grad_eps);
+    let mut s_hist: Vec<Vec<f64>> = Vec::new();
+    let mut y_hist: Vec<Vec<f64>> = Vec::new();
+    let mut rho_hist: Vec<f64> = Vec::new();
+    let mut converged = false;
+    let mut iters = 0;
+
+    for iter in 0..opts.max_iters {
+        iters = iter + 1;
+
+        // Projected-gradient stationarity check: || P(x - g) - x ||_inf.
+        let mut pg_norm: f64 = 0.0;
+        for i in 0..n {
+            let stepped = (x[i] - grad[i]).clamp(bounds.lo(i), bounds.hi(i));
+            pg_norm = pg_norm.max((stepped - x[i]).abs());
+        }
+        if pg_norm < opts.grad_tol {
+            converged = true;
+            break;
+        }
+
+        // Restrict to free variables: zero the gradient along active bounds.
+        let mut g_free = grad.clone();
+        for (i, gi) in g_free.iter_mut().enumerate() {
+            if bounds.is_active(&x, &grad, i) {
+                *gi = 0.0;
+            }
+        }
+
+        // Two-loop recursion for d = -H * g_free.
+        let mut d = two_loop_direction(&g_free, &s_hist, &y_hist, &rho_hist);
+        // Zero the direction along active constraints too, so the line
+        // search does not fight the projection.
+        for (i, di) in d.iter_mut().enumerate() {
+            if bounds.is_active(&x, &grad, i) {
+                *di = 0.0;
+            }
+        }
+        let dir_dot_grad: f64 = d.iter().zip(&grad).map(|(a, b)| a * b).sum();
+        if dir_dot_grad >= 0.0 || !dir_dot_grad.is_finite() {
+            // Not a descent direction (stale curvature); reset to steepest
+            // descent on the free variables.
+            s_hist.clear();
+            y_hist.clear();
+            rho_hist.clear();
+            d = g_free.iter().map(|g| -g).collect();
+            if d.iter().all(|&v| v == 0.0) {
+                converged = true;
+                break;
+            }
+        }
+
+        // Projected backtracking line search (Armijo).
+        let dd: f64 = d.iter().zip(&grad).map(|(a, b)| a * b).sum();
+        let mut alpha = 1.0;
+        let c1 = 1e-4;
+        let mut accepted = false;
+        let mut x_new = x.clone();
+        let mut f_new = fx;
+        for _ in 0..50 {
+            for i in 0..n {
+                x_new[i] = (x[i] + alpha * d[i]).clamp(bounds.lo(i), bounds.hi(i));
+            }
+            f_new = safe_f(&x_new);
+            // The Armijo condition along the projected path uses the true
+            // displacement rather than alpha * d.
+            let disp_dot_grad: f64 = x_new
+                .iter()
+                .zip(&x)
+                .zip(&grad)
+                .map(|((xn, xo), g)| (xn - xo) * g)
+                .sum();
+            if f_new.is_finite() && f_new <= fx + c1 * disp_dot_grad.min(alpha * dd) {
+                accepted = true;
+                break;
+            }
+            alpha *= 0.5;
+        }
+        if !accepted {
+            // The line search failed: we are at (numerical) stationarity.
+            converged = true;
+            break;
+        }
+
+        let grad_new = central_gradient(&mut safe_f, &x_new, opts.grad_eps);
+        let s: Vec<f64> = x_new.iter().zip(&x).map(|(a, b)| a - b).collect();
+        let y: Vec<f64> = grad_new.iter().zip(&grad).map(|(a, b)| a - b).collect();
+        let sy: f64 = s.iter().zip(&y).map(|(a, b)| a * b).sum();
+        if sy > 1e-12 && sy.is_finite() {
+            if s_hist.len() == opts.history {
+                s_hist.remove(0);
+                y_hist.remove(0);
+                rho_hist.remove(0);
+            }
+            s_hist.push(s);
+            y_hist.push(y);
+            rho_hist.push(1.0 / sy);
+        }
+
+        let f_decrease = (fx - f_new).abs();
+        let f_scale = fx.abs().max(f_new.abs()).max(1.0);
+        x = x_new.clone();
+        fx = f_new;
+        grad = grad_new;
+        if f_decrease / f_scale < opts.f_tol {
+            converged = true;
+            break;
+        }
+    }
+
+    Ok(LbfgsbResult {
+        x,
+        fx,
+        iters,
+        converged,
+    })
+}
+
+/// L-BFGS two-loop recursion producing `-H * g`.
+fn two_loop_direction(
+    g: &[f64],
+    s_hist: &[Vec<f64>],
+    y_hist: &[Vec<f64>],
+    rho_hist: &[f64],
+) -> Vec<f64> {
+    let mut q = g.to_vec();
+    let k = s_hist.len();
+    let mut alphas = vec![0.0; k];
+    for i in (0..k).rev() {
+        let a = rho_hist[i] * dot(&s_hist[i], &q);
+        alphas[i] = a;
+        for (qj, yj) in q.iter_mut().zip(&y_hist[i]) {
+            *qj -= a * yj;
+        }
+    }
+    // Initial Hessian scaling H0 = (s·y / y·y) I.
+    if k > 0 {
+        let last = k - 1;
+        let yy = dot(&y_hist[last], &y_hist[last]);
+        if yy > 0.0 {
+            let gamma = 1.0 / (rho_hist[last] * yy);
+            for qj in q.iter_mut() {
+                *qj *= gamma;
+            }
+        }
+    }
+    for i in 0..k {
+        let beta = rho_hist[i] * dot(&y_hist[i], &q);
+        for (qj, sj) in q.iter_mut().zip(&s_hist[i]) {
+            *qj += (alphas[i] - beta) * sj;
+        }
+    }
+    q.iter_mut().for_each(|v| *v = -*v);
+    q
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn default_opts() -> LbfgsbOptions {
+        LbfgsbOptions::default()
+    }
+
+    #[test]
+    fn minimizes_unconstrained_quadratic() {
+        let f = |x: &[f64]| (x[0] - 1.0).powi(2) + 10.0 * (x[1] + 2.0).powi(2);
+        let r = lbfgsb_minimize(f, &[5.0, 5.0], &Bounds::unbounded(2), &default_opts()).unwrap();
+        assert!(r.converged);
+        assert!((r.x[0] - 1.0).abs() < 1e-4, "{:?}", r.x);
+        assert!((r.x[1] + 2.0).abs() < 1e-4, "{:?}", r.x);
+    }
+
+    #[test]
+    fn respects_active_lower_bound() {
+        // Unconstrained minimum at (-3, -3); feasible minimum at (0, 0).
+        let f = |x: &[f64]| (x[0] + 3.0).powi(2) + (x[1] + 3.0).powi(2);
+        let b = Bounds::uniform(2, 0.0, 10.0).unwrap();
+        let r = lbfgsb_minimize(f, &[5.0, 5.0], &b, &default_opts()).unwrap();
+        assert!(r.x[0].abs() < 1e-5 && r.x[1].abs() < 1e-5, "{:?}", r.x);
+    }
+
+    #[test]
+    fn respects_active_upper_bound() {
+        let f = |x: &[f64]| (x[0] - 100.0).powi(2);
+        let b = Bounds::new(vec![0.0], vec![7.0]).unwrap();
+        let r = lbfgsb_minimize(f, &[1.0], &b, &default_opts()).unwrap();
+        assert!((r.x[0] - 7.0).abs() < 1e-6, "{:?}", r.x);
+    }
+
+    #[test]
+    fn mixed_active_and_free_coordinates() {
+        // Min at (-5, 2): x0 pinned to its lower bound 0, x1 free.
+        let f = |x: &[f64]| (x[0] + 5.0).powi(2) + (x[1] - 2.0).powi(2);
+        let b = Bounds::new(vec![0.0, -10.0], vec![10.0, 10.0]).unwrap();
+        let r = lbfgsb_minimize(f, &[3.0, -3.0], &b, &default_opts()).unwrap();
+        assert!(r.x[0].abs() < 1e-5);
+        assert!((r.x[1] - 2.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn solves_constrained_rosenbrock() {
+        let f = |x: &[f64]| {
+            let a = 1.0 - x[0];
+            let b = x[1] - x[0] * x[0];
+            a * a + 100.0 * b * b
+        };
+        let b = Bounds::uniform(2, -2.0, 2.0).unwrap();
+        let mut opts = default_opts();
+        opts.max_iters = 2000;
+        let r = lbfgsb_minimize(f, &[-1.5, 1.5], &b, &opts).unwrap();
+        assert!(
+            (r.x[0] - 1.0).abs() < 1e-3 && (r.x[1] - 1.0).abs() < 1e-3,
+            "{:?}",
+            r.x
+        );
+    }
+
+    #[test]
+    fn infeasible_start_is_projected() {
+        let f = |x: &[f64]| x[0] * x[0];
+        let b = Bounds::new(vec![1.0], vec![5.0]).unwrap();
+        let r = lbfgsb_minimize(f, &[-100.0], &b, &default_opts()).unwrap();
+        assert!((r.x[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dimension_mismatch_is_an_error() {
+        let f = |_: &[f64]| 0.0;
+        let b = Bounds::unbounded(3);
+        assert!(matches!(
+            lbfgsb_minimize(f, &[0.0], &b, &default_opts()),
+            Err(OptError::DimensionMismatch {
+                point: 1,
+                bounds: 3
+            })
+        ));
+    }
+
+    #[test]
+    fn nan_at_start_is_an_error() {
+        let f = |_: &[f64]| f64::NAN;
+        let b = Bounds::unbounded(1);
+        assert!(matches!(
+            lbfgsb_minimize(f, &[0.0], &b, &default_opts()),
+            Err(OptError::NonFiniteObjective)
+        ));
+    }
+
+    #[test]
+    fn already_optimal_converges_immediately() {
+        let f = |x: &[f64]| x[0] * x[0];
+        let r = lbfgsb_minimize(f, &[0.0], &Bounds::unbounded(1), &default_opts()).unwrap();
+        assert!(r.converged);
+        assert!(r.iters <= 2);
+    }
+
+    #[test]
+    fn seven_dim_box_like_theta_sys() {
+        // A synthetic strongly-convex objective in the same box the agent
+        // uses for θsys: six non-negative parameters and γ in [1, 10].
+        let target = [0.1, 0.01, 0.05, 0.0, 0.2, 0.002, 1.6];
+        let f =
+            move |x: &[f64]| -> f64 { x.iter().zip(&target).map(|(a, b)| (a - b).powi(2)).sum() };
+        let lo = vec![0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 1.0];
+        let hi = vec![f64::INFINITY; 6].into_iter().chain([10.0]).collect();
+        let b = Bounds::new(lo, hi).unwrap();
+        let r = lbfgsb_minimize(f, &[1.0; 7], &b, &default_opts()).unwrap();
+        for (xi, ti) in r.x.iter().zip(&target) {
+            assert!((xi - ti).abs() < 1e-4, "{:?}", r.x);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn result_is_always_feasible(
+            start in proptest::collection::vec(-20.0f64..20.0, 2..5),
+            shift in proptest::collection::vec(-20.0f64..20.0, 2..5),
+        ) {
+            let dim = start.len().min(shift.len());
+            let s = shift[..dim].to_vec();
+            let f = move |x: &[f64]| -> f64 {
+                x.iter().zip(&s).map(|(a, b)| (a - b).powi(2)).sum()
+            };
+            let b = Bounds::uniform(dim, -5.0, 5.0).unwrap();
+            let r = lbfgsb_minimize(f, &start[..dim], &b, &default_opts()).unwrap();
+            prop_assert!(b.contains(&r.x));
+            // The clamped shift is the true constrained optimum.
+            for (xi, si) in r.x.iter().zip(&shift) {
+                prop_assert!((xi - si.clamp(-5.0, 5.0)).abs() < 1e-3,
+                    "x = {:?}, shift = {:?}", r.x, shift);
+            }
+        }
+    }
+}

@@ -1,0 +1,320 @@
+//! Derivative-free Nelder-Mead simplex minimization with box constraints.
+//!
+//! Used as a robustness fallback for the θsys fit when few observations
+//! are available and the RMSLE surface has flat regions where numeric
+//! gradients vanish. Infeasible simplex vertices are projected back
+//! onto the box.
+
+use crate::bounds::Bounds;
+use crate::OptError;
+
+/// Options controlling [`nelder_mead_minimize`].
+#[derive(Debug, Clone)]
+pub struct NelderMeadOptions {
+    /// Maximum objective evaluations.
+    pub max_evals: usize,
+    /// Terminate when the simplex's objective spread falls below this.
+    pub f_tol: f64,
+    /// Terminate when the simplex diameter falls below this.
+    pub x_tol: f64,
+    /// Relative size of the initial simplex.
+    pub init_step: f64,
+}
+
+impl Default for NelderMeadOptions {
+    fn default() -> Self {
+        Self {
+            max_evals: 4000,
+            f_tol: 1e-10,
+            x_tol: 1e-10,
+            init_step: 0.1,
+        }
+    }
+}
+
+/// Result of a Nelder-Mead minimization.
+#[derive(Debug, Clone)]
+pub struct NelderMeadResult {
+    /// Best point found (always feasible).
+    pub x: Vec<f64>,
+    /// Objective at `x`.
+    pub fx: f64,
+    /// Objective evaluations used.
+    pub evals: usize,
+    /// True when a tolerance criterion was met.
+    pub converged: bool,
+}
+
+/// Minimizes `f` over `bounds` starting from `x0` using Nelder-Mead.
+///
+/// Projection onto the box can collapse the simplex onto a constraint
+/// face; to recover, the search restarts with a fresh axis-aligned
+/// simplex around the incumbent best point (up to three times) and
+/// keeps the best result.
+///
+/// # Errors
+///
+/// - [`OptError::DimensionMismatch`] when `x0` and `bounds` disagree.
+/// - [`OptError::NonFiniteObjective`] when `f` is non-finite at the
+///   projected start.
+pub fn nelder_mead_minimize<F>(
+    mut f: F,
+    x0: &[f64],
+    bounds: &Bounds,
+    opts: &NelderMeadOptions,
+) -> Result<NelderMeadResult, OptError>
+where
+    F: FnMut(&[f64]) -> f64,
+{
+    let mut total_evals = 0usize;
+    let mut best: Option<NelderMeadResult> = None;
+    let mut start = x0.to_vec();
+    let mut step = opts.init_step;
+    for _restart in 0..4 {
+        let mut sub_opts = opts.clone();
+        sub_opts.init_step = step;
+        sub_opts.max_evals = opts.max_evals.saturating_sub(total_evals);
+        if sub_opts.max_evals == 0 {
+            break;
+        }
+        let r = nelder_mead_single(&mut f, &start, bounds, &sub_opts)?;
+        total_evals += r.evals;
+        let improved = best.as_ref().is_none_or(|b| r.fx < b.fx - 1e-15);
+        start = r.x.clone();
+        if best.as_ref().is_none_or(|b| r.fx <= b.fx) {
+            best = Some(r);
+        }
+        if !improved {
+            break;
+        }
+        step *= 0.25;
+    }
+    let mut out = best.expect("at least one restart ran");
+    out.evals = total_evals;
+    Ok(out)
+}
+
+/// One Nelder-Mead run without restarts.
+fn nelder_mead_single<F>(
+    f: &mut F,
+    x0: &[f64],
+    bounds: &Bounds,
+    opts: &NelderMeadOptions,
+) -> Result<NelderMeadResult, OptError>
+where
+    F: FnMut(&[f64]) -> f64,
+{
+    if x0.len() != bounds.dim() {
+        return Err(OptError::DimensionMismatch {
+            point: x0.len(),
+            bounds: bounds.dim(),
+        });
+    }
+    let n = x0.len();
+    let mut evals = 0usize;
+    let mut eval = |p: &[f64], evals: &mut usize| -> f64 {
+        *evals += 1;
+        let v = f(p);
+        if v.is_finite() {
+            v
+        } else {
+            f64::INFINITY
+        }
+    };
+
+    // Initial simplex: x0 plus a perturbation along each axis, projected.
+    let x0p = bounds.projected(x0);
+    let f0 = eval(&x0p, &mut evals);
+    if !f0.is_finite() {
+        return Err(OptError::NonFiniteObjective);
+    }
+    let mut simplex: Vec<(Vec<f64>, f64)> = Vec::with_capacity(n + 1);
+    simplex.push((x0p.clone(), f0));
+    for i in 0..n {
+        let mut v = x0p.clone();
+        let step = opts.init_step * v[i].abs().max(1.0);
+        v[i] += step;
+        bounds.project(&mut v);
+        if v == x0p {
+            // Perturbation collided with a bound; go the other way.
+            v[i] -= 2.0 * step;
+            bounds.project(&mut v);
+        }
+        let fv = eval(&v, &mut evals);
+        simplex.push((v, fv));
+    }
+
+    let (alpha, gamma, rho, sigma) = (1.0, 2.0, 0.5, 0.5);
+    let mut converged = false;
+
+    while evals < opts.max_evals {
+        simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        let best_f = simplex[0].1;
+        let worst_f = simplex[n].1;
+        let diameter = simplex
+            .iter()
+            .skip(1)
+            .map(|(v, _)| {
+                v.iter()
+                    .zip(&simplex[0].0)
+                    .map(|(a, b)| (a - b).abs())
+                    .fold(0.0f64, f64::max)
+            })
+            .fold(0.0f64, f64::max);
+        if (worst_f - best_f).abs() < opts.f_tol || diameter < opts.x_tol {
+            converged = true;
+            break;
+        }
+
+        // Centroid of all but the worst vertex.
+        let mut centroid = vec![0.0; n];
+        for (v, _) in simplex.iter().take(n) {
+            for (c, vi) in centroid.iter_mut().zip(v) {
+                *c += vi / n as f64;
+            }
+        }
+
+        let reflect = |from: &[f64], coeff: f64| -> Vec<f64> {
+            let mut p: Vec<f64> = centroid
+                .iter()
+                .zip(from)
+                .map(|(c, w)| c + coeff * (c - w))
+                .collect();
+            bounds.project(&mut p);
+            p
+        };
+
+        let worst = simplex[n].0.clone();
+        let xr = reflect(&worst, alpha);
+        let fr = eval(&xr, &mut evals);
+
+        if fr < simplex[0].1 {
+            // Try expansion.
+            let xe = reflect(&worst, gamma);
+            let fe = eval(&xe, &mut evals);
+            simplex[n] = if fe < fr { (xe, fe) } else { (xr, fr) };
+        } else if fr < simplex[n - 1].1 {
+            simplex[n] = (xr, fr);
+        } else {
+            // Contraction.
+            let xc = reflect(&worst, -rho);
+            let fc = eval(&xc, &mut evals);
+            if fc < simplex[n].1 {
+                simplex[n] = (xc, fc);
+            } else {
+                // Shrink towards the best vertex.
+                let best = simplex[0].0.clone();
+                for entry in simplex.iter_mut().skip(1) {
+                    let mut v: Vec<f64> = entry
+                        .0
+                        .iter()
+                        .zip(&best)
+                        .map(|(vi, bi)| bi + sigma * (vi - bi))
+                        .collect();
+                    bounds.project(&mut v);
+                    let fv = eval(&v, &mut evals);
+                    *entry = (v, fv);
+                }
+            }
+        }
+    }
+
+    simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+    let (x, fx) = simplex.swap_remove(0);
+    Ok(NelderMeadResult {
+        x,
+        fx,
+        evals,
+        converged,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_quadratic() {
+        let f = |x: &[f64]| (x[0] - 2.0).powi(2) + (x[1] + 1.0).powi(2);
+        let r = nelder_mead_minimize(f, &[0.0, 0.0], &Bounds::unbounded(2), &Default::default())
+            .unwrap();
+        assert!((r.x[0] - 2.0).abs() < 1e-4, "{:?}", r.x);
+        assert!((r.x[1] + 1.0).abs() < 1e-4, "{:?}", r.x);
+    }
+
+    #[test]
+    fn respects_bounds() {
+        let f = |x: &[f64]| (x[0] + 10.0).powi(2);
+        let b = Bounds::new(vec![0.0], vec![5.0]).unwrap();
+        let r = nelder_mead_minimize(f, &[3.0], &b, &Default::default()).unwrap();
+        assert!(r.x[0] >= 0.0 && r.x[0] <= 5.0);
+        assert!(r.x[0] < 1e-3, "{:?}", r.x);
+    }
+
+    #[test]
+    fn start_at_bound_corner_still_moves() {
+        // Start at the corner (0, 0) of [0, 5]^2, optimum at (3, 4).
+        let f = |x: &[f64]| (x[0] - 3.0).powi(2) + (x[1] - 4.0).powi(2);
+        let b = Bounds::uniform(2, 0.0, 5.0).unwrap();
+        let r = nelder_mead_minimize(f, &[0.0, 0.0], &b, &Default::default()).unwrap();
+        assert!(
+            (r.x[0] - 3.0).abs() < 1e-3 && (r.x[1] - 4.0).abs() < 1e-3,
+            "{:?}",
+            r.x
+        );
+    }
+
+    #[test]
+    fn handles_nan_regions_as_infeasible() {
+        // NaN for x < 0 (infeasible side of the box anyway).
+        let f = |x: &[f64]| {
+            if x[0] < 0.0 {
+                f64::NAN
+            } else {
+                (x[0] - 1.0).powi(2)
+            }
+        };
+        let b = Bounds::new(vec![0.0], vec![10.0]).unwrap();
+        let r = nelder_mead_minimize(f, &[5.0], &b, &Default::default()).unwrap();
+        assert!((r.x[0] - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn rosenbrock_4d() {
+        let f = |x: &[f64]| {
+            (0..x.len() - 1)
+                .map(|i| {
+                    let a = 1.0 - x[i];
+                    let b = x[i + 1] - x[i] * x[i];
+                    a * a + 100.0 * b * b
+                })
+                .sum::<f64>()
+        };
+        let mut opts = NelderMeadOptions::default();
+        opts.max_evals = 50_000;
+        let b = Bounds::uniform(4, -3.0, 3.0).unwrap();
+        let r = nelder_mead_minimize(f, &[-1.0, 2.0, -2.0, 1.0], &b, &opts).unwrap();
+        assert!(r.fx < 1e-4, "fx = {}", r.fx);
+    }
+
+    #[test]
+    fn dimension_mismatch() {
+        let f = |_: &[f64]| 0.0;
+        assert!(
+            nelder_mead_minimize(f, &[0.0], &Bounds::unbounded(2), &Default::default()).is_err()
+        );
+    }
+
+    #[test]
+    fn eval_budget_is_respected() {
+        let f = |x: &[f64]| x.iter().map(|v| v * v).sum::<f64>();
+        let mut opts = NelderMeadOptions::default();
+        opts.max_evals = 25;
+        opts.f_tol = 0.0;
+        opts.x_tol = 0.0;
+        let r = nelder_mead_minimize(f, &[10.0, 10.0], &Bounds::unbounded(2), &opts).unwrap();
+        // A handful of evals past the budget are allowed (the final
+        // operation completes), but not unbounded.
+        assert!(r.evals <= 35, "evals = {}", r.evals);
+    }
+}

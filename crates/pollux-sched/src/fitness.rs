@@ -1,0 +1,221 @@
+//! The scheduling fitness function (Eqn 14) with restart penalties.
+
+use crate::speedup::{SchedJob, SpeedupCache};
+use pollux_cluster::AllocationMatrix;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the fitness evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FitnessConfig {
+    /// Speedup subtracted from every job whose placement changes
+    /// relative to its currently applied one (Sec. 4.2.1; the paper
+    /// uses 0.25 to reflect the 30–60 s checkpoint-restart cost).
+    pub restart_penalty: f64,
+}
+
+impl Default for FitnessConfig {
+    fn default() -> Self {
+        Self {
+            restart_penalty: 0.25,
+        }
+    }
+}
+
+/// Evaluates `FITNESS(A) = Σ_j w_j (SPEEDUP_j(A_j) − penalty_j) / Σ_j w_j`.
+///
+/// - A job's speedup is 0 when unallocated (its row is all zeros) or
+///   when its row is infeasible for the job (below `min_gpus`, above
+///   `gpu_cap`).
+/// - The restart penalty applies to *running* jobs whose row in `alloc`
+///   differs from their currently applied placement. Newly started
+///   (previously pending) jobs are not penalized.
+///
+/// Rows of `alloc` correspond to `jobs` by index; `alloc` must have at
+/// least `jobs.len()` rows (extra rows are ignored).
+pub fn fitness(
+    jobs: &[SchedJob],
+    alloc: &AllocationMatrix,
+    cache: &mut SpeedupCache,
+    config: &FitnessConfig,
+) -> f64 {
+    debug_assert!(
+        alloc.num_jobs() >= jobs.len(),
+        "allocation matrix too small"
+    );
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (j, job) in jobs.iter().enumerate() {
+        let mut s = match alloc.shape_of(j) {
+            Some(shape) => cache.speedup(job, shape),
+            None => 0.0,
+        };
+        if job.is_running() && alloc.row(j) != job.current_placement.as_slice() {
+            s -= config.restart_penalty;
+        }
+        num += job.weight * s;
+        den += job.weight;
+    }
+    if den > 0.0 {
+        num / den
+    } else {
+        0.0
+    }
+}
+
+/// The cluster-utility measure for auto-scaling (Eqn 17):
+/// `UTILITY(A) = Σ_j SPEEDUP_j(A_j) / TOTAL_GPUS` (unweighted, no
+/// restart penalty).
+pub fn utility(
+    jobs: &[SchedJob],
+    alloc: &AllocationMatrix,
+    cache: &mut SpeedupCache,
+    total_gpus: u32,
+) -> f64 {
+    if total_gpus == 0 {
+        return 0.0;
+    }
+    let sum: f64 = jobs
+        .iter()
+        .enumerate()
+        .map(|(j, job)| match alloc.shape_of(j) {
+            Some(shape) => cache.speedup(job, shape),
+            None => 0.0,
+        })
+        .sum();
+    sum / total_gpus as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pollux_cluster::JobId;
+    use pollux_models::{BatchSizeLimits, EfficiencyModel, GoodputModel, ThroughputParams};
+
+    fn model() -> GoodputModel {
+        let tp = ThroughputParams::new(0.05, 5.0e-4, 0.05, 0.002, 0.2, 0.01, 2.0).unwrap();
+        let eff = EfficiencyModel::from_noise_scale(128, 2000.0).unwrap();
+        let limits = BatchSizeLimits::new(128, 65_536, 512).unwrap();
+        GoodputModel::new(tp, eff, limits).unwrap()
+    }
+
+    fn job(id: u32, weight: f64, current: Vec<u32>) -> SchedJob {
+        SchedJob {
+            id: JobId(id),
+            model: model(),
+            min_gpus: 1,
+            gpu_cap: 64,
+            weight,
+            current_placement: current,
+        }
+    }
+
+    #[test]
+    fn empty_cluster_has_zero_fitness() {
+        let jobs = vec![job(0, 1.0, vec![]), job(1, 1.0, vec![])];
+        let alloc = AllocationMatrix::zeros(2, 4);
+        let mut cache = SpeedupCache::new();
+        assert_eq!(fitness(&jobs, &alloc, &mut cache, &Default::default()), 0.0);
+    }
+
+    #[test]
+    fn single_gpu_each_gives_fitness_one() {
+        let jobs = vec![job(0, 1.0, vec![]), job(1, 1.0, vec![])];
+        let mut alloc = AllocationMatrix::zeros(2, 4);
+        alloc.set(0, 0, 1);
+        alloc.set(1, 1, 1);
+        let mut cache = SpeedupCache::new();
+        let f = fitness(&jobs, &alloc, &mut cache, &Default::default());
+        assert!((f - 1.0).abs() < 1e-9, "f = {f}");
+    }
+
+    #[test]
+    fn more_gpus_increase_fitness() {
+        let jobs = vec![job(0, 1.0, vec![])];
+        let mut a1 = AllocationMatrix::zeros(1, 4);
+        a1.set(0, 0, 1);
+        let mut a4 = AllocationMatrix::zeros(1, 4);
+        a4.set(0, 0, 4);
+        let mut cache = SpeedupCache::new();
+        let f1 = fitness(&jobs, &a1, &mut cache, &Default::default());
+        let f4 = fitness(&jobs, &a4, &mut cache, &Default::default());
+        assert!(f4 > f1, "{f4} vs {f1}");
+    }
+
+    #[test]
+    fn restart_penalty_applies_to_changed_running_jobs() {
+        // Job currently running on node 0 with 2 GPUs.
+        let jobs = vec![job(0, 1.0, vec![2, 0, 0, 0])];
+        let cfg = FitnessConfig {
+            restart_penalty: 0.25,
+        };
+        let mut cache = SpeedupCache::new();
+
+        // Same placement: no penalty.
+        let mut same = AllocationMatrix::zeros(1, 4);
+        same.set(0, 0, 2);
+        let f_same = fitness(&jobs, &same, &mut cache, &cfg);
+
+        // Same shape on a different node: penalized.
+        let mut moved = AllocationMatrix::zeros(1, 4);
+        moved.set(0, 1, 2);
+        let f_moved = fitness(&jobs, &moved, &mut cache, &cfg);
+        assert!(
+            (f_same - f_moved - 0.25).abs() < 1e-9,
+            "{f_same} vs {f_moved}"
+        );
+    }
+
+    #[test]
+    fn pending_jobs_start_without_penalty() {
+        let jobs = vec![job(0, 1.0, vec![0, 0, 0, 0])];
+        let mut alloc = AllocationMatrix::zeros(1, 4);
+        alloc.set(0, 0, 1);
+        let mut cache = SpeedupCache::new();
+        let f = fitness(&jobs, &alloc, &mut cache, &Default::default());
+        assert!((f - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weights_shift_the_optimum() {
+        // Two identical jobs, 1 GPU to give away: the heavier job's
+        // allocation dominates the weighted mean.
+        let heavy = job(0, 1.0, vec![]);
+        let light = job(1, 0.1, vec![]);
+        let jobs = vec![heavy, light];
+        let mut to_heavy = AllocationMatrix::zeros(2, 1);
+        to_heavy.set(0, 0, 2);
+        to_heavy.set(1, 0, 1);
+        let mut to_light = AllocationMatrix::zeros(2, 1);
+        to_light.set(0, 0, 1);
+        to_light.set(1, 0, 2);
+        let mut cache = SpeedupCache::new();
+        let f_heavy = fitness(&jobs, &to_heavy, &mut cache, &Default::default());
+        let f_light = fitness(&jobs, &to_light, &mut cache, &Default::default());
+        assert!(f_heavy > f_light);
+    }
+
+    #[test]
+    fn utility_normalizes_by_total_gpus() {
+        let jobs = vec![job(0, 1.0, vec![]), job(1, 1.0, vec![])];
+        let mut alloc = AllocationMatrix::zeros(2, 4);
+        alloc.set(0, 0, 1);
+        alloc.set(1, 1, 1);
+        let mut cache = SpeedupCache::new();
+        // Two jobs at speedup 1 on a 16-GPU cluster: utility = 2/16.
+        let u = utility(&jobs, &alloc, &mut cache, 16);
+        assert!((u - 2.0 / 16.0).abs() < 1e-9);
+        assert_eq!(utility(&jobs, &alloc, &mut cache, 0), 0.0);
+    }
+
+    #[test]
+    fn utility_is_at_most_one() {
+        // Speedup_j <= K_j, so Σ speedup <= total GPUs.
+        let jobs = vec![job(0, 1.0, vec![]), job(1, 1.0, vec![])];
+        let mut alloc = AllocationMatrix::zeros(2, 2);
+        alloc.set(0, 0, 4);
+        alloc.set(1, 1, 4);
+        let mut cache = SpeedupCache::new();
+        let u = utility(&jobs, &alloc, &mut cache, 8);
+        assert!(u <= 1.0 + 1e-9 && u > 0.0, "u = {u}");
+    }
+}

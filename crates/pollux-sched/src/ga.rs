@@ -1,0 +1,719 @@
+//! The genetic algorithm over allocation matrices (Sec. 4.2.1, Fig 5).
+//!
+//! Each generation:
+//!
+//! 1. **Mutation** — every element `A[j][n]` of every member mutates
+//!    with probability `1/N` (one expected mutation per job row) to a
+//!    uniform random GPU count in `[0, capacity(n)]`.
+//! 2. **Crossover** — offspring rows are mixed from two parents chosen
+//!    by tournament selection.
+//! 3. **Repair** — offspring are made feasible: node capacities
+//!    (random decrements within over-capacity columns), per-job
+//!    minimums and scale caps, and (optionally) the
+//!    interference-avoidance constraint that at most one *distributed*
+//!    job occupies any node.
+//! 4. **Survival** — the population is truncated back to its constant
+//!    size by discarding the lowest-fitness members.
+
+use crate::fitness::{fitness, FitnessConfig};
+use crate::speedup::{SchedJob, SpeedupCache};
+use pollux_cluster::{AllocationMatrix, ClusterSpec, NodeId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the genetic algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GaConfig {
+    /// Constant population size (the paper uses 100).
+    pub population: usize,
+    /// Generations per scheduling interval (the paper uses 100).
+    pub generations: usize,
+    /// Tournament size for crossover parent selection.
+    pub tournament_size: usize,
+    /// Enforce the interference-avoidance constraint during repair.
+    pub interference_avoidance: bool,
+    /// Stop early after this many generations without improvement of
+    /// the best fitness (0 = always run all `generations`, like the
+    /// paper's fixed 100-generation budget).
+    pub early_stop_gens: usize,
+    /// Fitness evaluation settings (restart penalty).
+    pub fitness: FitnessConfig,
+}
+
+impl Default for GaConfig {
+    fn default() -> Self {
+        Self {
+            population: 100,
+            generations: 100,
+            tournament_size: 2,
+            interference_avoidance: true,
+            early_stop_gens: 8,
+            fitness: FitnessConfig::default(),
+        }
+    }
+}
+
+/// Outcome of one `evolve` call.
+#[derive(Debug, Clone)]
+pub struct GaOutcome {
+    /// The highest-fitness allocation matrix found.
+    pub best: AllocationMatrix,
+    /// Its fitness value.
+    pub best_fitness: f64,
+    /// The final population, for bootstrapping the next interval
+    /// (Sec. 4.3: "the entire population is saved and used to
+    /// bootstrap the genetic algorithm in the next scheduling
+    /// interval").
+    pub population: Vec<AllocationMatrix>,
+}
+
+/// The genetic optimizer. Stateless between calls; population
+/// persistence is handled by the caller (see `scheduler`).
+#[derive(Debug, Clone)]
+pub struct GeneticAlgorithm {
+    config: GaConfig,
+}
+
+impl GeneticAlgorithm {
+    /// Creates the optimizer with the given configuration.
+    pub fn new(config: GaConfig) -> Self {
+        Self { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &GaConfig {
+        &self.config
+    }
+
+    /// Mutates `m` in place: each element flips with probability `1/N`
+    /// to a uniform GPU count within the node's capacity.
+    pub fn mutate<R: Rng>(&self, m: &mut AllocationMatrix, spec: &ClusterSpec, rng: &mut R) {
+        let n = m.num_nodes().max(1);
+        let p = 1.0 / n as f64;
+        for j in 0..m.num_jobs() {
+            for node in 0..m.num_nodes() {
+                if rng.gen_bool(p) {
+                    let cap = spec.gpus_on(NodeId(node as u32));
+                    m.set(j, node, rng.gen_range(0..=cap));
+                }
+            }
+        }
+    }
+
+    /// Produces an offspring whose rows are randomly mixed from the
+    /// two parents.
+    pub fn crossover<R: Rng>(
+        &self,
+        a: &AllocationMatrix,
+        b: &AllocationMatrix,
+        rng: &mut R,
+    ) -> AllocationMatrix {
+        debug_assert_eq!(a.num_jobs(), b.num_jobs());
+        debug_assert_eq!(a.num_nodes(), b.num_nodes());
+        let mut child = AllocationMatrix::zeros(a.num_jobs(), a.num_nodes());
+        for j in 0..a.num_jobs() {
+            let src = if rng.gen_bool(0.5) { a } else { b };
+            child.set_row(j, src.row(j).to_vec());
+        }
+        child
+    }
+
+    /// Tournament selection: returns the index of the best of
+    /// `tournament_size` uniformly sampled members.
+    pub fn tournament_select<R: Rng>(&self, fitnesses: &[f64], rng: &mut R) -> usize {
+        let k = self.config.tournament_size.max(1);
+        let mut best = rng.gen_range(0..fitnesses.len());
+        for _ in 1..k {
+            let c = rng.gen_range(0..fitnesses.len());
+            if fitnesses[c] > fitnesses[best] {
+                best = c;
+            }
+        }
+        best
+    }
+
+    /// Repairs `m` into a feasible allocation:
+    ///
+    /// 1. per-job scale caps — random decrements until `K ≤ gpu_cap`;
+    /// 2. per-job minimums — rows with `0 < K < min_gpus` are zeroed
+    ///    (the job stays pending rather than holding useless GPUs);
+    /// 3. node capacities — random decrements within over-capacity
+    ///    columns (Fig 5's repair step);
+    /// 4. optionally, interference avoidance — while any node hosts two
+    ///    or more distributed jobs, one of the extras loses its GPUs on
+    ///    that node (Sec. 4.2.1).
+    ///
+    /// Steps interleave because each can re-trigger another; the loop
+    /// terminates since every action strictly decreases total GPUs.
+    pub fn repair<R: Rng>(
+        &self,
+        m: &mut AllocationMatrix,
+        jobs: &[SchedJob],
+        spec: &ClusterSpec,
+        rng: &mut R,
+    ) {
+        repair_matrix(m, jobs, spec, self.config.interference_avoidance, rng);
+    }
+
+    /// Runs the genetic algorithm from a seed population.
+    ///
+    /// Seed members with mismatched dimensions are discarded; the
+    /// population is refilled with repaired random members. All members
+    /// are repaired before evaluation, so the returned best matrix is
+    /// always feasible.
+    pub fn evolve<R: Rng>(
+        &self,
+        jobs: &[SchedJob],
+        spec: &ClusterSpec,
+        seed: Vec<AllocationMatrix>,
+        cache: &mut SpeedupCache,
+        rng: &mut R,
+    ) -> GaOutcome {
+        let num_jobs = jobs.len();
+        let num_nodes = spec.num_nodes();
+        let pop_size = self.config.population.max(2);
+
+        let mut population: Vec<AllocationMatrix> = seed
+            .into_iter()
+            .filter(|m| m.num_jobs() == num_jobs && m.num_nodes() == num_nodes)
+            .take(pop_size)
+            .collect();
+
+        // Always include the "current allocations" member so doing
+        // nothing is representable.
+        let mut current = AllocationMatrix::zeros(num_jobs, num_nodes);
+        for (j, job) in jobs.iter().enumerate() {
+            if job.current_placement.len() == num_nodes {
+                current.set_row(j, job.current_placement.clone());
+            }
+        }
+        self.repair(&mut current, jobs, spec, rng);
+        population.push(current);
+
+        while population.len() < pop_size {
+            let mut m = AllocationMatrix::zeros(num_jobs, num_nodes);
+            self.mutate(&mut m, spec, rng);
+            self.repair(&mut m, jobs, spec, rng);
+            population.push(m);
+        }
+        for m in &mut population {
+            self.repair(m, jobs, spec, rng);
+        }
+
+        let mut fitnesses: Vec<f64> = population
+            .iter()
+            .map(|m| fitness(jobs, m, cache, &self.config.fitness))
+            .collect();
+
+        let mut best_so_far = fitnesses.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mut stale_gens = 0usize;
+        for _gen in 0..self.config.generations {
+            let mut offspring = Vec::with_capacity(pop_size * 2);
+            // Mutated copies of every member.
+            for m in &population {
+                let mut c = m.clone();
+                self.mutate(&mut c, spec, rng);
+                offspring.push(c);
+            }
+            // Crossover children from tournament-selected parents.
+            for _ in 0..pop_size {
+                let a = self.tournament_select(&fitnesses, rng);
+                let b = self.tournament_select(&fitnesses, rng);
+                offspring.push(self.crossover(&population[a], &population[b], rng));
+            }
+            for c in &mut offspring {
+                self.repair(c, jobs, spec, rng);
+            }
+            let off_fit: Vec<f64> = offspring
+                .iter()
+                .map(|m| fitness(jobs, m, cache, &self.config.fitness))
+                .collect();
+
+            population.extend(offspring);
+            fitnesses.extend(off_fit);
+
+            // Survival: keep the top `pop_size`.
+            let mut idx: Vec<usize> = (0..population.len()).collect();
+            idx.sort_by(|&a, &b| {
+                fitnesses[b]
+                    .partial_cmp(&fitnesses[a])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            idx.truncate(pop_size);
+            let mut new_pop = Vec::with_capacity(pop_size);
+            let mut new_fit = Vec::with_capacity(pop_size);
+            for &i in &idx {
+                new_pop.push(population[i].clone());
+                new_fit.push(fitnesses[i]);
+            }
+            population = new_pop;
+            fitnesses = new_fit;
+
+            if self.config.early_stop_gens > 0 {
+                let best_now = fitnesses.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                if best_now > best_so_far + 1e-12 {
+                    best_so_far = best_now;
+                    stale_gens = 0;
+                } else {
+                    stale_gens += 1;
+                    if stale_gens >= self.config.early_stop_gens {
+                        break;
+                    }
+                }
+            }
+        }
+
+        let best_idx = fitnesses
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        GaOutcome {
+            best: population[best_idx].clone(),
+            best_fitness: fitnesses[best_idx],
+            population,
+        }
+    }
+}
+
+/// Repairs `m` into a feasible allocation (the Fig 5 repair step),
+/// shared by the genetic algorithm and the local-search backend. See
+/// [`GeneticAlgorithm::repair`] for the step-by-step description.
+pub fn repair_matrix<R: Rng>(
+    m: &mut AllocationMatrix,
+    jobs: &[SchedJob],
+    spec: &ClusterSpec,
+    interference_avoidance: bool,
+    rng: &mut R,
+) {
+    let num_nodes = m.num_nodes();
+
+    // Step 1: per-job scale caps. Random single-GPU decrements, but
+    // batched so the whole step is O(excess + nodes) per job.
+    for (j, job) in jobs.iter().enumerate() {
+        let k = m.gpus_of(j);
+        if k <= job.gpu_cap {
+            continue;
+        }
+        let mut excess = k - job.gpu_cap;
+        let mut occupied: Vec<usize> = (0..num_nodes).filter(|&n| m.get(j, n) > 0).collect();
+        while excess > 0 {
+            let pick = rng.gen_range(0..occupied.len());
+            let n = occupied[pick];
+            let left = m.get(j, n) - 1;
+            m.set(j, n, left);
+            if left == 0 {
+                occupied.swap_remove(pick);
+            }
+            excess -= 1;
+        }
+    }
+
+    // Step 3: node capacities — random decrements within
+    // over-capacity columns (Fig 5's repair step), batched the same
+    // way.
+    for node in m.over_capacity_nodes(spec) {
+        let n = node.index();
+        let cap = spec.gpus_on(node);
+        let mut excess = m.gpus_used_on(n) - cap;
+        let mut holders: Vec<usize> = (0..m.num_jobs()).filter(|&j| m.get(j, n) > 0).collect();
+        while excess > 0 {
+            let pick = rng.gen_range(0..holders.len());
+            let j = holders[pick];
+            let left = m.get(j, n) - 1;
+            m.set(j, n, left);
+            if left == 0 {
+                holders.swap_remove(pick);
+            }
+            excess -= 1;
+        }
+    }
+
+    // Step 4: interference avoidance in a single random-order pass.
+    // Evicting a distributed job's GPUs from a node never creates a
+    // *new* distributed job, so one pass suffices.
+    if interference_avoidance {
+        let mut nodes_of: Vec<u32> = (0..m.num_jobs()).map(|j| m.nodes_of(j)).collect();
+        let mut order: Vec<usize> = (0..num_nodes).collect();
+        order.shuffle(rng);
+        for &n in &order {
+            let mut distributed: Vec<usize> = (0..m.num_jobs())
+                .filter(|&j| m.get(j, n) > 0 && nodes_of[j] > 1)
+                .collect();
+            if distributed.len() <= 1 {
+                continue;
+            }
+            // Keep one random distributed job on this node; evict
+            // the others' GPUs from it.
+            let keep = rng.gen_range(0..distributed.len());
+            distributed.swap_remove(keep);
+            for j in distributed {
+                m.set(j, n, 0);
+                nodes_of[j] -= 1;
+            }
+        }
+    }
+
+    // Step 2 last: zero rows that ended up below their minimum
+    // (possibly due to the earlier decrements).
+    for (j, job) in jobs.iter().enumerate() {
+        let k = m.gpus_of(j);
+        if k > 0 && k < job.min_gpus {
+            m.set_row(j, vec![0; num_nodes]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pollux_cluster::JobId;
+    use pollux_models::{BatchSizeLimits, EfficiencyModel, GoodputModel, ThroughputParams};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn model(phi: f64) -> GoodputModel {
+        let tp = ThroughputParams::new(0.05, 5.0e-4, 0.05, 0.002, 0.2, 0.01, 2.0).unwrap();
+        let eff = EfficiencyModel::from_noise_scale(128, phi).unwrap();
+        let limits = BatchSizeLimits::new(128, 65_536, 512).unwrap();
+        GoodputModel::new(tp, eff, limits).unwrap()
+    }
+
+    fn job(id: u32, phi: f64) -> SchedJob {
+        SchedJob {
+            id: JobId(id),
+            model: model(phi),
+            min_gpus: 1,
+            gpu_cap: 64,
+            weight: 1.0,
+            current_placement: vec![],
+        }
+    }
+
+    fn ga(gens: usize) -> GeneticAlgorithm {
+        GeneticAlgorithm::new(GaConfig {
+            population: 30,
+            generations: gens,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn repair_enforces_node_capacity() {
+        let spec = ClusterSpec::homogeneous(4, 4).unwrap();
+        let jobs: Vec<SchedJob> = (0..3).map(|i| job(i, 1000.0)).collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut m = AllocationMatrix::zeros(3, 4);
+        m.set(0, 0, 4);
+        m.set(1, 0, 4);
+        m.set(2, 0, 4);
+        ga(0).repair(&mut m, &jobs, &spec, &mut rng);
+        assert!(m.is_feasible(&spec));
+    }
+
+    #[test]
+    fn repair_enforces_gpu_cap() {
+        let spec = ClusterSpec::homogeneous(4, 4).unwrap();
+        let mut j = job(0, 1000.0);
+        j.gpu_cap = 2;
+        let jobs = vec![j];
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut m = AllocationMatrix::zeros(1, 4);
+        for n in 0..4 {
+            m.set(0, n, 4);
+        }
+        ga(0).repair(&mut m, &jobs, &spec, &mut rng);
+        assert!(m.gpus_of(0) <= 2);
+    }
+
+    #[test]
+    fn repair_zeroes_below_minimum_rows() {
+        let spec = ClusterSpec::homogeneous(4, 4).unwrap();
+        let mut j = job(0, 1000.0);
+        j.min_gpus = 4;
+        let jobs = vec![j];
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut m = AllocationMatrix::zeros(1, 4);
+        m.set(0, 0, 2);
+        ga(0).repair(&mut m, &jobs, &spec, &mut rng);
+        assert_eq!(m.gpus_of(0), 0);
+    }
+
+    #[test]
+    fn repair_enforces_interference_avoidance() {
+        let spec = ClusterSpec::homogeneous(4, 4).unwrap();
+        let jobs: Vec<SchedJob> = (0..2).map(|i| job(i, 1000.0)).collect();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut m = AllocationMatrix::zeros(2, 4);
+        // Both jobs distributed and sharing nodes 1.
+        m.set(0, 0, 2);
+        m.set(0, 1, 2);
+        m.set(1, 1, 2);
+        m.set(1, 2, 2);
+        ga(0).repair(&mut m, &jobs, &spec, &mut rng);
+        assert!(m.satisfies_interference_avoidance());
+        assert!(m.is_feasible(&spec));
+    }
+
+    #[test]
+    fn repair_keeps_interference_when_disabled() {
+        let spec = ClusterSpec::homogeneous(4, 4).unwrap();
+        let jobs: Vec<SchedJob> = (0..2).map(|i| job(i, 1000.0)).collect();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut cfg = GaConfig::default();
+        cfg.interference_avoidance = false;
+        let g = GeneticAlgorithm::new(cfg);
+        let mut m = AllocationMatrix::zeros(2, 4);
+        m.set(0, 0, 2);
+        m.set(0, 1, 2);
+        m.set(1, 1, 2);
+        m.set(1, 2, 2);
+        g.repair(&mut m, &jobs, &spec, &mut rng);
+        // Feasible but interference untouched.
+        assert!(m.is_feasible(&spec));
+        assert!(!m.satisfies_interference_avoidance());
+    }
+
+    #[test]
+    fn crossover_rows_come_from_parents() {
+        let g = ga(0);
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut a = AllocationMatrix::zeros(3, 2);
+        let mut b = AllocationMatrix::zeros(3, 2);
+        for j in 0..3 {
+            a.set(j, 0, 1);
+            b.set(j, 1, 2);
+        }
+        let c = g.crossover(&a, &b, &mut rng);
+        for j in 0..3 {
+            let row = c.row(j);
+            assert!(row == a.row(j) || row == b.row(j));
+        }
+    }
+
+    #[test]
+    fn tournament_prefers_fitter_members() {
+        let g = GeneticAlgorithm::new(GaConfig {
+            tournament_size: 4,
+            ..Default::default()
+        });
+        let mut rng = StdRng::seed_from_u64(7);
+        let fit = vec![0.1, 0.9, 0.2, 0.3];
+        let mut wins = [0usize; 4];
+        for _ in 0..500 {
+            wins[g.tournament_select(&fit, &mut rng)] += 1;
+        }
+        assert!(wins[1] > wins[0] && wins[1] > wins[2] && wins[1] > wins[3]);
+    }
+
+    #[test]
+    fn evolve_allocates_everything_useful() {
+        // Two scalable jobs, 2 nodes x 4 GPUs: the GA should allocate
+        // most GPUs and give every job at least one.
+        let spec = ClusterSpec::homogeneous(2, 4).unwrap();
+        let jobs: Vec<SchedJob> = (0..2).map(|i| job(i, 5000.0)).collect();
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut cache = SpeedupCache::new();
+        let out = ga(30).evolve(&jobs, &spec, vec![], &mut cache, &mut rng);
+        assert!(out.best.is_feasible(&spec));
+        assert!(out.best_fitness > 1.0, "fitness = {}", out.best_fitness);
+        for j in 0..2 {
+            assert!(out.best.gpus_of(j) >= 1, "job {j} starved:\n{}", out.best);
+        }
+        assert_eq!(out.population.len(), 30);
+    }
+
+    #[test]
+    fn evolve_prefers_scalable_jobs() {
+        // One job scales well (huge φ), one barely (φ ≈ 0): with 1 node
+        // of 4 GPUs the scalable job should get strictly more.
+        let spec = ClusterSpec::homogeneous(1, 4).unwrap();
+        let scalable = job(0, 50_000.0);
+        let mut rigid = job(1, 0.0);
+        rigid.model = model(1e-6);
+        let jobs = vec![scalable, rigid];
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut cache = SpeedupCache::new();
+        let out = ga(40).evolve(&jobs, &spec, vec![], &mut cache, &mut rng);
+        assert!(
+            out.best.gpus_of(0) > out.best.gpus_of(1),
+            "scalable {} vs rigid {}\n{}",
+            out.best.gpus_of(0),
+            out.best.gpus_of(1),
+            out.best
+        );
+        assert!(out.best.gpus_of(1) >= 1, "rigid job should still run");
+    }
+
+    #[test]
+    fn evolve_respects_interference_avoidance() {
+        let spec = ClusterSpec::homogeneous(4, 2).unwrap();
+        let jobs: Vec<SchedJob> = (0..3).map(|i| job(i, 20_000.0)).collect();
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut cache = SpeedupCache::new();
+        let out = ga(30).evolve(&jobs, &spec, vec![], &mut cache, &mut rng);
+        assert!(out.best.satisfies_interference_avoidance());
+    }
+
+    #[test]
+    fn evolve_with_seed_population_not_worse() {
+        let spec = ClusterSpec::homogeneous(2, 4).unwrap();
+        let jobs: Vec<SchedJob> = (0..2).map(|i| job(i, 5000.0)).collect();
+        let mut cache = SpeedupCache::new();
+
+        let mut rng = StdRng::seed_from_u64(11);
+        let first = ga(20).evolve(&jobs, &spec, vec![], &mut cache, &mut rng);
+        let resumed = ga(5).evolve(&jobs, &spec, first.population.clone(), &mut cache, &mut rng);
+        assert!(
+            resumed.best_fitness >= first.best_fitness - 1e-9,
+            "resumed {} < first {}",
+            resumed.best_fitness,
+            first.best_fitness
+        );
+    }
+
+    #[test]
+    fn evolve_is_deterministic_given_seed() {
+        let spec = ClusterSpec::homogeneous(2, 4).unwrap();
+        let jobs: Vec<SchedJob> = (0..2).map(|i| job(i, 5000.0)).collect();
+        let mut c1 = SpeedupCache::new();
+        let mut c2 = SpeedupCache::new();
+        let mut r1 = StdRng::seed_from_u64(42);
+        let mut r2 = StdRng::seed_from_u64(42);
+        let o1 = ga(10).evolve(&jobs, &spec, vec![], &mut c1, &mut r1);
+        let o2 = ga(10).evolve(&jobs, &spec, vec![], &mut c2, &mut r2);
+        assert_eq!(o1.best, o2.best);
+        assert_eq!(o1.best_fitness, o2.best_fitness);
+    }
+
+    #[test]
+    fn restart_penalty_discourages_gratuitous_moves() {
+        // A single job already running on 4 GPUs of node 0. An
+        // equivalent placement on node 1 is available; the GA should
+        // keep the current placement rather than pay the restart.
+        let spec = ClusterSpec::homogeneous(2, 4).unwrap();
+        let mut j = job(0, 3000.0);
+        j.current_placement = vec![4, 0];
+        let jobs = vec![j];
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut cache = SpeedupCache::new();
+        let out = ga(30).evolve(&jobs, &spec, vec![], &mut cache, &mut rng);
+        assert_eq!(
+            out.best.row(0),
+            &[4, 0],
+            "moved without benefit:\n{}",
+            out.best
+        );
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Rows, per-job `(min, cap)` bounds, node count, GPUs per
+        /// node, and RNG seed.
+        type World = (Vec<Vec<u32>>, Vec<(u32, u32)>, u32, u32, u64);
+
+        /// Strategy: an arbitrary (possibly wildly infeasible) matrix
+        /// plus per-job caps/minimums.
+        fn arbitrary_world() -> impl Strategy<Value = World> {
+            (2usize..6, 2usize..6).prop_flat_map(|(num_jobs, num_nodes)| {
+                (
+                    proptest::collection::vec(
+                        proptest::collection::vec(0u32..10, num_nodes),
+                        num_jobs,
+                    ),
+                    proptest::collection::vec((1u32..4, 1u32..32), num_jobs),
+                    Just(num_nodes as u32),
+                    2u32..6,
+                    proptest::num::u64::ANY,
+                )
+            })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+            #[test]
+            fn repair_always_produces_feasible_matrices(
+                (rows, caps, num_nodes, gpus_per_node, seed) in arbitrary_world()
+            ) {
+                let spec = ClusterSpec::homogeneous(num_nodes, gpus_per_node).unwrap();
+                let jobs: Vec<SchedJob> = caps
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &(min_gpus, cap))| {
+                        let mut j = job(i as u32, 1000.0);
+                        j.min_gpus = min_gpus;
+                        j.gpu_cap = cap.max(min_gpus);
+                        j
+                    })
+                    .collect();
+                let mut m =
+                    AllocationMatrix::from_rows(rows, num_nodes as usize).unwrap();
+                let mut rng = StdRng::seed_from_u64(seed);
+                ga(0).repair(&mut m, &jobs, &spec, &mut rng);
+
+                // 1. Node capacities hold.
+                prop_assert!(m.is_feasible(&spec), "infeasible:\n{m}");
+                // 2. Interference avoidance holds.
+                prop_assert!(m.satisfies_interference_avoidance(), "interference:\n{m}");
+                // 3. Per-job bounds hold: K = 0 or min <= K <= cap.
+                for (j, job) in jobs.iter().enumerate() {
+                    let k = m.gpus_of(j);
+                    prop_assert!(
+                        k == 0 || (k >= job.min_gpus && k <= job.gpu_cap),
+                        "job {j}: K = {k}, min = {}, cap = {}",
+                        job.min_gpus,
+                        job.gpu_cap
+                    );
+                }
+            }
+
+            #[test]
+            fn repair_never_adds_gpus(
+                (rows, caps, num_nodes, gpus_per_node, seed) in arbitrary_world()
+            ) {
+                let spec = ClusterSpec::homogeneous(num_nodes, gpus_per_node).unwrap();
+                let jobs: Vec<SchedJob> = caps
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &(min_gpus, cap))| {
+                        let mut j = job(i as u32, 1000.0);
+                        j.min_gpus = min_gpus;
+                        j.gpu_cap = cap.max(min_gpus);
+                        j
+                    })
+                    .collect();
+                let m0 = AllocationMatrix::from_rows(rows, num_nodes as usize).unwrap();
+                let mut m = m0.clone();
+                let mut rng = StdRng::seed_from_u64(seed);
+                ga(0).repair(&mut m, &jobs, &spec, &mut rng);
+                // Repair only removes GPUs, never grants new ones.
+                for j in 0..m.num_jobs() {
+                    for n in 0..m.num_nodes() {
+                        prop_assert!(m.get(j, n) <= m0.get(j, n));
+                    }
+                }
+            }
+
+            #[test]
+            fn evolve_best_is_always_feasible(
+                seed in proptest::num::u64::ANY,
+                num_jobs in 1usize..5,
+                num_nodes in 1u32..4,
+            ) {
+                let spec = ClusterSpec::homogeneous(num_nodes, 4).unwrap();
+                let jobs: Vec<SchedJob> =
+                    (0..num_jobs).map(|i| job(i as u32, 2000.0)).collect();
+                let mut cache = SpeedupCache::new();
+                let mut rng = StdRng::seed_from_u64(seed);
+                let out = ga(5).evolve(&jobs, &spec, vec![], &mut cache, &mut rng);
+                prop_assert!(out.best.is_feasible(&spec));
+                prop_assert!(out.best.satisfies_interference_avoidance());
+                prop_assert!(out.best_fitness.is_finite());
+            }
+        }
+    }
+}

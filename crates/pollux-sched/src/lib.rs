@@ -1,0 +1,36 @@
+//! `PolluxSched` — cluster-wide optimization (Sec. 4.2).
+//!
+//! At every scheduling interval (60 s in the paper), the scheduler
+//! re-optimizes the cluster-wide allocation matrix by maximizing the
+//! fitness function
+//!
+//! ```text
+//! FITNESS(A) = Σ_j w_j · SPEEDUP_j(A_j) / Σ_j w_j          (Eqn 14)
+//! ```
+//!
+//! with a genetic algorithm whose operators (mutation, tournament
+//! crossover, repair) are described in Sec. 4.2.1 / Fig 5. The crate
+//! also implements:
+//!
+//! - job weights decaying with attained GPU-time (Eqn 16, [`weights`]);
+//! - the restart penalty for re-allocated jobs ([`mod@fitness`]);
+//! - the interference-avoidance constraint (at most one distributed
+//!   job per node, enforced during repair, [`ga`]);
+//! - goodput-based cloud auto-scaling via the `UTILITY` measure
+//!   (Eqn 17, Sec. 4.2.2, [`autoscale`]).
+
+pub mod autoscale;
+pub mod fitness;
+pub mod ga;
+pub mod local_search;
+pub mod scheduler;
+pub mod speedup;
+pub mod weights;
+
+pub use autoscale::{AutoscaleConfig, Autoscaler};
+pub use fitness::{fitness, FitnessConfig};
+pub use ga::{repair_matrix, GaConfig, GeneticAlgorithm};
+pub use local_search::{LocalSearch, LocalSearchConfig};
+pub use scheduler::{PolluxSched, SchedConfig};
+pub use speedup::{SchedJob, SpeedupCache};
+pub use weights::{job_weight, WeightConfig};

@@ -1,0 +1,220 @@
+//! The top-level `PolluxSched` service logic.
+//!
+//! Owns the genetic algorithm and the population persisted across
+//! scheduling intervals (Sec. 4.3). At each interval the caller passes
+//! the current set of [`SchedJob`]s (models refreshed by their agents);
+//! the scheduler reconciles the saved population with job arrivals and
+//! completions, evolves it, and returns the best allocation matrix.
+
+use crate::ga::{GaConfig, GeneticAlgorithm};
+use crate::speedup::{SchedJob, SpeedupCache};
+use crate::weights::WeightConfig;
+use pollux_cluster::{AllocationMatrix, ClusterSpec, JobId};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Configuration of the scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SchedConfig {
+    /// Genetic-algorithm settings.
+    pub ga: GaConfig,
+    /// Job-weight decay settings (Eqn 16).
+    pub weights: WeightConfig,
+    /// Scheduling interval in seconds (60 s in the paper). Stored here
+    /// for the driving loop; the scheduler itself is invoked externally.
+    pub interval_seconds: u64,
+}
+
+impl Default for SchedConfig {
+    fn default() -> Self {
+        Self {
+            ga: GaConfig::default(),
+            weights: WeightConfig::default(),
+            interval_seconds: 60,
+        }
+    }
+}
+
+/// Cluster-wide resource optimizer with population persistence.
+#[derive(Debug)]
+pub struct PolluxSched {
+    config: SchedConfig,
+    ga: GeneticAlgorithm,
+    saved_population: Vec<AllocationMatrix>,
+    saved_job_ids: Vec<JobId>,
+}
+
+impl PolluxSched {
+    /// Creates a scheduler with the given configuration.
+    pub fn new(config: SchedConfig) -> Self {
+        Self {
+            config,
+            ga: GeneticAlgorithm::new(config.ga),
+            saved_population: Vec::new(),
+            saved_job_ids: Vec::new(),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SchedConfig {
+        &self.config
+    }
+
+    /// Computes the allocation matrix for this interval.
+    ///
+    /// `jobs[i]` corresponds to row `i` of the returned matrix. The
+    /// caller is responsible for applying the matrix (starting,
+    /// stopping, and restarting jobs) and for setting each job's
+    /// `current_placement` and `weight` before the next call.
+    pub fn schedule<R: Rng>(
+        &mut self,
+        jobs: &[SchedJob],
+        spec: &ClusterSpec,
+        rng: &mut R,
+    ) -> AllocationMatrix {
+        let seed = self.reconciled_seed(jobs, spec);
+        let mut cache = SpeedupCache::new();
+        let outcome = self.ga.evolve(jobs, spec, seed, &mut cache, rng);
+        self.saved_population = outcome.population;
+        self.saved_job_ids = jobs.iter().map(|j| j.id).collect();
+        outcome.best
+    }
+
+    /// Adapts the saved population to the current job set and cluster
+    /// size: surviving jobs keep their evolved rows, new jobs start
+    /// with empty rows, and departed jobs' rows are dropped.
+    fn reconciled_seed(&self, jobs: &[SchedJob], spec: &ClusterSpec) -> Vec<AllocationMatrix> {
+        if self.saved_population.is_empty() {
+            return Vec::new();
+        }
+        let old_index: HashMap<JobId, usize> = self
+            .saved_job_ids
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| (id, i))
+            .collect();
+        let num_nodes = spec.num_nodes();
+        self.saved_population
+            .iter()
+            .map(|old| {
+                let mut m = AllocationMatrix::zeros(jobs.len(), num_nodes);
+                for (j, job) in jobs.iter().enumerate() {
+                    if let Some(&oj) = old_index.get(&job.id) {
+                        if oj < old.num_jobs() {
+                            let mut row = old.row(oj).to_vec();
+                            row.resize(num_nodes, 0);
+                            m.set_row(j, row);
+                        }
+                    }
+                }
+                m
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pollux_models::{BatchSizeLimits, EfficiencyModel, GoodputModel, ThroughputParams};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn model(phi: f64) -> GoodputModel {
+        let tp = ThroughputParams::new(0.05, 5.0e-4, 0.05, 0.002, 0.2, 0.01, 2.0).unwrap();
+        let eff = EfficiencyModel::from_noise_scale(128, phi).unwrap();
+        let limits = BatchSizeLimits::new(128, 65_536, 512).unwrap();
+        GoodputModel::new(tp, eff, limits).unwrap()
+    }
+
+    fn job(id: u32) -> SchedJob {
+        SchedJob {
+            id: JobId(id),
+            model: model(3000.0),
+            min_gpus: 1,
+            gpu_cap: 64,
+            weight: 1.0,
+            current_placement: vec![],
+        }
+    }
+
+    fn sched() -> PolluxSched {
+        let mut config = SchedConfig::default();
+        config.ga.population = 24;
+        config.ga.generations = 15;
+        PolluxSched::new(config)
+    }
+
+    #[test]
+    fn schedules_feasible_allocations() {
+        let spec = ClusterSpec::homogeneous(4, 4).unwrap();
+        let jobs: Vec<SchedJob> = (0..3).map(job).collect();
+        let mut s = sched();
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = s.schedule(&jobs, &spec, &mut rng);
+        assert_eq!(a.num_jobs(), 3);
+        assert!(a.is_feasible(&spec));
+        assert!(a.satisfies_interference_avoidance());
+        // Everything useful gets allocated.
+        for j in 0..3 {
+            assert!(a.gpus_of(j) >= 1, "job {j} starved:\n{a}");
+        }
+    }
+
+    #[test]
+    fn population_persists_and_reconciles_arrivals() {
+        let spec = ClusterSpec::homogeneous(4, 4).unwrap();
+        let mut s = sched();
+        let mut rng = StdRng::seed_from_u64(2);
+
+        let jobs2: Vec<SchedJob> = (0..2).map(job).collect();
+        s.schedule(&jobs2, &spec, &mut rng);
+        assert_eq!(s.saved_job_ids.len(), 2);
+
+        // A third job arrives; the first departs.
+        let jobs_next = vec![job(1), job(2)];
+        let a = s.schedule(&jobs_next, &spec, &mut rng);
+        assert_eq!(a.num_jobs(), 2);
+        assert!(a.is_feasible(&spec));
+        assert_eq!(s.saved_job_ids, vec![JobId(1), JobId(2)]);
+    }
+
+    #[test]
+    fn reconciles_cluster_resizes() {
+        let mut s = sched();
+        let mut rng = StdRng::seed_from_u64(3);
+        let jobs: Vec<SchedJob> = (0..2).map(job).collect();
+
+        let spec4 = ClusterSpec::homogeneous(4, 4).unwrap();
+        s.schedule(&jobs, &spec4, &mut rng);
+
+        // Cluster shrinks to 2 nodes: allocations must stay feasible.
+        let spec2 = ClusterSpec::homogeneous(2, 4).unwrap();
+        let a = s.schedule(&jobs, &spec2, &mut rng);
+        assert_eq!(a.num_nodes(), 2);
+        assert!(a.is_feasible(&spec2));
+
+        // And grows to 6.
+        let spec6 = ClusterSpec::homogeneous(6, 4).unwrap();
+        let a = s.schedule(&jobs, &spec6, &mut rng);
+        assert_eq!(a.num_nodes(), 6);
+        assert!(a.is_feasible(&spec6));
+    }
+
+    #[test]
+    fn keeps_stable_placements_across_intervals() {
+        // With an unchanged world, re-scheduling should not shuffle a
+        // running job gratuitously (restart penalty; Sec. 4.2.1).
+        let spec = ClusterSpec::homogeneous(2, 4).unwrap();
+        let mut s = sched();
+        let mut rng = StdRng::seed_from_u64(4);
+        let jobs = vec![job(0)];
+        let first = s.schedule(&jobs, &spec, &mut rng);
+
+        let mut jobs2 = vec![job(0)];
+        jobs2[0].current_placement = first.row(0).to_vec();
+        let second = s.schedule(&jobs2, &spec, &mut rng);
+        assert_eq!(second.row(0), first.row(0));
+    }
+}

@@ -1,0 +1,178 @@
+//! Per-job `SPEEDUP` evaluation with shape-level memoization.
+//!
+//! `SPEEDUP_j(A_j)` (Eqn 15) only depends on the placement through its
+//! `(K, N)` shape, because `T_sync` is locality- but not
+//! identity-sensitive (Eqn 10). The genetic algorithm evaluates tens of
+//! thousands of placements per interval; caching by shape makes each
+//! evaluation O(1) after the first golden-section solve.
+
+use pollux_cluster::JobId;
+use pollux_models::{GoodputModel, PlacementShape};
+use std::collections::HashMap;
+
+/// The scheduler-facing view of one job at one scheduling interval.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchedJob {
+    /// Stable job identifier.
+    pub id: JobId,
+    /// The goodput model reported by the job's `PolluxAgent`.
+    pub model: GoodputModel,
+    /// Minimum GPUs on which the job's `m0` fits.
+    pub min_gpus: u32,
+    /// Scale-out cap (at most twice the GPUs ever held; Sec. 4.1).
+    pub gpu_cap: u32,
+    /// Fairness weight `w_j` (Eqn 16).
+    pub weight: f64,
+    /// The placement row currently applied in the cluster (empty GPUs
+    /// everywhere when the job is pending). Used for restart detection.
+    pub current_placement: Vec<u32>,
+}
+
+impl SchedJob {
+    /// True when the job currently holds any GPUs.
+    pub fn is_running(&self) -> bool {
+        self.current_placement.iter().any(|&g| g > 0)
+    }
+}
+
+/// Memoizes `SPEEDUP_j` per `(job, shape)` within one scheduling round.
+///
+/// The cache must be cleared (or rebuilt) whenever the jobs' goodput
+/// models change, i.e. at every scheduling interval.
+#[derive(Debug, Default)]
+pub struct SpeedupCache {
+    by_shape: HashMap<(JobId, PlacementShape), f64>,
+    reference: HashMap<JobId, f64>,
+}
+
+impl SpeedupCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears all memoized values (call at the start of each interval).
+    pub fn clear(&mut self) {
+        self.by_shape.clear();
+        self.reference.clear();
+    }
+
+    /// `SPEEDUP_j` for the job under `shape` (batch size re-optimized
+    /// in both numerator and denominator). Returns 0 for infeasible
+    /// shapes (`K < min_gpus`) and shapes beyond the job's scale cap.
+    ///
+    /// Shapes are canonicalized to `(K, min(N, 2))` before lookup:
+    /// `T_sync` (Eqn 10) only distinguishes co-located (`N = 1`) from
+    /// cross-node (`N ≥ 2`) placements, so all multi-node shapes with
+    /// equal `K` share one speedup value.
+    pub fn speedup(&mut self, job: &SchedJob, shape: PlacementShape) -> f64 {
+        if shape.gpus < job.min_gpus || shape.gpus > job.gpu_cap {
+            return 0.0;
+        }
+        let shape = PlacementShape::new(shape.gpus, shape.nodes.min(2))
+            .expect("nodes >= 1 preserved by canonicalization");
+        if let Some(&v) = self.by_shape.get(&(job.id, shape)) {
+            return v;
+        }
+        let denom = *self
+            .reference
+            .entry(job.id)
+            .or_insert_with(|| job.model.max_goodput(job.model.reference_shape()));
+        let v = if denom > 0.0 {
+            job.model.max_goodput(shape) / denom
+        } else {
+            0.0
+        };
+        self.by_shape.insert((job.id, shape), v);
+        v
+    }
+
+    /// Number of memoized `(job, shape)` entries (diagnostics).
+    pub fn len(&self) -> usize {
+        self.by_shape.len()
+    }
+
+    /// True when nothing is memoized.
+    pub fn is_empty(&self) -> bool {
+        self.by_shape.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pollux_models::{BatchSizeLimits, EfficiencyModel, ThroughputParams};
+
+    pub(crate) fn test_model(m0: u64, phi: f64) -> GoodputModel {
+        let tp = ThroughputParams::new(0.05, 5.0e-4, 0.05, 0.002, 0.2, 0.01, 2.0).unwrap();
+        let eff = EfficiencyModel::from_noise_scale(m0, phi).unwrap();
+        let limits = BatchSizeLimits::new(m0, 65_536, 512).unwrap();
+        GoodputModel::new(tp, eff, limits).unwrap()
+    }
+
+    fn job(id: u32, cap: u32) -> SchedJob {
+        SchedJob {
+            id: JobId(id),
+            model: test_model(128, 2000.0),
+            min_gpus: 1,
+            gpu_cap: cap,
+            weight: 1.0,
+            current_placement: vec![],
+        }
+    }
+
+    #[test]
+    fn speedup_matches_model_directly() {
+        let j = job(1, 64);
+        let mut cache = SpeedupCache::new();
+        for (g, n) in [(1u32, 1u32), (2, 1), (4, 1), (8, 2)] {
+            let shape = PlacementShape::new(g, n).unwrap();
+            let expect = j.model.speedup(shape);
+            let got = cache.speedup(&j, shape);
+            assert!((got - expect).abs() < 1e-9, "({g},{n}): {got} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn cache_hits_do_not_recompute() {
+        let j = job(1, 64);
+        let mut cache = SpeedupCache::new();
+        let shape = PlacementShape::new(4, 1).unwrap();
+        let a = cache.speedup(&j, shape);
+        assert_eq!(cache.len(), 1);
+        let b = cache.speedup(&j, shape);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn respects_gpu_cap_and_min() {
+        let mut j = job(1, 4);
+        j.min_gpus = 2;
+        let mut cache = SpeedupCache::new();
+        assert_eq!(cache.speedup(&j, PlacementShape::single()), 0.0);
+        assert!(cache.speedup(&j, PlacementShape::new(2, 1).unwrap()) > 0.0);
+        assert!(cache.speedup(&j, PlacementShape::new(4, 1).unwrap()) > 0.0);
+        assert_eq!(cache.speedup(&j, PlacementShape::new(5, 2).unwrap()), 0.0);
+    }
+
+    #[test]
+    fn clear_resets_memoization() {
+        let j = job(1, 64);
+        let mut cache = SpeedupCache::new();
+        cache.speedup(&j, PlacementShape::single());
+        assert!(!cache.is_empty());
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn is_running_detects_allocations() {
+        let mut j = job(1, 64);
+        assert!(!j.is_running());
+        j.current_placement = vec![0, 0, 0];
+        assert!(!j.is_running());
+        j.current_placement = vec![0, 2, 0];
+        assert!(j.is_running());
+    }
+}

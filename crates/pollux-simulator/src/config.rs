@@ -1,0 +1,98 @@
+//! Simulation parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// Global simulation parameters, defaulting to the paper's setup
+/// (Sec. 5.1 / 5.3).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Simulation tick in seconds.
+    pub tick_seconds: f64,
+    /// Scheduling interval in seconds (the paper uses 60 s).
+    pub sched_interval: f64,
+    /// Agent reporting/refit interval in seconds (the paper uses 30 s).
+    pub report_interval: f64,
+    /// Checkpoint-restart delay injected on re-allocation (30 s).
+    pub restart_delay: f64,
+    /// Fractional slowdown applied to distributed jobs sharing a node
+    /// (0.0 = none, 0.5 = Fig 9's worst case).
+    pub interference_slowdown: f64,
+    /// Relative (uniform ±) measurement noise on iteration times.
+    pub measurement_noise: f64,
+    /// Relative (uniform ±) noise on the measured gradient noise scale.
+    pub phi_noise: f64,
+    /// Hard stop for the simulation clock (seconds).
+    pub max_sim_time: f64,
+    /// Record per-job `(time, gpus, batch, progress)` samples at every
+    /// scheduling interval (off by default; adds memory proportional
+    /// to jobs × intervals).
+    pub record_job_series: bool,
+    /// RNG seed for measurement noise and policy randomness.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            tick_seconds: 1.0,
+            sched_interval: 60.0,
+            report_interval: 30.0,
+            restart_delay: 30.0,
+            interference_slowdown: 0.0,
+            measurement_noise: 0.05,
+            phi_noise: 0.10,
+            max_sim_time: 7.0 * 24.0 * 3600.0,
+            record_job_series: false,
+            seed: 0,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Validates parameter sanity. Returns `None` for non-positive
+    /// intervals or out-of-range noise/slowdown fractions.
+    pub fn validated(self) -> Option<Self> {
+        let ok = self.tick_seconds > 0.0
+            && self.sched_interval >= self.tick_seconds
+            && self.report_interval >= self.tick_seconds
+            && self.restart_delay >= 0.0
+            && (0.0..1.0).contains(&self.interference_slowdown)
+            && (0.0..1.0).contains(&self.measurement_noise)
+            && (0.0..1.0).contains(&self.phi_noise)
+            && self.max_sim_time > 0.0;
+        if ok {
+            Some(self)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        assert!(SimConfig::default().validated().is_some());
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let mut c = SimConfig::default();
+        c.tick_seconds = 0.0;
+        assert!(c.validated().is_none());
+
+        let mut c = SimConfig::default();
+        c.sched_interval = 0.5;
+        assert!(c.validated().is_none());
+
+        let mut c = SimConfig::default();
+        c.interference_slowdown = 1.0;
+        assert!(c.validated().is_none());
+
+        let mut c = SimConfig::default();
+        c.measurement_noise = -0.1;
+        assert!(c.validated().is_none());
+    }
+}

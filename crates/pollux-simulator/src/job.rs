@@ -1,0 +1,235 @@
+//! Simulated job state.
+
+use pollux_agent::PolluxAgent;
+use pollux_models::{EfficiencyModel, PlacementShape};
+use pollux_workload::{JobSpec, ModelProfile, UserConfig};
+
+/// Lifecycle of a simulated job.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum JobState {
+    /// Submitted but not yet (or currently not) allocated GPUs.
+    Pending,
+    /// Training on its current placement.
+    Running,
+    /// Checkpoint-restarting after a re-allocation; resumes at `until`.
+    Restarting {
+        /// Simulation time at which training resumes.
+        until: f64,
+    },
+    /// Reached its total work at time `at`.
+    Finished {
+        /// Completion time.
+        at: f64,
+    },
+}
+
+/// One job inside the simulation: ground truth + the agent's noisy view.
+#[derive(Debug, Clone)]
+pub struct SimJob {
+    /// The submission record (model, submit time, total work, user
+    /// configurations).
+    pub spec: JobSpec,
+    /// The user configuration in effect for this run (tuned or
+    /// realistic, chosen by the experiment).
+    pub user: UserConfig,
+    /// Ground-truth model profile. **Scheduler code must not read
+    /// this**; it exists for the simulator to generate measurements.
+    pub profile: ModelProfile,
+    /// The job's `PolluxAgent` (profiles, fits, tunes).
+    pub agent: PolluxAgent,
+    /// Lifecycle state.
+    pub state: JobState,
+    /// Current placement row (GPUs per node), cluster-width.
+    pub placement: Vec<u32>,
+    /// Current total batch size.
+    pub batch_size: u64,
+    /// Accumulated useful work (examples at m0-efficiency).
+    pub progress: f64,
+    /// Accumulated raw examples processed (for throughput accounting).
+    pub examples_processed: f64,
+    /// Attained GPU-time in GPU-seconds.
+    pub gputime: f64,
+    /// First time the job received GPUs.
+    pub start_time: Option<f64>,
+    /// Number of checkpoint-restarts suffered.
+    pub num_restarts: u32,
+    /// Fit bookkeeping: configurations seen at the last refit.
+    pub(crate) last_fit_configs: usize,
+    /// Fit bookkeeping: samples seen at the last refit.
+    pub(crate) last_fit_samples: u64,
+}
+
+impl SimJob {
+    /// Creates a pending job from its submission spec and the chosen
+    /// user configuration.
+    pub fn new(spec: JobSpec, user: UserConfig, num_nodes: usize) -> Self {
+        let profile = spec.kind.profile();
+        let agent = PolluxAgent::new(profile.m0, profile.eta0, profile.limits)
+            .expect("profile constants are valid");
+        let batch_size = user.batch_size.max(profile.m0);
+        Self {
+            spec,
+            user,
+            profile,
+            agent,
+            state: JobState::Pending,
+            placement: vec![0; num_nodes],
+            batch_size,
+            progress: 0.0,
+            examples_processed: 0.0,
+            gputime: 0.0,
+            start_time: None,
+            num_restarts: 0,
+            last_fit_configs: 0,
+            last_fit_samples: 0,
+        }
+    }
+
+    /// Whether the job has finished.
+    pub fn is_finished(&self) -> bool {
+        matches!(self.state, JobState::Finished { .. })
+    }
+
+    /// Whether the job is actively making progress.
+    pub fn is_running(&self) -> bool {
+        matches!(self.state, JobState::Running)
+    }
+
+    /// The job's current placement shape, if it holds any GPUs.
+    pub fn shape(&self) -> Option<PlacementShape> {
+        let gpus: u32 = self.placement.iter().sum();
+        if gpus == 0 {
+            return None;
+        }
+        let nodes = self.placement.iter().filter(|&&g| g > 0).count() as u32;
+        PlacementShape::new(gpus, nodes)
+    }
+
+    /// GPUs currently held.
+    pub fn gpus(&self) -> u32 {
+        self.placement.iter().sum()
+    }
+
+    /// Normalized training progress in [0, 1].
+    pub fn progress_fraction(&self) -> f64 {
+        (self.progress / self.spec.work).clamp(0.0, 1.0)
+    }
+
+    /// Remaining work in examples at m0-efficiency (oracle quantity,
+    /// exposed to Optimus+Oracle per Sec. 5.2).
+    pub fn remaining_work(&self) -> f64 {
+        (self.spec.work - self.progress).max(0.0)
+    }
+
+    /// The **true** gradient noise scale at the current progress.
+    pub fn true_phi(&self) -> f64 {
+        self.profile.phi_at(self.progress_fraction())
+    }
+
+    /// The **true** statistical efficiency at batch size `m` right now.
+    pub fn true_efficiency(&self, m: u64) -> f64 {
+        EfficiencyModel::from_noise_scale(self.profile.m0, self.true_phi())
+            .expect("phi > 0 from the profile")
+            .efficiency(m)
+    }
+
+    /// The **true** iteration time under `shape` at batch `m`
+    /// (before any interference slowdown).
+    pub fn true_t_iter(&self, shape: PlacementShape, m: u64) -> f64 {
+        self.profile.params.t_iter(shape, m)
+    }
+
+    /// The **true** throughput (examples/s) under `shape` at batch `m`.
+    pub fn true_throughput(&self, shape: PlacementShape, m: u64) -> f64 {
+        self.profile.params.throughput(shape, m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pollux_cluster::JobId;
+    use pollux_workload::{ModelKind, TraceConfig, TraceGenerator};
+
+    fn sample_job() -> SimJob {
+        let trace = TraceGenerator::new(TraceConfig::default())
+            .unwrap()
+            .generate();
+        let spec = trace
+            .iter()
+            .find(|j| j.kind == ModelKind::ResNet18Cifar10)
+            .unwrap()
+            .clone();
+        let user = spec.tuned;
+        SimJob::new(spec, user, 4)
+    }
+
+    #[test]
+    fn new_job_is_pending_and_unplaced() {
+        let j = sample_job();
+        assert_eq!(j.state, JobState::Pending);
+        assert_eq!(j.shape(), None);
+        assert_eq!(j.gpus(), 0);
+        assert_eq!(j.progress_fraction(), 0.0);
+        assert!(!j.is_finished());
+        assert!(!j.is_running());
+        assert!(j.remaining_work() > 0.0);
+        assert_eq!(j.spec.id, JobId(j.spec.id.0)); // id round-trips
+    }
+
+    #[test]
+    fn shape_tracks_placement() {
+        let mut j = sample_job();
+        j.placement = vec![2, 0, 1, 0];
+        assert_eq!(j.shape(), PlacementShape::new(3, 2));
+        assert_eq!(j.gpus(), 3);
+    }
+
+    #[test]
+    fn batch_size_never_below_m0() {
+        let trace = TraceGenerator::new(TraceConfig::default())
+            .unwrap()
+            .generate();
+        let spec = trace[0].clone();
+        let m0 = spec.kind.profile().m0;
+        let user = UserConfig {
+            gpus: 1,
+            batch_size: 1,
+        };
+        let j = SimJob::new(spec, user, 4);
+        assert_eq!(j.batch_size, m0);
+    }
+
+    #[test]
+    fn true_phi_rises_with_progress() {
+        let mut j = sample_job();
+        let early = j.true_phi();
+        j.progress = j.spec.work * 0.9;
+        let late = j.true_phi();
+        assert!(late > early);
+        // Efficiency at a big batch improves accordingly.
+        assert!(j.true_efficiency(4096) > 0.0);
+    }
+
+    #[test]
+    fn progress_fraction_clamps() {
+        let mut j = sample_job();
+        j.progress = j.spec.work * 2.0;
+        assert_eq!(j.progress_fraction(), 1.0);
+        assert_eq!(j.remaining_work(), 0.0);
+    }
+
+    #[test]
+    fn truth_matches_profile_params() {
+        let j = sample_job();
+        let shape = PlacementShape::new(4, 1).unwrap();
+        assert_eq!(
+            j.true_t_iter(shape, 512),
+            j.profile.params.t_iter(shape, 512)
+        );
+        assert_eq!(
+            j.true_throughput(shape, 512),
+            j.profile.params.throughput(shape, 512)
+        );
+    }
+}

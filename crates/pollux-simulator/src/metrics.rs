@@ -1,0 +1,373 @@
+//! Simulation metrics: per-job completion records and cluster time
+//! series.
+
+use pollux_cluster::JobId;
+use pollux_workload::ModelKind;
+use serde::{Deserialize, Serialize};
+
+/// Per-job outcome record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobRecord {
+    /// Job identifier.
+    pub id: JobId,
+    /// Model trained.
+    pub kind: ModelKind,
+    /// Submission time (s).
+    pub submit_time: f64,
+    /// First allocation time, if ever started.
+    pub start_time: Option<f64>,
+    /// Completion time, if finished within the simulation horizon.
+    pub finish_time: Option<f64>,
+    /// Attained GPU-seconds.
+    pub gputime: f64,
+    /// Checkpoint-restarts suffered.
+    pub num_restarts: u32,
+    /// Raw examples processed over the job's lifetime.
+    pub examples_processed: f64,
+    /// Useful examples (progress at m0-efficiency).
+    pub useful_examples: f64,
+}
+
+impl JobRecord {
+    /// Job completion time (finish − submit), if finished.
+    pub fn jct(&self) -> Option<f64> {
+        self.finish_time.map(|f| f - self.submit_time)
+    }
+
+    /// Lifetime average statistical efficiency: useful / processed.
+    pub fn avg_efficiency(&self) -> Option<f64> {
+        if self.examples_processed > 0.0 {
+            Some(self.useful_examples / self.examples_processed)
+        } else {
+            None
+        }
+    }
+}
+
+/// One cluster-state sample (taken every scheduling interval).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSample {
+    /// Sample time (s).
+    pub time: f64,
+    /// Nodes in the cluster.
+    pub nodes: u32,
+    /// Total GPUs in the cluster.
+    pub total_gpus: u32,
+    /// GPUs currently allocated.
+    pub used_gpus: u32,
+    /// Jobs currently running.
+    pub running_jobs: u32,
+    /// Jobs currently pending.
+    pub pending_jobs: u32,
+    /// Mean true statistical efficiency across running jobs at their
+    /// current batch sizes (the Sec. 5.2.1 "≈91 % vs ≈74 %" metric).
+    pub mean_efficiency: f64,
+    /// Aggregate true throughput (examples/s).
+    pub total_throughput: f64,
+    /// Aggregate true goodput (useful examples/s).
+    pub total_goodput: f64,
+}
+
+/// What happened to a job at a scheduling boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// First allocation: the job began training.
+    Started,
+    /// Re-allocated: checkpoint-restart delay incurred.
+    Restarted,
+    /// GPUs revoked: the job returned to the pending queue.
+    Preempted,
+    /// Training reached its total work.
+    Finished,
+}
+
+/// One entry of the allocation timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SchedulingEvent {
+    /// Simulation time (s).
+    pub time: f64,
+    /// The affected job.
+    pub job: JobId,
+    /// What happened.
+    pub kind: EventKind,
+    /// GPUs held after the event.
+    pub gpus: u32,
+}
+
+/// One per-job state sample (recorded when
+/// `SimConfig::record_job_series` is set).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JobSample {
+    /// Sample time (s).
+    pub time: f64,
+    /// The job.
+    pub job: JobId,
+    /// GPUs held.
+    pub gpus: u32,
+    /// Total batch size in effect.
+    pub batch_size: u64,
+    /// Normalized training progress in [0, 1].
+    pub progress: f64,
+}
+
+/// Complete result of one simulation run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Policy name the run used.
+    pub policy: String,
+    /// Per-job records (submission order).
+    pub records: Vec<JobRecord>,
+    /// Cluster time series.
+    pub series: Vec<ClusterSample>,
+    /// Allocation timeline (starts, restarts, preemptions, finishes).
+    pub events: Vec<SchedulingEvent>,
+    /// Per-job state series (empty unless requested).
+    pub job_series: Vec<JobSample>,
+    /// Simulation end time (s).
+    pub end_time: f64,
+    /// Integral of cluster size over time, in node-seconds (cloud cost
+    /// proxy for the Fig 10 experiment).
+    pub node_seconds: f64,
+}
+
+impl SimResult {
+    /// JCTs of all finished jobs.
+    pub fn jcts(&self) -> Vec<f64> {
+        self.records.iter().filter_map(JobRecord::jct).collect()
+    }
+
+    /// Number of jobs that did not finish within the horizon.
+    pub fn unfinished(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.finish_time.is_none())
+            .count()
+    }
+
+    /// Average JCT in seconds over finished jobs.
+    pub fn avg_jct(&self) -> Option<f64> {
+        let j = self.jcts();
+        if j.is_empty() {
+            None
+        } else {
+            Some(j.iter().sum::<f64>() / j.len() as f64)
+        }
+    }
+
+    /// The `p`-th percentile JCT (0 < p ≤ 100), nearest-rank.
+    pub fn percentile_jct(&self, p: f64) -> Option<f64> {
+        let mut j = self.jcts();
+        if j.is_empty() || !(0.0..=100.0).contains(&p) {
+            return None;
+        }
+        j.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let rank = ((p / 100.0 * j.len() as f64).ceil() as usize).clamp(1, j.len());
+        Some(j[rank - 1])
+    }
+
+    /// Makespan: last finish time minus first submission, if all jobs
+    /// finished; otherwise the simulation end time is used.
+    pub fn makespan(&self) -> f64 {
+        let first_submit = self
+            .records
+            .iter()
+            .map(|r| r.submit_time)
+            .fold(f64::INFINITY, f64::min);
+        let last_finish = self
+            .records
+            .iter()
+            .map(|r| r.finish_time.unwrap_or(self.end_time))
+            .fold(0.0f64, f64::max);
+        if first_submit.is_finite() {
+            (last_finish - first_submit).max(0.0)
+        } else {
+            0.0
+        }
+    }
+
+    /// Time-averaged mean statistical efficiency across running jobs,
+    /// weighted by the number of running jobs at each sample.
+    pub fn avg_cluster_efficiency(&self) -> Option<f64> {
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for s in &self.series {
+            if s.running_jobs > 0 {
+                num += s.mean_efficiency * s.running_jobs as f64;
+                den += s.running_jobs as f64;
+            }
+        }
+        if den > 0.0 {
+            Some(num / den)
+        } else {
+            None
+        }
+    }
+
+    /// Mean per-job lifetime throughput (examples/s of wall-clock
+    /// lifetime), over finished jobs.
+    pub fn mean_job_throughput(&self) -> Option<f64> {
+        let vals: Vec<f64> = self
+            .records
+            .iter()
+            .filter_map(|r| r.jct().map(|t| r.examples_processed / t.max(1e-9)))
+            .collect();
+        if vals.is_empty() {
+            None
+        } else {
+            Some(vals.iter().sum::<f64>() / vals.len() as f64)
+        }
+    }
+
+    /// Mean per-job lifetime goodput (useful examples/s), over
+    /// finished jobs.
+    pub fn mean_job_goodput(&self) -> Option<f64> {
+        let vals: Vec<f64> = self
+            .records
+            .iter()
+            .filter_map(|r| r.jct().map(|t| r.useful_examples / t.max(1e-9)))
+            .collect();
+        if vals.is_empty() {
+            None
+        } else {
+            Some(vals.iter().sum::<f64>() / vals.len() as f64)
+        }
+    }
+
+    /// The recorded series of one job, in time order.
+    pub fn job_series_of(&self, id: JobId) -> Vec<JobSample> {
+        self.job_series
+            .iter()
+            .filter(|s| s.job == id)
+            .copied()
+            .collect()
+    }
+
+    /// The JCT CDF as `(jct_seconds, fraction ≤ jct)` points over
+    /// finished jobs, sorted ascending — ready for plotting.
+    pub fn jct_cdf(&self) -> Vec<(f64, f64)> {
+        let mut j = self.jcts();
+        j.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let n = j.len() as f64;
+        j.into_iter()
+            .enumerate()
+            .map(|(i, v)| (v, (i + 1) as f64 / n))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(id: u32, submit: f64, finish: Option<f64>) -> JobRecord {
+        JobRecord {
+            id: JobId(id),
+            kind: ModelKind::ResNet18Cifar10,
+            submit_time: submit,
+            start_time: finish.map(|_| submit),
+            finish_time: finish,
+            gputime: 100.0,
+            num_restarts: 0,
+            examples_processed: 1000.0,
+            useful_examples: 900.0,
+        }
+    }
+
+    #[test]
+    fn jct_and_efficiency() {
+        let r = record(0, 10.0, Some(110.0));
+        assert_eq!(r.jct(), Some(100.0));
+        assert!((r.avg_efficiency().unwrap() - 0.9).abs() < 1e-12);
+        let r = record(1, 10.0, None);
+        assert_eq!(r.jct(), None);
+    }
+
+    #[test]
+    fn aggregates() {
+        let mut res = SimResult::default();
+        res.end_time = 1000.0;
+        res.records = vec![
+            record(0, 0.0, Some(100.0)),
+            record(1, 0.0, Some(300.0)),
+            record(2, 50.0, None),
+        ];
+        assert_eq!(res.jcts().len(), 2);
+        assert_eq!(res.unfinished(), 1);
+        assert!((res.avg_jct().unwrap() - 200.0).abs() < 1e-9);
+        // Makespan falls back to end_time for unfinished jobs.
+        assert!((res.makespan() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let mut res = SimResult::default();
+        res.records = (0..100)
+            .map(|i| record(i, 0.0, Some((i + 1) as f64)))
+            .collect();
+        assert_eq!(res.percentile_jct(50.0), Some(50.0));
+        assert_eq!(res.percentile_jct(99.0), Some(99.0));
+        assert_eq!(res.percentile_jct(100.0), Some(100.0));
+        assert_eq!(res.percentile_jct(1.0), Some(1.0));
+        assert_eq!(res.percentile_jct(150.0), None);
+    }
+
+    #[test]
+    fn jct_cdf_is_monotone_and_normalized() {
+        let mut res = SimResult::default();
+        res.records = vec![
+            record(0, 0.0, Some(300.0)),
+            record(1, 0.0, Some(100.0)),
+            record(2, 0.0, Some(200.0)),
+            record(3, 0.0, None),
+        ];
+        let cdf = res.jct_cdf();
+        assert_eq!(cdf.len(), 3);
+        assert_eq!(cdf[0], (100.0, 1.0 / 3.0));
+        assert_eq!(cdf[2], (300.0, 1.0));
+        for w in cdf.windows(2) {
+            assert!(w[0].0 <= w[1].0 && w[0].1 <= w[1].1);
+        }
+        assert!(SimResult::default().jct_cdf().is_empty());
+    }
+
+    #[test]
+    fn empty_result_is_graceful() {
+        let res = SimResult::default();
+        assert_eq!(res.avg_jct(), None);
+        assert_eq!(res.percentile_jct(50.0), None);
+        assert_eq!(res.makespan(), 0.0);
+        assert_eq!(res.avg_cluster_efficiency(), None);
+        assert_eq!(res.mean_job_throughput(), None);
+    }
+
+    #[test]
+    fn cluster_efficiency_weighted_by_running_jobs() {
+        let mut res = SimResult::default();
+        res.series = vec![
+            ClusterSample {
+                time: 0.0,
+                nodes: 4,
+                total_gpus: 16,
+                used_gpus: 4,
+                running_jobs: 1,
+                pending_jobs: 0,
+                mean_efficiency: 1.0,
+                total_throughput: 0.0,
+                total_goodput: 0.0,
+            },
+            ClusterSample {
+                time: 60.0,
+                nodes: 4,
+                total_gpus: 16,
+                used_gpus: 12,
+                running_jobs: 3,
+                pending_jobs: 1,
+                mean_efficiency: 0.6,
+                total_throughput: 0.0,
+                total_goodput: 0.0,
+            },
+        ];
+        // (1.0·1 + 0.6·3) / 4 = 0.7.
+        assert!((res.avg_cluster_efficiency().unwrap() - 0.7).abs() < 1e-12);
+    }
+}

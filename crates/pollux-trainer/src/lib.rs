@@ -1,0 +1,29 @@
+//! A pure-Rust data-parallel SGD training substrate.
+//!
+//! The original Pollux integrates with PyTorch; this workspace has no
+//! DL-framework dependency, so this crate provides the closest
+//! equivalent that exercises the same code paths with **real
+//! stochastic gradients**:
+//!
+//! - synthetic supervised tasks ([`dataset`]): linear regression,
+//!   two-Gaussian logistic classification;
+//! - differentiable models ([`model`]): linear, logistic, and a small
+//!   tanh MLP, with analytically computed per-batch gradients;
+//! - a data-parallel SGD loop ([`train`]) that splits each mini-batch
+//!   across `K` simulated replicas, measures the gradient noise scale
+//!   from the inter-replica spread (`pollux-agent`'s estimators), and
+//!   scales the learning rate with AdaScale (Eqn 5).
+//!
+//! This substrate validates the paper's statistical claims end-to-end:
+//! Eqn 7's efficiency prediction matches the measured extra examples a
+//! large-batch run needs to reach the same loss (the Fig 2b check).
+
+pub mod dataset;
+pub mod loader;
+pub mod model;
+pub mod train;
+
+pub use dataset::Dataset;
+pub use loader::EpochLoader;
+pub use model::{GradModel, LinearModel, LogisticModel, MlpModel, SoftmaxModel};
+pub use train::{AdaptiveTrainer, StepStats, TrainerConfig};

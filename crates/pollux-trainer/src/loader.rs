@@ -1,0 +1,148 @@
+//! Epoch-based mini-batch loading (shuffled, without replacement).
+//!
+//! The [`crate::train::AdaptiveTrainer`] samples batches *with*
+//! replacement, which is statistically convenient for noise-scale
+//! estimation; real training loops iterate shuffled epochs. This
+//! loader provides that behavior for users building their own loops.
+
+use crate::dataset::Dataset;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Shuffled epoch iterator over dataset indices.
+#[derive(Debug, Clone)]
+pub struct EpochLoader {
+    len: usize,
+    batch_size: usize,
+    order: Vec<usize>,
+    cursor: usize,
+    epoch: u64,
+    rng: StdRng,
+    drop_last: bool,
+}
+
+impl EpochLoader {
+    /// Creates a loader over `data` with the given batch size.
+    ///
+    /// `drop_last` discards the final short batch of each epoch (so
+    /// every batch has exactly `batch_size` examples). Returns `None`
+    /// when `batch_size` is 0 or exceeds the dataset size with
+    /// `drop_last` set.
+    pub fn new(data: &Dataset, batch_size: usize, drop_last: bool, seed: u64) -> Option<Self> {
+        if batch_size == 0 || (drop_last && batch_size > data.len()) {
+            return None;
+        }
+        let mut loader = Self {
+            len: data.len(),
+            batch_size,
+            order: (0..data.len()).collect(),
+            cursor: 0,
+            epoch: 0,
+            rng: StdRng::seed_from_u64(seed),
+            drop_last,
+        };
+        loader.reshuffle();
+        Some(loader)
+    }
+
+    fn reshuffle(&mut self) {
+        self.order.shuffle(&mut self.rng);
+        self.cursor = 0;
+    }
+
+    /// Completed epochs (increments when a shuffle wraps around).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The next mini-batch of indices. Never returns an empty batch;
+    /// wraps to a freshly shuffled epoch when exhausted.
+    pub fn next_batch(&mut self) -> &[usize] {
+        let remaining = self.len - self.cursor;
+        let need = if self.drop_last { self.batch_size } else { 1 };
+        if remaining < need {
+            self.epoch += 1;
+            self.reshuffle();
+        }
+        let take = self.batch_size.min(self.len - self.cursor);
+        let batch = &self.order[self.cursor..self.cursor + take];
+        self.cursor += take;
+        batch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data(n: usize) -> Dataset {
+        Dataset::linear_regression(n, 2, 0.1, 5).unwrap().0
+    }
+
+    #[test]
+    fn construction_validation() {
+        let d = data(10);
+        assert!(EpochLoader::new(&d, 0, false, 0).is_none());
+        assert!(EpochLoader::new(&d, 11, true, 0).is_none());
+        assert!(EpochLoader::new(&d, 11, false, 0).is_some());
+        assert!(EpochLoader::new(&d, 4, true, 0).is_some());
+    }
+
+    #[test]
+    fn epoch_covers_every_index_exactly_once() {
+        let d = data(100);
+        let mut l = EpochLoader::new(&d, 7, false, 1).unwrap();
+        let mut seen = vec![0usize; 100];
+        // Collect one full epoch: 100 / 7 → 14 full + 1 short batch.
+        let mut count = 0;
+        while count < 100 {
+            let batch: Vec<usize> = l.next_batch().to_vec();
+            assert_eq!(l.epoch(), 0, "wrapped before covering the epoch");
+            for i in batch {
+                seen[i] += 1;
+                count += 1;
+            }
+        }
+        assert_eq!(count, 100);
+        assert!(seen.iter().all(|&c| c == 1), "some index repeated/missing");
+    }
+
+    #[test]
+    fn drop_last_keeps_batches_full() {
+        let d = data(100);
+        let mut l = EpochLoader::new(&d, 7, true, 2).unwrap();
+        for _ in 0..50 {
+            assert_eq!(l.next_batch().len(), 7);
+        }
+        // 14 full batches per epoch (98 examples), so 50 batches span
+        // several epochs.
+        assert!(l.epoch() >= 2);
+    }
+
+    #[test]
+    fn epochs_reshuffle() {
+        let d = data(50);
+        let mut l = EpochLoader::new(&d, 50, false, 3).unwrap();
+        let first: Vec<usize> = l.next_batch().to_vec();
+        let second: Vec<usize> = l.next_batch().to_vec();
+        assert_ne!(first, second, "consecutive epochs should differ");
+        // But both are permutations of 0..50.
+        let mut a = first.clone();
+        let mut b = second.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, (0..50).collect::<Vec<_>>());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let d = data(30);
+        let mut l1 = EpochLoader::new(&d, 8, false, 9).unwrap();
+        let mut l2 = EpochLoader::new(&d, 8, false, 9).unwrap();
+        for _ in 0..10 {
+            assert_eq!(l1.next_batch(), l2.next_batch());
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! User-side job configurations for the baseline schedulers.
+//!
+//! Pollux decides GPUs and batch sizes itself, but Tiresias and
+//! Optimus need them from the user:
+//!
+//! - [`tuned_config`] reproduces the idealized **TunedJobs** setup of
+//!   Sec. 5.2: a GPU count is *valid* if, using its optimal batch
+//!   size, the job achieves 50–80 % of the ideal (linear) speedup over
+//!   one GPU; the configuration is drawn uniformly from the valid set.
+//! - [`realistic_config`] reproduces Sec. 5.3.1: the GPU count comes
+//!   from the (user-chosen, often poor) Microsoft-trace distribution
+//!   and the batch size is drawn within 2× of the most efficient batch
+//!   size for that GPU count.
+
+use crate::models::ModelProfile;
+use pollux_models::{EfficiencyModel, GoodputModel, PlacementShape};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A user-submitted `(GPUs, batch size)` configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UserConfig {
+    /// Requested number of GPUs (fixed for the job's lifetime under
+    /// non-adaptive schedulers).
+    pub gpus: u32,
+    /// Total batch size.
+    pub batch_size: u64,
+}
+
+/// Builds the goodput model of `profile` at mid-training (the φ a
+/// careful user would have measured when tuning).
+fn midtraining_model(profile: &ModelProfile) -> GoodputModel {
+    let phi = profile.phi_at(0.5);
+    let eff =
+        EfficiencyModel::from_noise_scale(profile.m0, phi).expect("profile m0 and phi are valid");
+    GoodputModel::new(profile.params, eff, profile.limits)
+        .expect("profile limits.min == m0 by test invariant")
+}
+
+/// The placement shape a job with `gpus` GPUs gets on 4-GPU nodes,
+/// packed as tightly as possible (the assumption behind the paper's
+/// tuning procedure).
+pub(crate) fn packed_shape(gpus: u32, gpus_per_node: u32) -> PlacementShape {
+    let nodes = gpus.div_ceil(gpus_per_node).max(1);
+    PlacementShape::new(gpus, nodes).expect("nodes <= gpus for gpus >= 1")
+}
+
+/// GPU counts whose optimally-batched goodput achieves 50–80 % of the
+/// ideal linear speedup (Sec. 5.2's validity criterion), evaluated at
+/// mid-training φ on `gpus_per_node`-GPU nodes up to `max_gpus`.
+///
+/// One GPU is always valid (its "speedup" is exactly 1).
+pub fn valid_tuned_gpu_counts(
+    profile: &ModelProfile,
+    max_gpus: u32,
+    gpus_per_node: u32,
+) -> Vec<u32> {
+    let model = midtraining_model(profile);
+    let base = model.max_goodput(model.reference_shape());
+    let mut valid = vec![1];
+    if base <= 0.0 {
+        return valid;
+    }
+    for k in 2..=max_gpus {
+        let shape = packed_shape(k, gpus_per_node);
+        let speedup = model.max_goodput(shape) / base;
+        let frac = speedup / k as f64;
+        if (0.5..=0.8).contains(&frac) {
+            valid.push(k);
+        }
+    }
+    valid
+}
+
+/// Draws an idealized TunedJobs configuration (Sec. 5.2): a uniformly
+/// random valid GPU count, with the goodput-optimal batch size for it.
+pub fn tuned_config<R: Rng>(
+    profile: &ModelProfile,
+    max_gpus: u32,
+    gpus_per_node: u32,
+    rng: &mut R,
+) -> UserConfig {
+    let model = midtraining_model(profile);
+    let valid = valid_tuned_gpu_counts(profile, max_gpus, gpus_per_node);
+    let gpus = valid[rng.gen_range(0..valid.len())];
+    let shape = packed_shape(gpus, gpus_per_node);
+    let batch_size = model
+        .optimal_batch_size(shape)
+        .map(|(m, _)| m)
+        .unwrap_or(profile.m0);
+    UserConfig { gpus, batch_size }
+}
+
+/// Draws a realistic user configuration (Sec. 5.3.1): `gpus` comes from
+/// the trace (the caller samples it from the Microsoft distribution)
+/// and the batch size is uniform within a factor of 2 of the most
+/// efficient batch size for that GPU count.
+pub fn realistic_config<R: Rng>(
+    profile: &ModelProfile,
+    trace_gpus: u32,
+    gpus_per_node: u32,
+    rng: &mut R,
+) -> UserConfig {
+    let model = midtraining_model(profile);
+    let gpus = trace_gpus.max(1);
+    let shape = packed_shape(gpus, gpus_per_node);
+    let m_opt = model
+        .optimal_batch_size(shape)
+        .map(|(m, _)| m)
+        .unwrap_or(profile.m0);
+    let (lo_bound, hi_bound) = model
+        .limits
+        .range(shape)
+        .unwrap_or((profile.m0, profile.m0));
+    let lo = (m_opt / 2).clamp(lo_bound, hi_bound);
+    let hi = (m_opt * 2).clamp(lo_bound, hi_bound);
+    let batch_size = if lo >= hi { lo } else { rng.gen_range(lo..=hi) };
+    UserConfig { gpus, batch_size }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::ModelKind;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn packed_shape_fills_nodes() {
+        assert_eq!(packed_shape(1, 4), PlacementShape::new(1, 1).unwrap());
+        assert_eq!(packed_shape(4, 4), PlacementShape::new(4, 1).unwrap());
+        assert_eq!(packed_shape(5, 4), PlacementShape::new(5, 2).unwrap());
+        assert_eq!(packed_shape(16, 4), PlacementShape::new(16, 4).unwrap());
+    }
+
+    #[test]
+    fn valid_counts_always_include_one() {
+        for kind in ModelKind::ALL {
+            let p = kind.profile();
+            let v = valid_tuned_gpu_counts(&p, 16, 4);
+            assert!(v.contains(&1), "{}: {:?}", p.name, v);
+            // Counts are sorted and unique by construction.
+            for w in v.windows(2) {
+                assert!(w[0] < w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn some_model_scales_beyond_one_gpu() {
+        // At least the scalable models must have multi-GPU valid
+        // configurations, otherwise the TunedJobs baseline degenerates.
+        let scalable = [ModelKind::ResNet18Cifar10, ModelKind::ResNet50ImageNet];
+        for kind in scalable {
+            let p = kind.profile();
+            let v = valid_tuned_gpu_counts(&p, 16, 4);
+            assert!(
+                v.iter().any(|&k| k > 1),
+                "{}: no multi-GPU valid config: {:?}",
+                p.name,
+                v
+            );
+        }
+    }
+
+    #[test]
+    fn tuned_config_is_valid_and_batch_feasible() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for kind in ModelKind::ALL {
+            let p = kind.profile();
+            let valid = valid_tuned_gpu_counts(&p, 16, 4);
+            for _ in 0..20 {
+                let c = tuned_config(&p, 16, 4, &mut rng);
+                assert!(
+                    valid.contains(&c.gpus),
+                    "{}: {:?} not in {:?}",
+                    p.name,
+                    c,
+                    valid
+                );
+                let shape = packed_shape(c.gpus, 4);
+                let (lo, hi) = p.limits.range(shape).unwrap();
+                assert!(c.batch_size >= lo && c.batch_size <= hi);
+            }
+        }
+    }
+
+    #[test]
+    fn realistic_config_within_2x_of_optimal() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let p = ModelKind::ResNet18Cifar10.profile();
+        let model = midtraining_model(&p);
+        for gpus in [1u32, 2, 4, 8] {
+            let shape = packed_shape(gpus, 4);
+            let (m_opt, _) = model.optimal_batch_size(shape).unwrap();
+            for _ in 0..20 {
+                let c = realistic_config(&p, gpus, 4, &mut rng);
+                assert_eq!(c.gpus, gpus);
+                assert!(
+                    c.batch_size * 2 >= m_opt && c.batch_size <= m_opt * 2,
+                    "batch {} vs optimal {m_opt}",
+                    c.batch_size
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn realistic_config_respects_memory_limits() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for kind in ModelKind::ALL {
+            let p = kind.profile();
+            for gpus in [1u32, 2, 8, 16] {
+                let c = realistic_config(&p, gpus, 4, &mut rng);
+                let shape = packed_shape(c.gpus, 4);
+                let (lo, hi) = p.limits.range(shape).unwrap();
+                assert!(
+                    c.batch_size >= lo && c.batch_size <= hi,
+                    "{}: {:?}",
+                    p.name,
+                    c
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_trace_gpus_clamped_to_one() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let p = ModelKind::NeuMFMovieLens.profile();
+        let c = realistic_config(&p, 0, 4, &mut rng);
+        assert_eq!(c.gpus, 1);
+    }
+}

@@ -1,0 +1,73 @@
+//! Network-interference avoidance (the paper's Fig 9 scenario):
+//! distributed jobs sharing a node contend for the network; Pollux's
+//! scheduler simply never produces such placements.
+//!
+//! ```sh
+//! cargo run --release --example interference
+//! ```
+
+use pollux::cluster::ClusterSpec;
+use pollux::core::{run_trace, ConfigChoice, PolluxConfig, PolluxPolicy};
+use pollux::sched::GaConfig;
+use pollux::simulator::SimConfig;
+use pollux::workload::{TraceConfig, TraceGenerator};
+
+fn run(slowdown: f64, avoidance: bool) -> (f64, u32) {
+    let trace = TraceGenerator::new(TraceConfig {
+        num_jobs: 40,
+        duration_hours: 2.0,
+        seed: 5,
+        ..Default::default()
+    })
+    .expect("valid trace config")
+    .generate();
+    let mut config = PolluxConfig::default();
+    config.sched.ga = GaConfig {
+        population: 32,
+        generations: 15,
+        interference_avoidance: avoidance,
+        ..Default::default()
+    };
+    let policy = PolluxPolicy::new(config).expect("valid policy config");
+    let sim = SimConfig {
+        interference_slowdown: slowdown,
+        max_sim_time: 48.0 * 3600.0,
+        seed: 5,
+        ..Default::default()
+    };
+    let res = run_trace(
+        policy,
+        &trace,
+        ConfigChoice::Tuned,
+        ClusterSpec::homogeneous(8, 4).expect("valid cluster"),
+        sim,
+    )
+    .expect("valid inputs");
+    let restarts = res.records.iter().map(|r| r.num_restarts).sum();
+    (res.avg_jct().unwrap_or(0.0) / 3600.0, restarts)
+}
+
+fn main() {
+    println!("40 jobs on 8 nodes x 4 GPUs; distributed jobs sharing a node are slowed\n");
+    println!(
+        "{:<10} {:>20} {:>20}",
+        "slowdown", "avoidance ON (h)", "avoidance OFF (h)"
+    );
+    for slowdown in [0.0, 0.25, 0.5] {
+        let (on, _) = run(slowdown, true);
+        let (off, _) = run(slowdown, false);
+        println!(
+            "{:<10} {:>20.2} {:>17.2} ({:+.0}%)",
+            format!("{:.0}%", slowdown * 100.0),
+            on,
+            off,
+            (off / on - 1.0) * 100.0
+        );
+    }
+    println!(
+        "\nWith avoidance enabled, JCT is flat across slowdowns because the constraint is\n\
+         enforced during the genetic algorithm's repair step — conflicting placements never\n\
+         reach the cluster. At zero slowdown the two variants differ only by scheduling\n\
+         noise (a few percent); the constraint costs essentially nothing (paper Fig 9)."
+    );
+}

@@ -1,0 +1,95 @@
+//! Embed Pollux as a live control plane: a background scheduler thread
+//! re-optimizes GPU allocations while training code reports
+//! measurements through per-job handles — the paper's deployment shape
+//! (PolluxSched service + PolluxAgent library, Sec. 4.3).
+//!
+//! ```sh
+//! cargo run --release --example live_service
+//! ```
+
+use pollux::cluster::ClusterSpec;
+use pollux::core::{ClusterService, PolluxConfig, ServiceConfig};
+use pollux::models::{GradientStats, PlacementShape};
+use pollux::sched::GaConfig;
+use pollux::workload::ModelKind;
+use std::time::Duration;
+
+fn main() {
+    // A 4-node x 4-GPU cluster with a 50 ms scheduling interval (60 s
+    // in production; shortened so the demo finishes instantly).
+    let mut pollux = PolluxConfig::default();
+    pollux.sched.ga = GaConfig {
+        population: 32,
+        generations: 15,
+        ..Default::default()
+    };
+    let service = ClusterService::start(
+        ServiceConfig {
+            pollux,
+            interval: Duration::from_millis(50),
+            seed: 7,
+        },
+        ClusterSpec::homogeneous(4, 4).expect("valid cluster"),
+    )
+    .expect("valid service config");
+
+    // Submit two jobs: a scalable ResNet18 and a sync-heavy DeepSpeech2.
+    let resnet = ModelKind::ResNet18Cifar10.profile();
+    let speech = ModelKind::DeepSpeech2Arctic.profile();
+    let h_resnet = service
+        .submit(resnet.m0, resnet.eta0, resnet.limits)
+        .expect("valid job");
+    let h_speech = service
+        .submit(speech.m0, speech.eta0, speech.limits)
+        .expect("valid job");
+    println!("submitted {} and {}", h_resnet.id(), h_speech.id());
+
+    // Fresh jobs get bootstrap allocations (1-2 GPUs).
+    service.wait_for_rounds(2, Duration::from_secs(30));
+    println!("bootstrap placements:");
+    println!("  resnet: {:?}", h_resnet.placement());
+    println!("  speech: {:?}", h_speech.placement());
+
+    // Training code reports profiled iterations + gradient statistics
+    // (here generated from the ground-truth profiles).
+    for (handle, profile, phi) in [(&h_resnet, &resnet, 3000.0), (&h_speech, &speech, 60.0)] {
+        for (g, n) in [(1u32, 1u32), (2, 1), (4, 1), (8, 2)] {
+            let shape = PlacementShape::new(g, n).expect("valid shape");
+            handle.record_iteration(shape, profile.m0, profile.params.t_iter(shape, profile.m0));
+        }
+        handle.refit();
+        handle.record_gradient_stats(
+            GradientStats::new(phi / profile.m0 as f64, 1.0).expect("valid stats"),
+        );
+    }
+
+    // The next rounds use the reported goodput models: the scalable
+    // job grows; both get tuned batch sizes and learning rates.
+    let r = service.rounds();
+    service.trigger_schedule();
+    service.wait_for_rounds(r + 3, Duration::from_secs(30));
+
+    println!("\nafter agent reports:");
+    for (name, handle) in [("resnet", &h_resnet), ("speech", &h_speech)] {
+        let placement = handle.placement();
+        let gpus: u32 = placement.iter().sum();
+        match handle.tuning() {
+            Some(t) => println!(
+                "  {name}: {gpus} GPUs {placement:?}  m* = {}  lr = {:.4}  gain = {:.2}",
+                t.batch_size, t.learning_rate, t.gain
+            ),
+            None => println!("  {name}: {gpus} GPUs {placement:?}  (no tuning yet)"),
+        }
+    }
+
+    // Completing a job frees its GPUs at the next round.
+    service.complete(h_speech.id());
+    let r = service.rounds();
+    service.trigger_schedule();
+    service.wait_for_rounds(r + 2, Duration::from_secs(30));
+    let gpus: u32 = h_resnet.placement().iter().sum();
+    println!("\nafter speech completes, resnet holds {gpus} GPUs");
+
+    service.shutdown();
+    println!("service shut down cleanly");
+}

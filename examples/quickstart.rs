@@ -1,0 +1,78 @@
+//! Quickstart: schedule a handful of DL jobs on a small GPU cluster
+//! with Pollux and print what happened.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use pollux::cluster::ClusterSpec;
+use pollux::core::{run_trace, ConfigChoice, PolluxConfig, PolluxPolicy};
+use pollux::sched::GaConfig;
+use pollux::simulator::SimConfig;
+use pollux::workload::{TraceConfig, TraceGenerator};
+
+fn main() {
+    // 1. A workload: 24 jobs sampled with the paper's category mix
+    //    (mostly small ResNet18/NeuMF jobs, a few larger ones),
+    //    submitted over a 2-hour window.
+    let trace = TraceGenerator::new(TraceConfig {
+        num_jobs: 24,
+        duration_hours: 2.0,
+        seed: 7,
+        ..Default::default()
+    })
+    .expect("valid trace config")
+    .generate();
+    println!("workload: {} jobs", trace.len());
+    for job in trace.iter().take(5) {
+        println!(
+            "  {} {:<24} submit {:>5.0}s  work {:.1e}",
+            job.id,
+            job.kind.profile().name,
+            job.submit_time,
+            job.work
+        );
+    }
+    println!("  ...");
+
+    // 2. A cluster: 4 nodes x 4 GPUs.
+    let cluster = ClusterSpec::homogeneous(4, 4).expect("valid cluster");
+
+    // 3. The Pollux policy: co-adaptive goodput-driven scheduling.
+    let mut config = PolluxConfig::default();
+    config.sched.ga = GaConfig {
+        population: 32,
+        generations: 15,
+        ..Default::default()
+    };
+    let policy = PolluxPolicy::new(config).expect("valid policy config");
+
+    // 4. Simulate.
+    let sim = SimConfig {
+        max_sim_time: 24.0 * 3600.0,
+        seed: 7,
+        ..Default::default()
+    };
+    let result =
+        run_trace(policy, &trace, ConfigChoice::Tuned, cluster, sim).expect("valid inputs");
+
+    // 5. Report.
+    println!("\nresults ({} jobs):", result.records.len());
+    println!(
+        "  average JCT     : {:.2} h",
+        result.avg_jct().unwrap_or(0.0) / 3600.0
+    );
+    println!(
+        "  99th pct JCT    : {:.2} h",
+        result.percentile_jct(99.0).unwrap_or(0.0) / 3600.0
+    );
+    println!("  makespan        : {:.2} h", result.makespan() / 3600.0);
+    println!(
+        "  stat. efficiency: {:.1} %",
+        result.avg_cluster_efficiency().unwrap_or(0.0) * 100.0
+    );
+    println!("  unfinished      : {}", result.unfinished());
+
+    let restarts: u32 = result.records.iter().map(|r| r.num_restarts).sum();
+    println!("  total restarts  : {restarts}");
+}

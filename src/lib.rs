@@ -1,0 +1,19 @@
+//! Umbrella crate re-exporting the entire Pollux workspace.
+//!
+//! See the individual crates for detailed documentation:
+//! [`pollux_core`], [`pollux_models`], [`pollux_sched`], [`pollux_agent`],
+//! [`pollux_simulator`], [`pollux_workload`], [`pollux_baselines`],
+//! [`pollux_trainer`], [`pollux_experiments`], [`pollux_opt`],
+//! [`pollux_cluster`].
+
+pub use pollux_agent as agent;
+pub use pollux_baselines as baselines;
+pub use pollux_cluster as cluster;
+pub use pollux_core as core;
+pub use pollux_experiments as experiments;
+pub use pollux_models as models;
+pub use pollux_opt as opt;
+pub use pollux_sched as sched;
+pub use pollux_simulator as simulator;
+pub use pollux_trainer as trainer;
+pub use pollux_workload as workload;

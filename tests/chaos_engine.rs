@@ -1,0 +1,118 @@
+//! Chaos testing: a policy that emits random (often infeasible)
+//! allocation matrices every interval. The engine must defensively
+//! clamp them and keep every invariant intact.
+
+use pollux::cluster::{AllocationMatrix, ClusterSpec};
+use pollux::simulator::{
+    metrics::EventKind, PolicyJobView, SchedulingPolicy, SimConfig, Simulation,
+};
+use pollux::workload::{ModelKind, TraceConfig, TraceGenerator};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Emits uniformly random matrices, ignoring capacities entirely.
+struct ChaosPolicy {
+    max_gpus_per_cell: u32,
+    rng: StdRng,
+}
+
+impl SchedulingPolicy for ChaosPolicy {
+    fn name(&self) -> &'static str {
+        "chaos"
+    }
+
+    fn schedule(
+        &mut self,
+        _now: f64,
+        jobs: &[PolicyJobView<'_>],
+        spec: &ClusterSpec,
+        _rng: &mut StdRng,
+    ) -> AllocationMatrix {
+        let mut m = AllocationMatrix::zeros(jobs.len(), spec.num_nodes());
+        for j in 0..jobs.len() {
+            for n in 0..spec.num_nodes() {
+                m.set(j, n, self.rng.gen_range(0..=self.max_gpus_per_cell));
+            }
+        }
+        m
+    }
+}
+
+fn run_chaos(seed: u64, max_cell: u32, jobs: usize) -> pollux::simulator::SimResult {
+    let trace: Vec<_> = TraceGenerator::new(TraceConfig {
+        num_jobs: 40,
+        duration_hours: 1.0,
+        seed,
+        ..Default::default()
+    })
+    .unwrap()
+    .generate()
+    .into_iter()
+    .filter(|j| {
+        matches!(
+            j.kind,
+            ModelKind::ResNet18Cifar10 | ModelKind::NeuMFMovieLens
+        )
+    })
+    .take(jobs)
+    .map(|j| {
+        let user = j.tuned;
+        (j, user)
+    })
+    .collect();
+    let sim = SimConfig {
+        max_sim_time: 6.0 * 3600.0,
+        seed,
+        ..Default::default()
+    };
+    let policy = ChaosPolicy {
+        max_gpus_per_cell: max_cell,
+        rng: StdRng::seed_from_u64(seed ^ 0xC0FFEE),
+    };
+    Simulation::new(sim, ClusterSpec::homogeneous(3, 4).unwrap(), policy, trace)
+        .unwrap()
+        .run()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    #[test]
+    fn chaos_policy_cannot_break_engine_invariants(
+        seed in 0u64..1000,
+        max_cell in 1u32..12,
+        jobs in 2usize..6,
+    ) {
+        let res = run_chaos(seed, max_cell, jobs);
+
+        // The cluster is never oversubscribed, no matter what the
+        // policy asked for.
+        for s in &res.series {
+            prop_assert!(s.used_gpus <= s.total_gpus, "{s:?}");
+            prop_assert!(s.mean_efficiency >= 0.0 && s.mean_efficiency <= 1.0 + 1e-9);
+        }
+
+        // Per-job accounting stays sane.
+        for r in &res.records {
+            prop_assert!(r.gputime >= 0.0);
+            prop_assert!(r.useful_examples <= r.examples_processed * (1.0 + 1e-9));
+            if let (Some(start), Some(finish)) = (r.start_time, r.finish_time) {
+                prop_assert!(start <= finish);
+                prop_assert!(start >= r.submit_time);
+            }
+        }
+
+        // Events are ordered and structurally consistent.
+        for w in res.events.windows(2) {
+            prop_assert!(w[0].time <= w[1].time);
+        }
+        for r in &res.records {
+            let started = res
+                .events
+                .iter()
+                .filter(|e| e.job == r.id && e.kind == EventKind::Started)
+                .count();
+            prop_assert!(started <= 1, "job {} started {started} times", r.id);
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! End-to-end integration tests: workload generation → simulation →
+//! the Pollux policy and baselines, across crate boundaries.
+
+use pollux::baselines::{Tiresias, TiresiasConfig};
+use pollux::cluster::ClusterSpec;
+use pollux::core::{run_trace, ConfigChoice, PolluxConfig, PolluxPolicy};
+use pollux::sched::GaConfig;
+use pollux::simulator::SimConfig;
+use pollux::workload::{JobSpec, ModelKind, TraceConfig, TraceGenerator};
+
+fn small_trace(num_jobs: usize, seed: u64) -> Vec<JobSpec> {
+    TraceGenerator::new(TraceConfig {
+        num_jobs,
+        duration_hours: 1.0,
+        seed,
+        ..Default::default()
+    })
+    .unwrap()
+    .generate()
+    .into_iter()
+    .filter(|j| {
+        matches!(
+            j.kind,
+            ModelKind::ResNet18Cifar10 | ModelKind::NeuMFMovieLens
+        )
+    })
+    .collect()
+}
+
+fn quick_pollux() -> PolluxPolicy {
+    let mut c = PolluxConfig::default();
+    c.sched.ga = GaConfig {
+        population: 16,
+        generations: 8,
+        ..Default::default()
+    };
+    PolluxPolicy::new(c).unwrap()
+}
+
+fn quick_sim(seed: u64) -> SimConfig {
+    SimConfig {
+        max_sim_time: 16.0 * 3600.0,
+        seed,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn pollux_finishes_small_workload_and_respects_invariants() {
+    let trace = small_trace(10, 21);
+    assert!(trace.len() >= 5, "trace too small: {}", trace.len());
+    let spec = ClusterSpec::homogeneous(4, 4).unwrap();
+    let res = run_trace(
+        quick_pollux(),
+        &trace,
+        ConfigChoice::Tuned,
+        spec,
+        quick_sim(1),
+    )
+    .unwrap();
+
+    assert_eq!(res.records.len(), trace.len());
+    assert_eq!(res.unfinished(), 0);
+    for r in &res.records {
+        let jct = r.jct().expect("all jobs finish");
+        assert!(jct > 0.0);
+        // A job can't finish before it was submitted + some work.
+        assert!(r.finish_time.unwrap() > r.submit_time);
+        assert!(r.start_time.unwrap() >= r.submit_time);
+        assert!(r.gputime > 0.0);
+        // Useful examples never exceed raw examples processed.
+        assert!(r.useful_examples <= r.examples_processed * (1.0 + 1e-9));
+    }
+    // The series never oversubscribes the cluster.
+    for s in &res.series {
+        assert!(s.used_gpus <= s.total_gpus);
+    }
+}
+
+#[test]
+fn pollux_beats_tiresias_on_scalable_workload() {
+    // Medium-sized workload of scalable small jobs: Pollux should show
+    // a clear advantage in average JCT over the non-adaptive baseline.
+    let trace = small_trace(16, 33);
+    let spec = ClusterSpec::homogeneous(4, 4).unwrap();
+    let pollux = run_trace(
+        quick_pollux(),
+        &trace,
+        ConfigChoice::Tuned,
+        spec.clone(),
+        quick_sim(2),
+    )
+    .unwrap();
+    let tiresias = run_trace(
+        Tiresias::new(TiresiasConfig::default()),
+        &trace,
+        ConfigChoice::Tuned,
+        spec,
+        quick_sim(2),
+    )
+    .unwrap();
+    assert_eq!(pollux.unfinished(), 0);
+    assert_eq!(tiresias.unfinished(), 0);
+    let pj = pollux.avg_jct().unwrap();
+    let tj = tiresias.avg_jct().unwrap();
+    assert!(
+        pj < tj * 1.05,
+        "pollux {:.2}h should not lose to tiresias {:.2}h",
+        pj / 3600.0,
+        tj / 3600.0
+    );
+}
+
+#[test]
+fn pollux_is_robust_to_user_misconfiguration() {
+    // The Fig 7 property: realistic (poor) user configs should barely
+    // change Pollux's outcome, because it ignores them.
+    let trace = small_trace(12, 44);
+    let spec = ClusterSpec::homogeneous(4, 4).unwrap();
+    let tuned = run_trace(
+        quick_pollux(),
+        &trace,
+        ConfigChoice::Tuned,
+        spec.clone(),
+        quick_sim(3),
+    )
+    .unwrap();
+    let realistic = run_trace(
+        quick_pollux(),
+        &trace,
+        ConfigChoice::Realistic,
+        spec,
+        quick_sim(3),
+    )
+    .unwrap();
+    let a = tuned.avg_jct().unwrap();
+    let b = realistic.avg_jct().unwrap();
+    let ratio = b / a;
+    assert!(
+        (0.7..1.3).contains(&ratio),
+        "pollux JCT changed {ratio:.2}x with user configs"
+    );
+}
+
+#[test]
+fn restarts_stay_bounded() {
+    // The restart penalty must prevent continual reshuffling: on a
+    // stable workload, jobs should restart only a handful of times.
+    let trace = small_trace(8, 55);
+    let spec = ClusterSpec::homogeneous(4, 4).unwrap();
+    let res = run_trace(
+        quick_pollux(),
+        &trace,
+        ConfigChoice::Tuned,
+        spec,
+        quick_sim(4),
+    )
+    .unwrap();
+    for r in &res.records {
+        let jct_hours = r.jct().unwrap() / 3600.0;
+        // Allow generous slack: a few restarts per job-hour.
+        let budget = 4.0 + 6.0 * jct_hours;
+        assert!(
+            (r.num_restarts as f64) <= budget,
+            "job {} restarted {} times in {:.2}h",
+            r.id,
+            r.num_restarts,
+            jct_hours
+        );
+    }
+}
+
+#[test]
+fn event_timeline_is_consistent() {
+    use pollux::simulator::metrics::EventKind;
+    use std::collections::HashMap;
+
+    let trace = small_trace(8, 77);
+    let spec = ClusterSpec::homogeneous(4, 4).unwrap();
+    let res = run_trace(
+        quick_pollux(),
+        &trace,
+        ConfigChoice::Tuned,
+        spec,
+        quick_sim(6),
+    )
+    .unwrap();
+    assert!(!res.events.is_empty());
+
+    // Events are time-ordered.
+    for w in res.events.windows(2) {
+        assert!(w[0].time <= w[1].time);
+    }
+
+    let mut per_job: HashMap<_, Vec<_>> = HashMap::new();
+    for e in &res.events {
+        per_job.entry(e.job).or_default().push(*e);
+    }
+    for r in &res.records {
+        let events = per_job.get(&r.id).expect("every job has events");
+        // Exactly one Started, as the first event; exactly one Finished,
+        // as the last.
+        assert_eq!(events.first().unwrap().kind, EventKind::Started);
+        assert_eq!(events.last().unwrap().kind, EventKind::Finished);
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| e.kind == EventKind::Started)
+                .count(),
+            1
+        );
+        // The restart count matches the record.
+        let restarts = events
+            .iter()
+            .filter(|e| e.kind == EventKind::Restarted)
+            .count() as u32;
+        assert_eq!(restarts, r.num_restarts, "job {}", r.id);
+        // Timestamps line up with the record.
+        assert_eq!(events.first().unwrap().time, r.start_time.unwrap());
+        assert_eq!(events.last().unwrap().time, r.finish_time.unwrap());
+    }
+}
+
+#[test]
+fn deterministic_given_seeds() {
+    let trace = small_trace(6, 66);
+    let spec = ClusterSpec::homogeneous(2, 4).unwrap();
+    let a = run_trace(
+        quick_pollux(),
+        &trace,
+        ConfigChoice::Tuned,
+        spec.clone(),
+        quick_sim(5),
+    )
+    .unwrap();
+    let b = run_trace(
+        quick_pollux(),
+        &trace,
+        ConfigChoice::Tuned,
+        spec,
+        quick_sim(5),
+    )
+    .unwrap();
+    assert_eq!(a.jcts(), b.jcts());
+    assert_eq!(a.node_seconds, b.node_seconds);
+}
