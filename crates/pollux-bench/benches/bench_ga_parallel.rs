@@ -1,0 +1,66 @@
+//! Scaling benchmark for parallel GA fitness evaluation (Sec. 4.2.1).
+//!
+//! Runs the full genetic optimization on a 64-job × 16-node (4 GPUs
+//! each) problem — the population size the paper's scheduler faces on
+//! its 64-GPU testbed — at 1, 2, 4, and 8 worker threads. The
+//! seed-per-chromosome determinism contract means every thread count
+//! produces the bit-identical schedule, so the only thing this
+//! benchmark measures is wall-clock scaling of the worker pool.
+//!
+//! Expectation (acceptance criterion for the parallel-fitness PR):
+//! `ga_parallel/threads/4` at least ~2x faster than
+//! `ga_parallel/threads/1` on a 4-core machine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pollux_cluster::{ClusterSpec, JobId};
+use pollux_models::{BatchSizeLimits, EfficiencyModel, GoodputModel, ThroughputParams};
+use pollux_sched::{GaConfig, GeneticAlgorithm, SchedJob, SpeedupCache};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn goodput_model(phi: f64) -> GoodputModel {
+    let tp = ThroughputParams::new(0.05, 5.0e-4, 0.05, 0.002, 0.2, 0.01, 2.0).unwrap();
+    let eff = EfficiencyModel::from_noise_scale(128, phi).unwrap();
+    let limits = BatchSizeLimits::new(128, 65_536, 512).unwrap();
+    GoodputModel::new(tp, eff, limits).unwrap()
+}
+
+fn sched_jobs(n: u32) -> Vec<SchedJob> {
+    (0..n)
+        .map(|i| SchedJob {
+            id: JobId(i),
+            model: goodput_model(800.0 + 150.0 * i as f64),
+            min_gpus: 1,
+            gpu_cap: 64,
+            weight: 1.0 + (i % 5) as f64 * 0.2,
+            current_placement: vec![],
+        })
+        .collect()
+}
+
+fn bench_ga_parallel(c: &mut Criterion) {
+    let spec = ClusterSpec::homogeneous(16, 4).unwrap();
+    let jobs = sched_jobs(64);
+    let mut group = c.benchmark_group("ga_parallel");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        let ga = GeneticAlgorithm::new(GaConfig {
+            population: 48,
+            generations: 8,
+            threads,
+            ..Default::default()
+        });
+        group.bench_with_input(BenchmarkId::new("threads", threads), &ga, |b, ga| {
+            b.iter(|| {
+                let cache = SpeedupCache::new();
+                let mut rng = StdRng::seed_from_u64(7);
+                black_box(ga.evolve(&jobs, &spec, vec![], &cache, &mut rng))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ga_parallel);
+criterion_main!(benches);

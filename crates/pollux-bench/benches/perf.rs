@@ -83,7 +83,7 @@ fn bench_ga_generation(c: &mut Criterion) {
     c.bench_function("ga_one_generation_32_jobs_16_nodes", |b| {
         b.iter_batched(
             || (SpeedupCache::new(), StdRng::seed_from_u64(7)),
-            |(mut cache, mut rng)| black_box(ga.evolve(&jobs, &spec, vec![], &mut cache, &mut rng)),
+            |(cache, mut rng)| black_box(ga.evolve(&jobs, &spec, vec![], &cache, &mut rng)),
             BatchSize::SmallInput,
         )
     });
@@ -94,7 +94,7 @@ fn bench_speedup_cache_population(c: &mut Criterion) {
     c.bench_function("speedup_cache_16_jobs_64_shapes", |b| {
         b.iter_batched(
             SpeedupCache::new,
-            |mut cache| {
+            |cache| {
                 for job in &jobs {
                     for k in 1..=16u32 {
                         let shape = PlacementShape::new(k, k.div_ceil(4)).unwrap();

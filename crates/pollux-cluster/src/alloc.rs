@@ -346,5 +346,36 @@ mod tests {
             let spec = ClusterSpec::homogeneous(4, 4).unwrap();
             prop_assert_eq!(a.is_feasible(&spec), a.over_capacity_nodes(&spec).is_empty());
         }
+
+        #[test]
+        fn capacity_clamped_set_sequences_stay_feasible(
+            ops in proptest::collection::vec(
+                (0usize..5, 0usize..4, 0u32..9), 1..40)
+        ) {
+            // A writer that clamps each `set` to the node's remaining
+            // capacity can never drive any node over capacity — the
+            // invariant the GA's repair step relies on.
+            let spec = ClusterSpec::homogeneous(4, 4).unwrap();
+            let mut a = AllocationMatrix::zeros(5, 4);
+            for &(j, n, g) in &ops {
+                let cap = spec.gpus_on(NodeId(n as u32));
+                let others = a.gpus_used_on(n) - a.get(j, n);
+                a.set(j, n, g.min(cap - others));
+                prop_assert!(a.is_feasible(&spec));
+                prop_assert!(a.gpus_used_on(n) <= cap);
+            }
+            // Usage stays consistent across the row/column views
+            // after an arbitrary op sequence.
+            let by_cols: u32 = (0..4).map(|n| a.gpus_used_on(n)).sum();
+            let by_rows: u32 = (0..5).map(|j| a.gpus_of(j)).sum();
+            prop_assert_eq!(by_cols, by_rows);
+            // Shrinking and re-growing the node dimension drops
+            // exactly the allocations on removed nodes.
+            let kept: u32 = (0..2).map(|n| a.gpus_used_on(n)).sum();
+            a.resize_nodes(2);
+            prop_assert_eq!(a.total_gpus_used(), kept);
+            a.resize_nodes(4);
+            prop_assert_eq!(a.total_gpus_used(), kept);
+        }
     }
 }

@@ -140,6 +140,10 @@ impl SchedulingPolicy for PolluxPolicy {
         self.sched.schedule(&sched_jobs, spec, rng)
     }
 
+    fn configure_parallelism(&mut self, threads: usize) {
+        self.sched.set_threads(threads);
+    }
+
     fn desired_nodes(
         &mut self,
         _now: f64,

@@ -13,11 +13,11 @@
 //!   back its current placement and `(m*, η)` tuning decision.
 //!
 //! All state is behind `parking_lot` locks; the scheduler thread is
-//! driven by `crossbeam` channels (a ticker plus a shutdown/trigger
-//! channel), so the service shuts down deterministically.
+//! driven by a bounded `std::sync::mpsc` command channel whose
+//! `recv_timeout` doubles as the periodic ticker, so the service shuts
+//! down deterministically.
 
 use crate::policy::PolluxConfig;
-use crossbeam::channel::{bounded, tick, Receiver, Sender};
 use parking_lot::{Mutex, RwLock};
 use pollux_agent::{PolluxAgent, TuningDecision};
 use pollux_cluster::{AllocationMatrix, ClusterSpec, JobId};
@@ -26,6 +26,7 @@ use pollux_sched::{job_weight, Autoscaler, PolluxSched, SchedJob, WeightConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
+use std::sync::mpsc::{sync_channel, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -34,6 +35,9 @@ use std::time::Duration;
 #[derive(Debug, Clone)]
 pub struct ServiceConfig {
     /// Pollux policy configuration (GA, weights, optional autoscale).
+    /// Fitness-evaluation worker threads are set via
+    /// `pollux.sched.ga.threads` (1 = serial); results are identical
+    /// for any thread count under a fixed [`Self::seed`].
     pub pollux: PolluxConfig,
     /// Wall-clock interval between scheduling rounds.
     pub interval: Duration,
@@ -230,7 +234,7 @@ impl JobHandle {
 /// The live Pollux control plane.
 pub struct ClusterService {
     shared: Arc<Shared>,
-    commands: Sender<Command>,
+    commands: SyncSender<Command>,
     thread: Option<JoinHandle<()>>,
     next_id: Mutex<u32>,
 }
@@ -251,22 +255,19 @@ impl ClusterService {
             rounds: RwLock::new(0),
             weights: config.pollux.sched.weights,
         });
-        let (tx, rx): (Sender<Command>, Receiver<Command>) = bounded(16);
-        let ticker = tick(config.interval);
+        let (tx, rx) = sync_channel::<Command>(16);
+        let interval = config.interval;
         let thread_shared = Arc::clone(&shared);
         let mut sched = PolluxSched::new(config.pollux.sched);
         let mut rng = StdRng::seed_from_u64(config.seed);
-        let thread = std::thread::spawn(move || loop {
-            crossbeam::channel::select! {
-                recv(rx) -> cmd => match cmd {
-                    Ok(Command::Schedule) => {
-                        thread_shared.schedule_once(&mut sched, autoscaler.as_ref(), &mut rng);
-                    }
-                    Ok(Command::Shutdown) | Err(_) => break,
-                },
-                recv(ticker) -> _ => {
-                    thread_shared.schedule_once(&mut sched, autoscaler.as_ref(), &mut rng);
-                }
+        let thread = std::thread::spawn(move || {
+            // `recv_timeout` is both the trigger listener and the
+            // periodic ticker: a timeout means "interval elapsed with
+            // no explicit trigger", which also starts a round.
+            while let Ok(Command::Schedule) | Err(RecvTimeoutError::Timeout) =
+                rx.recv_timeout(interval)
+            {
+                thread_shared.schedule_once(&mut sched, autoscaler.as_ref(), &mut rng);
             }
         });
         Some(Self {
@@ -314,7 +315,10 @@ impl ClusterService {
     /// periodic ticker). Non-blocking; returns `false` if the service
     /// is shutting down.
     pub fn trigger_schedule(&self) -> bool {
-        self.commands.try_send(Command::Schedule).is_ok()
+        !matches!(
+            self.commands.try_send(Command::Schedule),
+            Err(TrySendError::Disconnected(_))
+        )
     }
 
     /// Blocks until at least `n` scheduling rounds have completed.

@@ -1,0 +1,182 @@
+//! Determinism regression tests for parallel fitness evaluation.
+//!
+//! The parallel GA's contract is that results are a pure function of
+//! the seed — never of the worker-thread count. These tests pin that
+//! contract at two levels:
+//!
+//! - `PolluxSched::optimize` must return a byte-identical
+//!   `AllocationMatrix` (and population) at 1 vs. N threads;
+//! - a full `Simulation::run` must produce an identical `SimResult`
+//!   (compared through its serialized form, which covers every f64 bit
+//!   pattern) when only `SimConfig::sched_threads` changes.
+
+use pollux_cluster::{ClusterSpec, JobId};
+use pollux_core::{ConfigChoice, PolluxConfig, PolluxPolicy};
+use pollux_models::{
+    BatchSizeLimits, EfficiencyModel, GoodputModel, PlacementShape, ThroughputParams,
+};
+use pollux_sched::{GaConfig, PolluxSched, SchedConfig, SchedJob};
+use pollux_simulator::SimConfig;
+use pollux_workload::{JobSpec, ModelKind, TraceConfig, TraceGenerator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn goodput_model(phi: f64) -> GoodputModel {
+    let tp = ThroughputParams::new(0.05, 5.0e-4, 0.05, 0.002, 0.2, 0.01, 2.0).unwrap();
+    let eff = EfficiencyModel::from_noise_scale(128, phi).unwrap();
+    let limits = BatchSizeLimits::new(128, 65_536, 512).unwrap();
+    GoodputModel::new(tp, eff, limits).unwrap()
+}
+
+fn sched_jobs(n: u32, nodes: usize) -> Vec<SchedJob> {
+    (0..n)
+        .map(|i| {
+            let mut current = vec![0u32; nodes];
+            // A few jobs start "running" so the restart penalty and the
+            // retained-placement seeding paths are both exercised.
+            if i % 3 == 0 {
+                current[i as usize % nodes] = 2;
+            }
+            SchedJob {
+                id: JobId(i),
+                model: goodput_model(600.0 + 250.0 * i as f64),
+                min_gpus: 1,
+                gpu_cap: 32,
+                weight: 1.0 + (i % 4) as f64 * 0.3,
+                current_placement: current,
+            }
+        })
+        .collect()
+}
+
+fn sched_with_threads(threads: usize) -> PolluxSched {
+    let config = SchedConfig {
+        ga: GaConfig {
+            population: 24,
+            generations: 10,
+            threads,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    PolluxSched::new(config)
+}
+
+#[test]
+fn optimize_is_identical_across_thread_counts() {
+    let spec = ClusterSpec::homogeneous(8, 4).unwrap();
+    let jobs = sched_jobs(12, 8);
+
+    let mut reference = None;
+    for threads in [1usize, 2, 4, 8] {
+        let mut sched = sched_with_threads(threads);
+        let mut rng = StdRng::seed_from_u64(41);
+        let outcome = sched.optimize(&jobs, &spec, &mut rng);
+        match &reference {
+            None => reference = Some(outcome),
+            Some(base) => {
+                assert_eq!(
+                    base.best, outcome.best,
+                    "best allocation differs at {threads} threads"
+                );
+                assert_eq!(
+                    base.best_fitness.to_bits(),
+                    outcome.best_fitness.to_bits(),
+                    "fitness bits differ at {threads} threads"
+                );
+                assert_eq!(
+                    base.population, outcome.population,
+                    "population differs at {threads} threads"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn optimize_is_repeatable_for_a_fixed_seed() {
+    let spec = ClusterSpec::homogeneous(8, 4).unwrap();
+    let jobs = sched_jobs(12, 8);
+    let run = |threads| {
+        let mut sched = sched_with_threads(threads);
+        let mut rng = StdRng::seed_from_u64(99);
+        sched.optimize(&jobs, &spec, &mut rng).best
+    };
+    assert_eq!(run(4), run(4), "same seed, same threads must repeat");
+    assert_eq!(run(1), run(4), "serial and parallel must agree");
+}
+
+fn tiny_trace() -> Vec<JobSpec> {
+    TraceGenerator::new(TraceConfig {
+        num_jobs: 6,
+        duration_hours: 0.5,
+        seed: 11,
+        ..Default::default()
+    })
+    .unwrap()
+    .generate()
+    .into_iter()
+    .filter(|j| {
+        matches!(
+            j.kind,
+            ModelKind::ResNet18Cifar10 | ModelKind::NeuMFMovieLens
+        )
+    })
+    .collect()
+}
+
+fn run_sim(sched_threads: usize) -> String {
+    let mut c = PolluxConfig::default();
+    c.sched.ga = GaConfig {
+        population: 16,
+        generations: 8,
+        ..Default::default()
+    };
+    let policy = PolluxPolicy::new(c).unwrap();
+    let trace = tiny_trace();
+    assert!(!trace.is_empty());
+    let spec = ClusterSpec::homogeneous(4, 4).unwrap();
+    let sim = SimConfig {
+        max_sim_time: 10.0 * 3600.0,
+        sched_threads,
+        ..Default::default()
+    };
+    let result = pollux_core::run_trace(policy, &trace, ConfigChoice::Tuned, spec, sim).unwrap();
+    serde_json::to_string(&result).expect("SimResult serializes")
+}
+
+#[test]
+fn simulation_result_is_identical_across_sched_threads() {
+    let serial = run_sim(1);
+    let parallel = run_sim(4);
+    assert_eq!(
+        serial, parallel,
+        "SimResult bytes differ between sched_threads=1 and 4"
+    );
+}
+
+#[test]
+fn speedup_values_survive_shape_canonicalization_in_parallel() {
+    // Same job queried through many equivalent shapes from many
+    // threads must always observe the same canonical value.
+    use pollux_sched::{parallel_map, SpeedupCache};
+    let jobs = sched_jobs(4, 8);
+    let cache = SpeedupCache::new();
+    let expect: Vec<f64> = (0..32)
+        .map(|i| {
+            let job = &jobs[i % jobs.len()];
+            let shape = PlacementShape::new(1 + (i as u32 % 16), 1 + (i as u32 % 4)).unwrap();
+            job.model
+                .max_goodput(PlacementShape::new(shape.gpus, shape.nodes.min(2)).unwrap())
+                / job.model.max_goodput(job.model.reference_shape())
+        })
+        .collect();
+    let got = parallel_map(32, 4, |i| {
+        let job = &jobs[i % jobs.len()];
+        let shape = PlacementShape::new(1 + (i as u32 % 16), 1 + (i as u32 % 4)).unwrap();
+        cache.speedup(job, shape)
+    });
+    for (g, e) in got.iter().zip(&expect) {
+        assert_eq!(g.to_bits(), e.to_bits());
+    }
+}

@@ -198,9 +198,9 @@ pub fn search_ablation(seed: u64) -> SearchAblation {
     let budget = ga_cfg.population + ga_cfg.generations * 2 * ga_cfg.population;
 
     let ga = GeneticAlgorithm::new(ga_cfg);
-    let mut cache = SpeedupCache::new();
+    let cache = SpeedupCache::new();
     let mut rng = StdRng::seed_from_u64(seed);
-    let out = ga.evolve(&jobs, &spec, vec![], &mut cache, &mut rng);
+    let out = ga.evolve(&jobs, &spec, vec![], &cache, &mut rng);
 
     // Local search: same evaluation budget, first-improvement moves.
     let ls = pollux_sched::LocalSearch::new(pollux_sched::LocalSearchConfig {
@@ -208,13 +208,13 @@ pub fn search_ablation(seed: u64) -> SearchAblation {
         restarts: 2,
         ..Default::default()
     });
-    let mut cache_ls = SpeedupCache::new();
+    let cache_ls = SpeedupCache::new();
     let mut rng_ls = StdRng::seed_from_u64(seed ^ 0x5151);
-    let (_, local_search_fitness) = ls.optimize(&jobs, &spec, &mut cache_ls, &mut rng_ls);
+    let (_, local_search_fitness) = ls.optimize(&jobs, &spec, &cache_ls, &mut rng_ls);
 
     // Random search: sample, repair, evaluate.
     let mut best_random = f64::NEG_INFINITY;
-    let mut cache2 = SpeedupCache::new();
+    let cache2 = SpeedupCache::new();
     let mut rng2 = StdRng::seed_from_u64(seed ^ 0xABCD);
     let fitness_cfg = FitnessConfig::default();
     for _ in 0..budget {
@@ -225,7 +225,7 @@ pub fn search_ablation(seed: u64) -> SearchAblation {
             }
         }
         ga.repair(&mut m, &jobs, &spec, &mut rng2);
-        let f = fitness(&jobs, &m, &mut cache2, &fitness_cfg);
+        let f = fitness(&jobs, &m, &cache2, &fitness_cfg);
         if f > best_random {
             best_random = f;
         }

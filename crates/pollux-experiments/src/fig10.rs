@@ -153,8 +153,10 @@ pub fn run(work_scale: f64, max_nodes: u32) -> Fig10Result {
     };
 
     let or_etal = {
-        let mut cfg = pollux_baselines::or_etal::OrEtAlConfig::default();
-        cfg.max_nodes = max_nodes;
+        let cfg = pollux_baselines::or_etal::OrEtAlConfig {
+            max_nodes,
+            ..Default::default()
+        };
         let policy = OrEtAlAutoscaler::new(cfg);
         extract(
             run_trace(

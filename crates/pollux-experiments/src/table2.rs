@@ -221,8 +221,10 @@ mod tests {
     #[test]
     fn summarize_averages_across_traces() {
         use pollux_simulator::SimResult;
-        let mut a = SimResult::default();
-        a.records = vec![];
+        let a = SimResult {
+            records: vec![],
+            ..Default::default()
+        };
         let out = summarize(Policy::Pollux, &[a]);
         assert_eq!(out.policy, Policy::Pollux);
         assert_eq!(out.avg_jct_hours, 0.0);

@@ -290,8 +290,10 @@ mod tests {
                 })
                 .sum::<f64>()
         };
-        let mut opts = NelderMeadOptions::default();
-        opts.max_evals = 50_000;
+        let opts = NelderMeadOptions {
+            max_evals: 50_000,
+            ..Default::default()
+        };
         let b = Bounds::uniform(4, -3.0, 3.0).unwrap();
         let r = nelder_mead_minimize(f, &[-1.0, 2.0, -2.0, 1.0], &b, &opts).unwrap();
         assert!(r.fx < 1e-4, "fx = {}", r.fx);
@@ -308,10 +310,12 @@ mod tests {
     #[test]
     fn eval_budget_is_respected() {
         let f = |x: &[f64]| x.iter().map(|v| v * v).sum::<f64>();
-        let mut opts = NelderMeadOptions::default();
-        opts.max_evals = 25;
-        opts.f_tol = 0.0;
-        opts.x_tol = 0.0;
+        let opts = NelderMeadOptions {
+            max_evals: 25,
+            f_tol: 0.0,
+            x_tol: 0.0,
+            ..Default::default()
+        };
         let r = nelder_mead_minimize(f, &[10.0, 10.0], &Bounds::unbounded(2), &opts).unwrap();
         // A handful of evals past the budget are allowed (the final
         // operation completes), but not unbounded.

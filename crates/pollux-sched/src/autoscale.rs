@@ -113,9 +113,9 @@ impl Autoscaler {
     ) -> (AllocationMatrix, f64) {
         let spec = ClusterSpec::homogeneous(nodes, self.config.gpus_per_node)
             .expect("nodes and gpus_per_node validated at construction");
-        let mut cache = SpeedupCache::new();
-        let outcome = self.ga.evolve(jobs, &spec, vec![], &mut cache, rng);
-        let u = utility(jobs, &outcome.best, &mut cache, spec.total_gpus());
+        let cache = SpeedupCache::new();
+        let outcome = self.ga.evolve(jobs, &spec, vec![], &cache, rng);
+        let u = utility(jobs, &outcome.best, &cache, spec.total_gpus());
         (outcome.best, u)
     }
 
@@ -213,19 +213,27 @@ mod tests {
 
     #[test]
     fn config_validation() {
-        let mut c = AutoscaleConfig::default();
-        c.low_util = 0.9;
-        c.high_util = 0.5;
+        let c = AutoscaleConfig {
+            low_util: 0.9,
+            high_util: 0.5,
+            ..Default::default()
+        };
         assert!(Autoscaler::new(c).is_none());
-        let mut c = AutoscaleConfig::default();
-        c.min_nodes = 0;
+        let c = AutoscaleConfig {
+            min_nodes: 0,
+            ..Default::default()
+        };
         assert!(Autoscaler::new(c).is_none());
-        let mut c = AutoscaleConfig::default();
-        c.min_nodes = 9;
-        c.max_nodes = 8;
+        let c = AutoscaleConfig {
+            min_nodes: 9,
+            max_nodes: 8,
+            ..Default::default()
+        };
         assert!(Autoscaler::new(c).is_none());
-        let mut c = AutoscaleConfig::default();
-        c.gpus_per_node = 0;
+        let c = AutoscaleConfig {
+            gpus_per_node: 0,
+            ..Default::default()
+        };
         assert!(Autoscaler::new(c).is_none());
         assert!(Autoscaler::new(AutoscaleConfig::default()).is_some());
     }

@@ -35,7 +35,7 @@ impl Default for FitnessConfig {
 pub fn fitness(
     jobs: &[SchedJob],
     alloc: &AllocationMatrix,
-    cache: &mut SpeedupCache,
+    cache: &SpeedupCache,
     config: &FitnessConfig,
 ) -> f64 {
     debug_assert!(
@@ -68,7 +68,7 @@ pub fn fitness(
 pub fn utility(
     jobs: &[SchedJob],
     alloc: &AllocationMatrix,
-    cache: &mut SpeedupCache,
+    cache: &SpeedupCache,
     total_gpus: u32,
 ) -> f64 {
     if total_gpus == 0 {
@@ -113,8 +113,8 @@ mod tests {
     fn empty_cluster_has_zero_fitness() {
         let jobs = vec![job(0, 1.0, vec![]), job(1, 1.0, vec![])];
         let alloc = AllocationMatrix::zeros(2, 4);
-        let mut cache = SpeedupCache::new();
-        assert_eq!(fitness(&jobs, &alloc, &mut cache, &Default::default()), 0.0);
+        let cache = SpeedupCache::new();
+        assert_eq!(fitness(&jobs, &alloc, &cache, &Default::default()), 0.0);
     }
 
     #[test]
@@ -123,8 +123,8 @@ mod tests {
         let mut alloc = AllocationMatrix::zeros(2, 4);
         alloc.set(0, 0, 1);
         alloc.set(1, 1, 1);
-        let mut cache = SpeedupCache::new();
-        let f = fitness(&jobs, &alloc, &mut cache, &Default::default());
+        let cache = SpeedupCache::new();
+        let f = fitness(&jobs, &alloc, &cache, &Default::default());
         assert!((f - 1.0).abs() < 1e-9, "f = {f}");
     }
 
@@ -135,9 +135,9 @@ mod tests {
         a1.set(0, 0, 1);
         let mut a4 = AllocationMatrix::zeros(1, 4);
         a4.set(0, 0, 4);
-        let mut cache = SpeedupCache::new();
-        let f1 = fitness(&jobs, &a1, &mut cache, &Default::default());
-        let f4 = fitness(&jobs, &a4, &mut cache, &Default::default());
+        let cache = SpeedupCache::new();
+        let f1 = fitness(&jobs, &a1, &cache, &Default::default());
+        let f4 = fitness(&jobs, &a4, &cache, &Default::default());
         assert!(f4 > f1, "{f4} vs {f1}");
     }
 
@@ -148,17 +148,17 @@ mod tests {
         let cfg = FitnessConfig {
             restart_penalty: 0.25,
         };
-        let mut cache = SpeedupCache::new();
+        let cache = SpeedupCache::new();
 
         // Same placement: no penalty.
         let mut same = AllocationMatrix::zeros(1, 4);
         same.set(0, 0, 2);
-        let f_same = fitness(&jobs, &same, &mut cache, &cfg);
+        let f_same = fitness(&jobs, &same, &cache, &cfg);
 
         // Same shape on a different node: penalized.
         let mut moved = AllocationMatrix::zeros(1, 4);
         moved.set(0, 1, 2);
-        let f_moved = fitness(&jobs, &moved, &mut cache, &cfg);
+        let f_moved = fitness(&jobs, &moved, &cache, &cfg);
         assert!(
             (f_same - f_moved - 0.25).abs() < 1e-9,
             "{f_same} vs {f_moved}"
@@ -170,8 +170,8 @@ mod tests {
         let jobs = vec![job(0, 1.0, vec![0, 0, 0, 0])];
         let mut alloc = AllocationMatrix::zeros(1, 4);
         alloc.set(0, 0, 1);
-        let mut cache = SpeedupCache::new();
-        let f = fitness(&jobs, &alloc, &mut cache, &Default::default());
+        let cache = SpeedupCache::new();
+        let f = fitness(&jobs, &alloc, &cache, &Default::default());
         assert!((f - 1.0).abs() < 1e-9);
     }
 
@@ -188,9 +188,9 @@ mod tests {
         let mut to_light = AllocationMatrix::zeros(2, 1);
         to_light.set(0, 0, 1);
         to_light.set(1, 0, 2);
-        let mut cache = SpeedupCache::new();
-        let f_heavy = fitness(&jobs, &to_heavy, &mut cache, &Default::default());
-        let f_light = fitness(&jobs, &to_light, &mut cache, &Default::default());
+        let cache = SpeedupCache::new();
+        let f_heavy = fitness(&jobs, &to_heavy, &cache, &Default::default());
+        let f_light = fitness(&jobs, &to_light, &cache, &Default::default());
         assert!(f_heavy > f_light);
     }
 
@@ -200,11 +200,11 @@ mod tests {
         let mut alloc = AllocationMatrix::zeros(2, 4);
         alloc.set(0, 0, 1);
         alloc.set(1, 1, 1);
-        let mut cache = SpeedupCache::new();
+        let cache = SpeedupCache::new();
         // Two jobs at speedup 1 on a 16-GPU cluster: utility = 2/16.
-        let u = utility(&jobs, &alloc, &mut cache, 16);
+        let u = utility(&jobs, &alloc, &cache, 16);
         assert!((u - 2.0 / 16.0).abs() < 1e-9);
-        assert_eq!(utility(&jobs, &alloc, &mut cache, 0), 0.0);
+        assert_eq!(utility(&jobs, &alloc, &cache, 0), 0.0);
     }
 
     #[test]
@@ -214,8 +214,8 @@ mod tests {
         let mut alloc = AllocationMatrix::zeros(2, 2);
         alloc.set(0, 0, 4);
         alloc.set(1, 1, 4);
-        let mut cache = SpeedupCache::new();
-        let u = utility(&jobs, &alloc, &mut cache, 8);
+        let cache = SpeedupCache::new();
+        let u = utility(&jobs, &alloc, &cache, 8);
         assert!(u <= 1.0 + 1e-9 && u > 0.0, "u = {u}");
     }
 }

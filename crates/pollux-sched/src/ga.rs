@@ -14,12 +14,29 @@
 //!    job occupies any node.
 //! 4. **Survival** — the population is truncated back to its constant
 //!    size by discarding the lowest-fitness members.
+//!
+//! # Parallel evaluation and determinism
+//!
+//! With [`GaConfig::threads`] > 1, member construction (mutate,
+//! crossover, repair) and fitness evaluation fan out over a scoped
+//! worker pool ([`crate::par::parallel_map`]). Determinism across
+//! thread counts is achieved by **seed-per-slot RNG splitting**: the
+//! master RNG is only ever advanced serially, drawing one `u64` seed
+//! per population slot; each slot then derives its own private
+//! `StdRng` from that seed and performs every random decision for that
+//! slot locally. No slot observes another slot's RNG stream, so the
+//! result is a pure function of `(slot index, master seed)` and is
+//! bit-identical whether slots run on 1 thread or 8 — a property
+//! pinned by this crate's determinism tests. `threads == 1` runs the
+//! identical per-slot code inline without spawning any threads.
 
 use crate::fitness::{fitness, FitnessConfig};
+use crate::par::parallel_map;
 use crate::speedup::{SchedJob, SpeedupCache};
 use pollux_cluster::{AllocationMatrix, ClusterSpec, NodeId};
+use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use rand::Rng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the genetic algorithm.
@@ -37,6 +54,11 @@ pub struct GaConfig {
     /// the best fitness (0 = always run all `generations`, like the
     /// paper's fixed 100-generation budget).
     pub early_stop_gens: usize,
+    /// Worker threads for member construction and fitness evaluation.
+    /// `1` (the default) runs fully serially without spawning; any
+    /// value yields bit-identical results for a fixed master seed (see
+    /// the module docs).
+    pub threads: usize,
     /// Fitness evaluation settings (restart penalty).
     pub fitness: FitnessConfig,
 }
@@ -49,6 +71,7 @@ impl Default for GaConfig {
             tournament_size: 2,
             interference_avoidance: true,
             early_stop_gens: 8,
+            threads: 1,
             fitness: FitnessConfig::default(),
         }
     }
@@ -73,6 +96,14 @@ pub struct GaOutcome {
 #[derive(Debug, Clone)]
 pub struct GeneticAlgorithm {
     config: GaConfig,
+}
+
+/// Borrowed evaluation inputs shared by every population slot; handed
+/// to the per-slot builders so worker closures capture one reference.
+struct EvalCtx<'a> {
+    jobs: &'a [SchedJob],
+    spec: &'a ClusterSpec,
+    cache: &'a SpeedupCache,
 }
 
 impl GeneticAlgorithm {
@@ -156,84 +187,122 @@ impl GeneticAlgorithm {
         repair_matrix(m, jobs, spec, self.config.interference_avoidance, rng);
     }
 
+    /// Builds one initial-population member from its slot seed:
+    /// optionally mutated from its template, repaired, and evaluated.
+    fn init_member(
+        &self,
+        template: &AllocationMatrix,
+        fresh: bool,
+        slot_seed: u64,
+        ctx: &EvalCtx<'_>,
+    ) -> (AllocationMatrix, f64) {
+        let mut rng = StdRng::seed_from_u64(slot_seed);
+        let mut m = template.clone();
+        if fresh {
+            self.mutate(&mut m, ctx.spec, &mut rng);
+        }
+        self.repair(&mut m, ctx.jobs, ctx.spec, &mut rng);
+        let f = fitness(ctx.jobs, &m, ctx.cache, &self.config.fitness);
+        (m, f)
+    }
+
+    /// Builds one offspring from its slot seed. Slots below
+    /// `population.len()` are mutated copies of the same-index member;
+    /// the rest are crossover children of tournament-selected parents.
+    fn offspring_member(
+        &self,
+        slot: usize,
+        slot_seed: u64,
+        population: &[AllocationMatrix],
+        fitnesses: &[f64],
+        ctx: &EvalCtx<'_>,
+    ) -> (AllocationMatrix, f64) {
+        let mut rng = StdRng::seed_from_u64(slot_seed);
+        let mut m = if slot < population.len() {
+            let mut c = population[slot].clone();
+            self.mutate(&mut c, ctx.spec, &mut rng);
+            c
+        } else {
+            let a = self.tournament_select(fitnesses, &mut rng);
+            let b = self.tournament_select(fitnesses, &mut rng);
+            self.crossover(&population[a], &population[b], &mut rng)
+        };
+        self.repair(&mut m, ctx.jobs, ctx.spec, &mut rng);
+        let f = fitness(ctx.jobs, &m, ctx.cache, &self.config.fitness);
+        (m, f)
+    }
+
     /// Runs the genetic algorithm from a seed population.
     ///
     /// Seed members with mismatched dimensions are discarded; the
     /// population is refilled with repaired random members. All members
     /// are repaired before evaluation, so the returned best matrix is
     /// always feasible.
+    ///
+    /// `rng` is the master RNG: it is advanced serially (one seed draw
+    /// per population slot) regardless of [`GaConfig::threads`], so
+    /// the outcome depends only on the master seed, never on the
+    /// thread count.
     pub fn evolve<R: Rng>(
         &self,
         jobs: &[SchedJob],
         spec: &ClusterSpec,
         seed: Vec<AllocationMatrix>,
-        cache: &mut SpeedupCache,
+        cache: &SpeedupCache,
         rng: &mut R,
     ) -> GaOutcome {
         let num_jobs = jobs.len();
         let num_nodes = spec.num_nodes();
         let pop_size = self.config.population.max(2);
+        let threads = self.config.threads.max(1);
 
-        let mut population: Vec<AllocationMatrix> = seed
+        // Templates for the initial population: retained seed members,
+        // the "current allocations" member (so doing nothing is
+        // representable), and fresh random members (mutated from zero)
+        // to fill up to `pop_size`.
+        let mut templates: Vec<(AllocationMatrix, bool)> = seed
             .into_iter()
             .filter(|m| m.num_jobs() == num_jobs && m.num_nodes() == num_nodes)
             .take(pop_size)
+            .map(|m| (m, false))
             .collect();
-
-        // Always include the "current allocations" member so doing
-        // nothing is representable.
         let mut current = AllocationMatrix::zeros(num_jobs, num_nodes);
         for (j, job) in jobs.iter().enumerate() {
             if job.current_placement.len() == num_nodes {
                 current.set_row(j, job.current_placement.clone());
             }
         }
-        self.repair(&mut current, jobs, spec, rng);
-        population.push(current);
-
-        while population.len() < pop_size {
-            let mut m = AllocationMatrix::zeros(num_jobs, num_nodes);
-            self.mutate(&mut m, spec, rng);
-            self.repair(&mut m, jobs, spec, rng);
-            population.push(m);
-        }
-        for m in &mut population {
-            self.repair(m, jobs, spec, rng);
+        templates.push((current, false));
+        while templates.len() < pop_size {
+            templates.push((AllocationMatrix::zeros(num_jobs, num_nodes), true));
         }
 
-        let mut fitnesses: Vec<f64> = population
-            .iter()
-            .map(|m| fitness(jobs, m, cache, &self.config.fitness))
-            .collect();
+        // One seed per slot, drawn serially from the master RNG.
+        let ctx = EvalCtx { jobs, spec, cache };
+        let slot_seeds: Vec<u64> = (0..templates.len()).map(|_| rng.next_u64()).collect();
+        let built = parallel_map(templates.len(), threads, |i| {
+            let (template, fresh) = &templates[i];
+            self.init_member(template, *fresh, slot_seeds[i], &ctx)
+        });
+        let (mut population, mut fitnesses): (Vec<_>, Vec<_>) = built.into_iter().unzip();
 
         let mut best_so_far = fitnesses.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let mut stale_gens = 0usize;
         for _gen in 0..self.config.generations {
-            let mut offspring = Vec::with_capacity(pop_size * 2);
-            // Mutated copies of every member.
-            for m in &population {
-                let mut c = m.clone();
-                self.mutate(&mut c, spec, rng);
-                offspring.push(c);
+            // One mutated copy per member plus `pop_size` crossover
+            // children; again one serial seed draw per slot.
+            let num_offspring = population.len() + pop_size;
+            let slot_seeds: Vec<u64> = (0..num_offspring).map(|_| rng.next_u64()).collect();
+            let offspring = parallel_map(num_offspring, threads, |i| {
+                self.offspring_member(i, slot_seeds[i], &population, &fitnesses, &ctx)
+            });
+            for (m, f) in offspring {
+                population.push(m);
+                fitnesses.push(f);
             }
-            // Crossover children from tournament-selected parents.
-            for _ in 0..pop_size {
-                let a = self.tournament_select(&fitnesses, rng);
-                let b = self.tournament_select(&fitnesses, rng);
-                offspring.push(self.crossover(&population[a], &population[b], rng));
-            }
-            for c in &mut offspring {
-                self.repair(c, jobs, spec, rng);
-            }
-            let off_fit: Vec<f64> = offspring
-                .iter()
-                .map(|m| fitness(jobs, m, cache, &self.config.fitness))
-                .collect();
 
-            population.extend(offspring);
-            fitnesses.extend(off_fit);
-
-            // Survival: keep the top `pop_size`.
+            // Survival: keep the top `pop_size`. The sort is stable, so
+            // fitness ties break by slot index — deterministically.
             let mut idx: Vec<usize> = (0..population.len()).collect();
             idx.sort_by(|&a, &b| {
                 fitnesses[b]
@@ -371,8 +440,7 @@ mod tests {
     use super::*;
     use pollux_cluster::JobId;
     use pollux_models::{BatchSizeLimits, EfficiencyModel, GoodputModel, ThroughputParams};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rand::RngCore;
 
     fn model(phi: f64) -> GoodputModel {
         let tp = ThroughputParams::new(0.05, 5.0e-4, 0.05, 0.002, 0.2, 0.01, 2.0).unwrap();
@@ -462,8 +530,10 @@ mod tests {
         let spec = ClusterSpec::homogeneous(4, 4).unwrap();
         let jobs: Vec<SchedJob> = (0..2).map(|i| job(i, 1000.0)).collect();
         let mut rng = StdRng::seed_from_u64(5);
-        let mut cfg = GaConfig::default();
-        cfg.interference_avoidance = false;
+        let cfg = GaConfig {
+            interference_avoidance: false,
+            ..Default::default()
+        };
         let g = GeneticAlgorithm::new(cfg);
         let mut m = AllocationMatrix::zeros(2, 4);
         m.set(0, 0, 2);
@@ -515,8 +585,8 @@ mod tests {
         let spec = ClusterSpec::homogeneous(2, 4).unwrap();
         let jobs: Vec<SchedJob> = (0..2).map(|i| job(i, 5000.0)).collect();
         let mut rng = StdRng::seed_from_u64(8);
-        let mut cache = SpeedupCache::new();
-        let out = ga(30).evolve(&jobs, &spec, vec![], &mut cache, &mut rng);
+        let cache = SpeedupCache::new();
+        let out = ga(30).evolve(&jobs, &spec, vec![], &cache, &mut rng);
         assert!(out.best.is_feasible(&spec));
         assert!(out.best_fitness > 1.0, "fitness = {}", out.best_fitness);
         for j in 0..2 {
@@ -535,8 +605,8 @@ mod tests {
         rigid.model = model(1e-6);
         let jobs = vec![scalable, rigid];
         let mut rng = StdRng::seed_from_u64(9);
-        let mut cache = SpeedupCache::new();
-        let out = ga(40).evolve(&jobs, &spec, vec![], &mut cache, &mut rng);
+        let cache = SpeedupCache::new();
+        let out = ga(40).evolve(&jobs, &spec, vec![], &cache, &mut rng);
         assert!(
             out.best.gpus_of(0) > out.best.gpus_of(1),
             "scalable {} vs rigid {}\n{}",
@@ -552,8 +622,8 @@ mod tests {
         let spec = ClusterSpec::homogeneous(4, 2).unwrap();
         let jobs: Vec<SchedJob> = (0..3).map(|i| job(i, 20_000.0)).collect();
         let mut rng = StdRng::seed_from_u64(10);
-        let mut cache = SpeedupCache::new();
-        let out = ga(30).evolve(&jobs, &spec, vec![], &mut cache, &mut rng);
+        let cache = SpeedupCache::new();
+        let out = ga(30).evolve(&jobs, &spec, vec![], &cache, &mut rng);
         assert!(out.best.satisfies_interference_avoidance());
     }
 
@@ -561,11 +631,11 @@ mod tests {
     fn evolve_with_seed_population_not_worse() {
         let spec = ClusterSpec::homogeneous(2, 4).unwrap();
         let jobs: Vec<SchedJob> = (0..2).map(|i| job(i, 5000.0)).collect();
-        let mut cache = SpeedupCache::new();
+        let cache = SpeedupCache::new();
 
         let mut rng = StdRng::seed_from_u64(11);
-        let first = ga(20).evolve(&jobs, &spec, vec![], &mut cache, &mut rng);
-        let resumed = ga(5).evolve(&jobs, &spec, first.population.clone(), &mut cache, &mut rng);
+        let first = ga(20).evolve(&jobs, &spec, vec![], &cache, &mut rng);
+        let resumed = ga(5).evolve(&jobs, &spec, first.population.clone(), &cache, &mut rng);
         assert!(
             resumed.best_fitness >= first.best_fitness - 1e-9,
             "resumed {} < first {}",
@@ -578,14 +648,66 @@ mod tests {
     fn evolve_is_deterministic_given_seed() {
         let spec = ClusterSpec::homogeneous(2, 4).unwrap();
         let jobs: Vec<SchedJob> = (0..2).map(|i| job(i, 5000.0)).collect();
-        let mut c1 = SpeedupCache::new();
-        let mut c2 = SpeedupCache::new();
+        let c1 = SpeedupCache::new();
+        let c2 = SpeedupCache::new();
         let mut r1 = StdRng::seed_from_u64(42);
         let mut r2 = StdRng::seed_from_u64(42);
-        let o1 = ga(10).evolve(&jobs, &spec, vec![], &mut c1, &mut r1);
-        let o2 = ga(10).evolve(&jobs, &spec, vec![], &mut c2, &mut r2);
+        let o1 = ga(10).evolve(&jobs, &spec, vec![], &c1, &mut r1);
+        let o2 = ga(10).evolve(&jobs, &spec, vec![], &c2, &mut r2);
         assert_eq!(o1.best, o2.best);
         assert_eq!(o1.best_fitness, o2.best_fitness);
+    }
+
+    #[test]
+    fn evolve_is_identical_across_thread_counts() {
+        // The core determinism contract: for a fixed master seed the
+        // full outcome (best, fitness, final population) is
+        // bit-identical at every thread count.
+        let spec = ClusterSpec::homogeneous(4, 4).unwrap();
+        let jobs: Vec<SchedJob> = (0..6).map(|i| job(i, 3000.0 + 500.0 * i as f64)).collect();
+        let outcomes: Vec<GaOutcome> = [1usize, 2, 4, 8]
+            .iter()
+            .map(|&threads| {
+                let g = GeneticAlgorithm::new(GaConfig {
+                    population: 24,
+                    generations: 12,
+                    threads,
+                    ..Default::default()
+                });
+                let cache = SpeedupCache::new();
+                let mut rng = StdRng::seed_from_u64(77);
+                g.evolve(&jobs, &spec, vec![], &cache, &mut rng)
+            })
+            .collect();
+        for o in &outcomes[1..] {
+            assert_eq!(o.best, outcomes[0].best);
+            assert_eq!(o.best_fitness.to_bits(), outcomes[0].best_fitness.to_bits());
+            assert_eq!(o.population, outcomes[0].population);
+        }
+    }
+
+    #[test]
+    fn evolve_leaves_master_rng_in_same_state_for_any_thread_count() {
+        // The master RNG must advance by exactly one draw per slot, so
+        // downstream consumers of the same RNG see identical streams.
+        let spec = ClusterSpec::homogeneous(2, 4).unwrap();
+        let jobs: Vec<SchedJob> = (0..3).map(|i| job(i, 4000.0)).collect();
+        let after: Vec<u64> = [1usize, 4]
+            .iter()
+            .map(|&threads| {
+                let g = GeneticAlgorithm::new(GaConfig {
+                    population: 12,
+                    generations: 6,
+                    threads,
+                    ..Default::default()
+                });
+                let cache = SpeedupCache::new();
+                let mut rng = StdRng::seed_from_u64(5);
+                g.evolve(&jobs, &spec, vec![], &cache, &mut rng);
+                rng.next_u64()
+            })
+            .collect();
+        assert_eq!(after[0], after[1]);
     }
 
     #[test]
@@ -598,8 +720,8 @@ mod tests {
         j.current_placement = vec![4, 0];
         let jobs = vec![j];
         let mut rng = StdRng::seed_from_u64(12);
-        let mut cache = SpeedupCache::new();
-        let out = ga(30).evolve(&jobs, &spec, vec![], &mut cache, &mut rng);
+        let cache = SpeedupCache::new();
+        let out = ga(30).evolve(&jobs, &spec, vec![], &cache, &mut rng);
         assert_eq!(
             out.best.row(0),
             &[4, 0],
@@ -699,6 +821,68 @@ mod tests {
             }
 
             #[test]
+            fn mutation_stays_within_node_capacity(
+                (rows, _caps, num_nodes, gpus_per_node, seed) in arbitrary_world()
+            ) {
+                // Mutation may only write values in [0, capacity(n)]:
+                // it never manufactures a per-cell value a node cannot
+                // hold (feasibility across jobs is repair's duty).
+                let spec = ClusterSpec::homogeneous(num_nodes, gpus_per_node).unwrap();
+                let mut m =
+                    AllocationMatrix::from_rows(rows, num_nodes as usize).unwrap();
+                // Start from a clamped matrix so pre-existing excess
+                // cannot mask a mutation bug.
+                for j in 0..m.num_jobs() {
+                    for n in 0..m.num_nodes() {
+                        m.set(j, n, m.get(j, n).min(gpus_per_node));
+                    }
+                }
+                let mut rng = StdRng::seed_from_u64(seed);
+                ga(0).mutate(&mut m, &spec, &mut rng);
+                for j in 0..m.num_jobs() {
+                    for n in 0..m.num_nodes() {
+                        prop_assert!(m.get(j, n) <= gpus_per_node);
+                    }
+                }
+            }
+
+            #[test]
+            fn crossover_preserves_feasibility_of_feasible_parents(
+                (rows_a, caps, num_nodes, gpus_per_node, seed) in arbitrary_world()
+            ) {
+                // Row-wise crossover of two *repaired* parents, then
+                // repair, is always feasible — the GA's generation
+                // invariant.
+                let spec = ClusterSpec::homogeneous(num_nodes, gpus_per_node).unwrap();
+                let jobs: Vec<SchedJob> = caps
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &(min_gpus, cap))| {
+                        let mut j = job(i as u32, 1000.0);
+                        j.min_gpus = min_gpus;
+                        j.gpu_cap = cap.max(min_gpus);
+                        j
+                    })
+                    .collect();
+                let mut rng = StdRng::seed_from_u64(seed);
+                let g = ga(0);
+                let mut a =
+                    AllocationMatrix::from_rows(rows_a, num_nodes as usize).unwrap();
+                g.repair(&mut a, &jobs, &spec, &mut rng);
+                let mut b = a.clone();
+                g.mutate(&mut b, &spec, &mut rng);
+                g.repair(&mut b, &jobs, &spec, &mut rng);
+                let mut child = g.crossover(&a, &b, &mut rng);
+                g.repair(&mut child, &jobs, &spec, &mut rng);
+                prop_assert!(child.is_feasible(&spec), "infeasible child:\n{child}");
+                prop_assert!(child.satisfies_interference_avoidance());
+                for (j, job) in jobs.iter().enumerate() {
+                    let k = child.gpus_of(j);
+                    prop_assert!(k == 0 || (k >= job.min_gpus && k <= job.gpu_cap));
+                }
+            }
+
+            #[test]
             fn evolve_best_is_always_feasible(
                 seed in proptest::num::u64::ANY,
                 num_jobs in 1usize..5,
@@ -707,9 +891,9 @@ mod tests {
                 let spec = ClusterSpec::homogeneous(num_nodes, 4).unwrap();
                 let jobs: Vec<SchedJob> =
                     (0..num_jobs).map(|i| job(i as u32, 2000.0)).collect();
-                let mut cache = SpeedupCache::new();
+                let cache = SpeedupCache::new();
                 let mut rng = StdRng::seed_from_u64(seed);
-                let out = ga(5).evolve(&jobs, &spec, vec![], &mut cache, &mut rng);
+                let out = ga(5).evolve(&jobs, &spec, vec![], &cache, &mut rng);
                 prop_assert!(out.best.is_feasible(&spec));
                 prop_assert!(out.best.satisfies_interference_avoidance());
                 prop_assert!(out.best_fitness.is_finite());

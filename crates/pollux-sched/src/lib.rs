@@ -18,19 +18,33 @@
 //!   job per node, enforced during repair, [`ga`]);
 //! - goodput-based cloud auto-scaling via the `UTILITY` measure
 //!   (Eqn 17, Sec. 4.2.2, [`autoscale`]).
+//!
+//! # Parallel fitness evaluation
+//!
+//! Member construction and fitness evaluation fan out over a scoped
+//! worker pool ([`par`]) when [`GaConfig::threads`] > 1, sharing one
+//! concurrent [`SpeedupCache`] (sharded behind `RwLock`s) across all
+//! workers. The master RNG is advanced **serially** — one seed draw
+//! per population slot — and each slot derives a private `StdRng` from
+//! its seed, so for a fixed seed the schedule is bit-identical at
+//! every thread count. `threads == 1` (the default) runs the same
+//! per-slot code inline without spawning. See [`ga`] for the full
+//! determinism contract.
 
 pub mod autoscale;
 pub mod fitness;
 pub mod ga;
 pub mod local_search;
+pub mod par;
 pub mod scheduler;
 pub mod speedup;
 pub mod weights;
 
 pub use autoscale::{AutoscaleConfig, Autoscaler};
 pub use fitness::{fitness, FitnessConfig};
-pub use ga::{repair_matrix, GaConfig, GeneticAlgorithm};
+pub use ga::{repair_matrix, GaConfig, GaOutcome, GeneticAlgorithm};
 pub use local_search::{LocalSearch, LocalSearchConfig};
+pub use par::parallel_map;
 pub use scheduler::{PolluxSched, SchedConfig};
-pub use speedup::{SchedJob, SpeedupCache};
+pub use speedup::{CacheStats, SchedJob, SpeedupCache};
 pub use weights::{job_weight, WeightConfig};

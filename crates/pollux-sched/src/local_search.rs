@@ -64,7 +64,7 @@ impl LocalSearch {
         &self,
         jobs: &[SchedJob],
         spec: &ClusterSpec,
-        cache: &mut SpeedupCache,
+        cache: &SpeedupCache,
         rng: &mut R,
     ) -> (AllocationMatrix, f64) {
         let num_jobs = jobs.len();
@@ -150,14 +150,14 @@ mod tests {
     fn finds_feasible_improving_allocations() {
         let spec = ClusterSpec::homogeneous(2, 4).unwrap();
         let jobs: Vec<SchedJob> = (0..2).map(|i| job(i, 5000.0)).collect();
-        let mut cache = SpeedupCache::new();
+        let cache = SpeedupCache::new();
         let mut rng = StdRng::seed_from_u64(1);
         let ls = LocalSearch::new(LocalSearchConfig {
             iterations: 500,
             restarts: 2,
             ..Default::default()
         });
-        let (m, f) = ls.optimize(&jobs, &spec, &mut cache, &mut rng);
+        let (m, f) = ls.optimize(&jobs, &spec, &cache, &mut rng);
         assert!(m.is_feasible(&spec));
         assert!(m.satisfies_interference_avoidance());
         assert!(f > 1.0, "fitness = {f}");
@@ -174,10 +174,10 @@ mod tests {
         let mut needy = job(1, 5000.0);
         needy.min_gpus = 4;
         let jobs = vec![capped, needy];
-        let mut cache = SpeedupCache::new();
+        let cache = SpeedupCache::new();
         let mut rng = StdRng::seed_from_u64(2);
         let ls = LocalSearch::new(Default::default());
-        let (m, _) = ls.optimize(&jobs, &spec, &mut cache, &mut rng);
+        let (m, _) = ls.optimize(&jobs, &spec, &cache, &mut rng);
         assert!(m.gpus_of(0) <= 2);
         let k1 = m.gpus_of(1);
         assert!(k1 == 0 || k1 >= 4, "min violated: {k1}");
@@ -186,10 +186,10 @@ mod tests {
     #[test]
     fn empty_job_list_is_graceful() {
         let spec = ClusterSpec::homogeneous(2, 4).unwrap();
-        let mut cache = SpeedupCache::new();
+        let cache = SpeedupCache::new();
         let mut rng = StdRng::seed_from_u64(3);
         let ls = LocalSearch::new(Default::default());
-        let (m, f) = ls.optimize(&[], &spec, &mut cache, &mut rng);
+        let (m, f) = ls.optimize(&[], &spec, &cache, &mut rng);
         assert_eq!(m.num_jobs(), 0);
         assert_eq!(f, 0.0);
     }
@@ -204,9 +204,9 @@ mod tests {
             ..Default::default()
         });
         let run = |seed: u64| {
-            let mut cache = SpeedupCache::new();
+            let cache = SpeedupCache::new();
             let mut rng = StdRng::seed_from_u64(seed);
-            ls.optimize(&jobs, &spec, &mut cache, &mut rng)
+            ls.optimize(&jobs, &spec, &cache, &mut rng)
         };
         let (m1, f1) = run(7);
         let (m2, f2) = run(7);

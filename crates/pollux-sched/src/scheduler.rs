@@ -6,7 +6,7 @@
 //! the scheduler reconciles the saved population with job arrivals and
 //! completions, evolves it, and returns the best allocation matrix.
 
-use crate::ga::{GaConfig, GeneticAlgorithm};
+use crate::ga::{GaConfig, GaOutcome, GeneticAlgorithm};
 use crate::speedup::{SchedJob, SpeedupCache};
 use crate::weights::WeightConfig;
 use pollux_cluster::{AllocationMatrix, ClusterSpec, JobId};
@@ -61,6 +61,38 @@ impl PolluxSched {
         &self.config
     }
 
+    /// Reconfigures the worker-thread count used for fitness
+    /// evaluation (`1` = fully serial). Safe to change between
+    /// intervals: for a fixed seed the schedule is identical at every
+    /// thread count (see the [`crate::ga`] determinism contract).
+    pub fn set_threads(&mut self, threads: usize) {
+        self.config.ga.threads = threads.max(1);
+        self.ga = GeneticAlgorithm::new(self.config.ga);
+    }
+
+    /// The active worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.config.ga.threads
+    }
+
+    /// Runs one full optimization for this interval and returns the
+    /// complete [`GaOutcome`] (best matrix, fitness, final
+    /// population). The population is also saved internally to
+    /// bootstrap the next interval.
+    pub fn optimize<R: Rng>(
+        &mut self,
+        jobs: &[SchedJob],
+        spec: &ClusterSpec,
+        rng: &mut R,
+    ) -> GaOutcome {
+        let seed = self.reconciled_seed(jobs, spec);
+        let cache = SpeedupCache::new();
+        let outcome = self.ga.evolve(jobs, spec, seed, &cache, rng);
+        self.saved_population = outcome.population.clone();
+        self.saved_job_ids = jobs.iter().map(|j| j.id).collect();
+        outcome
+    }
+
     /// Computes the allocation matrix for this interval.
     ///
     /// `jobs[i]` corresponds to row `i` of the returned matrix. The
@@ -73,12 +105,7 @@ impl PolluxSched {
         spec: &ClusterSpec,
         rng: &mut R,
     ) -> AllocationMatrix {
-        let seed = self.reconciled_seed(jobs, spec);
-        let mut cache = SpeedupCache::new();
-        let outcome = self.ga.evolve(jobs, spec, seed, &mut cache, rng);
-        self.saved_population = outcome.population;
-        self.saved_job_ids = jobs.iter().map(|j| j.id).collect();
-        outcome.best
+        self.optimize(jobs, spec, rng).best
     }
 
     /// Adapts the saved population to the current job set and cluster

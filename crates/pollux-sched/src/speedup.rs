@@ -5,10 +5,29 @@
 //! identity-sensitive (Eqn 10). The genetic algorithm evaluates tens of
 //! thousands of placements per interval; caching by shape makes each
 //! evaluation O(1) after the first golden-section solve.
+//!
+//! # Concurrency
+//!
+//! The cache is shared by every worker thread of the parallel fitness
+//! evaluator, so lookups take `&self` and the table is sharded by job
+//! behind `parking_lot::RwLock`s: one job's shapes always live in one
+//! shard, and jobs spread across [`SHARD_COUNT`] shards so concurrent
+//! evaluations of different jobs rarely contend.
+//!
+//! Determinism under concurrency is free because the memoized value is
+//! a **pure** function of `(job.model, shape)`: when two threads race
+//! on the same miss, both compute the identical value and the second
+//! insert overwrites the first with the same bits. Cache state can
+//! differ between runs; cached *values* cannot.
 
+use parking_lot::RwLock;
 use pollux_cluster::JobId;
 use pollux_models::{GoodputModel, PlacementShape};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of independently locked shards (a power of two).
+pub const SHARD_COUNT: usize = 16;
 
 /// The scheduler-facing view of one job at one scheduling interval.
 #[derive(Debug, Clone, PartialEq)]
@@ -35,26 +54,64 @@ impl SchedJob {
     }
 }
 
+/// One shard of the memo table: shape-level speedups plus the per-job
+/// reference goodput (the Eqn 15 denominator) for the jobs hashed to
+/// this shard.
+#[derive(Debug, Default)]
+struct Shard {
+    by_shape: HashMap<(JobId, PlacementShape), f64>,
+    reference: HashMap<JobId, f64>,
+}
+
+/// Hit/miss counters of a [`SpeedupCache`] (diagnostics and tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the memo table.
+    pub hits: u64,
+    /// Lookups that computed and inserted a fresh value.
+    pub misses: u64,
+}
+
 /// Memoizes `SPEEDUP_j` per `(job, shape)` within one scheduling round.
 ///
+/// Shared across the fitness worker pool: all methods take `&self`.
 /// The cache must be cleared (or rebuilt) whenever the jobs' goodput
 /// models change, i.e. at every scheduling interval.
 #[derive(Debug, Default)]
 pub struct SpeedupCache {
-    by_shape: HashMap<(JobId, PlacementShape), f64>,
-    reference: HashMap<JobId, f64>,
+    shards: Vec<RwLock<Shard>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
 }
 
 impl SpeedupCache {
     /// Creates an empty cache.
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            shards: (0..SHARD_COUNT).map(|_| RwLock::default()).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
     }
 
-    /// Clears all memoized values (call at the start of each interval).
+    #[inline]
+    fn shard(&self, id: JobId) -> &RwLock<Shard> {
+        // Fibonacci multiplicative hash of the job id: consecutive ids
+        // spread across shards.
+        let h = (id.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+        &self.shards[h as usize % SHARD_COUNT]
+    }
+
+    /// Clears all memoized values and counters (call at the start of
+    /// each interval).
     pub fn clear(&mut self) {
-        self.by_shape.clear();
-        self.reference.clear();
+        for shard in &self.shards {
+            let mut s = shard.write();
+            s.by_shape.clear();
+            s.reference.clear();
+        }
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
     }
 
     /// `SPEEDUP_j` for the job under `shape` (batch size re-optimized
@@ -65,36 +122,61 @@ impl SpeedupCache {
     /// `T_sync` (Eqn 10) only distinguishes co-located (`N = 1`) from
     /// cross-node (`N ≥ 2`) placements, so all multi-node shapes with
     /// equal `K` share one speedup value.
-    pub fn speedup(&mut self, job: &SchedJob, shape: PlacementShape) -> f64 {
+    ///
+    /// Safe to call from any number of threads concurrently; the
+    /// returned value is independent of interleaving (see the module
+    /// docs on determinism).
+    pub fn speedup(&self, job: &SchedJob, shape: PlacementShape) -> f64 {
         if shape.gpus < job.min_gpus || shape.gpus > job.gpu_cap {
             return 0.0;
         }
         let shape = PlacementShape::new(shape.gpus, shape.nodes.min(2))
             .expect("nodes >= 1 preserved by canonicalization");
-        if let Some(&v) = self.by_shape.get(&(job.id, shape)) {
-            return v;
-        }
-        let denom = *self
-            .reference
-            .entry(job.id)
-            .or_insert_with(|| job.model.max_goodput(job.model.reference_shape()));
+        let shard = self.shard(job.id);
+        let cached_ref = {
+            let s = shard.read();
+            if let Some(&v) = s.by_shape.get(&(job.id, shape)) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return v;
+            }
+            s.reference.get(&job.id).copied()
+        };
+
+        // Miss: compute outside any lock (both solves are pure), then
+        // publish. A racing thread may compute the same value; the
+        // duplicate insert is bit-identical.
+        let denom =
+            cached_ref.unwrap_or_else(|| job.model.max_goodput(job.model.reference_shape()));
         let v = if denom > 0.0 {
             job.model.max_goodput(shape) / denom
         } else {
             0.0
         };
-        self.by_shape.insert((job.id, shape), v);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut s = shard.write();
+        s.reference.entry(job.id).or_insert(denom);
+        s.by_shape.insert((job.id, shape), v);
         v
+    }
+
+    /// Hit/miss counters since construction or the last [`clear`].
+    ///
+    /// [`clear`]: SpeedupCache::clear
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
     }
 
     /// Number of memoized `(job, shape)` entries (diagnostics).
     pub fn len(&self) -> usize {
-        self.by_shape.len()
+        self.shards.iter().map(|s| s.read().by_shape.len()).sum()
     }
 
     /// True when nothing is memoized.
     pub fn is_empty(&self) -> bool {
-        self.by_shape.is_empty()
+        self.shards.iter().all(|s| s.read().by_shape.is_empty())
     }
 }
 
@@ -124,7 +206,7 @@ mod tests {
     #[test]
     fn speedup_matches_model_directly() {
         let j = job(1, 64);
-        let mut cache = SpeedupCache::new();
+        let cache = SpeedupCache::new();
         for (g, n) in [(1u32, 1u32), (2, 1), (4, 1), (8, 2)] {
             let shape = PlacementShape::new(g, n).unwrap();
             let expect = j.model.speedup(shape);
@@ -136,34 +218,105 @@ mod tests {
     #[test]
     fn cache_hits_do_not_recompute() {
         let j = job(1, 64);
-        let mut cache = SpeedupCache::new();
+        let cache = SpeedupCache::new();
         let shape = PlacementShape::new(4, 1).unwrap();
         let a = cache.speedup(&j, shape);
         assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 1 });
         let b = cache.speedup(&j, shape);
         assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn canonicalized_shapes_share_entries() {
+        let j = job(1, 64);
+        let cache = SpeedupCache::new();
+        let a = cache.speedup(&j, PlacementShape::new(8, 2).unwrap());
+        // 8 GPUs over 4 nodes canonicalizes to (8, 2): a hit.
+        let b = cache.speedup(&j, PlacementShape::new(8, 4).unwrap());
+        assert_eq!(a, b);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats().hits, 1);
     }
 
     #[test]
     fn respects_gpu_cap_and_min() {
         let mut j = job(1, 4);
         j.min_gpus = 2;
-        let mut cache = SpeedupCache::new();
+        let cache = SpeedupCache::new();
         assert_eq!(cache.speedup(&j, PlacementShape::single()), 0.0);
         assert!(cache.speedup(&j, PlacementShape::new(2, 1).unwrap()) > 0.0);
         assert!(cache.speedup(&j, PlacementShape::new(4, 1).unwrap()) > 0.0);
         assert_eq!(cache.speedup(&j, PlacementShape::new(5, 2).unwrap()), 0.0);
+        // Out-of-bounds shapes never touch the memo table.
+        assert_eq!(cache.len(), 2);
     }
 
     #[test]
-    fn clear_resets_memoization() {
+    fn clear_resets_memoization_and_stats() {
         let j = job(1, 64);
         let mut cache = SpeedupCache::new();
         cache.speedup(&j, PlacementShape::single());
         assert!(!cache.is_empty());
         cache.clear();
         assert!(cache.is_empty());
+        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 0 });
+    }
+
+    #[test]
+    fn jobs_spread_across_shards() {
+        let cache = SpeedupCache::new();
+        let touched: std::collections::HashSet<usize> = (0..64u32)
+            .map(|id| {
+                let shard = cache.shard(JobId(id)) as *const _ as usize;
+                shard
+            })
+            .collect();
+        assert!(
+            touched.len() > SHARD_COUNT / 2,
+            "only {} shards",
+            touched.len()
+        );
+    }
+
+    #[test]
+    fn concurrent_readers_agree_and_stats_balance() {
+        // 8 threads hammer the same small shape set: every thread must
+        // observe the exact same (bit-identical) value per shape, and
+        // hits + misses must account for every query. Racing first
+        // queries may each count a miss, but the memo table still ends
+        // up with exactly one entry per canonical shape.
+        let jobs: Vec<SchedJob> = (0..4).map(|i| job(i, 64)).collect();
+        let shapes: Vec<PlacementShape> = (1..=8u32)
+            .map(|g| PlacementShape::new(g, g.div_ceil(4)).unwrap())
+            .collect();
+        let cache = SpeedupCache::new();
+        let queries_per_thread = jobs.len() * shapes.len();
+        let per_thread: Vec<Vec<u64>> = crate::par::parallel_map(8, 8, |_| {
+            let mut seen = Vec::with_capacity(queries_per_thread);
+            for j in &jobs {
+                for &s in &shapes {
+                    seen.push(cache.speedup(j, s).to_bits());
+                }
+            }
+            seen
+        });
+        for t in &per_thread[1..] {
+            assert_eq!(t, &per_thread[0], "threads observed different values");
+        }
+        let stats = cache.stats();
+        assert_eq!(
+            stats.hits + stats.misses,
+            (8 * queries_per_thread) as u64,
+            "every query must count as a hit or a miss"
+        );
+        assert!(stats.misses >= queries_per_thread as u64);
+        assert!(stats.hits > 0, "repeat queries must hit");
+        // (8,2) and (8,4)-style aliases collapse; here every shape is
+        // already canonical, so the table holds jobs × shapes entries.
+        assert_eq!(cache.len(), queries_per_thread);
     }
 
     #[test]

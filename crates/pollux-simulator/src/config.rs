@@ -27,6 +27,11 @@ pub struct SimConfig {
     /// scheduling interval (off by default; adds memory proportional
     /// to jobs × intervals).
     pub record_job_series: bool,
+    /// Worker threads handed to the policy's optimizer at simulation
+    /// start via `SchedulingPolicy::configure_parallelism` (1 = fully
+    /// serial). Simulation results are independent of this value for
+    /// policies honoring the determinism contract.
+    pub sched_threads: usize,
     /// RNG seed for measurement noise and policy randomness.
     pub seed: u64,
 }
@@ -43,6 +48,7 @@ impl Default for SimConfig {
             phi_noise: 0.10,
             max_sim_time: 7.0 * 24.0 * 3600.0,
             record_job_series: false,
+            sched_threads: 1,
             seed: 0,
         }
     }
@@ -59,7 +65,8 @@ impl SimConfig {
             && (0.0..1.0).contains(&self.interference_slowdown)
             && (0.0..1.0).contains(&self.measurement_noise)
             && (0.0..1.0).contains(&self.phi_noise)
-            && self.max_sim_time > 0.0;
+            && self.max_sim_time > 0.0
+            && self.sched_threads >= 1;
         if ok {
             Some(self)
         } else {
@@ -79,20 +86,30 @@ mod tests {
 
     #[test]
     fn rejects_bad_parameters() {
-        let mut c = SimConfig::default();
-        c.tick_seconds = 0.0;
-        assert!(c.validated().is_none());
-
-        let mut c = SimConfig::default();
-        c.sched_interval = 0.5;
-        assert!(c.validated().is_none());
-
-        let mut c = SimConfig::default();
-        c.interference_slowdown = 1.0;
-        assert!(c.validated().is_none());
-
-        let mut c = SimConfig::default();
-        c.measurement_noise = -0.1;
-        assert!(c.validated().is_none());
+        let cases = [
+            SimConfig {
+                tick_seconds: 0.0,
+                ..Default::default()
+            },
+            SimConfig {
+                sched_interval: 0.5,
+                ..Default::default()
+            },
+            SimConfig {
+                interference_slowdown: 1.0,
+                ..Default::default()
+            },
+            SimConfig {
+                measurement_noise: -0.1,
+                ..Default::default()
+            },
+            SimConfig {
+                sched_threads: 0,
+                ..Default::default()
+            },
+        ];
+        for c in cases {
+            assert!(c.validated().is_none(), "accepted {c:?}");
+        }
     }
 }

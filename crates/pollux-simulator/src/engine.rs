@@ -93,13 +93,14 @@ impl<P: SchedulingPolicy> Simulation<P> {
     pub fn new(
         config: SimConfig,
         spec: ClusterSpec,
-        policy: P,
+        mut policy: P,
         mut workload: Vec<Submission>,
     ) -> Option<Self> {
         let config = config.validated()?;
         if workload.is_empty() {
             return None;
         }
+        policy.configure_parallelism(config.sched_threads);
         workload.sort_by(|a, b| {
             a.0.submit_time
                 .partial_cmp(&b.0.submit_time)
@@ -223,8 +224,7 @@ impl<P: SchedulingPolicy> Simulation<P> {
             let config_trigger = configs > job.last_fit_configs
                 && (job.last_fit_configs < 8 || configs >= 2 * job.last_fit_configs);
             let sample_trigger = samples >= 4 * job.last_fit_samples.max(1);
-            if configs > 0 && (config_trigger || sample_trigger) && job.agent.refit()
-            {
+            if configs > 0 && (config_trigger || sample_trigger) && job.agent.refit() {
                 job.last_fit_configs = configs;
                 job.last_fit_samples = samples;
             }

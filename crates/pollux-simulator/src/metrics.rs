@@ -284,13 +284,15 @@ mod tests {
 
     #[test]
     fn aggregates() {
-        let mut res = SimResult::default();
-        res.end_time = 1000.0;
-        res.records = vec![
-            record(0, 0.0, Some(100.0)),
-            record(1, 0.0, Some(300.0)),
-            record(2, 50.0, None),
-        ];
+        let res = SimResult {
+            end_time: 1000.0,
+            records: vec![
+                record(0, 0.0, Some(100.0)),
+                record(1, 0.0, Some(300.0)),
+                record(2, 50.0, None),
+            ],
+            ..Default::default()
+        };
         assert_eq!(res.jcts().len(), 2);
         assert_eq!(res.unfinished(), 1);
         assert!((res.avg_jct().unwrap() - 200.0).abs() < 1e-9);
@@ -300,10 +302,12 @@ mod tests {
 
     #[test]
     fn percentiles_nearest_rank() {
-        let mut res = SimResult::default();
-        res.records = (0..100)
-            .map(|i| record(i, 0.0, Some((i + 1) as f64)))
-            .collect();
+        let res = SimResult {
+            records: (0..100)
+                .map(|i| record(i, 0.0, Some((i + 1) as f64)))
+                .collect(),
+            ..Default::default()
+        };
         assert_eq!(res.percentile_jct(50.0), Some(50.0));
         assert_eq!(res.percentile_jct(99.0), Some(99.0));
         assert_eq!(res.percentile_jct(100.0), Some(100.0));
@@ -313,13 +317,15 @@ mod tests {
 
     #[test]
     fn jct_cdf_is_monotone_and_normalized() {
-        let mut res = SimResult::default();
-        res.records = vec![
-            record(0, 0.0, Some(300.0)),
-            record(1, 0.0, Some(100.0)),
-            record(2, 0.0, Some(200.0)),
-            record(3, 0.0, None),
-        ];
+        let res = SimResult {
+            records: vec![
+                record(0, 0.0, Some(300.0)),
+                record(1, 0.0, Some(100.0)),
+                record(2, 0.0, Some(200.0)),
+                record(3, 0.0, None),
+            ],
+            ..Default::default()
+        };
         let cdf = res.jct_cdf();
         assert_eq!(cdf.len(), 3);
         assert_eq!(cdf[0], (100.0, 1.0 / 3.0));
@@ -342,31 +348,33 @@ mod tests {
 
     #[test]
     fn cluster_efficiency_weighted_by_running_jobs() {
-        let mut res = SimResult::default();
-        res.series = vec![
-            ClusterSample {
-                time: 0.0,
-                nodes: 4,
-                total_gpus: 16,
-                used_gpus: 4,
-                running_jobs: 1,
-                pending_jobs: 0,
-                mean_efficiency: 1.0,
-                total_throughput: 0.0,
-                total_goodput: 0.0,
-            },
-            ClusterSample {
-                time: 60.0,
-                nodes: 4,
-                total_gpus: 16,
-                used_gpus: 12,
-                running_jobs: 3,
-                pending_jobs: 1,
-                mean_efficiency: 0.6,
-                total_throughput: 0.0,
-                total_goodput: 0.0,
-            },
-        ];
+        let res = SimResult {
+            series: vec![
+                ClusterSample {
+                    time: 0.0,
+                    nodes: 4,
+                    total_gpus: 16,
+                    used_gpus: 4,
+                    running_jobs: 1,
+                    pending_jobs: 0,
+                    mean_efficiency: 1.0,
+                    total_throughput: 0.0,
+                    total_goodput: 0.0,
+                },
+                ClusterSample {
+                    time: 60.0,
+                    nodes: 4,
+                    total_gpus: 16,
+                    used_gpus: 12,
+                    running_jobs: 3,
+                    pending_jobs: 1,
+                    mean_efficiency: 0.6,
+                    total_throughput: 0.0,
+                    total_goodput: 0.0,
+                },
+            ],
+            ..Default::default()
+        };
         // (1.0·1 + 0.6·3) / 4 = 0.7.
         assert!((res.avg_cluster_efficiency().unwrap() - 0.7).abs() < 1e-12);
     }

@@ -113,6 +113,15 @@ pub trait SchedulingPolicy {
     fn choose_batch_size(&self, _job: &PolicyJobView<'_>) -> Option<u64> {
         None
     }
+
+    /// Parallelism hint: the engine calls this once at simulation
+    /// start with [`crate::SimConfig::sched_threads`]. Policies whose
+    /// optimizer supports parallel evaluation (e.g. Pollux's genetic
+    /// algorithm) reconfigure their worker pool; the default is a
+    /// no-op, so purely serial policies need not care. Implementations
+    /// must keep results independent of the thread count (Pollux's GA
+    /// guarantees bit-identical schedules for a fixed seed).
+    fn configure_parallelism(&mut self, _threads: usize) {}
 }
 
 impl<P: SchedulingPolicy + ?Sized> SchedulingPolicy for Box<P> {
@@ -146,6 +155,10 @@ impl<P: SchedulingPolicy + ?Sized> SchedulingPolicy for Box<P> {
 
     fn choose_batch_size(&self, job: &PolicyJobView<'_>) -> Option<u64> {
         (**self).choose_batch_size(job)
+    }
+
+    fn configure_parallelism(&mut self, threads: usize) {
+        (**self).configure_parallelism(threads)
     }
 }
 

@@ -396,9 +396,9 @@ mod tests {
     use super::*;
 
     /// Central-difference gradient check for any model.
-    fn check_gradients<M: GradModel + Clone>(model: &M, data: &Dataset, tol: f64)
+    fn check_gradients<M>(model: &M, data: &Dataset, tol: f64)
     where
-        M: std::fmt::Debug,
+        M: GradModel + Clone + std::fmt::Debug,
     {
         let indices: Vec<usize> = (0..data.len().min(16)).collect();
         let mut analytic = vec![0.0; model.num_params()];

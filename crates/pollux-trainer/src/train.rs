@@ -386,9 +386,12 @@ mod tests {
     #[test]
     fn single_replica_uses_differenced_estimator() {
         // Compare estimators mid-training, before SGD oscillates
-        // around the optimum (where φ legitimately diverges).
-        let mut t1 = trainer(1, 32, true, 2);
-        let mut t4 = trainer(4, 32, true, 2);
+        // around the optimum (where φ legitimately diverges). Batch 64
+        // gives the replica estimator 16 examples per replica; at 8 the
+        // inter-replica variance estimate transiently degenerates
+        // (|G|² ≤ 0 ⇒ φ = ∞) on some RNG streams.
+        let mut t1 = trainer(1, 64, true, 2);
+        let mut t4 = trainer(4, 64, true, 2);
         for _ in 0..120 {
             t1.step();
             t4.step();
@@ -408,8 +411,11 @@ mod tests {
         // Once the model oscillates around the optimum, the measured
         // noise scale grows very large — the Sec. 2.2 behavior that
         // lets Pollux use big batches late in training.
+        // Sample "mid" early enough that the batch-64 run is still far
+        // from the optimum; by ~250 steps φ has already started its
+        // climb and the late/mid contrast washes out.
         let mut t = trainer(4, 64, true, 2);
-        for _ in 0..250 {
+        for _ in 0..120 {
             t.step();
         }
         let mid = t.phi().unwrap();
@@ -442,14 +448,17 @@ mod tests {
         // AdaScale reaches the same loss in roughly the predicted
         // number of examples: 1/EFFICIENCY(m) times the m0 run's
         // examples, not m/m0 times.
+        // Check frequently: at batch 256 a coarse check interval
+        // quantizes the measured examples (25 steps = 6400 examples)
+        // enough to mask the efficiency gap this test asserts on.
         let target = 0.18;
         let (_, ex_small) = trainer(1, 32, true, 4)
-            .train_until_loss(target, 60_000, 25)
+            .train_until_loss(target, 60_000, 5)
             .expect("small-batch run must converge");
 
         let mut big = trainer(4, 256, true, 4);
         let (_, ex_big) = big
-            .train_until_loss(target, 60_000, 25)
+            .train_until_loss(target, 60_000, 5)
             .expect("large-batch run must converge");
         let eff = big.efficiency_model().efficiency(256);
         let predicted = ex_small as f64 / eff;

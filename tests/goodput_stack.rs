@@ -106,9 +106,9 @@ fn scheduler_prefers_jobs_that_scale() {
         generations: 20,
         ..Default::default()
     });
-    let mut cache = SpeedupCache::new();
+    let cache = SpeedupCache::new();
     let mut rng = StdRng::seed_from_u64(5);
-    let out = ga.evolve(&jobs, &spec, vec![], &mut cache, &mut rng);
+    let out = ga.evolve(&jobs, &spec, vec![], &cache, &mut rng);
     assert!(
         out.best.gpus_of(0) > out.best.gpus_of(1),
         "resnet {} vs speech {}\n{}",
@@ -133,7 +133,7 @@ fn speedup_canonicalization_matches_direct_model() {
         weight: 1.0,
         current_placement: vec![],
     };
-    let mut cache = SpeedupCache::new();
+    let cache = SpeedupCache::new();
     for (g, n) in [(8u32, 2u32), (8, 4), (8, 8)] {
         let shape = PlacementShape::new(g, n).unwrap();
         let cached = cache.speedup(&job, shape);

@@ -1,0 +1,240 @@
+//! Offline vendored wall-clock benchmark harness.
+//!
+//! API-compatible with the subset of `criterion` this workspace uses
+//! (`Criterion::bench_function`, `Bencher::iter`/`iter_batched`,
+//! `BatchSize`, `criterion_group!`, `criterion_main!`). Instead of
+//! criterion's statistical machinery it runs a short warm-up, sizes
+//! the measurement loop to a fixed time budget, and reports the mean
+//! wall-clock time per iteration.
+//!
+//! Set `POLLUX_BENCH_BUDGET_MS` to change the per-benchmark
+//! measurement budget (default 1500 ms).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Hint for `iter_batched` (ignored by the stub; batches always run
+/// one input per measured call).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Benchmark driver handed to each registered target function.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let ms = std::env::var("POLLUX_BENCH_BUDGET_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(1500);
+        Criterion {
+            budget: Duration::from_millis(ms),
+        }
+    }
+}
+
+impl Criterion {
+    /// Measures `f`'s routine and prints `id: <mean per iteration>`.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            budget: self.budget,
+            mean: Duration::ZERO,
+            iterations: 0,
+        };
+        f(&mut b);
+        println!(
+            "{id:<48} time: {:>12} ({} iterations)",
+            format_duration(b.mean),
+            b.iterations
+        );
+        self
+    }
+
+    /// Opens a named benchmark group; member ids print as
+    /// `group/function/parameter`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// Identifier of one parameterized benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`, as printed in the report line.
+    pub fn new<P: std::fmt::Display>(function_name: &str, parameter: P) -> Self {
+        Self {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// A bare parameter id (no function-name prefix).
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// A named family of related benchmarks (stub: shares the parent
+/// `Criterion` budget; `sample_size` is accepted and ignored).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub sizes its measurement
+    /// loop from the time budget instead.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` against a borrowed input under `group/id`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        self.criterion.bench_function(&full, |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks `f` under `group/id`.
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        self.criterion.bench_function(&full, f);
+        self
+    }
+
+    /// Ends the group (no-op in the stub; provided for API parity).
+    pub fn finish(self) {}
+}
+
+/// Runs and times a single benchmark routine.
+pub struct Bencher {
+    budget: Duration,
+    mean: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly and records the mean duration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        self.run(|| {
+            let start = Instant::now();
+            black_box(routine());
+            start.elapsed()
+        });
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; only the
+    /// routine is measured.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        self.run(|| {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            start.elapsed()
+        });
+    }
+
+    /// Shared driver: one warm-up pass, then as many timed passes as
+    /// fit the budget (at least 5, at most 10 000).
+    fn run(&mut self, mut timed_pass: impl FnMut() -> Duration) {
+        let probe = timed_pass();
+        let est = probe.max(Duration::from_nanos(1));
+        let target = (self.budget.as_nanos() / est.as_nanos()).clamp(5, 10_000) as u64;
+        let mut total = Duration::ZERO;
+        for _ in 0..target {
+            total += timed_pass();
+        }
+        self.iterations = target;
+        self.mean = total / target as u32;
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Bundles benchmark target functions into a group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `fn main` running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_counts_iterations() {
+        std::env::set_var("POLLUX_BENCH_BUDGET_MS", "5");
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u32; 16],
+                |v| v.iter().sum::<u32>(),
+                BatchSize::SmallInput,
+            )
+        });
+        std::env::remove_var("POLLUX_BENCH_BUDGET_MS");
+    }
+
+    #[test]
+    fn duration_formatting_scales() {
+        assert!(format_duration(Duration::from_nanos(10)).ends_with("ns"));
+        assert!(format_duration(Duration::from_micros(10)).ends_with("µs"));
+        assert!(format_duration(Duration::from_millis(10)).ends_with("ms"));
+        assert!(format_duration(Duration::from_secs(10)).ends_with('s'));
+    }
+}

@@ -1,0 +1,131 @@
+//! Offline vendored mini property-testing framework.
+//!
+//! API-compatible with the subset of `proptest` this workspace uses:
+//! `proptest! { #[test] fn name(x in strategy, ..) { .. } }` blocks,
+//! `#![proptest_config(ProptestConfig::with_cases(n))]`, range and
+//! tuple strategies, [`collection::vec`], [`strategy::Just`],
+//! `prop_flat_map`, `proptest::num::<int>::ANY`, and the
+//! `prop_assert!`/`prop_assert_eq!` macros.
+//!
+//! Differences from the real crate: inputs are drawn from a
+//! deterministic per-case RNG (seeded from the case index, so runs
+//! are reproducible) and **failing cases are not shrunk** — the
+//! original failing input is reported as-is via the panic message.
+
+pub mod collection;
+pub mod num;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude::*`.
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Builds the deterministic RNG for one generated case.
+#[doc(hidden)]
+pub fn __case_rng(case: u64) -> rand::rngs::StdRng {
+    use rand::SeedableRng;
+    // Golden-ratio stride decorrelates consecutive case seeds.
+    rand::rngs::StdRng::seed_from_u64(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(case.wrapping_add(1)))
+}
+
+/// Defines property tests: each `#[test] fn name(pat in strategy, ..)`
+/// item becomes a regular test that samples its strategies for
+/// `ProptestConfig::cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_items! { config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = ($config:expr);) => {};
+    (
+        config = ($config:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            for case in 0..config.cases as u64 {
+                let mut rng = $crate::__case_rng(case);
+                $(
+                    let $arg =
+                        $crate::strategy::Strategy::generate(&($strategy), &mut rng);
+                )+
+                $body
+            }
+        }
+        $crate::__proptest_items! { config = ($config); $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property test (no shrinking; panics
+/// with the standard `assert!` message).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn ranges_respect_bounds(x in 3u32..17, y in -2i64..=4, f in 0.25f64..0.75) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2..=4).contains(&y));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn tuples_and_vec_and_flat_map(
+            (len, items) in (1usize..5).prop_flat_map(|len| {
+                (Just(len), crate::collection::vec(0u8..10, len))
+            }),
+            free in crate::collection::vec(0u16..100, 2..6),
+        ) {
+            prop_assert_eq!(items.len(), len);
+            prop_assert!(free.len() >= 2 && free.len() < 6);
+            prop_assert!(items.iter().all(|&v| v < 10));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        use crate::strategy::Strategy;
+        let s = 0u64..1_000_000;
+        let a: Vec<u64> = (0..8)
+            .map(|c| s.generate(&mut crate::__case_rng(c)))
+            .collect();
+        let b: Vec<u64> = (0..8)
+            .map(|c| s.generate(&mut crate::__case_rng(c)))
+            .collect();
+        assert_eq!(a, b);
+    }
+}

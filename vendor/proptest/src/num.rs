@@ -1,0 +1,43 @@
+//! `proptest::num::<type>::ANY` — full-domain strategies for
+//! primitive integers.
+
+macro_rules! any_int_module {
+    ($($t:ident),+ $(,)?) => {$(
+        pub mod $t {
+            use crate::strategy::Strategy;
+            use rand::rngs::StdRng;
+            use rand::Rng;
+
+            /// Strategy over the whole domain of the integer type.
+            #[derive(Debug, Clone, Copy)]
+            pub struct Any;
+
+            /// Uniform over every representable value.
+            pub const ANY: Any = Any;
+
+            impl Strategy for Any {
+                // `std::primitive::` disambiguates from the enclosing
+                // module, which shares the primitive's name.
+                type Value = std::primitive::$t;
+
+                fn generate(&self, rng: &mut StdRng) -> std::primitive::$t {
+                    rng.gen_range(std::primitive::$t::MIN..=std::primitive::$t::MAX)
+                }
+            }
+        }
+    )+};
+}
+
+any_int_module!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+#[cfg(test)]
+mod tests {
+    use crate::strategy::Strategy;
+
+    #[test]
+    fn any_u64_covers_high_bits() {
+        let mut rng = crate::__case_rng(11);
+        let any_high = (0..64).any(|_| super::u64::ANY.generate(&mut rng) > u64::MAX / 2);
+        assert!(any_high, "64 draws never hit the top half of the domain");
+    }
+}

@@ -1,0 +1,146 @@
+//! Core [`Strategy`] trait plus the combinators this workspace uses:
+//! ranges over primitive numerics, tuples, [`Just`], and
+//! [`Strategy::prop_flat_map`].
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A recipe for generating values of `Self::Value`.
+///
+/// Unlike the real proptest there is no value tree / shrinking: a
+/// strategy is just a deterministic function of the case RNG.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value from the strategy.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps each generated value through `f` to obtain a second-stage
+    /// strategy, then draws from that (dependent generation).
+    fn prop_flat_map<F, S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> S,
+        S: Strategy,
+    {
+        FlatMap { base: self, f }
+    }
+
+    /// Maps each generated value through `f`.
+    fn prop_map<F, T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { base: self, f }
+    }
+}
+
+/// Strategy that always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, F, S> Strategy for FlatMap<B, F>
+where
+    B: Strategy,
+    F: Fn(B::Value) -> S,
+    S: Strategy,
+{
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> S::Value {
+        (self.f)(self.base.generate(rng)).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, F, T> Strategy for Map<B, F>
+where
+    B: Strategy,
+    F: Fn(B::Value) -> T,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        (self.f)(self.base.generate(rng))
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )+};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident / $idx:tt),+))+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy! {
+    (S0 / 0, S1 / 1)
+    (S0 / 0, S1 / 1, S2 / 2)
+    (S0 / 0, S1 / 1, S2 / 2, S3 / 3)
+    (S0 / 0, S1 / 1, S2 / 2, S3 / 3, S4 / 4)
+    (S0 / 0, S1 / 1, S2 / 2, S3 / 3, S4 / 4, S5 / 5)
+    (S0 / 0, S1 / 1, S2 / 2, S3 / 3, S4 / 4, S5 / 5, S6 / 6)
+    (S0 / 0, S1 / 1, S2 / 2, S3 / 3, S4 / 4, S5 / 5, S6 / 6, S7 / 7)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn just_yields_value_and_map_applies() {
+        let mut rng = crate::__case_rng(0);
+        assert_eq!(Just(41u32).generate(&mut rng), 41);
+        let doubled = (1u32..5).prop_map(|v| v * 2).generate(&mut rng);
+        assert!(doubled % 2 == 0 && (2..10).contains(&doubled));
+    }
+}

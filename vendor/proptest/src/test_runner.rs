@@ -1,0 +1,23 @@
+//! Runner configuration (`ProptestConfig`).
+
+/// Controls how many cases each property test generates.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` generated inputs per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real crate defaults to 256; kept identical so un-tuned
+        // property blocks exercise the same case count.
+        ProptestConfig { cases: 256 }
+    }
+}

@@ -1,0 +1,68 @@
+//! Slice sampling helpers.
+
+use crate::{RngCore, SampleRange};
+
+/// Random operations on slices.
+pub trait SliceRandom {
+    /// The element type.
+    type Item;
+
+    /// Shuffles the slice in place (Fisher-Yates).
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+    /// A uniformly chosen element, or `None` when empty.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            // `sample_single` directly: `Rng::gen_range` requires a
+            // `Sized` receiver, which `R` is not guaranteed to be.
+            let j = (0..=i).sample_single(rng);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            let i = (0..self.len()).sample_single(rng);
+            self.get(i)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_covers_all_elements() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let v = [1u32, 2, 3];
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            let &x = v.choose(&mut rng).unwrap();
+            seen[(x - 1) as usize] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+        let empty: [u32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}

@@ -1,0 +1,57 @@
+//! Offline vendored stand-in for the `serde` crate.
+//!
+//! The build environment has no crates.io access, so serialization is
+//! reduced to the subset this workspace needs: a [`Serialize`] marker
+//! whose only operation renders the value through its `Debug`
+//! implementation (consumed by the vendored `serde_json` stub's
+//! `to_string_pretty`), and no-op `#[derive(Serialize, Deserialize)]`
+//! macros so existing derive attributes keep compiling unchanged.
+//!
+//! `Serialize` is blanket-implemented for every `Debug` type; the
+//! derives exist purely so `#[derive(...)]` and `#[serde(...)]`
+//! attributes parse.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for serializable values; rendering goes through `Debug`.
+pub trait Serialize {
+    /// Renders the value as pretty `Debug` text (the stub's stand-in
+    /// for a JSON document).
+    fn to_pretty_debug(&self) -> String;
+}
+
+impl<T: std::fmt::Debug + ?Sized> Serialize for T {
+    fn to_pretty_debug(&self) -> String {
+        format!("{self:#?}")
+    }
+}
+
+/// Marker for deserializable values (never exercised by the stub).
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Serialize, Deserialize)]
+    #[serde(rename_all = "snake_case")]
+    struct Sample {
+        x: u32,
+        label: String,
+    }
+
+    #[test]
+    fn derives_and_attributes_compile_and_render() {
+        let s = Sample {
+            x: 7,
+            label: "hi".into(),
+        };
+        assert_eq!((s.x, s.label.as_str()), (7, "hi"));
+        let text = s.to_pretty_debug();
+        assert!(text.contains("Sample"));
+        assert!(text.contains('7'));
+        assert!(text.contains("hi"));
+    }
+}

@@ -1,0 +1,21 @@
+//! No-op `Serialize`/`Deserialize` derives for the vendored `serde`
+//! stub.
+//!
+//! The stub's `Serialize` trait is blanket-implemented for every
+//! `Debug` type, so the derives only need to exist (and accept
+//! `#[serde(...)]` attributes) — they generate no code.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]`; generates nothing (the trait is
+/// blanket-implemented in the `serde` stub).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]`; generates nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

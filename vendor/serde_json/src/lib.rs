@@ -1,0 +1,53 @@
+//! Offline vendored stand-in for `serde_json`.
+//!
+//! Because the vendored `serde` stub renders values through `Debug`
+//! rather than a real serializer, the "JSON" produced here is pretty
+//! `Debug` text. The workspace only writes these documents for humans
+//! (experiment dumps gated behind `POLLUX_JSON_DIR`); nothing parses
+//! them back.
+
+/// Serialization error (never produced by the stub, kept for API
+/// compatibility).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("serialization failed")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias matching the real crate's signature shape.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Renders `value` as indented text (pretty `Debug` under the stub).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(value.to_pretty_debug())
+}
+
+/// Renders `value` as a single line of text.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(value
+        .to_pretty_debug()
+        .split_whitespace()
+        .collect::<Vec<_>>()
+        .join(" "))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn pretty_output_contains_fields() {
+        #[derive(Debug)]
+        struct P {
+            a: u32,
+        }
+        assert_eq!(P { a: 42 }.a, 42);
+        let text = super::to_string_pretty(&P { a: 42 }).unwrap();
+        assert!(text.contains("42"));
+        let line = super::to_string(&P { a: 42 }).unwrap();
+        assert!(!line.contains('\n'));
+    }
+}
