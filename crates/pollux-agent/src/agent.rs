@@ -10,8 +10,8 @@
 
 use crate::profiler::ThroughputProfiler;
 use pollux_models::{
-    fit_throughput_params, AdaScale, BatchSizeLimits, EfficiencyModel, FitReport, GoodputModel,
-    GradientStats, PlacementShape, ThroughputParams,
+    fit_throughput_params_warm, AdaScale, BatchSizeLimits, EfficiencyModel, FitReport,
+    GoodputModel, GradientStats, PlacementShape, ThroughputParams,
 };
 use serde::{Deserialize, Serialize};
 
@@ -135,11 +135,15 @@ impl PolluxAgent {
         self.latest_stats = Some(stats);
     }
 
-    /// Re-fits θsys to all profiled data. Returns `true` when a fit was
+    /// Re-fits θsys to all profiled data, warm-starting from the
+    /// previous fit when one exists (consecutive refits usually share a
+    /// basin, so the expensive multi-start restarts are skipped —
+    /// [`FitReport::used_warm_start`]). Returns `true` when a fit was
     /// produced (needs at least one valid observation).
     pub fn refit(&mut self) -> bool {
         let obs = self.profiler.observations();
-        match fit_throughput_params(&obs, self.profiler.priors()) {
+        let warm = self.fitted.as_ref().map(|f| f.params);
+        match fit_throughput_params_warm(&obs, self.profiler.priors(), warm.as_ref()) {
             Some(report) => {
                 self.fitted = Some(report);
                 true
@@ -344,5 +348,19 @@ mod tests {
         let mut a = agent();
         assert!(!a.refit());
         assert!(a.fit().is_none());
+    }
+
+    #[test]
+    fn second_refit_warm_starts_from_first() {
+        let mut a = agent();
+        feed_profile(&mut a, &[(1, 1, 128), (2, 1, 256), (4, 1, 512)]);
+        assert!(a.refit());
+        assert!(!a.fit().unwrap().used_warm_start, "first fit is cold");
+        // A few more observations under the same prior mask: the warm
+        // solve from the previous optimum converges immediately.
+        feed_profile(&mut a, &[(4, 1, 1024), (2, 1, 512)]);
+        assert!(a.refit());
+        let fit = a.fit().unwrap();
+        assert!(fit.used_warm_start, "rmsle = {}", fit.rmsle);
     }
 }

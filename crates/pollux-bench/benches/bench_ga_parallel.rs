@@ -14,7 +14,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pollux_cluster::{ClusterSpec, JobId};
 use pollux_models::{BatchSizeLimits, EfficiencyModel, GoodputModel, ThroughputParams};
-use pollux_sched::{GaConfig, GeneticAlgorithm, SchedJob, SpeedupCache};
+use pollux_sched::{GaConfig, GeneticAlgorithm, SchedJob, SpeedupTable};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -53,9 +53,12 @@ fn bench_ga_parallel(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("threads", threads), &ga, |b, ga| {
             b.iter(|| {
-                let cache = SpeedupCache::new();
+                // Per-interval cost = table precompute + evolve, so the
+                // build is measured inside the loop (it parallelizes
+                // over the same worker count as the GA).
+                let table = SpeedupTable::build(&jobs, &spec, threads);
                 let mut rng = StdRng::seed_from_u64(7);
-                black_box(ga.evolve(&jobs, &spec, vec![], &cache, &mut rng))
+                black_box(ga.evolve(&jobs, &spec, vec![], &table, &mut rng))
             })
         });
     }

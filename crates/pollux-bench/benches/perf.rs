@@ -12,7 +12,7 @@ use pollux_models::{
     fit_throughput_params, BatchSizeLimits, EfficiencyModel, FitObservation, FitPriors,
     GoodputModel, PlacementShape, ThroughputParams,
 };
-use pollux_sched::{GaConfig, GeneticAlgorithm, SchedJob, SpeedupCache};
+use pollux_sched::{GaConfig, GeneticAlgorithm, SchedJob, SpeedupCache, SpeedupTable};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -82,10 +82,23 @@ fn bench_ga_generation(c: &mut Criterion) {
     });
     c.bench_function("ga_one_generation_32_jobs_16_nodes", |b| {
         b.iter_batched(
-            || (SpeedupCache::new(), StdRng::seed_from_u64(7)),
-            |(cache, mut rng)| black_box(ga.evolve(&jobs, &spec, vec![], &cache, &mut rng)),
+            || {
+                (
+                    SpeedupTable::build(&jobs, &spec, 1),
+                    StdRng::seed_from_u64(7),
+                )
+            },
+            |(table, mut rng)| black_box(ga.evolve(&jobs, &spec, vec![], &table, &mut rng)),
             BatchSize::SmallInput,
         )
+    });
+}
+
+fn bench_speedup_table_build(c: &mut Criterion) {
+    let jobs = sched_jobs(16);
+    let spec = ClusterSpec::homogeneous(4, 4).unwrap();
+    c.bench_function("speedup_table_build_16_jobs", |b| {
+        b.iter(|| black_box(SpeedupTable::build(&jobs, &spec, 1)))
     });
 }
 
@@ -114,6 +127,7 @@ criterion_group!(
     bench_optimal_batch_size,
     bench_theta_sys_fit,
     bench_ga_generation,
+    bench_speedup_table_build,
     bench_speedup_cache_population,
 );
 criterion_main!(benches);

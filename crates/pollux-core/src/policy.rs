@@ -4,9 +4,10 @@
 use pollux_cluster::{AllocationMatrix, ClusterSpec, JobId};
 use pollux_models::{BatchSizeLimits, EfficiencyModel, GoodputModel, ThroughputParams};
 use pollux_sched::{
-    job_weight, AutoscaleConfig, Autoscaler, PolluxSched, SchedConfig, SchedJob, WeightConfig,
+    job_weight, AutoscaleConfig, Autoscaler, PolluxSched, SchedConfig, SchedJob, SpeedupTableStats,
+    WeightConfig,
 };
-use pollux_simulator::{PolicyJobView, SchedulingPolicy};
+use pollux_simulator::{PolicyJobView, SchedIntervalSample, SchedulingPolicy};
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 
@@ -114,6 +115,13 @@ impl PolluxPolicy {
             })
             .collect()
     }
+
+    /// Cumulative dense speedup-table counters across every interval
+    /// scheduled so far (backs the `pollux.sched.speedup.stats`
+    /// service key).
+    pub fn speedup_stats(&self) -> SpeedupTableStats {
+        self.sched.speedup_stats()
+    }
 }
 
 impl SchedulingPolicy for PolluxPolicy {
@@ -142,6 +150,23 @@ impl SchedulingPolicy for PolluxPolicy {
 
     fn configure_parallelism(&mut self, threads: usize) {
         self.sched.set_threads(threads);
+    }
+
+    fn take_interval_stats(&mut self) -> Option<SchedIntervalSample> {
+        self.sched
+            .take_interval_stats()
+            .map(|s| SchedIntervalSample {
+                time: 0.0, // Stamped by the engine.
+                table_build_nanos: s.table_build_nanos,
+                ga_evolve_nanos: s.ga_evolve_nanos,
+                generations_run: s.ga.generations_run,
+                fitness_evals: s.ga.fitness_evals,
+                incremental_evals: s.ga.incremental_evals,
+                rows_recomputed: s.ga.rows_recomputed,
+                table_hits: s.speedup.hits,
+                table_misses: s.speedup.misses,
+                table_solves: s.speedup.solves,
+            })
     }
 
     fn desired_nodes(

@@ -22,7 +22,9 @@ use parking_lot::{Mutex, RwLock};
 use pollux_agent::{PolluxAgent, TuningDecision};
 use pollux_cluster::{AllocationMatrix, ClusterSpec, JobId};
 use pollux_models::{BatchSizeLimits, GradientStats, PlacementShape};
-use pollux_sched::{job_weight, Autoscaler, PolluxSched, SchedJob, WeightConfig};
+use pollux_sched::{
+    job_weight, Autoscaler, PolluxSched, SchedJob, SpeedupTableStats, WeightConfig,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
@@ -74,6 +76,10 @@ struct Shared {
     jobs: Mutex<HashMap<JobId, JobEntry>>,
     /// Monotone counter of completed scheduling rounds.
     rounds: RwLock<u64>,
+    /// Cumulative dense speedup-table counters, mirrored out of the
+    /// scheduler thread after every round (the
+    /// `pollux.sched.speedup.stats` service key).
+    speedup_stats: RwLock<SpeedupTableStats>,
     weights: WeightConfig,
 }
 
@@ -160,6 +166,7 @@ impl Shared {
                 entry.placement = placement;
             }
         }
+        *self.speedup_stats.write() = sched.speedup_stats();
         *self.rounds.write() += 1;
     }
 }
@@ -253,6 +260,7 @@ impl ClusterService {
             spec: RwLock::new(spec),
             jobs: Mutex::new(HashMap::new()),
             rounds: RwLock::new(0),
+            speedup_stats: RwLock::new(SpeedupTableStats::default()),
             weights: config.pollux.sched.weights,
         });
         let (tx, rx) = sync_channel::<Command>(16);
@@ -348,6 +356,14 @@ impl ClusterService {
         self.shared.jobs.lock().len()
     }
 
+    /// Cumulative dense speedup-table counters across all completed
+    /// rounds (service key `pollux.sched.speedup.stats`): lookups hit
+    /// in the table, out-of-range misses, and golden-section solves
+    /// spent precomputing the per-round tables.
+    pub fn speedup_stats(&self) -> SpeedupTableStats {
+        *self.shared.speedup_stats.read()
+    }
+
     /// Stops the scheduler thread and drops the service.
     pub fn shutdown(mut self) {
         let _ = self.commands.send(Command::Shutdown);
@@ -422,6 +438,11 @@ mod tests {
             let gpus: u32 = h.placement().iter().sum();
             assert!((1..=2).contains(&gpus), "placement {:?}", h.placement());
         }
+        // Rounds with jobs build dense tables: the service key reports
+        // accumulated solves and lookups.
+        let stats = service.speedup_stats();
+        assert!(stats.solves > 0, "no table solves recorded: {stats:?}");
+        assert!(stats.hits > 0, "no table lookups recorded: {stats:?}");
         service.shutdown();
     }
 

@@ -149,10 +149,99 @@ fn run_sim(sched_threads: usize) -> String {
 fn simulation_result_is_identical_across_sched_threads() {
     let serial = run_sim(1);
     let parallel = run_sim(4);
+    if serial != parallel {
+        let pos = serial
+            .bytes()
+            .zip(parallel.bytes())
+            .position(|(a, b)| a != b)
+            .unwrap_or(serial.len().min(parallel.len()));
+        let lo = pos.saturating_sub(200);
+        panic!(
+            "SimResult bytes differ between sched_threads=1 and 4 at byte {pos}:\nserial:   ...{}...\nparallel: ...{}...",
+            &serial[lo..(pos + 200).min(serial.len())],
+            &parallel[lo..(pos + 200).min(parallel.len())]
+        );
+    }
+}
+
+#[test]
+fn incremental_fitness_matches_full_recompute_on_optimize() {
+    // The GA carries per-job contribution vectors and recomputes only
+    // touched rows; the winning chromosome's fitness must still equal a
+    // from-scratch evaluation, bit for bit.
+    use pollux_sched::{fitness, FitnessConfig, SpeedupTable};
+    let spec = ClusterSpec::homogeneous(8, 4).unwrap();
+    let jobs = sched_jobs(12, 8);
+    let mut sched = sched_with_threads(2);
+    let mut rng = StdRng::seed_from_u64(17);
+    let outcome = sched.optimize(&jobs, &spec, &mut rng);
+    assert!(outcome.stats.incremental_evals > 0, "{:?}", outcome.stats);
+    let table = SpeedupTable::build(&jobs, &spec, 1);
+    let full = fitness(&jobs, &outcome.best, &table, &FitnessConfig::default());
     assert_eq!(
-        serial, parallel,
-        "SimResult bytes differ between sched_threads=1 and 4"
+        outcome.best_fitness.to_bits(),
+        full.to_bits(),
+        "incremental {} vs full {}",
+        outcome.best_fitness,
+        full
     );
+}
+
+#[test]
+fn interval_stats_are_identical_across_thread_counts() {
+    // Every deterministic counter in the per-interval breakdown (GA
+    // evaluations, table lookups, solves) must be a pure function of
+    // the seed — only the wall-clock nanos may differ.
+    let spec = ClusterSpec::homogeneous(8, 4).unwrap();
+    let jobs = sched_jobs(12, 8);
+    let mut reference = None;
+    for threads in [1usize, 2, 4] {
+        let mut sched = sched_with_threads(threads);
+        let mut rng = StdRng::seed_from_u64(23);
+        let _ = sched.optimize(&jobs, &spec, &mut rng);
+        let stats = sched.take_interval_stats().expect("interval recorded");
+        match &reference {
+            None => reference = Some(stats),
+            Some(base) => {
+                assert_eq!(base.ga, stats.ga, "GA counters differ at {threads} threads");
+                assert_eq!(
+                    base.speedup, stats.speedup,
+                    "table counters differ at {threads} threads"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn dense_table_matches_model_bitwise_at_any_thread_count() {
+    use pollux_sched::SpeedupTable;
+    let spec = ClusterSpec::homogeneous(8, 4).unwrap();
+    let jobs = sched_jobs(6, 8);
+    for threads in [1usize, 2, 4] {
+        let table = SpeedupTable::build(&jobs, &spec, threads);
+        for (j, job) in jobs.iter().enumerate() {
+            for gpus in 1..=spec.total_gpus() {
+                for nodes in [1u32, 2, 4] {
+                    if nodes > gpus {
+                        continue;
+                    }
+                    let shape = PlacementShape::new(gpus, nodes).unwrap();
+                    let expect = if gpus < job.min_gpus || gpus > job.gpu_cap {
+                        0.0
+                    } else {
+                        job.model
+                            .speedup(PlacementShape::new(gpus, nodes.min(2)).unwrap())
+                    };
+                    assert_eq!(
+                        table.speedup(j, shape).to_bits(),
+                        expect.to_bits(),
+                        "job {j} shape ({gpus},{nodes}) at {threads} threads"
+                    );
+                }
+            }
+        }
+    }
 }
 
 #[test]

@@ -18,7 +18,7 @@ use pollux_models::{
     fit_throughput_params_constrained, EfficiencyModel, FitObservation, FitPriors, GoodputModel,
     PlacementShape, ThroughputParams,
 };
-use pollux_sched::{fitness, FitnessConfig, GaConfig, GeneticAlgorithm, SchedJob, SpeedupCache};
+use pollux_sched::{fitness, FitnessConfig, GaConfig, GeneticAlgorithm, SchedJob, SpeedupTable};
 use pollux_simulator::SimConfig;
 use pollux_workload::{ModelKind, TraceConfig, TraceGenerator};
 use rand::rngs::StdRng;
@@ -198,9 +198,12 @@ pub fn search_ablation(seed: u64) -> SearchAblation {
     let budget = ga_cfg.population + ga_cfg.generations * 2 * ga_cfg.population;
 
     let ga = GeneticAlgorithm::new(ga_cfg);
-    let cache = SpeedupCache::new();
+    // One dense table shared by all three search arms: every arm pays
+    // the same (zero) per-lookup cost, so the comparison isolates the
+    // search strategies themselves.
+    let table = SpeedupTable::build(&jobs, &spec, 1);
     let mut rng = StdRng::seed_from_u64(seed);
-    let out = ga.evolve(&jobs, &spec, vec![], &cache, &mut rng);
+    let out = ga.evolve(&jobs, &spec, vec![], &table, &mut rng);
 
     // Local search: same evaluation budget, first-improvement moves.
     let ls = pollux_sched::LocalSearch::new(pollux_sched::LocalSearchConfig {
@@ -208,13 +211,11 @@ pub fn search_ablation(seed: u64) -> SearchAblation {
         restarts: 2,
         ..Default::default()
     });
-    let cache_ls = SpeedupCache::new();
     let mut rng_ls = StdRng::seed_from_u64(seed ^ 0x5151);
-    let (_, local_search_fitness) = ls.optimize(&jobs, &spec, &cache_ls, &mut rng_ls);
+    let (_, local_search_fitness) = ls.optimize(&jobs, &spec, &table, &mut rng_ls);
 
     // Random search: sample, repair, evaluate.
     let mut best_random = f64::NEG_INFINITY;
-    let cache2 = SpeedupCache::new();
     let mut rng2 = StdRng::seed_from_u64(seed ^ 0xABCD);
     let fitness_cfg = FitnessConfig::default();
     for _ in 0..budget {
@@ -225,7 +226,7 @@ pub fn search_ablation(seed: u64) -> SearchAblation {
             }
         }
         ga.repair(&mut m, &jobs, &spec, &mut rng2);
-        let f = fitness(&jobs, &m, &cache2, &fitness_cfg);
+        let f = fitness(&jobs, &m, &table, &fitness_cfg);
         if f > best_random {
             best_random = f;
         }

@@ -82,6 +82,10 @@ pub struct FitReport {
     pub num_observations: usize,
     /// The priors that masked the fit.
     pub priors: FitPriors,
+    /// Whether the fit converged from a warm start (previous round's
+    /// parameters), skipping the multi-start restarts.
+    #[serde(default)]
+    pub used_warm_start: bool,
 }
 
 /// Root-mean-squared logarithmic error between the model and the
@@ -107,7 +111,33 @@ pub fn rmsle(params: &ThroughputParams, obs: &[FitObservation]) -> f64 {
 ///
 /// Returns `None` when `obs` is empty or contains no finite `t_iter`.
 pub fn fit_throughput_params(obs: &[FitObservation], priors: FitPriors) -> Option<FitReport> {
-    fit_throughput_params_constrained(obs, priors, (1.0, ThroughputParams::GAMMA_MAX))
+    fit_impl(obs, priors, (1.0, ThroughputParams::GAMMA_MAX), None)
+}
+
+/// RMSLE at which a warm-started solve is accepted without running the
+/// multi-start restarts. The agent's own observation noise dominates
+/// below this level, so multi-start would spend 4x the solver budget to
+/// reshuffle noise.
+const WARM_ACCEPT_RMSLE: f64 = 0.02;
+
+/// Like [`fit_throughput_params`] but seeded from the previous round's
+/// fitted parameters.
+///
+/// Consecutive refits see nearly the same observation set, so the old
+/// optimum almost always lies in the new optimum's basin: one
+/// quasi-Newton solve from `warm` typically converges immediately. When
+/// that solve reaches an RMSLE of at most [`WARM_ACCEPT_RMSLE`] the
+/// multi-start restarts are skipped entirely
+/// ([`FitReport::used_warm_start`] is set); otherwise the warm
+/// candidate merely competes with the cold-start seeds, so the result
+/// is never worse than a cold fit. `warm = None` is exactly
+/// [`fit_throughput_params`].
+pub fn fit_throughput_params_warm(
+    obs: &[FitObservation],
+    priors: FitPriors,
+    warm: Option<&ThroughputParams>,
+) -> Option<FitReport> {
+    fit_impl(obs, priors, (1.0, ThroughputParams::GAMMA_MAX), warm)
 }
 
 /// Like [`fit_throughput_params`] but with an explicit γ range.
@@ -120,6 +150,15 @@ pub fn fit_throughput_params_constrained(
     obs: &[FitObservation],
     priors: FitPriors,
     gamma_range: (f64, f64),
+) -> Option<FitReport> {
+    fit_impl(obs, priors, gamma_range, None)
+}
+
+fn fit_impl(
+    obs: &[FitObservation],
+    priors: FitPriors,
+    gamma_range: (f64, f64),
+    warm: Option<&ThroughputParams>,
 ) -> Option<FitReport> {
     if !(1.0..=ThroughputParams::GAMMA_MAX).contains(&gamma_range.0)
         || gamma_range.1 < gamma_range.0
@@ -163,7 +202,56 @@ pub fn fit_throughput_params_constrained(
         });
         hi.push(if i == 6 { gamma_range.1 } else { f64::INFINITY });
     }
-    let bounds = Bounds::new(lo, hi).expect("static bounds are well-formed");
+    let bounds = Bounds::new(lo.clone(), hi.clone()).expect("static bounds are well-formed");
+
+    let lb_opts = LbfgsbOptions {
+        // 7 parameters: quasi-Newton converges in a few dozen steps;
+        // the agent refits often, so the budget is kept tight.
+        max_iters: 80,
+        ..Default::default()
+    };
+    let nm_opts = NelderMeadOptions {
+        max_evals: 1200,
+        ..Default::default()
+    };
+
+    // Warm start: one quasi-Newton solve (plus polish) from the
+    // previous round's optimum before spending any restarts.
+    let mut warm_candidate: Option<(Vec<f64>, f64)> = None;
+    if let Some(w) = warm {
+        let full = w.to_vec();
+        let seed: Vec<f64> = free_idx
+            .iter()
+            .enumerate()
+            .map(|(slot, &i)| full[i].clamp(lo[slot], hi[slot]))
+            .collect();
+        let mut cand = (seed.clone(), loss(&seed));
+        if let Ok(r) = lbfgsb_minimize(loss, &seed, &bounds, &lb_opts) {
+            if r.fx < cand.1 {
+                cand = (r.x, r.fx);
+            }
+        }
+        if let Ok(r) = nelder_mead_minimize(loss, &cand.0, &bounds, &nm_opts) {
+            if r.fx < cand.1 {
+                cand = (r.x, r.fx);
+            }
+        }
+        if cand.1 <= WARM_ACCEPT_RMSLE {
+            let params = embed(&cand.0);
+            debug_assert!(
+                params.is_valid(),
+                "warm fit produced invalid params: {params:?}"
+            );
+            return Some(FitReport {
+                params,
+                rmsle: cand.1,
+                num_observations: clean.len(),
+                priors,
+                used_warm_start: true,
+            });
+        }
+        warm_candidate = Some(cand);
+    }
 
     // Heuristic multi-starts derived from the data scale: the mean
     // iteration time and per-example time seed α and β.
@@ -212,13 +300,9 @@ pub fn fit_throughput_params_constrained(
         ],
     ];
 
-    let lb_opts = LbfgsbOptions {
-        // 7 parameters: quasi-Newton converges in a few dozen steps;
-        // the agent refits often, so the budget is kept tight.
-        max_iters: 80,
-        ..Default::default()
-    };
-    let mut best: Option<(Vec<f64>, f64)> = None;
+    // A warm candidate that failed the early-accept threshold still
+    // competes with the cold-start restarts.
+    let mut best: Option<(Vec<f64>, f64)> = warm_candidate;
     for seed_full in &seeds_full {
         let seed: Vec<f64> = free_idx.iter().map(|&i| seed_full[i]).collect();
         if let Ok(r) = lbfgsb_minimize(loss, &seed, &bounds, &lb_opts) {
@@ -235,10 +319,6 @@ pub fn fit_throughput_params_constrained(
 
     // Nelder-Mead polish: robust to flat RMSLE regions where numeric
     // gradients vanish.
-    let nm_opts = NelderMeadOptions {
-        max_evals: 1200,
-        ..Default::default()
-    };
     if let Ok(r) = nelder_mead_minimize(loss, &start, &bounds, &nm_opts) {
         if best.as_ref().is_none_or(|(_, f)| r.fx < *f) {
             best = Some((r.x, r.fx));
@@ -253,6 +333,7 @@ pub fn fit_throughput_params_constrained(
         rmsle: fx,
         num_observations: clean.len(),
         priors,
+        used_warm_start: false,
     })
 }
 
@@ -415,5 +496,91 @@ mod tests {
         let obs = synth_observations(0.3, 7);
         let report = fit_throughput_params(&obs, FitPriors::from_observations(&obs)).unwrap();
         assert!(report.params.is_valid());
+    }
+
+    #[test]
+    fn warm_start_converges_and_skips_restarts() {
+        // Cold fit once, then refit the slightly grown observation set
+        // warm: the solve from the previous optimum converges below the
+        // acceptance threshold.
+        let obs = synth_observations(0.0, 8);
+        let priors = FitPriors::from_observations(&obs);
+        let cold = fit_throughput_params(&obs, priors).unwrap();
+        assert!(!cold.used_warm_start);
+
+        let mut grown = obs.clone();
+        let p = truth();
+        let shape = PlacementShape::new(6, 2).unwrap();
+        grown.push(FitObservation {
+            shape,
+            batch_size: 768,
+            t_iter: p.t_iter(shape, 768),
+        });
+        let warm = fit_throughput_params_warm(
+            &grown,
+            FitPriors::from_observations(&grown),
+            Some(&cold.params),
+        )
+        .unwrap();
+        assert!(warm.used_warm_start, "rmsle = {}", warm.rmsle);
+        assert!(warm.rmsle <= WARM_ACCEPT_RMSLE);
+        assert!(warm.params.is_valid());
+        // The warm fit predicts as well as the cold one on held-out
+        // configurations.
+        for (gpus, nodes, m) in [(3u32, 1u32, 384u64), (12, 3, 1536)] {
+            let s = PlacementShape::new(gpus, nodes).unwrap();
+            let a = warm.params.t_iter(s, m);
+            let b = p.t_iter(s, m);
+            assert!((a - b).abs() / b < 0.15, "held-out: warm {a} vs truth {b}");
+        }
+    }
+
+    #[test]
+    fn warm_none_matches_cold_fit_exactly() {
+        let obs = synth_observations(0.05, 9);
+        let priors = FitPriors::from_observations(&obs);
+        let cold = fit_throughput_params(&obs, priors).unwrap();
+        let warm = fit_throughput_params_warm(&obs, priors, None).unwrap();
+        assert_eq!(cold, warm);
+    }
+
+    #[test]
+    fn bad_warm_start_falls_back_to_multi_start() {
+        // Absurd warm parameters: the warm solve cannot reach the
+        // acceptance threshold from there... but the multi-start must
+        // still rescue the fit, no worse than cold.
+        let obs = synth_observations(0.0, 10);
+        let priors = FitPriors::from_observations(&obs);
+        let junk = ThroughputParams::new(500.0, 50.0, 400.0, 90.0, 300.0, 80.0, 10.0).unwrap();
+        let warm = fit_throughput_params_warm(&obs, priors, Some(&junk)).unwrap();
+        let cold = fit_throughput_params(&obs, priors).unwrap();
+        assert!(
+            warm.rmsle <= cold.rmsle + 1e-9,
+            "warm {} vs cold {}",
+            warm.rmsle,
+            cold.rmsle
+        );
+        assert!(warm.params.is_valid());
+    }
+
+    #[test]
+    fn warm_start_respects_prior_masks() {
+        // Warm params with non-zero sync costs, but priors that pin all
+        // sync parameters: the warm path must not leak them through.
+        let p = truth();
+        let obs: Vec<FitObservation> = [128u64, 256, 512]
+            .iter()
+            .map(|&m| FitObservation {
+                shape: PlacementShape::single(),
+                batch_size: m,
+                t_iter: p.t_iter(PlacementShape::single(), m),
+            })
+            .collect();
+        let report =
+            fit_throughput_params_warm(&obs, FitPriors::from_observations(&obs), Some(&p)).unwrap();
+        assert_eq!(report.params.alpha_sync_local, 0.0);
+        assert_eq!(report.params.alpha_sync_node, 0.0);
+        assert_eq!(report.params.beta_sync_local, 0.0);
+        assert_eq!(report.params.beta_sync_node, 0.0);
     }
 }

@@ -175,6 +175,70 @@ impl GoodputModel {
         let k = self.limits.min_gpus().max(1);
         PlacementShape::new(k, 1).unwrap_or(PlacementShape::single())
     }
+
+    /// Evaluates `SPEEDUP` for every GPU count in one pass, producing a
+    /// dense profile indexed by `K − 1` for both locality classes.
+    ///
+    /// `T_sync` (Eqn 10) only distinguishes co-located (`N = 1`) from
+    /// cross-node (`N ≥ 2`) placements, so two rows of length `len`
+    /// cover the entire feasible shape space. Entries outside
+    /// `feasible` (and the impossible distributed `K = 1` cell) are 0,
+    /// matching [`Self::speedup`]'s treatment of infeasible shapes.
+    /// When `include_distributed` is false the distributed row is all
+    /// zeros and its golden-section solves are skipped (single-node
+    /// clusters can never query it).
+    ///
+    /// Every stored value is bit-identical to the corresponding
+    /// [`Self::speedup`] call: both divide `max_goodput(shape)` by a
+    /// once-computed `max_goodput(reference_shape())`.
+    pub fn speedup_profile(
+        &self,
+        feasible: std::ops::RangeInclusive<u32>,
+        len: u32,
+        include_distributed: bool,
+    ) -> SpeedupProfile {
+        let mut profile = SpeedupProfile {
+            colocated: vec![0.0; len as usize],
+            distributed: vec![0.0; len as usize],
+            solves: 0,
+        };
+        let lo = (*feasible.start()).max(1);
+        let hi = (*feasible.end()).min(len);
+        if lo > hi {
+            return profile;
+        }
+        profile.solves += 1;
+        let denom = self.max_goodput(self.reference_shape());
+        if denom <= 0.0 {
+            return profile;
+        }
+        for k in lo..=hi {
+            profile.solves += 1;
+            let colocated = PlacementShape::new(k, 1).expect("k >= 1");
+            profile.colocated[(k - 1) as usize] = self.max_goodput(colocated) / denom;
+            if include_distributed && k >= 2 {
+                profile.solves += 1;
+                let spread = PlacementShape::new(k, 2).expect("k >= 2");
+                profile.distributed[(k - 1) as usize] = self.max_goodput(spread) / denom;
+            }
+        }
+        profile
+    }
+}
+
+/// Dense `SPEEDUP` values over `K = 1..=len` for both locality classes
+/// of one model, produced by [`GoodputModel::speedup_profile`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpeedupProfile {
+    /// `SPEEDUP(K, N = 1)` at index `K − 1`; 0 outside the feasible range.
+    pub colocated: Vec<f64>,
+    /// `SPEEDUP(K, N = 2)` at index `K − 1` (the canonical value for
+    /// every `N ≥ 2` placement); 0 outside the feasible range and for
+    /// the impossible `K = 1` cell.
+    pub distributed: Vec<f64>,
+    /// Golden-section batch-size solves performed while building the
+    /// profile (reference denominator plus one per stored entry).
+    pub solves: u64,
 }
 
 #[cfg(test)]
@@ -353,6 +417,51 @@ mod tests {
         // The reference shape itself has speedup 1.
         let s = g.speedup(g.reference_shape());
         assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speedup_profile_matches_speedup_bitwise() {
+        let g = model(1500.0);
+        let profile = g.speedup_profile(1..=12, 12, true);
+        for k in 1u32..=12 {
+            let co = g.speedup(PlacementShape::new(k, 1).unwrap());
+            assert_eq!(
+                profile.colocated[(k - 1) as usize].to_bits(),
+                co.to_bits(),
+                "colocated K={k}"
+            );
+            if k >= 2 {
+                let sp = g.speedup(PlacementShape::new(k, 2).unwrap());
+                assert_eq!(
+                    profile.distributed[(k - 1) as usize].to_bits(),
+                    sp.to_bits(),
+                    "distributed K={k}"
+                );
+            }
+        }
+        assert_eq!(profile.distributed[0], 0.0, "K=1 cannot span two nodes");
+        // 1 reference + 12 colocated + 11 distributed solves.
+        assert_eq!(profile.solves, 24);
+    }
+
+    #[test]
+    fn speedup_profile_respects_feasible_range_and_locality_gate() {
+        let g = model(900.0);
+        let profile = g.speedup_profile(3..=6, 8, false);
+        for k in 1u32..=8 {
+            let idx = (k - 1) as usize;
+            assert_eq!(profile.distributed[idx], 0.0, "distributed gated off");
+            if !(3..=6).contains(&k) {
+                assert_eq!(profile.colocated[idx], 0.0, "K={k} infeasible");
+            } else {
+                assert!(profile.colocated[idx] > 0.0, "K={k} feasible");
+            }
+        }
+        // Empty feasible range: no solves at all.
+        #[allow(clippy::reversed_empty_ranges)]
+        let empty = g.speedup_profile(5..=4, 8, true);
+        assert_eq!(empty.solves, 0);
+        assert!(empty.colocated.iter().all(|&v| v == 0.0));
     }
 
     proptest! {

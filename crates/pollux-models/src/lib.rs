@@ -34,8 +34,9 @@ pub use accum::AccumulatedGoodput;
 pub use adascale::AdaScale;
 pub use efficiency::{EfficiencyModel, GradientStats};
 pub use fit::{
-    fit_throughput_params, fit_throughput_params_constrained, FitObservation, FitPriors, FitReport,
+    fit_throughput_params, fit_throughput_params_constrained, fit_throughput_params_warm,
+    FitObservation, FitPriors, FitReport,
 };
-pub use goodput::{BatchSizeLimits, GoodputModel};
+pub use goodput::{BatchSizeLimits, GoodputModel, SpeedupProfile};
 pub use rack::{RackAwareParams, RackPlacementShape};
 pub use throughput::{PlacementShape, ThroughputParams};

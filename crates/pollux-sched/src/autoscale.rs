@@ -22,7 +22,7 @@
 
 use crate::fitness::utility;
 use crate::ga::{GaConfig, GeneticAlgorithm};
-use crate::speedup::{SchedJob, SpeedupCache};
+use crate::speedup::{SchedJob, SpeedupTable};
 use pollux_cluster::{AllocationMatrix, ClusterSpec};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -113,9 +113,9 @@ impl Autoscaler {
     ) -> (AllocationMatrix, f64) {
         let spec = ClusterSpec::homogeneous(nodes, self.config.gpus_per_node)
             .expect("nodes and gpus_per_node validated at construction");
-        let cache = SpeedupCache::new();
-        let outcome = self.ga.evolve(jobs, &spec, vec![], &cache, rng);
-        let u = utility(jobs, &outcome.best, &cache, spec.total_gpus());
+        let table = SpeedupTable::build(jobs, &spec, self.config.ga.threads.max(1));
+        let outcome = self.ga.evolve(jobs, &spec, vec![], &table, rng);
+        let u = utility(jobs, &outcome.best, &table, spec.total_gpus());
         (outcome.best, u)
     }
 

@@ -1,6 +1,20 @@
 //! The scheduling fitness function (Eqn 14) with restart penalties.
+//!
+//! `FITNESS(A) = Σ_j w_j (SPEEDUP_j(A_j) − penalty_j) / Σ_j w_j` is a
+//! weighted mean of independent per-job terms, which is what makes the
+//! GA's incremental evaluation possible: each chromosome carries a
+//! per-job **contribution vector** `c_j = w_j (SPEEDUP_j − penalty_j)`
+//! and only the rows touched by mutation/crossover/repair are
+//! recomputed. [`fitness_of`] folds a contribution vector in index
+//! order with the exact multiply-then-add sequence the full
+//! recomputation uses, so incremental and full evaluation are
+//! bit-identical.
+//!
+//! Speedup lookups go through the dense per-interval [`SpeedupTable`];
+//! [`fitness_with_cache`] keeps the previous sharded-`SpeedupCache`
+//! path alive as the `bench_fitness` baseline.
 
-use crate::speedup::{SchedJob, SpeedupCache};
+use crate::speedup::{SchedJob, SpeedupCache, SpeedupTable};
 use pollux_cluster::AllocationMatrix;
 use serde::{Deserialize, Serialize};
 
@@ -21,18 +35,106 @@ impl Default for FitnessConfig {
     }
 }
 
-/// Evaluates `FITNESS(A) = Σ_j w_j (SPEEDUP_j(A_j) − penalty_j) / Σ_j w_j`.
+/// `Σ_j w_j`, accumulated in job order (the Eqn 14 denominator).
+pub fn weight_sum(jobs: &[SchedJob]) -> f64 {
+    let mut den = 0.0;
+    for job in jobs {
+        den += job.weight;
+    }
+    den
+}
+
+/// One job's fitness contribution `w_j (SPEEDUP_j(A_j) − penalty_j)`.
 ///
-/// - A job's speedup is 0 when unallocated (its row is all zeros) or
-///   when its row is infeasible for the job (below `min_gpus`, above
-///   `gpu_cap`).
+/// - The speedup is 0 when the job is unallocated (row all zeros) or
+///   its row is infeasible (below `min_gpus`, above `gpu_cap`).
 /// - The restart penalty applies to *running* jobs whose row in `alloc`
 ///   differs from their currently applied placement. Newly started
 ///   (previously pending) jobs are not penalized.
+#[inline]
+pub fn contribution(
+    jobs: &[SchedJob],
+    j: usize,
+    alloc: &AllocationMatrix,
+    table: &SpeedupTable,
+    config: &FitnessConfig,
+) -> f64 {
+    let job = &jobs[j];
+    let mut s = match alloc.shape_of(j) {
+        Some(shape) => table.speedup(j, shape),
+        None => 0.0,
+    };
+    if job.is_running() && alloc.row(j) != job.current_placement.as_slice() {
+        s -= config.restart_penalty;
+    }
+    job.weight * s
+}
+
+/// The full contribution vector of one allocation matrix.
+pub fn contributions(
+    jobs: &[SchedJob],
+    alloc: &AllocationMatrix,
+    table: &SpeedupTable,
+    config: &FitnessConfig,
+) -> Vec<f64> {
+    debug_assert!(
+        alloc.num_jobs() >= jobs.len(),
+        "allocation matrix too small"
+    );
+    (0..jobs.len())
+        .map(|j| contribution(jobs, j, alloc, table, config))
+        .collect()
+}
+
+/// Folds a contribution vector into the Eqn 14 fitness value.
+///
+/// Sums in index order — the same multiply-then-add sequence as a full
+/// recomputation — so a chromosome whose stale rows were patched
+/// incrementally evaluates to the exact bits of a from-scratch pass.
+pub fn fitness_of(contrib: &[f64], weight_sum: f64) -> f64 {
+    let mut num = 0.0;
+    for &c in contrib {
+        num += c;
+    }
+    if weight_sum > 0.0 {
+        num / weight_sum
+    } else {
+        0.0
+    }
+}
+
+/// Evaluates `FITNESS(A)` from scratch against the dense table.
 ///
 /// Rows of `alloc` correspond to `jobs` by index; `alloc` must have at
 /// least `jobs.len()` rows (extra rows are ignored).
 pub fn fitness(
+    jobs: &[SchedJob],
+    alloc: &AllocationMatrix,
+    table: &SpeedupTable,
+    config: &FitnessConfig,
+) -> f64 {
+    debug_assert!(
+        alloc.num_jobs() >= jobs.len(),
+        "allocation matrix too small"
+    );
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (j, job) in jobs.iter().enumerate() {
+        num += contribution(jobs, j, alloc, table, config);
+        den += job.weight;
+    }
+    if den > 0.0 {
+        num / den
+    } else {
+        0.0
+    }
+}
+
+/// Legacy fitness evaluation against the sharded [`SpeedupCache`].
+///
+/// Identical semantics (and bits) to [`fitness`]; kept as the
+/// hash-cache baseline arm of `bench_fitness`.
+pub fn fitness_with_cache(
     jobs: &[SchedJob],
     alloc: &AllocationMatrix,
     cache: &SpeedupCache,
@@ -68,7 +170,7 @@ pub fn fitness(
 pub fn utility(
     jobs: &[SchedJob],
     alloc: &AllocationMatrix,
-    cache: &SpeedupCache,
+    table: &SpeedupTable,
     total_gpus: u32,
 ) -> f64 {
     if total_gpus == 0 {
@@ -77,8 +179,8 @@ pub fn utility(
     let sum: f64 = jobs
         .iter()
         .enumerate()
-        .map(|(j, job)| match alloc.shape_of(j) {
-            Some(shape) => cache.speedup(job, shape),
+        .map(|(j, _)| match alloc.shape_of(j) {
+            Some(shape) => table.speedup(j, shape),
             None => 0.0,
         })
         .sum();
@@ -88,7 +190,7 @@ pub fn utility(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pollux_cluster::JobId;
+    use pollux_cluster::{ClusterSpec, JobId};
     use pollux_models::{BatchSizeLimits, EfficiencyModel, GoodputModel, ThroughputParams};
 
     fn model() -> GoodputModel {
@@ -109,12 +211,17 @@ mod tests {
         }
     }
 
+    fn table_for(jobs: &[SchedJob], nodes: u32, gpus_per_node: u32) -> SpeedupTable {
+        let spec = ClusterSpec::homogeneous(nodes, gpus_per_node).unwrap();
+        SpeedupTable::build(jobs, &spec, 1)
+    }
+
     #[test]
     fn empty_cluster_has_zero_fitness() {
         let jobs = vec![job(0, 1.0, vec![]), job(1, 1.0, vec![])];
         let alloc = AllocationMatrix::zeros(2, 4);
-        let cache = SpeedupCache::new();
-        assert_eq!(fitness(&jobs, &alloc, &cache, &Default::default()), 0.0);
+        let table = table_for(&jobs, 4, 4);
+        assert_eq!(fitness(&jobs, &alloc, &table, &Default::default()), 0.0);
     }
 
     #[test]
@@ -123,8 +230,8 @@ mod tests {
         let mut alloc = AllocationMatrix::zeros(2, 4);
         alloc.set(0, 0, 1);
         alloc.set(1, 1, 1);
-        let cache = SpeedupCache::new();
-        let f = fitness(&jobs, &alloc, &cache, &Default::default());
+        let table = table_for(&jobs, 4, 4);
+        let f = fitness(&jobs, &alloc, &table, &Default::default());
         assert!((f - 1.0).abs() < 1e-9, "f = {f}");
     }
 
@@ -135,9 +242,9 @@ mod tests {
         a1.set(0, 0, 1);
         let mut a4 = AllocationMatrix::zeros(1, 4);
         a4.set(0, 0, 4);
-        let cache = SpeedupCache::new();
-        let f1 = fitness(&jobs, &a1, &cache, &Default::default());
-        let f4 = fitness(&jobs, &a4, &cache, &Default::default());
+        let table = table_for(&jobs, 4, 4);
+        let f1 = fitness(&jobs, &a1, &table, &Default::default());
+        let f4 = fitness(&jobs, &a4, &table, &Default::default());
         assert!(f4 > f1, "{f4} vs {f1}");
     }
 
@@ -148,17 +255,17 @@ mod tests {
         let cfg = FitnessConfig {
             restart_penalty: 0.25,
         };
-        let cache = SpeedupCache::new();
+        let table = table_for(&jobs, 4, 4);
 
         // Same placement: no penalty.
         let mut same = AllocationMatrix::zeros(1, 4);
         same.set(0, 0, 2);
-        let f_same = fitness(&jobs, &same, &cache, &cfg);
+        let f_same = fitness(&jobs, &same, &table, &cfg);
 
         // Same shape on a different node: penalized.
         let mut moved = AllocationMatrix::zeros(1, 4);
         moved.set(0, 1, 2);
-        let f_moved = fitness(&jobs, &moved, &cache, &cfg);
+        let f_moved = fitness(&jobs, &moved, &table, &cfg);
         assert!(
             (f_same - f_moved - 0.25).abs() < 1e-9,
             "{f_same} vs {f_moved}"
@@ -170,8 +277,8 @@ mod tests {
         let jobs = vec![job(0, 1.0, vec![0, 0, 0, 0])];
         let mut alloc = AllocationMatrix::zeros(1, 4);
         alloc.set(0, 0, 1);
-        let cache = SpeedupCache::new();
-        let f = fitness(&jobs, &alloc, &cache, &Default::default());
+        let table = table_for(&jobs, 4, 4);
+        let f = fitness(&jobs, &alloc, &table, &Default::default());
         assert!((f - 1.0).abs() < 1e-9);
     }
 
@@ -188,10 +295,62 @@ mod tests {
         let mut to_light = AllocationMatrix::zeros(2, 1);
         to_light.set(0, 0, 1);
         to_light.set(1, 0, 2);
-        let cache = SpeedupCache::new();
-        let f_heavy = fitness(&jobs, &to_heavy, &cache, &Default::default());
-        let f_light = fitness(&jobs, &to_light, &cache, &Default::default());
+        let table = table_for(&jobs, 1, 4);
+        let f_heavy = fitness(&jobs, &to_heavy, &table, &Default::default());
+        let f_light = fitness(&jobs, &to_light, &table, &Default::default());
         assert!(f_heavy > f_light);
+    }
+
+    #[test]
+    fn incremental_contributions_match_full_fitness_bitwise() {
+        let jobs = vec![
+            job(0, 1.0, vec![2, 0, 0, 0]),
+            job(1, 1.3, vec![]),
+            job(2, 0.7, vec![0, 0, 1, 0]),
+        ];
+        let table = table_for(&jobs, 4, 4);
+        let cfg = FitnessConfig::default();
+        let mut alloc = AllocationMatrix::zeros(3, 4);
+        alloc.set(0, 0, 2);
+        alloc.set(1, 1, 3);
+        alloc.set(2, 2, 1);
+        let mut contrib = contributions(&jobs, &alloc, &table, &cfg);
+        let den = weight_sum(&jobs);
+        assert_eq!(
+            fitness_of(&contrib, den).to_bits(),
+            fitness(&jobs, &alloc, &table, &cfg).to_bits()
+        );
+        // Patch one row and recompute only its contribution: still
+        // bit-identical to a from-scratch evaluation.
+        alloc.set(1, 1, 0);
+        alloc.set(1, 3, 2);
+        contrib[1] = contribution(&jobs, 1, &alloc, &table, &cfg);
+        assert_eq!(
+            fitness_of(&contrib, den).to_bits(),
+            fitness(&jobs, &alloc, &table, &cfg).to_bits()
+        );
+    }
+
+    #[test]
+    fn table_fitness_matches_legacy_cache_fitness_bitwise() {
+        let jobs = vec![
+            job(0, 1.0, vec![2, 0, 0, 0]),
+            job(1, 1.3, vec![]),
+            job(2, 0.7, vec![0, 0, 1, 0]),
+        ];
+        let table = table_for(&jobs, 4, 4);
+        let cache = SpeedupCache::new();
+        let cfg = FitnessConfig::default();
+        for (a, b, c) in [(2u32, 3u32, 1u32), (1, 0, 4), (4, 4, 0)] {
+            let mut alloc = AllocationMatrix::zeros(3, 4);
+            alloc.set(0, 0, a);
+            alloc.set(1, 1, b);
+            alloc.set(2, 2, c);
+            assert_eq!(
+                fitness(&jobs, &alloc, &table, &cfg).to_bits(),
+                fitness_with_cache(&jobs, &alloc, &cache, &cfg).to_bits()
+            );
+        }
     }
 
     #[test]
@@ -200,11 +359,11 @@ mod tests {
         let mut alloc = AllocationMatrix::zeros(2, 4);
         alloc.set(0, 0, 1);
         alloc.set(1, 1, 1);
-        let cache = SpeedupCache::new();
+        let table = table_for(&jobs, 4, 4);
         // Two jobs at speedup 1 on a 16-GPU cluster: utility = 2/16.
-        let u = utility(&jobs, &alloc, &cache, 16);
+        let u = utility(&jobs, &alloc, &table, 16);
         assert!((u - 2.0 / 16.0).abs() < 1e-9);
-        assert_eq!(utility(&jobs, &alloc, &cache, 0), 0.0);
+        assert_eq!(utility(&jobs, &alloc, &table, 0), 0.0);
     }
 
     #[test]
@@ -214,8 +373,8 @@ mod tests {
         let mut alloc = AllocationMatrix::zeros(2, 2);
         alloc.set(0, 0, 4);
         alloc.set(1, 1, 4);
-        let cache = SpeedupCache::new();
-        let u = utility(&jobs, &alloc, &cache, 8);
+        let table = table_for(&jobs, 2, 4);
+        let u = utility(&jobs, &alloc, &table, 8);
         assert!(u <= 1.0 + 1e-9 && u > 0.0, "u = {u}");
     }
 }

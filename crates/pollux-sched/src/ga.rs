@@ -15,6 +15,21 @@
 //! 4. **Survival** — the population is truncated back to its constant
 //!    size by discarding the lowest-fitness members.
 //!
+//! # Incremental fitness evaluation
+//!
+//! Eqn 14 is a weighted mean of independent per-job terms, so each
+//! chromosome carries its per-job **contribution vector**
+//! `c_j = w_j (SPEEDUP_j − penalty_j)` alongside the matrix. Mutation,
+//! crossover, and repair report which rows they touched; only those
+//! contributions are recomputed against the dense [`SpeedupTable`],
+//! and crossover copies each row's contribution from the parent that
+//! supplied the row (a contribution is a pure function of its row).
+//! [`crate::fitness::fitness_of`] folds the vector in index order with
+//! the exact arithmetic of a full pass, so the incremental fitness is
+//! bit-identical to a from-scratch evaluation — an invariant checked
+//! by a `debug_assert` full recompute on every offspring in debug
+//! builds and pinned by the determinism test suite.
+//!
 //! # Parallel evaluation and determinism
 //!
 //! With [`GaConfig::threads`] > 1, member construction (mutate,
@@ -30,9 +45,9 @@
 //! pinned by this crate's determinism tests. `threads == 1` runs the
 //! identical per-slot code inline without spawning any threads.
 
-use crate::fitness::{fitness, FitnessConfig};
+use crate::fitness::{contribution, contributions, fitness_of, weight_sum, FitnessConfig};
 use crate::par::parallel_map;
-use crate::speedup::{SchedJob, SpeedupCache};
+use crate::speedup::{SchedJob, SpeedupTable};
 use pollux_cluster::{AllocationMatrix, ClusterSpec, NodeId};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -77,6 +92,31 @@ impl Default for GaConfig {
     }
 }
 
+/// Evaluation counters of one `evolve` call, accumulated in
+/// deterministic slot order (thread-count-invariant for a fixed seed).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GaRunStats {
+    /// Generations actually executed (≤ `GaConfig::generations` when
+    /// early stopping triggers).
+    pub generations_run: u64,
+    /// Chromosome fitness evaluations, full and incremental.
+    pub fitness_evals: u64,
+    /// The subset of `fitness_evals` served by patching a parent's
+    /// contribution vector instead of recomputing every row.
+    pub incremental_evals: u64,
+    /// Per-job contribution rows recomputed across all evaluations
+    /// (`jobs × full evals + touched rows of incremental evals`).
+    pub rows_recomputed: u64,
+}
+
+impl GaRunStats {
+    fn absorb(&mut self, slot: SlotStats) {
+        self.fitness_evals += slot.fitness_evals;
+        self.incremental_evals += slot.incremental_evals;
+        self.rows_recomputed += slot.rows_recomputed;
+    }
+}
+
 /// Outcome of one `evolve` call.
 #[derive(Debug, Clone)]
 pub struct GaOutcome {
@@ -89,6 +129,8 @@ pub struct GaOutcome {
     /// bootstrap the genetic algorithm in the next scheduling
     /// interval").
     pub population: Vec<AllocationMatrix>,
+    /// Evaluation counters for this run.
+    pub stats: GaRunStats,
 }
 
 /// The genetic optimizer. Stateless between calls; population
@@ -103,7 +145,25 @@ pub struct GeneticAlgorithm {
 struct EvalCtx<'a> {
     jobs: &'a [SchedJob],
     spec: &'a ClusterSpec,
-    cache: &'a SpeedupCache,
+    table: &'a SpeedupTable,
+    weight_sum: f64,
+}
+
+/// One chromosome with its cached per-job fitness contributions.
+#[derive(Debug, Clone)]
+struct Member {
+    matrix: AllocationMatrix,
+    contrib: Vec<f64>,
+    fitness: f64,
+}
+
+/// Per-slot evaluation counters, merged into [`GaRunStats`] in slot
+/// order.
+#[derive(Debug, Clone, Copy, Default)]
+struct SlotStats {
+    fitness_evals: u64,
+    incremental_evals: u64,
+    rows_recomputed: u64,
 }
 
 impl GeneticAlgorithm {
@@ -120,6 +180,20 @@ impl GeneticAlgorithm {
     /// Mutates `m` in place: each element flips with probability `1/N`
     /// to a uniform GPU count within the node's capacity.
     pub fn mutate<R: Rng>(&self, m: &mut AllocationMatrix, spec: &ClusterSpec, rng: &mut R) {
+        self.mutate_impl(m, spec, rng, None);
+    }
+
+    /// Mutation core; when `touched` is provided, every row that had a
+    /// cell rewritten is marked (conservatively: a cell rewritten to
+    /// its old value still marks the row — recomputing an unchanged
+    /// row yields the same contribution bits).
+    fn mutate_impl<R: Rng>(
+        &self,
+        m: &mut AllocationMatrix,
+        spec: &ClusterSpec,
+        rng: &mut R,
+        mut touched: Option<&mut [bool]>,
+    ) {
         let n = m.num_nodes().max(1);
         let p = 1.0 / n as f64;
         for j in 0..m.num_jobs() {
@@ -127,6 +201,11 @@ impl GeneticAlgorithm {
                 if rng.gen_bool(p) {
                     let cap = spec.gpus_on(NodeId(node as u32));
                     m.set(j, node, rng.gen_range(0..=cap));
+                    if let Some(t) = touched.as_deref_mut() {
+                        if j < t.len() {
+                            t[j] = true;
+                        }
+                    }
                 }
             }
         }
@@ -148,6 +227,31 @@ impl GeneticAlgorithm {
             child.set_row(j, src.row(j).to_vec());
         }
         child
+    }
+
+    /// Crossover that also carries contributions: each row's cached
+    /// contribution is copied from the parent supplying the row (a
+    /// contribution is a pure function of its row), so the child needs
+    /// no evaluation for rows repair leaves untouched. Draws the same
+    /// one `gen_bool` per row as [`Self::crossover`].
+    fn crossover_members<R: Rng>(&self, a: &Member, b: &Member, rng: &mut R) -> Member {
+        debug_assert_eq!(a.matrix.num_jobs(), b.matrix.num_jobs());
+        debug_assert_eq!(a.matrix.num_nodes(), b.matrix.num_nodes());
+        let num_jobs = a.matrix.num_jobs();
+        let mut matrix = AllocationMatrix::zeros(num_jobs, a.matrix.num_nodes());
+        let mut contrib = Vec::with_capacity(a.contrib.len());
+        for j in 0..num_jobs {
+            let src = if rng.gen_bool(0.5) { a } else { b };
+            matrix.set_row(j, src.matrix.row(j).to_vec());
+            if j < src.contrib.len() {
+                contrib.push(src.contrib[j]);
+            }
+        }
+        Member {
+            matrix,
+            contrib,
+            fitness: 0.0,
+        }
     }
 
     /// Tournament selection: returns the index of the best of
@@ -188,48 +292,93 @@ impl GeneticAlgorithm {
     }
 
     /// Builds one initial-population member from its slot seed:
-    /// optionally mutated from its template, repaired, and evaluated.
+    /// optionally mutated from its template, repaired, and evaluated
+    /// with a full contribution pass.
     fn init_member(
         &self,
         template: &AllocationMatrix,
         fresh: bool,
         slot_seed: u64,
         ctx: &EvalCtx<'_>,
-    ) -> (AllocationMatrix, f64) {
+    ) -> (Member, SlotStats) {
         let mut rng = StdRng::seed_from_u64(slot_seed);
-        let mut m = template.clone();
+        let mut matrix = template.clone();
         if fresh {
-            self.mutate(&mut m, ctx.spec, &mut rng);
+            self.mutate(&mut matrix, ctx.spec, &mut rng);
         }
-        self.repair(&mut m, ctx.jobs, ctx.spec, &mut rng);
-        let f = fitness(ctx.jobs, &m, ctx.cache, &self.config.fitness);
-        (m, f)
+        self.repair(&mut matrix, ctx.jobs, ctx.spec, &mut rng);
+        let contrib = contributions(ctx.jobs, &matrix, ctx.table, &self.config.fitness);
+        let fitness = fitness_of(&contrib, ctx.weight_sum);
+        let stats = SlotStats {
+            fitness_evals: 1,
+            incremental_evals: 0,
+            rows_recomputed: ctx.jobs.len() as u64,
+        };
+        (
+            Member {
+                matrix,
+                contrib,
+                fitness,
+            },
+            stats,
+        )
     }
 
     /// Builds one offspring from its slot seed. Slots below
     /// `population.len()` are mutated copies of the same-index member;
     /// the rest are crossover children of tournament-selected parents.
+    /// Either way only the rows touched by mutation/crossover/repair
+    /// have their contributions recomputed.
     fn offspring_member(
         &self,
         slot: usize,
         slot_seed: u64,
-        population: &[AllocationMatrix],
+        population: &[Member],
         fitnesses: &[f64],
         ctx: &EvalCtx<'_>,
-    ) -> (AllocationMatrix, f64) {
+    ) -> (Member, SlotStats) {
         let mut rng = StdRng::seed_from_u64(slot_seed);
-        let mut m = if slot < population.len() {
+        let mut touched = vec![false; ctx.jobs.len()];
+        let mut member = if slot < population.len() {
             let mut c = population[slot].clone();
-            self.mutate(&mut c, ctx.spec, &mut rng);
+            self.mutate_impl(&mut c.matrix, ctx.spec, &mut rng, Some(&mut touched));
             c
         } else {
             let a = self.tournament_select(fitnesses, &mut rng);
             let b = self.tournament_select(fitnesses, &mut rng);
-            self.crossover(&population[a], &population[b], &mut rng)
+            self.crossover_members(&population[a], &population[b], &mut rng)
         };
-        self.repair(&mut m, ctx.jobs, ctx.spec, &mut rng);
-        let f = fitness(ctx.jobs, &m, ctx.cache, &self.config.fitness);
-        (m, f)
+        repair_matrix_tracked(
+            &mut member.matrix,
+            ctx.jobs,
+            ctx.spec,
+            self.config.interference_avoidance,
+            &mut rng,
+            &mut touched,
+        );
+        let mut stats = SlotStats {
+            fitness_evals: 1,
+            incremental_evals: 1,
+            rows_recomputed: 0,
+        };
+        for (j, &dirty) in touched.iter().enumerate() {
+            if dirty {
+                member.contrib[j] =
+                    contribution(ctx.jobs, j, &member.matrix, ctx.table, &self.config.fitness);
+                stats.rows_recomputed += 1;
+            }
+        }
+        member.fitness = fitness_of(&member.contrib, ctx.weight_sum);
+        debug_assert!(
+            {
+                let full = contributions(ctx.jobs, &member.matrix, ctx.table, &self.config.fitness);
+                full.iter()
+                    .zip(&member.contrib)
+                    .all(|(a, b)| a.to_bits() == b.to_bits())
+            },
+            "incremental contributions diverged from a full recompute"
+        );
+        (member, stats)
     }
 
     /// Runs the genetic algorithm from a seed population.
@@ -238,6 +387,10 @@ impl GeneticAlgorithm {
     /// population is refilled with repaired random members. All members
     /// are repaired before evaluation, so the returned best matrix is
     /// always feasible.
+    ///
+    /// Speedup lookups go through `table`, which the caller builds once
+    /// per scheduling interval via [`SpeedupTable::build`] from the
+    /// same `jobs` slice (and a spec with the same nodes) passed here.
     ///
     /// `rng` is the master RNG: it is advanced serially (one seed draw
     /// per population slot) regardless of [`GaConfig::threads`], so
@@ -248,13 +401,14 @@ impl GeneticAlgorithm {
         jobs: &[SchedJob],
         spec: &ClusterSpec,
         seed: Vec<AllocationMatrix>,
-        cache: &SpeedupCache,
+        table: &SpeedupTable,
         rng: &mut R,
     ) -> GaOutcome {
         let num_jobs = jobs.len();
         let num_nodes = spec.num_nodes();
         let pop_size = self.config.population.max(2);
         let threads = self.config.threads.max(1);
+        let mut run_stats = GaRunStats::default();
 
         // Templates for the initial population: retained seed members,
         // the "current allocations" member (so doing nothing is
@@ -278,45 +432,58 @@ impl GeneticAlgorithm {
         }
 
         // One seed per slot, drawn serially from the master RNG.
-        let ctx = EvalCtx { jobs, spec, cache };
+        let ctx = EvalCtx {
+            jobs,
+            spec,
+            table,
+            weight_sum: weight_sum(jobs),
+        };
         let slot_seeds: Vec<u64> = (0..templates.len()).map(|_| rng.next_u64()).collect();
         let built = parallel_map(templates.len(), threads, |i| {
             let (template, fresh) = &templates[i];
             self.init_member(template, *fresh, slot_seeds[i], &ctx)
         });
-        let (mut population, mut fitnesses): (Vec<_>, Vec<_>) = built.into_iter().unzip();
+        let mut members = Vec::with_capacity(built.len());
+        let mut fitnesses = Vec::with_capacity(built.len());
+        for (m, s) in built {
+            run_stats.absorb(s);
+            fitnesses.push(m.fitness);
+            members.push(m);
+        }
 
         let mut best_so_far = fitnesses.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let mut stale_gens = 0usize;
         for _gen in 0..self.config.generations {
+            run_stats.generations_run += 1;
             // One mutated copy per member plus `pop_size` crossover
             // children; again one serial seed draw per slot.
-            let num_offspring = population.len() + pop_size;
+            let num_offspring = members.len() + pop_size;
             let slot_seeds: Vec<u64> = (0..num_offspring).map(|_| rng.next_u64()).collect();
             let offspring = parallel_map(num_offspring, threads, |i| {
-                self.offspring_member(i, slot_seeds[i], &population, &fitnesses, &ctx)
+                self.offspring_member(i, slot_seeds[i], &members, &fitnesses, &ctx)
             });
-            for (m, f) in offspring {
-                population.push(m);
-                fitnesses.push(f);
+            for (m, s) in offspring {
+                run_stats.absorb(s);
+                fitnesses.push(m.fitness);
+                members.push(m);
             }
 
             // Survival: keep the top `pop_size`. The sort is stable, so
             // fitness ties break by slot index — deterministically.
-            let mut idx: Vec<usize> = (0..population.len()).collect();
+            let mut idx: Vec<usize> = (0..members.len()).collect();
             idx.sort_by(|&a, &b| {
                 fitnesses[b]
                     .partial_cmp(&fitnesses[a])
                     .unwrap_or(std::cmp::Ordering::Equal)
             });
             idx.truncate(pop_size);
-            let mut new_pop = Vec::with_capacity(pop_size);
+            let mut new_members = Vec::with_capacity(pop_size);
             let mut new_fit = Vec::with_capacity(pop_size);
             for &i in &idx {
-                new_pop.push(population[i].clone());
+                new_members.push(members[i].clone());
                 new_fit.push(fitnesses[i]);
             }
-            population = new_pop;
+            members = new_members;
             fitnesses = new_fit;
 
             if self.config.early_stop_gens > 0 {
@@ -340,9 +507,10 @@ impl GeneticAlgorithm {
             .map(|(i, _)| i)
             .unwrap_or(0);
         GaOutcome {
-            best: population[best_idx].clone(),
+            best: members[best_idx].matrix.clone(),
             best_fitness: fitnesses[best_idx],
-            population,
+            population: members.into_iter().map(|m| m.matrix).collect(),
+            stats: run_stats,
         }
     }
 }
@@ -357,7 +525,40 @@ pub fn repair_matrix<R: Rng>(
     interference_avoidance: bool,
     rng: &mut R,
 ) {
+    repair_matrix_impl(m, jobs, spec, interference_avoidance, rng, None);
+}
+
+/// [`repair_matrix`] that additionally marks every row it modifies in
+/// `touched` (rows at indices ≥ `touched.len()` are repaired but not
+/// marked). Draws the identical RNG stream as the untracked variant,
+/// so swapping between them never changes the repair outcome.
+pub fn repair_matrix_tracked<R: Rng>(
+    m: &mut AllocationMatrix,
+    jobs: &[SchedJob],
+    spec: &ClusterSpec,
+    interference_avoidance: bool,
+    rng: &mut R,
+    touched: &mut [bool],
+) {
+    repair_matrix_impl(m, jobs, spec, interference_avoidance, rng, Some(touched));
+}
+
+fn repair_matrix_impl<R: Rng>(
+    m: &mut AllocationMatrix,
+    jobs: &[SchedJob],
+    spec: &ClusterSpec,
+    interference_avoidance: bool,
+    rng: &mut R,
+    mut touched: Option<&mut [bool]>,
+) {
     let num_nodes = m.num_nodes();
+    let mark = |t: &mut Option<&mut [bool]>, j: usize| {
+        if let Some(t) = t.as_deref_mut() {
+            if j < t.len() {
+                t[j] = true;
+            }
+        }
+    };
 
     // Step 1: per-job scale caps. Random single-GPU decrements, but
     // batched so the whole step is O(excess + nodes) per job.
@@ -366,6 +567,7 @@ pub fn repair_matrix<R: Rng>(
         if k <= job.gpu_cap {
             continue;
         }
+        mark(&mut touched, j);
         let mut excess = k - job.gpu_cap;
         let mut occupied: Vec<usize> = (0..num_nodes).filter(|&n| m.get(j, n) > 0).collect();
         while excess > 0 {
@@ -393,6 +595,7 @@ pub fn repair_matrix<R: Rng>(
             let j = holders[pick];
             let left = m.get(j, n) - 1;
             m.set(j, n, left);
+            mark(&mut touched, j);
             if left == 0 {
                 holders.swap_remove(pick);
             }
@@ -421,6 +624,7 @@ pub fn repair_matrix<R: Rng>(
             for j in distributed {
                 m.set(j, n, 0);
                 nodes_of[j] -= 1;
+                mark(&mut touched, j);
             }
         }
     }
@@ -431,6 +635,7 @@ pub fn repair_matrix<R: Rng>(
         let k = m.gpus_of(j);
         if k > 0 && k < job.min_gpus {
             m.set_row(j, vec![0; num_nodes]);
+            mark(&mut touched, j);
         }
     }
 }
@@ -466,6 +671,10 @@ mod tests {
             generations: gens,
             ..Default::default()
         })
+    }
+
+    fn table(jobs: &[SchedJob], spec: &ClusterSpec) -> SpeedupTable {
+        SpeedupTable::build(jobs, spec, 1)
     }
 
     #[test]
@@ -547,6 +756,36 @@ mod tests {
     }
 
     #[test]
+    fn tracked_repair_matches_untracked_and_marks_modified_rows() {
+        let spec = ClusterSpec::homogeneous(3, 4).unwrap();
+        let jobs: Vec<SchedJob> = (0..4).map(|i| job(i, 1000.0)).collect();
+        let mut wild = AllocationMatrix::zeros(4, 3);
+        for j in 0..4 {
+            for n in 0..3 {
+                wild.set(j, n, 3);
+            }
+        }
+        let mut plain = wild.clone();
+        let mut tracked = wild.clone();
+        let mut touched = vec![false; 4];
+        let mut rng_a = StdRng::seed_from_u64(21);
+        let mut rng_b = StdRng::seed_from_u64(21);
+        repair_matrix(&mut plain, &jobs, &spec, true, &mut rng_a);
+        repair_matrix_tracked(&mut tracked, &jobs, &spec, true, &mut rng_b, &mut touched);
+        assert_eq!(
+            plain, tracked,
+            "tracked repair must not change the RNG path"
+        );
+        // Every row that differs from the input must be marked.
+        for (j, &mark) in touched.iter().enumerate() {
+            if tracked.row(j) != wild.row(j) {
+                assert!(mark, "row {j} modified but unmarked");
+            }
+        }
+        assert!(touched.iter().any(|&t| t), "the wild matrix needed repair");
+    }
+
+    #[test]
     fn crossover_rows_come_from_parents() {
         let g = ga(0);
         let mut rng = StdRng::seed_from_u64(6);
@@ -585,8 +824,8 @@ mod tests {
         let spec = ClusterSpec::homogeneous(2, 4).unwrap();
         let jobs: Vec<SchedJob> = (0..2).map(|i| job(i, 5000.0)).collect();
         let mut rng = StdRng::seed_from_u64(8);
-        let cache = SpeedupCache::new();
-        let out = ga(30).evolve(&jobs, &spec, vec![], &cache, &mut rng);
+        let t = table(&jobs, &spec);
+        let out = ga(30).evolve(&jobs, &spec, vec![], &t, &mut rng);
         assert!(out.best.is_feasible(&spec));
         assert!(out.best_fitness > 1.0, "fitness = {}", out.best_fitness);
         for j in 0..2 {
@@ -605,8 +844,8 @@ mod tests {
         rigid.model = model(1e-6);
         let jobs = vec![scalable, rigid];
         let mut rng = StdRng::seed_from_u64(9);
-        let cache = SpeedupCache::new();
-        let out = ga(40).evolve(&jobs, &spec, vec![], &cache, &mut rng);
+        let t = table(&jobs, &spec);
+        let out = ga(40).evolve(&jobs, &spec, vec![], &t, &mut rng);
         assert!(
             out.best.gpus_of(0) > out.best.gpus_of(1),
             "scalable {} vs rigid {}\n{}",
@@ -622,8 +861,8 @@ mod tests {
         let spec = ClusterSpec::homogeneous(4, 2).unwrap();
         let jobs: Vec<SchedJob> = (0..3).map(|i| job(i, 20_000.0)).collect();
         let mut rng = StdRng::seed_from_u64(10);
-        let cache = SpeedupCache::new();
-        let out = ga(30).evolve(&jobs, &spec, vec![], &cache, &mut rng);
+        let t = table(&jobs, &spec);
+        let out = ga(30).evolve(&jobs, &spec, vec![], &t, &mut rng);
         assert!(out.best.satisfies_interference_avoidance());
     }
 
@@ -631,11 +870,11 @@ mod tests {
     fn evolve_with_seed_population_not_worse() {
         let spec = ClusterSpec::homogeneous(2, 4).unwrap();
         let jobs: Vec<SchedJob> = (0..2).map(|i| job(i, 5000.0)).collect();
-        let cache = SpeedupCache::new();
+        let t = table(&jobs, &spec);
 
         let mut rng = StdRng::seed_from_u64(11);
-        let first = ga(20).evolve(&jobs, &spec, vec![], &cache, &mut rng);
-        let resumed = ga(5).evolve(&jobs, &spec, first.population.clone(), &cache, &mut rng);
+        let first = ga(20).evolve(&jobs, &spec, vec![], &t, &mut rng);
+        let resumed = ga(5).evolve(&jobs, &spec, first.population.clone(), &t, &mut rng);
         assert!(
             resumed.best_fitness >= first.best_fitness - 1e-9,
             "resumed {} < first {}",
@@ -648,20 +887,21 @@ mod tests {
     fn evolve_is_deterministic_given_seed() {
         let spec = ClusterSpec::homogeneous(2, 4).unwrap();
         let jobs: Vec<SchedJob> = (0..2).map(|i| job(i, 5000.0)).collect();
-        let c1 = SpeedupCache::new();
-        let c2 = SpeedupCache::new();
+        let t1 = table(&jobs, &spec);
+        let t2 = table(&jobs, &spec);
         let mut r1 = StdRng::seed_from_u64(42);
         let mut r2 = StdRng::seed_from_u64(42);
-        let o1 = ga(10).evolve(&jobs, &spec, vec![], &c1, &mut r1);
-        let o2 = ga(10).evolve(&jobs, &spec, vec![], &c2, &mut r2);
+        let o1 = ga(10).evolve(&jobs, &spec, vec![], &t1, &mut r1);
+        let o2 = ga(10).evolve(&jobs, &spec, vec![], &t2, &mut r2);
         assert_eq!(o1.best, o2.best);
         assert_eq!(o1.best_fitness, o2.best_fitness);
+        assert_eq!(o1.stats, o2.stats);
     }
 
     #[test]
     fn evolve_is_identical_across_thread_counts() {
         // The core determinism contract: for a fixed master seed the
-        // full outcome (best, fitness, final population) is
+        // full outcome (best, fitness, final population, counters) is
         // bit-identical at every thread count.
         let spec = ClusterSpec::homogeneous(4, 4).unwrap();
         let jobs: Vec<SchedJob> = (0..6).map(|i| job(i, 3000.0 + 500.0 * i as f64)).collect();
@@ -674,15 +914,16 @@ mod tests {
                     threads,
                     ..Default::default()
                 });
-                let cache = SpeedupCache::new();
+                let t = SpeedupTable::build(&jobs, &spec, threads);
                 let mut rng = StdRng::seed_from_u64(77);
-                g.evolve(&jobs, &spec, vec![], &cache, &mut rng)
+                g.evolve(&jobs, &spec, vec![], &t, &mut rng)
             })
             .collect();
         for o in &outcomes[1..] {
             assert_eq!(o.best, outcomes[0].best);
             assert_eq!(o.best_fitness.to_bits(), outcomes[0].best_fitness.to_bits());
             assert_eq!(o.population, outcomes[0].population);
+            assert_eq!(o.stats, outcomes[0].stats);
         }
     }
 
@@ -701,13 +942,51 @@ mod tests {
                     threads,
                     ..Default::default()
                 });
-                let cache = SpeedupCache::new();
+                let t = table(&jobs, &spec);
                 let mut rng = StdRng::seed_from_u64(5);
-                g.evolve(&jobs, &spec, vec![], &cache, &mut rng);
+                g.evolve(&jobs, &spec, vec![], &t, &mut rng);
                 rng.next_u64()
             })
             .collect();
         assert_eq!(after[0], after[1]);
+    }
+
+    #[test]
+    fn best_fitness_matches_full_recompute() {
+        // `best_fitness` is produced by chains of incremental updates
+        // across generations; it must equal a from-scratch evaluation
+        // of the winning matrix to the bit.
+        let spec = ClusterSpec::homogeneous(3, 4).unwrap();
+        let jobs: Vec<SchedJob> = (0..5)
+            .map(|i| {
+                let mut j = job(i, 2000.0 + 700.0 * i as f64);
+                if i % 2 == 0 {
+                    j.current_placement = vec![1, 0, 0];
+                }
+                j.weight = 1.0 + 0.25 * i as f64;
+                j
+            })
+            .collect();
+        let t = table(&jobs, &spec);
+        let g = ga(15);
+        let mut rng = StdRng::seed_from_u64(13);
+        let out = g.evolve(&jobs, &spec, vec![], &t, &mut rng);
+        let full = crate::fitness::fitness(&jobs, &out.best, &t, &g.config().fitness);
+        assert_eq!(out.best_fitness.to_bits(), full.to_bits());
+        assert!(out.stats.fitness_evals > 0);
+        assert!(
+            out.stats.incremental_evals > 0,
+            "offspring must evaluate incrementally"
+        );
+        assert!(out.stats.generations_run >= 1);
+        // Incremental evaluation must actually skip rows: strictly
+        // fewer rows recomputed than full recomputes would need.
+        assert!(
+            out.stats.rows_recomputed < out.stats.fitness_evals * jobs.len() as u64,
+            "rows {} evals {}",
+            out.stats.rows_recomputed,
+            out.stats.fitness_evals
+        );
     }
 
     #[test]
@@ -720,8 +999,8 @@ mod tests {
         j.current_placement = vec![4, 0];
         let jobs = vec![j];
         let mut rng = StdRng::seed_from_u64(12);
-        let cache = SpeedupCache::new();
-        let out = ga(30).evolve(&jobs, &spec, vec![], &cache, &mut rng);
+        let t = table(&jobs, &spec);
+        let out = ga(30).evolve(&jobs, &spec, vec![], &t, &mut rng);
         assert_eq!(
             out.best.row(0),
             &[4, 0],
@@ -821,6 +1100,41 @@ mod tests {
             }
 
             #[test]
+            fn tracked_repair_is_bit_identical_and_conservative(
+                (rows, caps, num_nodes, gpus_per_node, seed) in arbitrary_world()
+            ) {
+                // The tracked variant must repair to the identical
+                // matrix (same RNG stream) and mark every modified row.
+                let spec = ClusterSpec::homogeneous(num_nodes, gpus_per_node).unwrap();
+                let jobs: Vec<SchedJob> = caps
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &(min_gpus, cap))| {
+                        let mut j = job(i as u32, 1000.0);
+                        j.min_gpus = min_gpus;
+                        j.gpu_cap = cap.max(min_gpus);
+                        j
+                    })
+                    .collect();
+                let wild = AllocationMatrix::from_rows(rows, num_nodes as usize).unwrap();
+                let mut plain = wild.clone();
+                let mut tracked = wild.clone();
+                let mut touched = vec![false; jobs.len()];
+                let mut rng_a = StdRng::seed_from_u64(seed);
+                let mut rng_b = StdRng::seed_from_u64(seed);
+                repair_matrix(&mut plain, &jobs, &spec, true, &mut rng_a);
+                repair_matrix_tracked(
+                    &mut tracked, &jobs, &spec, true, &mut rng_b, &mut touched,
+                );
+                prop_assert_eq!(&plain, &tracked);
+                for (j, &mark) in touched.iter().enumerate() {
+                    if tracked.row(j) != wild.row(j) {
+                        prop_assert!(mark, "row {} modified but unmarked", j);
+                    }
+                }
+            }
+
+            #[test]
             fn mutation_stays_within_node_capacity(
                 (rows, _caps, num_nodes, gpus_per_node, seed) in arbitrary_world()
             ) {
@@ -891,9 +1205,9 @@ mod tests {
                 let spec = ClusterSpec::homogeneous(num_nodes, 4).unwrap();
                 let jobs: Vec<SchedJob> =
                     (0..num_jobs).map(|i| job(i as u32, 2000.0)).collect();
-                let cache = SpeedupCache::new();
+                let t = SpeedupTable::build(&jobs, &spec, 1);
                 let mut rng = StdRng::seed_from_u64(seed);
-                let out = ga(5).evolve(&jobs, &spec, vec![], &cache, &mut rng);
+                let out = ga(5).evolve(&jobs, &spec, vec![], &t, &mut rng);
                 prop_assert!(out.best.is_feasible(&spec));
                 prop_assert!(out.best.satisfies_interference_avoidance());
                 prop_assert!(out.best_fitness.is_finite());

@@ -19,17 +19,26 @@
 //! - goodput-based cloud auto-scaling via the `UTILITY` measure
 //!   (Eqn 17, Sec. 4.2.2, [`autoscale`]).
 //!
-//! # Parallel fitness evaluation
+//! # Fitness evaluation: dense tables + incremental contributions
 //!
-//! Member construction and fitness evaluation fan out over a scoped
-//! worker pool ([`par`]) when [`GaConfig::threads`] > 1, sharing one
-//! concurrent [`SpeedupCache`] (sharded behind `RwLock`s) across all
-//! workers. The master RNG is advanced **serially** — one seed draw
-//! per population slot — and each slot derives a private `StdRng` from
+//! At the start of every optimization round the scheduler precomputes
+//! a dense [`SpeedupTable`]: one flat `f64` stripe per job over the
+//! bounded shape space (GPU count × colocated/distributed locality).
+//! Table construction fans out over a scoped worker pool ([`par`])
+//! when [`GaConfig::threads`] > 1; after that, every fitness lookup on
+//! the GA hot path is an unsynchronized array index — no hashing, no
+//! locks, no golden-section solves. The GA additionally evaluates
+//! fitness *incrementally*: each chromosome carries its per-job
+//! contribution vector and only rows touched by mutation, crossover,
+//! or repair are recomputed ([`ga`]).
+//!
+//! The master RNG is advanced **serially** — one seed draw per
+//! population slot — and each slot derives a private `StdRng` from
 //! its seed, so for a fixed seed the schedule is bit-identical at
 //! every thread count. `threads == 1` (the default) runs the same
 //! per-slot code inline without spawning. See [`ga`] for the full
-//! determinism contract.
+//! determinism contract. The legacy sharded [`SpeedupCache`] is kept
+//! for comparison benchmarks ([`fitness::fitness_with_cache`]).
 
 pub mod autoscale;
 pub mod fitness;
@@ -41,10 +50,15 @@ pub mod speedup;
 pub mod weights;
 
 pub use autoscale::{AutoscaleConfig, Autoscaler};
-pub use fitness::{fitness, FitnessConfig};
-pub use ga::{repair_matrix, GaConfig, GaOutcome, GeneticAlgorithm};
+pub use fitness::{
+    contribution, contributions, fitness, fitness_of, fitness_with_cache, utility, weight_sum,
+    FitnessConfig,
+};
+pub use ga::{
+    repair_matrix, repair_matrix_tracked, GaConfig, GaOutcome, GaRunStats, GeneticAlgorithm,
+};
 pub use local_search::{LocalSearch, LocalSearchConfig};
 pub use par::parallel_map;
-pub use scheduler::{PolluxSched, SchedConfig};
-pub use speedup::{CacheStats, SchedJob, SpeedupCache};
+pub use scheduler::{PolluxSched, SchedConfig, SchedIntervalStats};
+pub use speedup::{CacheStats, SchedJob, SpeedupCache, SpeedupTable, SpeedupTableStats};
 pub use weights::{job_weight, WeightConfig};

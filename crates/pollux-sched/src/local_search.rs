@@ -10,7 +10,7 @@
 
 use crate::fitness::{fitness, FitnessConfig};
 use crate::ga::repair_matrix;
-use crate::speedup::{SchedJob, SpeedupCache};
+use crate::speedup::{SchedJob, SpeedupTable};
 use pollux_cluster::{AllocationMatrix, ClusterSpec, NodeId};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -59,12 +59,16 @@ impl LocalSearch {
 
     /// Optimizes an allocation for `jobs` on `spec`.
     ///
+    /// `table` must be built from the same `jobs` slice (see
+    /// [`SpeedupTable::build`]); every proposal evaluation is then a
+    /// handful of dense array lookups.
+    ///
     /// Returns the best feasible matrix found and its fitness.
     pub fn optimize<R: Rng>(
         &self,
         jobs: &[SchedJob],
         spec: &ClusterSpec,
-        cache: &SpeedupCache,
+        table: &SpeedupTable,
         rng: &mut R,
     ) -> (AllocationMatrix, f64) {
         let num_jobs = jobs.len();
@@ -93,7 +97,7 @@ impl LocalSearch {
                 m
             };
             repair_matrix(&mut current, jobs, spec, avoid, rng);
-            let mut current_fit = fitness(jobs, &current, cache, &self.config.fitness);
+            let mut current_fit = fitness(jobs, &current, table, &self.config.fitness);
 
             for _ in 0..self.config.iterations {
                 if num_jobs == 0 {
@@ -109,7 +113,7 @@ impl LocalSearch {
                 let mut candidate = current.clone();
                 candidate.set(j, n, v);
                 repair_matrix(&mut candidate, jobs, spec, avoid, rng);
-                let f = fitness(jobs, &candidate, cache, &self.config.fitness);
+                let f = fitness(jobs, &candidate, table, &self.config.fitness);
                 if f > current_fit {
                     current = candidate;
                     current_fit = f;
@@ -150,14 +154,14 @@ mod tests {
     fn finds_feasible_improving_allocations() {
         let spec = ClusterSpec::homogeneous(2, 4).unwrap();
         let jobs: Vec<SchedJob> = (0..2).map(|i| job(i, 5000.0)).collect();
-        let cache = SpeedupCache::new();
+        let table = SpeedupTable::build(&jobs, &spec, 1);
         let mut rng = StdRng::seed_from_u64(1);
         let ls = LocalSearch::new(LocalSearchConfig {
             iterations: 500,
             restarts: 2,
             ..Default::default()
         });
-        let (m, f) = ls.optimize(&jobs, &spec, &cache, &mut rng);
+        let (m, f) = ls.optimize(&jobs, &spec, &table, &mut rng);
         assert!(m.is_feasible(&spec));
         assert!(m.satisfies_interference_avoidance());
         assert!(f > 1.0, "fitness = {f}");
@@ -174,10 +178,10 @@ mod tests {
         let mut needy = job(1, 5000.0);
         needy.min_gpus = 4;
         let jobs = vec![capped, needy];
-        let cache = SpeedupCache::new();
+        let table = SpeedupTable::build(&jobs, &spec, 1);
         let mut rng = StdRng::seed_from_u64(2);
         let ls = LocalSearch::new(Default::default());
-        let (m, _) = ls.optimize(&jobs, &spec, &cache, &mut rng);
+        let (m, _) = ls.optimize(&jobs, &spec, &table, &mut rng);
         assert!(m.gpus_of(0) <= 2);
         let k1 = m.gpus_of(1);
         assert!(k1 == 0 || k1 >= 4, "min violated: {k1}");
@@ -186,10 +190,10 @@ mod tests {
     #[test]
     fn empty_job_list_is_graceful() {
         let spec = ClusterSpec::homogeneous(2, 4).unwrap();
-        let cache = SpeedupCache::new();
+        let table = SpeedupTable::build(&[], &spec, 1);
         let mut rng = StdRng::seed_from_u64(3);
         let ls = LocalSearch::new(Default::default());
-        let (m, f) = ls.optimize(&[], &spec, &cache, &mut rng);
+        let (m, f) = ls.optimize(&[], &spec, &table, &mut rng);
         assert_eq!(m.num_jobs(), 0);
         assert_eq!(f, 0.0);
     }
@@ -204,9 +208,9 @@ mod tests {
             ..Default::default()
         });
         let run = |seed: u64| {
-            let cache = SpeedupCache::new();
+            let table = SpeedupTable::build(&jobs, &spec, 1);
             let mut rng = StdRng::seed_from_u64(seed);
-            ls.optimize(&jobs, &spec, &cache, &mut rng)
+            ls.optimize(&jobs, &spec, &table, &mut rng)
         };
         let (m1, f1) = run(7);
         let (m2, f2) = run(7);

@@ -6,13 +6,14 @@
 //! the scheduler reconciles the saved population with job arrivals and
 //! completions, evolves it, and returns the best allocation matrix.
 
-use crate::ga::{GaConfig, GaOutcome, GeneticAlgorithm};
-use crate::speedup::{SchedJob, SpeedupCache};
+use crate::ga::{GaConfig, GaOutcome, GaRunStats, GeneticAlgorithm};
+use crate::speedup::{SchedJob, SpeedupTable, SpeedupTableStats};
 use crate::weights::WeightConfig;
 use pollux_cluster::{AllocationMatrix, ClusterSpec, JobId};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// Configuration of the scheduler.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -36,6 +37,27 @@ impl Default for SchedConfig {
     }
 }
 
+/// Hot-path breakdown of one scheduling interval: where the time went
+/// and how many evaluations the GA spent.
+///
+/// The counters (`ga`, `speedup`) are deterministic for a fixed seed
+/// at any thread count; the `*_nanos` wall-clock timings are not and
+/// must never feed back into scheduling decisions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SchedIntervalStats {
+    /// Wall-clock nanoseconds spent precomputing the dense
+    /// [`SpeedupTable`] for this interval.
+    pub table_build_nanos: u64,
+    /// Wall-clock nanoseconds spent inside `GeneticAlgorithm::evolve`.
+    pub ga_evolve_nanos: u64,
+    /// GA evaluation counters (generations, full vs. incremental
+    /// fitness evaluations, contribution rows recomputed).
+    pub ga: GaRunStats,
+    /// Speedup-table counters (lookups served vs. golden-section
+    /// solves spent building the table).
+    pub speedup: SpeedupTableStats,
+}
+
 /// Cluster-wide resource optimizer with population persistence.
 #[derive(Debug)]
 pub struct PolluxSched {
@@ -43,6 +65,8 @@ pub struct PolluxSched {
     ga: GeneticAlgorithm,
     saved_population: Vec<AllocationMatrix>,
     saved_job_ids: Vec<JobId>,
+    last_interval: Option<SchedIntervalStats>,
+    cumulative_speedup: SpeedupTableStats,
 }
 
 impl PolluxSched {
@@ -53,6 +77,8 @@ impl PolluxSched {
             ga: GeneticAlgorithm::new(config.ga),
             saved_population: Vec::new(),
             saved_job_ids: Vec::new(),
+            last_interval: None,
+            cumulative_speedup: SpeedupTableStats::default(),
         }
     }
 
@@ -86,11 +112,38 @@ impl PolluxSched {
         rng: &mut R,
     ) -> GaOutcome {
         let seed = self.reconciled_seed(jobs, spec);
-        let cache = SpeedupCache::new();
-        let outcome = self.ga.evolve(jobs, spec, seed, &cache, rng);
+        let threads = self.config.ga.threads.max(1);
+        let build_start = Instant::now();
+        let table = SpeedupTable::build(jobs, spec, threads);
+        let table_build_nanos = build_start.elapsed().as_nanos() as u64;
+        let evolve_start = Instant::now();
+        let outcome = self.ga.evolve(jobs, spec, seed, &table, rng);
+        let ga_evolve_nanos = evolve_start.elapsed().as_nanos() as u64;
+        let speedup = table.stats();
+        self.cumulative_speedup.accumulate(speedup);
+        self.last_interval = Some(SchedIntervalStats {
+            table_build_nanos,
+            ga_evolve_nanos,
+            ga: outcome.stats,
+            speedup,
+        });
         self.saved_population = outcome.population.clone();
         self.saved_job_ids = jobs.iter().map(|j| j.id).collect();
         outcome
+    }
+
+    /// Drains the hot-path breakdown of the most recent
+    /// [`Self::optimize`] call (`None` before the first interval or
+    /// when already taken).
+    pub fn take_interval_stats(&mut self) -> Option<SchedIntervalStats> {
+        self.last_interval.take()
+    }
+
+    /// Cumulative speedup-table counters across every interval since
+    /// construction — the backing value of the
+    /// `pollux.sched.speedup.stats` service key.
+    pub fn speedup_stats(&self) -> SpeedupTableStats {
+        self.cumulative_speedup
     }
 
     /// Computes the allocation matrix for this interval.
@@ -227,6 +280,28 @@ mod tests {
         let a = s.schedule(&jobs, &spec6, &mut rng);
         assert_eq!(a.num_nodes(), 6);
         assert!(a.is_feasible(&spec6));
+    }
+
+    #[test]
+    fn interval_stats_are_recorded_and_drained() {
+        let spec = ClusterSpec::homogeneous(2, 4).unwrap();
+        let jobs: Vec<SchedJob> = (0..2).map(job).collect();
+        let mut s = sched();
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!(s.take_interval_stats().is_none());
+        s.schedule(&jobs, &spec, &mut rng);
+        let stats = s.take_interval_stats().expect("stats recorded");
+        assert!(stats.ga.fitness_evals > 0);
+        assert!(stats.ga.generations_run > 0);
+        assert!(stats.speedup.solves > 0);
+        assert!(stats.speedup.hits > 0, "GA must hit the dense table");
+        assert!(s.take_interval_stats().is_none(), "stats drain once");
+        // Cumulative speedup counters keep growing across intervals.
+        let before = s.speedup_stats();
+        s.schedule(&jobs, &spec, &mut rng);
+        let after = s.speedup_stats();
+        assert!(after.hits > before.hits);
+        assert!(after.solves > before.solves);
     }
 
     #[test]

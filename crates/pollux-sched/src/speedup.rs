@@ -1,28 +1,37 @@
-//! Per-job `SPEEDUP` evaluation with shape-level memoization.
+//! Per-job `SPEEDUP` evaluation: dense per-interval tables (hot path)
+//! and the legacy sharded memo cache (benchmark baseline).
 //!
 //! `SPEEDUP_j(A_j)` (Eqn 15) only depends on the placement through its
 //! `(K, N)` shape, because `T_sync` is locality- but not
-//! identity-sensitive (Eqn 10). The genetic algorithm evaluates tens of
-//! thousands of placements per interval; caching by shape makes each
-//! evaluation O(1) after the first golden-section solve.
+//! identity-sensitive (Eqn 10) — and `T_sync` only distinguishes
+//! co-located (`N = 1`) from cross-node (`N ≥ 2`) placements, so the
+//! whole feasible shape space of one job is two rows of `K ≤ gpu_cap`
+//! values. [`SpeedupTable`] precomputes those rows for every job at the
+//! start of a scheduling round (fanned out over jobs via
+//! [`crate::par::parallel_map`]); each fitness lookup thereafter is an
+//! unsynchronized array index — no hashing, no locking, no lazy solve.
 //!
-//! # Concurrency
+//! [`SpeedupCache`] is the previous design: shape-level memoization
+//! sharded behind `parking_lot::RwLock`s, populated lazily on the hot
+//! path. It is retained as the baseline for `bench_fitness` and for
+//! callers that query a handful of shapes where precomputing the dense
+//! table would not pay off.
 //!
-//! The cache is shared by every worker thread of the parallel fitness
-//! evaluator, so lookups take `&self` and the table is sharded by job
-//! behind `parking_lot::RwLock`s: one job's shapes always live in one
-//! shard, and jobs spread across [`SHARD_COUNT`] shards so concurrent
-//! evaluations of different jobs rarely contend.
+//! # Determinism
 //!
-//! Determinism under concurrency is free because the memoized value is
-//! a **pure** function of `(job.model, shape)`: when two threads race
-//! on the same miss, both compute the identical value and the second
-//! insert overwrites the first with the same bits. Cache state can
-//! differ between runs; cached *values* cannot.
+//! Both structures store values that are **pure** functions of
+//! `(job.model, shape)`, computed with bit-identical arithmetic
+//! (`max_goodput(shape) / max_goodput(reference_shape())`, zero outside
+//! the feasible range). Table construction reassembles worker results
+//! in job order, so the table contents never depend on the thread
+//! count; lookup counters use relaxed atomics and count totals that are
+//! likewise thread-count-invariant.
 
+use crate::par::parallel_map;
 use parking_lot::RwLock;
-use pollux_cluster::JobId;
+use pollux_cluster::{ClusterSpec, JobId};
 use pollux_models::{GoodputModel, PlacementShape};
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -180,6 +189,146 @@ impl SpeedupCache {
     }
 }
 
+/// Counters of a [`SpeedupTable`]: where did speedup values come from?
+///
+/// `solves` is fixed at build time (one golden-section batch-size solve
+/// per feasible table entry plus one reference denominator per job);
+/// `hits`/`misses` accumulate per lookup with relaxed atomics. Exposed
+/// through the `pollux.sched.speedup.stats` service key.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpeedupTableStats {
+    /// Lookups answered from the dense table (in-range shapes,
+    /// including stored zeros for infeasible `K`).
+    pub hits: u64,
+    /// Lookups outside the table bounds (answered 0 without touching
+    /// memory; only reachable through unrepaired candidate matrices).
+    pub misses: u64,
+    /// Golden-section solves spent building the table.
+    pub solves: u64,
+}
+
+impl SpeedupTableStats {
+    /// Adds another interval's counters into this accumulator.
+    pub fn accumulate(&mut self, other: SpeedupTableStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.solves += other.solves;
+    }
+}
+
+/// Dense per-interval `SPEEDUP` table: every feasible `(job, shape)`
+/// value precomputed into one flat `Vec<f64>`.
+///
+/// Layout: `values[job * 2 * max_gpus + locality * max_gpus + (K − 1)]`
+/// with locality 0 = co-located (`N = 1`) and 1 = cross-node (`N ≥ 2`,
+/// canonical for every multi-node shape). `max_gpus` is the largest
+/// `min(gpu_cap, total cluster GPUs)` over the jobs, so the table is
+/// `jobs × 2 × max_gpus` doubles — a few KiB for realistic rounds.
+///
+/// Entries outside a job's feasible range (`K < min_gpus` or
+/// `K > gpu_cap`) hold 0, so [`Self::speedup`] is a pure bounds check
+/// plus an array read: no hashing, no locks, no branches on job state.
+/// Values are bit-identical to [`SpeedupCache::speedup`] and
+/// [`GoodputModel::speedup`] for every shape reachable from a repaired
+/// allocation matrix.
+///
+/// Rebuild the table whenever the jobs' goodput models change, i.e. at
+/// every scheduling interval.
+#[derive(Debug, Default)]
+pub struct SpeedupTable {
+    values: Vec<f64>,
+    num_jobs: usize,
+    max_gpus: u32,
+    solves: u64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SpeedupTable {
+    /// Precomputes the table for `jobs` on `spec`, fanning the per-job
+    /// golden-section solves out over `threads` workers. Worker results
+    /// are reassembled in job order, so the table contents are
+    /// independent of the thread count.
+    ///
+    /// Distributed rows are only solved when the cluster has at least
+    /// two nodes — a single-node cluster can never produce an `N ≥ 2`
+    /// placement, so those rows stay zero for free.
+    pub fn build(jobs: &[SchedJob], spec: &ClusterSpec, threads: usize) -> Self {
+        let total = spec.total_gpus();
+        let max_gpus = jobs.iter().map(|j| j.gpu_cap.min(total)).max().unwrap_or(0);
+        let include_distributed = spec.num_nodes() >= 2;
+        let cols = max_gpus as usize;
+        let stripes = parallel_map(jobs.len(), threads, |i| {
+            let job = &jobs[i];
+            let lo = job.min_gpus.max(1);
+            let hi = job.gpu_cap.min(total);
+            job.model
+                .speedup_profile(lo..=hi, max_gpus, include_distributed)
+        });
+        let mut values = Vec::with_capacity(jobs.len() * 2 * cols);
+        let mut solves = 0;
+        for profile in stripes {
+            debug_assert_eq!(profile.colocated.len(), cols);
+            debug_assert_eq!(profile.distributed.len(), cols);
+            values.extend_from_slice(&profile.colocated);
+            values.extend_from_slice(&profile.distributed);
+            solves += profile.solves;
+        }
+        Self {
+            values,
+            num_jobs: jobs.len(),
+            max_gpus,
+            solves,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// `SPEEDUP` of job `job_idx` (its index in the `jobs` slice the
+    /// table was built from) under `shape`: one relaxed counter bump
+    /// and one array read. Returns 0 for out-of-table shapes.
+    #[inline]
+    pub fn speedup(&self, job_idx: usize, shape: PlacementShape) -> f64 {
+        if job_idx >= self.num_jobs || shape.gpus == 0 || shape.gpus > self.max_gpus {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return 0.0;
+        }
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        let cols = self.max_gpus as usize;
+        let locality = usize::from(shape.nodes >= 2);
+        self.values[job_idx * 2 * cols + locality * cols + (shape.gpus as usize - 1)]
+    }
+
+    /// Number of jobs the table covers.
+    pub fn num_jobs(&self) -> usize {
+        self.num_jobs
+    }
+
+    /// Columns per locality row (`max(min(gpu_cap, total GPUs))`).
+    pub fn max_gpus(&self) -> u32 {
+        self.max_gpus
+    }
+
+    /// Total stored entries (diagnostics; `jobs × 2 × max_gpus`).
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when the table holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Lookup and build counters since construction.
+    pub fn stats(&self) -> SpeedupTableStats {
+        SpeedupTableStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            solves: self.solves,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -327,5 +476,162 @@ mod tests {
         assert!(!j.is_running());
         j.current_placement = vec![0, 2, 0];
         assert!(j.is_running());
+    }
+
+    #[test]
+    fn table_matches_cache_and_model_bitwise() {
+        let jobs: Vec<SchedJob> = (0..4)
+            .map(|i| {
+                let mut j = job(i, 16);
+                j.min_gpus = 1 + i % 3;
+                j
+            })
+            .collect();
+        let spec = ClusterSpec::homogeneous(4, 4).unwrap();
+        let table = SpeedupTable::build(&jobs, &spec, 2);
+        let cache = SpeedupCache::new();
+        for (idx, j) in jobs.iter().enumerate() {
+            for gpus in 1u32..=16 {
+                for nodes in 1u32..=4.min(gpus) {
+                    let shape = PlacementShape::new(gpus, nodes).unwrap();
+                    let from_table = table.speedup(idx, shape);
+                    let from_cache = cache.speedup(j, shape);
+                    assert_eq!(
+                        from_table.to_bits(),
+                        from_cache.to_bits(),
+                        "job {idx} shape ({gpus},{nodes})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn table_build_is_thread_count_invariant() {
+        let jobs: Vec<SchedJob> = (0..6).map(|i| job(i, 32)).collect();
+        let spec = ClusterSpec::homogeneous(8, 4).unwrap();
+        let serial = SpeedupTable::build(&jobs, &spec, 1);
+        let parallel = SpeedupTable::build(&jobs, &spec, 4);
+        assert_eq!(serial.len(), parallel.len());
+        assert_eq!(serial.stats().solves, parallel.stats().solves);
+        for gpus in 1u32..=32 {
+            for nodes in 1u32..=3.min(gpus) {
+                let shape = PlacementShape::new(gpus, nodes).unwrap();
+                for idx in 0..jobs.len() {
+                    assert_eq!(
+                        serial.speedup(idx, shape).to_bits(),
+                        parallel.speedup(idx, shape).to_bits()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn table_counts_hits_misses_and_solves() {
+        let jobs = vec![job(0, 8)];
+        let spec = ClusterSpec::homogeneous(2, 4).unwrap();
+        let table = SpeedupTable::build(&jobs, &spec, 1);
+        assert_eq!(table.num_jobs(), 1);
+        assert_eq!(table.max_gpus(), 8);
+        assert_eq!(table.len(), 2 * 8);
+        // 1 reference + 8 colocated + 7 distributed solves.
+        assert_eq!(table.stats().solves, 16);
+        assert!(table.speedup(0, PlacementShape::new(4, 1).unwrap()) > 0.0);
+        assert_eq!(table.speedup(0, PlacementShape::new(9, 2).unwrap()), 0.0);
+        assert_eq!(table.speedup(1, PlacementShape::single()), 0.0);
+        let stats = table.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 2));
+        let mut acc = SpeedupTableStats::default();
+        acc.accumulate(stats);
+        acc.accumulate(stats);
+        assert_eq!(acc.hits, 2);
+        assert_eq!(acc.solves, 32);
+    }
+
+    #[test]
+    fn single_node_cluster_skips_distributed_solves() {
+        let jobs = vec![job(0, 8)];
+        let spec = ClusterSpec::homogeneous(1, 4).unwrap();
+        let table = SpeedupTable::build(&jobs, &spec, 1);
+        // Capped by the 4 total GPUs: 1 reference + 4 colocated solves.
+        assert_eq!(table.max_gpus(), 4);
+        assert_eq!(table.stats().solves, 5);
+        assert!(table.speedup(0, PlacementShape::new(2, 1).unwrap()) > 0.0);
+    }
+
+    #[test]
+    fn empty_job_set_builds_empty_table() {
+        let spec = ClusterSpec::homogeneous(4, 4).unwrap();
+        let table = SpeedupTable::build(&[], &spec, 4);
+        assert!(table.is_empty());
+        assert_eq!(table.stats().solves, 0);
+        assert_eq!(table.speedup(0, PlacementShape::single()), 0.0);
+    }
+
+    mod table_proptests {
+        use super::*;
+        use pollux_models::ThroughputParams;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+            #[test]
+            fn dense_table_is_bit_identical_to_model_speedup(
+                alpha_grad in 0.0f64..0.3,
+                beta_grad in 1e-5f64..5e-3,
+                alpha_sync in 0.0f64..0.3,
+                beta_sync in 0.0f64..0.02,
+                gamma in 1.0f64..6.0,
+                phi in 50.0f64..20_000.0,
+                m0_exp in 5u32..9,
+                min_gpus in 1u32..4,
+                gpu_cap in 4u32..24,
+                nodes in 1u32..5,
+                threads in 1usize..4,
+            ) {
+                let m0 = 1u64 << m0_exp;
+                let tp = ThroughputParams::new(
+                    alpha_grad, beta_grad, alpha_sync, beta_sync,
+                    alpha_sync * 1.5, beta_sync * 1.5, gamma,
+                ).unwrap();
+                let eff = EfficiencyModel::from_noise_scale(m0, phi).unwrap();
+                let limits = BatchSizeLimits::new(m0, 65_536, 512).unwrap();
+                let model = GoodputModel::new(tp, eff, limits).unwrap();
+                let job = SchedJob {
+                    id: JobId(7),
+                    model,
+                    min_gpus,
+                    gpu_cap,
+                    weight: 1.0,
+                    current_placement: vec![],
+                };
+                let spec = ClusterSpec::homogeneous(nodes, 4).unwrap();
+                let table = SpeedupTable::build(
+                    std::slice::from_ref(&job), &spec, threads,
+                );
+                let total = spec.total_gpus();
+                for gpus in 1..=total {
+                    for n in 1..=nodes.min(gpus) {
+                        let shape = PlacementShape::new(gpus, n).unwrap();
+                        // Canonical model value with the same feasibility
+                        // gates the scheduler applies.
+                        let expect = if gpus < job.min_gpus || gpus > job.gpu_cap {
+                            0.0
+                        } else {
+                            job.model.speedup(
+                                PlacementShape::new(gpus, n.min(2)).unwrap(),
+                            )
+                        };
+                        let got = table.speedup(0, shape);
+                        prop_assert_eq!(
+                            got.to_bits(), expect.to_bits(),
+                            "shape ({},{}) got {} expect {}",
+                            gpus, n, got, expect
+                        );
+                    }
+                }
+            }
+        }
     }
 }

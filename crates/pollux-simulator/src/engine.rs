@@ -2,7 +2,9 @@
 
 use crate::config::SimConfig;
 use crate::job::{JobState, SimJob};
-use crate::metrics::{ClusterSample, EventKind, JobRecord, JobSample, SchedulingEvent, SimResult};
+use crate::metrics::{
+    ClusterSample, EventKind, JobRecord, JobSample, SchedIntervalSample, SchedulingEvent, SimResult,
+};
 use crate::policy::{PolicyJobView, SchedulingPolicy};
 use pollux_cluster::{AllocationMatrix, ClusterSpec, NodeId};
 use pollux_models::GradientStats;
@@ -84,6 +86,7 @@ pub struct Simulation<P: SchedulingPolicy> {
     series: Vec<ClusterSample>,
     events: Vec<SchedulingEvent>,
     job_series: Vec<JobSample>,
+    sched_stats: Vec<SchedIntervalSample>,
     node_seconds: f64,
 }
 
@@ -118,6 +121,7 @@ impl<P: SchedulingPolicy> Simulation<P> {
             series: Vec::new(),
             events: Vec::new(),
             job_series: Vec::new(),
+            sched_stats: Vec::new(),
             node_seconds: 0.0,
         })
     }
@@ -275,6 +279,10 @@ impl<P: SchedulingPolicy> Simulation<P> {
             return;
         }
         let mut matrix = self.policy.schedule(now, &views, &self.spec, &mut self.rng);
+        if let Some(mut stats) = self.policy.take_interval_stats() {
+            stats.time = now;
+            self.sched_stats.push(stats);
+        }
         self.clamp_matrix(&mut matrix);
 
         for (row, &i) in active.iter().enumerate() {
@@ -567,6 +575,7 @@ impl<P: SchedulingPolicy> Simulation<P> {
             job_series: self.job_series,
             end_time,
             node_seconds: self.node_seconds,
+            sched_stats: self.sched_stats,
         }
     }
 }

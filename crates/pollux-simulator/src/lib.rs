@@ -29,5 +29,5 @@ pub mod policy;
 pub use config::SimConfig;
 pub use engine::Simulation;
 pub use job::{JobState, SimJob};
-pub use metrics::{ClusterSample, JobRecord, SimResult};
+pub use metrics::{ClusterSample, JobRecord, SchedIntervalSample, SimResult};
 pub use policy::{PolicyJobView, SchedulingPolicy};

@@ -110,6 +110,65 @@ pub struct JobSample {
     pub progress: f64,
 }
 
+/// Per-interval scheduler cost breakdown, reported by policies that
+/// implement [`crate::SchedulingPolicy::take_interval_stats`] (the
+/// Pollux policy does; baselines report nothing).
+///
+/// The wall-clock fields are non-deterministic and excluded from
+/// serialization; every counter is deterministic for a fixed seed and
+/// thread count. The vendored serde stub serializes through `Debug`,
+/// so the manual `Debug` impl below deliberately omits the nanos
+/// fields — that keeps serialized `SimResult`s byte-identical across
+/// thread counts while the timings stay readable in code.
+#[derive(Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct SchedIntervalSample {
+    /// Simulation time of the interval (s).
+    pub time: f64,
+    /// Wall-clock nanoseconds spent precomputing the dense speedup
+    /// table (not serialized: machine-dependent).
+    #[serde(skip)]
+    pub table_build_nanos: u64,
+    /// Wall-clock nanoseconds spent in the genetic-algorithm evolve
+    /// loop (not serialized: machine-dependent).
+    #[serde(skip)]
+    pub ga_evolve_nanos: u64,
+    /// GA generations executed.
+    pub generations_run: u64,
+    /// Full-chromosome fitness evaluations.
+    pub fitness_evals: u64,
+    /// Fitness evaluations answered incrementally (only touched rows
+    /// recomputed).
+    pub incremental_evals: u64,
+    /// Per-job contribution rows recomputed across all incremental
+    /// evaluations.
+    pub rows_recomputed: u64,
+    /// Dense-table lookups answered in range.
+    pub table_hits: u64,
+    /// Out-of-range table lookups (answered 0).
+    pub table_misses: u64,
+    /// Golden-section goodput solves spent building the table.
+    pub table_solves: u64,
+}
+
+impl std::fmt::Debug for SchedIntervalSample {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Deliberately omits `table_build_nanos` / `ga_evolve_nanos`:
+        // under the vendored serde stub, Debug IS the serialized form,
+        // and wall-clock timings must not leak into determinism
+        // comparisons of serialized `SimResult`s.
+        f.debug_struct("SchedIntervalSample")
+            .field("time", &self.time)
+            .field("generations_run", &self.generations_run)
+            .field("fitness_evals", &self.fitness_evals)
+            .field("incremental_evals", &self.incremental_evals)
+            .field("rows_recomputed", &self.rows_recomputed)
+            .field("table_hits", &self.table_hits)
+            .field("table_misses", &self.table_misses)
+            .field("table_solves", &self.table_solves)
+            .finish()
+    }
+}
+
 /// Complete result of one simulation run.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct SimResult {
@@ -128,6 +187,10 @@ pub struct SimResult {
     /// Integral of cluster size over time, in node-seconds (cloud cost
     /// proxy for the Fig 10 experiment).
     pub node_seconds: f64,
+    /// Per-interval scheduler cost breakdowns (empty for policies that
+    /// do not report them).
+    #[serde(default)]
+    pub sched_stats: Vec<SchedIntervalSample>,
 }
 
 impl SimResult {

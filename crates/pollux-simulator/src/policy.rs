@@ -6,6 +6,7 @@
 //! auto-scaling).
 
 use crate::job::SimJob;
+use crate::metrics::SchedIntervalSample;
 use pollux_agent::AgentReport;
 use pollux_cluster::{AllocationMatrix, ClusterSpec, JobId};
 use pollux_models::BatchSizeLimits;
@@ -122,6 +123,15 @@ pub trait SchedulingPolicy {
     /// must keep results independent of the thread count (Pollux's GA
     /// guarantees bit-identical schedules for a fixed seed).
     fn configure_parallelism(&mut self, _threads: usize) {}
+
+    /// Drains the cost breakdown of the most recent `schedule` call,
+    /// if the policy records one. The engine calls this after every
+    /// interval and appends the sample (stamped with the simulation
+    /// time) to [`crate::SimResult::sched_stats`]. The default
+    /// reports nothing.
+    fn take_interval_stats(&mut self) -> Option<SchedIntervalSample> {
+        None
+    }
 }
 
 impl<P: SchedulingPolicy + ?Sized> SchedulingPolicy for Box<P> {
@@ -159,6 +169,10 @@ impl<P: SchedulingPolicy + ?Sized> SchedulingPolicy for Box<P> {
 
     fn configure_parallelism(&mut self, threads: usize) {
         (**self).configure_parallelism(threads)
+    }
+
+    fn take_interval_stats(&mut self) -> Option<SchedIntervalSample> {
+        (**self).take_interval_stats()
     }
 }
 

@@ -4,7 +4,7 @@
 use pollux::agent::PolluxAgent;
 use pollux::cluster::{ClusterSpec, JobId};
 use pollux::models::{GradientStats, PlacementShape};
-use pollux::sched::{GaConfig, GeneticAlgorithm, SchedJob, SpeedupCache};
+use pollux::sched::{GaConfig, GeneticAlgorithm, SchedJob, SpeedupCache, SpeedupTable};
 use pollux::workload::ModelKind;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -106,9 +106,9 @@ fn scheduler_prefers_jobs_that_scale() {
         generations: 20,
         ..Default::default()
     });
-    let cache = SpeedupCache::new();
+    let table = SpeedupTable::build(&jobs, &spec, 1);
     let mut rng = StdRng::seed_from_u64(5);
-    let out = ga.evolve(&jobs, &spec, vec![], &cache, &mut rng);
+    let out = ga.evolve(&jobs, &spec, vec![], &table, &mut rng);
     assert!(
         out.best.gpus_of(0) > out.best.gpus_of(1),
         "resnet {} vs speech {}\n{}",
