@@ -8,7 +8,7 @@
 //! re-tunes its own batch size and learning rate for whatever
 //! allocation it currently holds.
 
-use crate::profiler::ThroughputProfiler;
+use crate::profiler::{ObservationRun, ThroughputProfiler};
 use pollux_models::{
     fit_throughput_params_warm, AdaScale, BatchSizeLimits, EfficiencyModel, FitReport,
     GoodputModel, GradientStats, PlacementShape, ThroughputParams,
@@ -127,6 +127,27 @@ impl PolluxAgent {
     pub fn observe_iteration(&mut self, shape: PlacementShape, batch_size: u64, t_iter: f64) {
         self.note_allocation(shape);
         self.profiler.record(shape, batch_size, t_iter);
+    }
+
+    /// Opens a batched observation run for a stretch of iterations
+    /// under one fixed configuration (see
+    /// [`ThroughputProfiler::begin_run`] for the equivalence contract).
+    /// Like [`observe_iteration`](Self::observe_iteration) this notes
+    /// the allocation up front; `note_allocation` is an idempotent max,
+    /// so noting once per run equals noting once per iteration.
+    pub fn begin_observation_run(
+        &mut self,
+        shape: PlacementShape,
+        batch_size: u64,
+    ) -> ObservationRun {
+        self.note_allocation(shape);
+        self.profiler.begin_run(shape, batch_size)
+    }
+
+    /// Commits a batched observation run opened by
+    /// [`begin_observation_run`](Self::begin_observation_run).
+    pub fn record_observation_run(&mut self, run: ObservationRun) {
+        self.profiler.record_run(run);
     }
 
     /// Records the latest smoothed gradient statistics (from a

@@ -20,4 +20,4 @@ pub mod profiler;
 
 pub use agent::{AgentReport, PolluxAgent, TuningDecision};
 pub use gns::{DifferencedGns, Ewma, ReplicaGns};
-pub use profiler::ThroughputProfiler;
+pub use profiler::{ObservationRun, ThroughputProfiler};

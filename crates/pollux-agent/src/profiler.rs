@@ -24,6 +24,45 @@ struct SampleAgg {
     count: u64,
 }
 
+/// An in-flight batch of iteration-time samples under one fixed
+/// `(shape, batch_size)` configuration, opened by
+/// [`ThroughputProfiler::begin_run`]. Holds the configuration's
+/// aggregate by value so the per-sample hot path is two adds with no
+/// map lookup.
+#[derive(Debug, Clone)]
+pub struct ObservationRun {
+    shape: PlacementShape,
+    batch_size: u64,
+    agg: SampleAgg,
+    added: u64,
+}
+
+impl ObservationRun {
+    /// Accumulates one measurement, applying the same validity filter
+    /// as [`ThroughputProfiler::record`] (and its `sum += t` addition
+    /// order, so a committed run is bit-identical to per-sample
+    /// recording).
+    #[inline]
+    pub fn observe(&mut self, t_iter: f64) {
+        if !t_iter.is_finite() || t_iter <= 0.0 || self.batch_size == 0 {
+            return;
+        }
+        self.agg.sum += t_iter;
+        self.agg.count += 1;
+        self.added += 1;
+    }
+
+    /// Number of samples this run has accepted so far.
+    pub fn accepted(&self) -> u64 {
+        self.added
+    }
+
+    /// The configuration this run profiles.
+    pub fn shape(&self) -> PlacementShape {
+        self.shape
+    }
+}
+
 impl ThroughputProfiler {
     /// Creates an empty profiler.
     pub fn new() -> Self {
@@ -42,6 +81,46 @@ impl ThroughputProfiler {
         agg.count += 1;
         self.max_gpus_seen = self.max_gpus_seen.max(shape.gpus);
         self.max_nodes_seen = self.max_nodes_seen.max(shape.nodes);
+    }
+
+    /// Opens a batched observation run for one fixed configuration:
+    /// the tree lookup happens once here instead of once per sample.
+    /// Feed measurements to [`ObservationRun::observe`] and commit with
+    /// [`ThroughputProfiler::record_run`].
+    ///
+    /// Equivalence contract: a run behaves exactly like calling
+    /// [`record`](Self::record) per sample — same validity filtering,
+    /// same `sum += t` addition order, same "no entry is created until
+    /// a sample is accepted" rule — **provided** no other `record` /
+    /// `record_run` touches the same `(shape, batch_size)` key between
+    /// `begin_run` and `record_run` (the run snapshots the aggregate
+    /// and writes it back absolutely).
+    pub fn begin_run(&self, shape: PlacementShape, batch_size: u64) -> ObservationRun {
+        let agg = self
+            .samples
+            .get(&(shape, batch_size))
+            .copied()
+            .unwrap_or_default();
+        ObservationRun {
+            shape,
+            batch_size,
+            agg,
+            added: 0,
+        }
+    }
+
+    /// Commits a batched observation run opened by
+    /// [`begin_run`](Self::begin_run). A run that accepted no samples
+    /// leaves the profiler untouched (no empty entry, no prior update),
+    /// exactly as a sequence of rejected [`record`](Self::record) calls
+    /// would.
+    pub fn record_run(&mut self, run: ObservationRun) {
+        if run.added == 0 {
+            return;
+        }
+        *self.samples.entry((run.shape, run.batch_size)).or_default() = run.agg;
+        self.max_gpus_seen = self.max_gpus_seen.max(run.shape.gpus);
+        self.max_nodes_seen = self.max_nodes_seen.max(run.shape.nodes);
     }
 
     /// Number of distinct configurations with at least one sample.
@@ -134,6 +213,69 @@ mod tests {
         assert_eq!(pr.max_gpus_seen, 4);
         assert_eq!(pr.max_nodes_seen, 2);
         assert_eq!(p.max_gpus_seen(), 4);
+    }
+
+    /// Bitwise check that a batched run equals per-sample recording:
+    /// same entries, same sums (identical addition order), same priors.
+    #[test]
+    fn batched_run_matches_per_sample_recording() {
+        let samples = [0.21, 0.19, f64::NAN, -0.5, 0.0, 0.2, 0.23];
+        let mut per_sample = ThroughputProfiler::new();
+        // Pre-existing data under the same key and another key.
+        per_sample.record(shape(2, 1), 256, 0.4);
+        per_sample.record(shape(1, 1), 128, 0.5);
+        let mut batched = per_sample.clone();
+
+        for &t in &samples {
+            per_sample.record(shape(2, 1), 256, t);
+        }
+        let mut run = batched.begin_run(shape(2, 1), 256);
+        for &t in &samples {
+            run.observe(t);
+        }
+        assert_eq!(run.accepted(), 4);
+        batched.record_run(run);
+
+        assert_eq!(per_sample, batched);
+        assert_eq!(
+            per_sample.mean_t_iter(shape(2, 1), 256).unwrap().to_bits(),
+            batched.mean_t_iter(shape(2, 1), 256).unwrap().to_bits(),
+        );
+    }
+
+    #[test]
+    fn empty_run_creates_no_entry() {
+        let mut p = ThroughputProfiler::new();
+        let mut run = p.begin_run(shape(4, 2), 512);
+        run.observe(f64::INFINITY);
+        run.observe(-1.0);
+        assert_eq!(run.accepted(), 0);
+        p.record_run(run);
+        assert_eq!(p.num_configurations(), 0);
+        assert_eq!(
+            p.priors().max_gpus_seen,
+            0,
+            "no prior update without samples"
+        );
+
+        // batch_size == 0 disables the run entirely.
+        let mut run = p.begin_run(shape(1, 1), 0);
+        run.observe(0.3);
+        assert_eq!(run.accepted(), 0);
+        p.record_run(run);
+        assert_eq!(p.num_samples(), 0);
+    }
+
+    #[test]
+    fn committed_run_updates_priors() {
+        let mut p = ThroughputProfiler::new();
+        let mut run = p.begin_run(shape(8, 2), 1024);
+        run.observe(0.12);
+        assert_eq!(run.shape(), shape(8, 2));
+        p.record_run(run);
+        assert_eq!(p.priors().max_gpus_seen, 8);
+        assert_eq!(p.priors().max_nodes_seen, 2);
+        assert_eq!(p.num_samples(), 1);
     }
 
     #[test]

@@ -1,0 +1,248 @@
+//! Head-to-head comparison of the two simulation steppers on a
+//! paper-scale trace (64 jobs on 16 nodes × 4 GPUs over a 7-day
+//! horizon):
+//!
+//! 1. `reference` — the retained pre-refactor 1 s tick loop
+//!    ([`Simulation::run_reference`]): every tick recomputes
+//!    interference, per-job iteration times, and records one profiler
+//!    sample through the `BTreeMap`;
+//! 2. `macro_step` — the event-horizon engine ([`Simulation::run`]):
+//!    per-job constants are hoisted once per macro-step and the
+//!    intervening ticks run in a tight inner loop (this PR's design).
+//!
+//! The two arms must produce **byte-identical** serialized
+//! `SimResult`s — the same contract the determinism suite pins — so
+//! the speedup below is a pure performance delta, never a trajectory
+//! change.
+//!
+//! Not a criterion bench: a custom `main` so the measured numbers land
+//! in machine-readable form at `BENCH_sim.json` in the repo root. Set
+//! `BENCH_SIM_QUICK=1` (CI does) for a fast smoke run — a smaller
+//! trace and fewer repetitions, same arms, same output file schema.
+
+use pollux_cluster::{AllocationMatrix, ClusterSpec};
+use pollux_simulator::{PolicyJobView, SchedulingPolicy, SimConfig, Simulation};
+use pollux_workload::{JobSpec, TraceConfig, TraceGenerator, UserConfig};
+use rand::rngs::StdRng;
+use std::time::Instant;
+
+/// FCFS packing at a fixed GPU ask: running jobs keep their placement,
+/// pending jobs pack into free GPUs or wait. Deliberately cheap so the
+/// measurement prices the engine, not the policy.
+struct FcfsPacked {
+    gpus: u32,
+}
+
+impl SchedulingPolicy for FcfsPacked {
+    fn name(&self) -> &'static str {
+        "fcfs-packed"
+    }
+
+    fn schedule(
+        &mut self,
+        _now: f64,
+        jobs: &[PolicyJobView<'_>],
+        spec: &ClusterSpec,
+        _rng: &mut StdRng,
+    ) -> AllocationMatrix {
+        let mut free: Vec<u32> = spec.iter().map(|(_, s)| s.gpus).collect();
+        let mut m = AllocationMatrix::zeros(jobs.len(), spec.num_nodes());
+        for (j, view) in jobs.iter().enumerate() {
+            if view.is_running() {
+                for (n, &g) in view.current_placement.iter().enumerate() {
+                    m.set(j, n, g);
+                    free[n] = free[n].saturating_sub(g);
+                }
+                continue;
+            }
+            let mut need = self.gpus;
+            for (n, f) in free.iter_mut().enumerate() {
+                if need == 0 {
+                    break;
+                }
+                let take = need.min(*f);
+                if take > 0 {
+                    m.set(j, n, take);
+                    *f -= take;
+                    need -= take;
+                }
+            }
+            if need > 0 {
+                for (n, f) in free.iter_mut().enumerate() {
+                    *f += m.get(j, n);
+                    m.set(j, n, 0);
+                }
+            }
+        }
+        m
+    }
+}
+
+struct Scenario {
+    num_jobs: usize,
+    nodes: u32,
+    gpus_per_node: u32,
+    /// Submission window (hours); arrivals spread across it so the
+    /// event-horizon arithmetic is exercised deep into the horizon.
+    window_hours: f64,
+    max_sim_time: f64,
+}
+
+fn workload(s: &Scenario) -> Vec<(JobSpec, UserConfig)> {
+    TraceGenerator::new(TraceConfig {
+        num_jobs: s.num_jobs,
+        duration_hours: s.window_hours,
+        max_gpus: s.gpus_per_node * 2,
+        gpus_per_node: s.gpus_per_node,
+        seed: 2024,
+        ..Default::default()
+    })
+    .expect("static trace config is valid")
+    .generate()
+    .into_iter()
+    .map(|spec| {
+        let user = spec.tuned;
+        (spec, user)
+    })
+    .collect()
+}
+
+fn sim_config(s: &Scenario) -> SimConfig {
+    SimConfig {
+        max_sim_time: s.max_sim_time,
+        interference_slowdown: 0.1,
+        seed: 7,
+        ..Default::default()
+    }
+}
+
+/// One construct + run of the chosen stepper over a pre-generated
+/// workload; returns the serialized result (for the identity check)
+/// and the wall time of the simulation itself (trace generation and
+/// serialization stay outside the timed region).
+fn run_arm(s: &Scenario, wl: &[(JobSpec, UserConfig)], reference: bool) -> (String, u128) {
+    let spec = ClusterSpec::homogeneous(s.nodes, s.gpus_per_node).unwrap();
+    let wl = wl.to_vec();
+    let start = Instant::now();
+    let sim = Simulation::new(sim_config(s), spec, FcfsPacked { gpus: 2 }, wl)
+        .expect("valid simulation inputs");
+    let result = if reference {
+        sim.run_reference()
+    } else {
+        sim.run()
+    };
+    let ns = start.elapsed().as_nanos();
+    let json = serde_json::to_string(&result).expect("SimResult serializes");
+    (json, ns)
+}
+
+struct ArmResult {
+    name: &'static str,
+    json: String,
+    best_ns: u128,
+}
+
+fn measure(
+    name: &'static str,
+    s: &Scenario,
+    wl: &[(JobSpec, UserConfig)],
+    reference: bool,
+    reps: usize,
+) -> ArmResult {
+    let (json, mut best_ns) = run_arm(s, wl, reference);
+    for _ in 1..reps {
+        let (again, ns) = run_arm(s, wl, reference);
+        assert_eq!(again, json, "{name}: non-deterministic across repetitions");
+        best_ns = best_ns.min(ns);
+    }
+    ArmResult {
+        name,
+        json,
+        best_ns,
+    }
+}
+
+fn main() {
+    let quick = std::env::var("BENCH_SIM_QUICK").is_ok_and(|v| v != "0");
+    let (scenario, reps) = if quick {
+        (
+            Scenario {
+                num_jobs: 12,
+                nodes: 4,
+                gpus_per_node: 4,
+                window_hours: 4.0,
+                max_sim_time: 12.0 * 3600.0,
+            },
+            1,
+        )
+    } else {
+        (
+            Scenario {
+                num_jobs: 64,
+                nodes: 16,
+                gpus_per_node: 4,
+                window_hours: 48.0,
+                max_sim_time: 7.0 * 24.0 * 3600.0,
+            },
+            3,
+        )
+    };
+
+    let wl = workload(&scenario);
+    let reference = measure("reference", &scenario, &wl, true, reps);
+    let macro_step = measure("macro_step", &scenario, &wl, false, reps);
+
+    // The hard contract first: both steppers walked the same
+    // trajectory, bit for bit.
+    if reference.json != macro_step.json {
+        let at = reference
+            .json
+            .bytes()
+            .zip(macro_step.json.bytes())
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| reference.json.len().min(macro_step.json.len()));
+        panic!("steppers diverged at byte {at}; run the determinism suite");
+    }
+
+    let speedup = reference.best_ns as f64 / macro_step.best_ns as f64;
+    let arms = [&reference, &macro_step];
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!(
+        "  \"bench\": \"bench_sim\",\n  \"quick\": {quick},\n  \"num_jobs\": {},\n  \"num_nodes\": {},\n  \"gpus_per_node\": {},\n  \"window_hours\": {:.1},\n  \"max_sim_days\": {:.2},\n  \"reps\": {reps},\n  \"results_identical\": true,\n  \"arms\": [\n",
+        scenario.num_jobs,
+        scenario.nodes,
+        scenario.gpus_per_node,
+        scenario.window_hours,
+        scenario.max_sim_time / 86_400.0,
+    ));
+    for (i, arm) in arms.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"name\": \"{}\", \"best_total_ns\": {}, \"ms\": {:.1} }}{}\n",
+            arm.name,
+            arm.best_ns,
+            arm.best_ns as f64 / 1.0e6,
+            if i + 1 < arms.len() { "," } else { "" }
+        ));
+    }
+    out.push_str(&format!(
+        "  ],\n  \"speedup_macro_vs_reference\": {speedup:.2}\n}}\n"
+    ));
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json");
+    std::fs::write(path, &out).expect("write BENCH_sim.json");
+    print!("{out}");
+
+    if quick {
+        assert!(
+            speedup > 1.0,
+            "macro-stepped engine must beat the reference tick loop (got {speedup:.2}x)"
+        );
+    } else {
+        assert!(
+            speedup >= 5.0,
+            "macro-stepped engine must be at least 5x the reference tick loop \
+             on the paper-scale trace (got {speedup:.2}x)"
+        );
+    }
+}

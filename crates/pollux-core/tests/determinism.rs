@@ -165,6 +165,54 @@ fn simulation_result_is_identical_across_sched_threads() {
 }
 
 #[test]
+fn macro_stepped_engine_matches_reference_with_pollux_policy() {
+    // The engine-level determinism suite (pollux-simulator's
+    // tests/macro_step.rs) covers synthetic policies; this pins the
+    // same bit-identity contract under the real Pollux stack — GA
+    // scheduling draws, batch-size adaptation, restarts, the works.
+    use pollux_simulator::Simulation;
+    let run = |reference: bool| {
+        let mut c = PolluxConfig::default();
+        c.sched.ga = GaConfig {
+            population: 16,
+            generations: 8,
+            ..Default::default()
+        };
+        let policy = PolluxPolicy::new(c).unwrap();
+        let trace = tiny_trace();
+        let workload = trace.iter().map(|j| (j.clone(), j.tuned)).collect();
+        let spec = ClusterSpec::homogeneous(4, 4).unwrap();
+        let sim = SimConfig {
+            max_sim_time: 10.0 * 3600.0,
+            interference_slowdown: 0.3,
+            ..Default::default()
+        };
+        let sim = Simulation::new(sim, spec, policy, workload).unwrap();
+        let result = if reference {
+            sim.run_reference()
+        } else {
+            sim.run()
+        };
+        serde_json::to_string(&result).expect("SimResult serializes")
+    };
+    let macro_stepped = run(false);
+    let reference = run(true);
+    if macro_stepped != reference {
+        let pos = macro_stepped
+            .bytes()
+            .zip(reference.bytes())
+            .position(|(a, b)| a != b)
+            .unwrap_or(macro_stepped.len().min(reference.len()));
+        let lo = pos.saturating_sub(200);
+        panic!(
+            "SimResult bytes differ between run() and run_reference() at byte {pos}:\nmacro: ...{}...\nref:   ...{}...",
+            &macro_stepped[lo..(pos + 200).min(macro_stepped.len())],
+            &reference[lo..(pos + 200).min(reference.len())]
+        );
+    }
+}
+
+#[test]
 fn incremental_fitness_matches_full_recompute_on_optimize() {
     // The GA carries per-job contribution vectors and recomputes only
     // touched rows; the winning chromosome's fitness must still equal a

@@ -5,6 +5,7 @@
 //! policy degrades under load, but Pollux degrades most gracefully.
 
 use crate::common::{mean, render_table};
+use crate::sweep::sweep;
 use crate::table2::{run_one, Policy, Table2Options};
 use serde::{Deserialize, Serialize};
 
@@ -34,20 +35,20 @@ pub fn run(traces: u64) -> Fig8Result {
         .map(|&load| {
             let mut jct = [0.0f64; 3];
             for (pi, &policy) in Policy::ALL.iter().enumerate() {
-                let per_trace: Vec<f64> = (0..traces.max(1))
-                    .map(|t| {
-                        let opts = Table2Options {
-                            traces: 1,
-                            load,
-                            ..Default::default()
-                        };
-                        run_one(policy, t, &opts)
-                            .avg_jct()
-                            .map(|v| v / 3600.0)
-                            .unwrap_or(f64::NAN)
-                    })
-                    .filter(|v| v.is_finite())
-                    .collect();
+                let per_trace: Vec<f64> = sweep(traces.max(1), |t| {
+                    let opts = Table2Options {
+                        traces: 1,
+                        load,
+                        ..Default::default()
+                    };
+                    run_one(policy, t, &opts)
+                        .avg_jct()
+                        .map(|v| v / 3600.0)
+                        .unwrap_or(f64::NAN)
+                })
+                .into_iter()
+                .filter(|v| v.is_finite())
+                .collect();
                 jct[pi] = mean(&per_trace).unwrap_or(0.0);
             }
             Fig8Point {

@@ -22,6 +22,10 @@
 //! | [`fig10`] | Fig 10a/10b — cloud auto-scaling comparison |
 //! | [`ablations`] | extra ablations: γ-norm, restart penalty, search backends |
 //! | [`ext_accum`] | extension: gradient accumulation in the goodput search |
+//!
+//! Multi-trace averages run their independent `(policy, trace)` cells
+//! on a worker pool via [`sweep`]; results are byte-identical to the
+//! serial loop at any thread count.
 
 pub mod ablations;
 pub mod common;
@@ -35,5 +39,6 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod sweep;
 pub mod table2;
 pub mod table3;

@@ -5,6 +5,7 @@
 use crate::common::{
     evaluation_trace, experiment_ga, experiment_sim, mean, render_table, testbed_cluster,
 };
+use crate::sweep::sweep;
 use pollux_baselines::{Optimus, Tiresias, TiresiasConfig};
 use pollux_core::{run_trace, ConfigChoice, PolluxConfig, PolluxPolicy};
 use pollux_simulator::{SchedulingPolicy, SimResult};
@@ -120,14 +121,14 @@ pub fn run_one(policy: Policy, trace_idx: u64, opts: &Table2Options) -> SimResul
     run_trace(boxed, &trace, opts.choice, testbed_cluster(), sim).expect("valid simulation inputs")
 }
 
-/// Runs the full experiment.
+/// Runs the full experiment. Per-trace cells run on the [`sweep`]
+/// worker pool; cells are independent, so the aggregate is identical
+/// to a serial loop.
 pub fn run(opts: &Table2Options) -> Table2Result {
     let outcomes = Policy::ALL
         .iter()
         .map(|&policy| {
-            let results: Vec<SimResult> = (0..opts.traces.max(1))
-                .map(|i| run_one(policy, i, opts))
-                .collect();
+            let results: Vec<SimResult> = sweep(opts.traces.max(1), |i| run_one(policy, i, opts));
             summarize(policy, &results)
         })
         .collect();

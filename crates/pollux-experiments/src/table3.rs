@@ -5,6 +5,7 @@
 //! JCT (small jobs finish first), mildly hurts the tail.
 
 use crate::common::{mean, render_table};
+use crate::sweep::sweep;
 use crate::table2::{run_one, Policy, Table2Options};
 use serde::{Deserialize, Serialize};
 
@@ -38,13 +39,15 @@ pub fn run(traces: u64) -> Table3Result {
             let mut avg = Vec::new();
             let mut p50 = Vec::new();
             let mut p99 = Vec::new();
-            for t in 0..traces.max(1) {
+            let cells = sweep(traces.max(1), |t| {
                 let opts = Table2Options {
                     traces: 1,
                     lambda,
                     ..Default::default()
                 };
-                let r = run_one(Policy::Pollux, t, &opts);
+                run_one(Policy::Pollux, t, &opts)
+            });
+            for r in cells {
                 if let Some(v) = r.avg_jct() {
                     avg.push(v / 3600.0);
                 }

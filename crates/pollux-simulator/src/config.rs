@@ -55,17 +55,25 @@ impl Default for SimConfig {
 }
 
 impl SimConfig {
-    /// Validates parameter sanity. Returns `None` for non-positive
-    /// intervals or out-of-range noise/slowdown fractions.
+    /// Validates parameter sanity. Returns `None` for non-finite or
+    /// non-positive intervals or out-of-range noise/slowdown
+    /// fractions. (Finiteness matters: the engine computes event
+    /// horizons as tick indices from these times, and a NaN/∞ interval
+    /// has no meaningful tick.)
     pub fn validated(self) -> Option<Self> {
         let ok = self.tick_seconds > 0.0
+            && self.tick_seconds.is_finite()
             && self.sched_interval >= self.tick_seconds
+            && self.sched_interval.is_finite()
             && self.report_interval >= self.tick_seconds
+            && self.report_interval.is_finite()
             && self.restart_delay >= 0.0
+            && self.restart_delay.is_finite()
             && (0.0..1.0).contains(&self.interference_slowdown)
             && (0.0..1.0).contains(&self.measurement_noise)
             && (0.0..1.0).contains(&self.phi_noise)
             && self.max_sim_time > 0.0
+            && self.max_sim_time.is_finite()
             && self.sched_threads >= 1;
         if ok {
             Some(self)
@@ -105,6 +113,18 @@ mod tests {
             },
             SimConfig {
                 sched_threads: 0,
+                ..Default::default()
+            },
+            SimConfig {
+                max_sim_time: f64::INFINITY,
+                ..Default::default()
+            },
+            SimConfig {
+                restart_delay: f64::NAN,
+                ..Default::default()
+            },
+            SimConfig {
+                sched_interval: f64::INFINITY,
                 ..Default::default()
             },
         ];

@@ -1,4 +1,24 @@
 //! The discrete-time simulation engine.
+//!
+//! # Macro-stepped execution
+//!
+//! [`Simulation::run`] does not iterate tick-by-tick. Between *event
+//! horizons* — the next arrival, restart-delay expiry, report tick,
+//! scheduling tick, earliest analytically-predicted job completion,
+//! and the simulation end — nothing a tick can observe changes except
+//! each job's own training progress and the per-tick measurement
+//! noise. So the engine computes per-job invariants once per
+//! macro-step (interference slowdown, iteration time, throughput, the
+//! profiler slot) and advances all intervening ticks in a tight inner
+//! loop; see [`Simulation::advance_chunk`] for the exact contract.
+//!
+//! The determinism contract is strict: for a fixed seed the
+//! macro-stepped engine produces a `SimResult` **bit-identical** to
+//! the per-tick reference stepper retained as
+//! [`Simulation::run_reference`] (same RNG draw sequence, same f64
+//! addition order). The determinism suite in
+//! `tests/macro_step.rs` pins this with golden digests and a
+//! reference-equality proptest.
 
 use crate::config::SimConfig;
 use crate::job::{JobState, SimJob};
@@ -6,7 +26,8 @@ use crate::metrics::{
     ClusterSample, EventKind, JobRecord, JobSample, SchedIntervalSample, SchedulingEvent, SimResult,
 };
 use crate::policy::{PolicyJobView, SchedulingPolicy};
-use pollux_cluster::{AllocationMatrix, ClusterSpec, NodeId};
+use pollux_agent::ObservationRun;
+use pollux_cluster::{AllocationMatrix, ClusterSpec, JobId, NodeId};
 use pollux_models::GradientStats;
 use pollux_workload::{JobSpec, UserConfig};
 use rand::rngs::StdRng;
@@ -82,17 +103,118 @@ pub struct Simulation<P: SchedulingPolicy> {
     arrivals: Vec<Submission>,
     /// Spawned jobs (active and finished).
     jobs: Vec<SimJob>,
+    /// Indices of non-finished jobs, ascending. Maintained
+    /// incrementally (push on spawn, remove on finish) so the hot
+    /// paths never scan finished jobs. Ascending order matters: it is
+    /// what keeps the per-job RNG draw sequence identical to a full
+    /// index-order scan.
+    active: Vec<usize>,
     rng: StdRng,
     series: Vec<ClusterSample>,
     events: Vec<SchedulingEvent>,
     job_series: Vec<JobSample>,
     sched_stats: Vec<SchedIntervalSample>,
     node_seconds: f64,
+    /// Reused interference buffer, indexed by job (all jobs, not just
+    /// active ones, so stale entries can never alias a live index).
+    slowdown: Vec<f64>,
+    /// Reused scratch list of distributed active jobs.
+    dist_buf: Vec<usize>,
+    /// Recycled (always empty) allocation for the per-interval policy
+    /// views; see [`take_views`] / [`store_views`].
+    view_buf: Vec<PolicyJobView<'static>>,
+    /// Recycled per-macro-step job contexts.
+    chunk_buf: Vec<ChunkCtx>,
+    /// Recycled per-tick finish list.
+    finished_buf: Vec<(usize, JobId)>,
+}
+
+/// Per-job invariants hoisted for one macro-step: between event
+/// horizons everything here is constant — placement, batch size, and
+/// interference only change on boundaries, and the chunk aborts at the
+/// first job completion. Statistical efficiency is *not* hoisted: it
+/// depends on the job's own progress, which moves every tick.
+struct ChunkCtx {
+    /// Index into `Simulation::jobs`.
+    idx: usize,
+    /// GPU-seconds accrued per tick (`gpus · dt`).
+    gpu_dt: f64,
+    /// Present for `Running` jobs holding GPUs; `None` for
+    /// `Restarting` jobs, which only accrue GPU time.
+    run: Option<RunCtx>,
+}
+
+struct RunCtx {
+    /// Batch size in effect.
+    batch: u64,
+    /// Total work (examples at m0-efficiency) at which the job ends.
+    work: f64,
+    /// True throughput after interference (examples/s).
+    throughput: f64,
+    /// Per-tick raw-example increment (`throughput · dt`).
+    tput_dt: f64,
+    /// Iteration time the agent observes before measurement noise
+    /// (`t_iter / (1 − slowdown)`; interference is indistinguishable
+    /// from slowness to the agent).
+    t_base: f64,
+    /// Open profiler batch for this job's `(shape, batch)` key.
+    obs: ObservationRun,
+}
+
+struct ChunkOutcome {
+    /// Ticks actually executed (≥ 1; short on early completion).
+    ticks: u64,
+    /// Whether the simulation is over (no arrivals left, all jobs
+    /// finished).
+    exit: bool,
+}
+
+/// First tick index `t >= lo` whose wall-clock time `t · dt` is at or
+/// after `time`. A float division seeds the guess and two integer
+/// adjustment loops (at most a step or two each) make the answer exact
+/// regardless of rounding in the division.
+fn first_tick_at_or_after(time: f64, dt: f64, lo: u64) -> u64 {
+    let guess = time / dt;
+    if !guess.is_finite() || guess >= 9.0e18 {
+        return u64::MAX; // Beyond any horizon; callers min() against max_ticks.
+    }
+    let mut t = guess.ceil().max(0.0) as u64;
+    while t > 0 && (t - 1) as f64 * dt >= time {
+        t -= 1;
+    }
+    while (t as f64) * dt < time {
+        t += 1;
+    }
+    t.max(lo)
+}
+
+/// Takes the engine's recycled view buffer, re-borrowing its (empty)
+/// allocation at the shorter lifetime of the current interval — a
+/// plain covariant coercion, no unsafe needed in this direction.
+fn take_views<'a>(buf: &mut Vec<PolicyJobView<'static>>) -> Vec<PolicyJobView<'a>> {
+    std::mem::take(buf)
+}
+
+/// Stores an interval's view buffer back for reuse. Only the
+/// allocation survives: the vector is emptied first, so no borrow with
+/// the interval's lifetime escapes into the `'static` slot.
+fn store_views(buf: &mut Vec<PolicyJobView<'static>>, mut views: Vec<PolicyJobView<'_>>) {
+    views.clear();
+    let mut views = std::mem::ManuallyDrop::new(views);
+    let (ptr, cap) = (views.as_mut_ptr(), views.capacity());
+    // SAFETY: `views` is empty, so the allocation holds no value of
+    // the shorter lifetime — only raw capacity is reused. The
+    // (ptr, 0, cap) triple comes from a live Vec whose buffer is not
+    // freed (ManuallyDrop), `PolicyJobView` has no drop glue, and the
+    // cast only changes the lifetime parameter of the *element type*
+    // of an element-less buffer (size and alignment are unchanged).
+    *buf = unsafe { Vec::from_raw_parts(ptr.cast::<PolicyJobView<'static>>(), 0, cap) };
 }
 
 impl<P: SchedulingPolicy> Simulation<P> {
     /// Creates a simulation. Returns `None` when the config fails
-    /// validation or the workload is empty.
+    /// validation, the workload is empty, or any submit time is
+    /// non-finite.
     pub fn new(
         config: SimConfig,
         spec: ClusterSpec,
@@ -103,12 +225,14 @@ impl<P: SchedulingPolicy> Simulation<P> {
         if workload.is_empty() {
             return None;
         }
+        // A NaN submit time has no meaningful position in the arrival
+        // order (the old `partial_cmp(..).unwrap_or(Equal)` sort
+        // silently produced an arbitrary one), so reject it here.
+        if workload.iter().any(|(s, _)| !s.submit_time.is_finite()) {
+            return None;
+        }
         policy.configure_parallelism(config.sched_threads);
-        workload.sort_by(|a, b| {
-            a.0.submit_time
-                .partial_cmp(&b.0.submit_time)
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        workload.sort_by(|a, b| a.0.submit_time.total_cmp(&b.0.submit_time));
         workload.reverse(); // Pop from the back in time order.
         let seed = config.seed;
         Some(Self {
@@ -117,62 +241,75 @@ impl<P: SchedulingPolicy> Simulation<P> {
             policy,
             arrivals: workload,
             jobs: Vec::new(),
+            active: Vec::new(),
             rng: StdRng::seed_from_u64(seed),
             series: Vec::new(),
             events: Vec::new(),
             job_series: Vec::new(),
             sched_stats: Vec::new(),
             node_seconds: 0.0,
+            slowdown: Vec::new(),
+            dist_buf: Vec::new(),
+            view_buf: Vec::new(),
+            chunk_buf: Vec::new(),
+            finished_buf: Vec::new(),
         })
     }
 
     /// Runs the simulation to completion (all jobs finished) or to the
     /// configured time horizon, and returns the metrics.
+    ///
+    /// Macro-stepped: boundary work (arrivals, wake-ups, reports,
+    /// scheduling) happens at event horizons; the ticks in between run
+    /// through [`Self::advance_chunk`] with per-job invariants hoisted.
+    /// Bit-identical to [`Self::run_reference`] for any fixed seed.
     pub fn run(mut self) -> SimResult {
         let dt = self.config.tick_seconds;
         let sched_every = (self.config.sched_interval / dt).round().max(1.0) as u64;
         let report_every = (self.config.report_interval / dt).round().max(1.0) as u64;
         let max_ticks = (self.config.max_sim_time / dt).ceil() as u64;
+        let debug = std::env::var_os("POLLUX_SIM_DEBUG").is_some();
+
+        let mut now = 0.0;
+        let mut tick = 0u64;
+        while tick < max_ticks {
+            now = tick as f64 * dt;
+            self.tick_boundaries(tick, now, report_every, sched_every, debug);
+            let horizon = self.next_horizon(tick, dt, report_every, sched_every, max_ticks);
+            let chunk = self.advance_chunk(tick, horizon, dt);
+            tick += chunk.ticks;
+            now = (tick - 1) as f64 * dt;
+            if chunk.exit {
+                now += dt;
+                break;
+            }
+        }
+
+        self.sample(now);
+        self.finalize(now)
+    }
+
+    /// The retained per-tick reference stepper: the pre-macro-step
+    /// engine, advancing one tick at a time with no hoisted
+    /// invariants. Kept as the ground truth the determinism suite and
+    /// `bench_sim` compare [`Self::run`] against.
+    pub fn run_reference(mut self) -> SimResult {
+        let dt = self.config.tick_seconds;
+        let sched_every = (self.config.sched_interval / dt).round().max(1.0) as u64;
+        let report_every = (self.config.report_interval / dt).round().max(1.0) as u64;
+        let max_ticks = (self.config.max_sim_time / dt).ceil() as u64;
+        let debug = std::env::var_os("POLLUX_SIM_DEBUG").is_some();
 
         let mut now = 0.0;
         for tick in 0..max_ticks {
             now = tick as f64 * dt;
-
-            self.spawn_arrivals(now);
-
-            // Wake jobs whose restart delay elapsed.
-            for job in &mut self.jobs {
-                if let JobState::Restarting { until } = job.state {
-                    if now >= until {
-                        job.state = JobState::Running;
-                    }
-                }
-            }
-
-            if tick % report_every == 0 {
-                self.report_and_tune(now);
-            }
-            if tick % sched_every == 0 {
-                self.reschedule(now);
-                self.sample(now);
-                if std::env::var_os("POLLUX_SIM_DEBUG").is_some() && tick % (sched_every * 60) == 0
-                {
-                    let s = self.series.last().expect("just sampled");
-                    eprintln!(
-                        "[sim {:>7.2}h] running {:>3} pending {:>3} used {:>3}/{} finished {}",
-                        now / 3600.0,
-                        s.running_jobs,
-                        s.pending_jobs,
-                        s.used_gpus,
-                        s.total_gpus,
-                        self.jobs.iter().filter(|j| j.is_finished()).count(),
-                    );
-                }
-            }
-
-            self.advance(now, dt);
+            self.tick_boundaries(tick, now, report_every, sched_every, debug);
+            self.advance_tick_reference(now, dt);
             self.node_seconds += self.spec.num_nodes() as f64 * dt;
 
+            // The pre-refactor early-exit check: a full scan over the
+            // job list every tick (the macro path folds this into its
+            // finish handling).
             if self.arrivals.is_empty() && self.jobs.iter().all(SimJob::is_finished) {
                 now += dt;
                 break;
@@ -183,15 +320,333 @@ impl<P: SchedulingPolicy> Simulation<P> {
         self.finalize(now)
     }
 
+    /// Everything that may only happen on a tick boundary: arrivals,
+    /// restart wake-ups, agent reports, rescheduling, sampling. Safe
+    /// to call on non-boundary ticks (each action no-ops when not
+    /// due), which is what makes resuming after a mid-chunk job
+    /// completion trivial.
+    fn tick_boundaries(
+        &mut self,
+        tick: u64,
+        now: f64,
+        report_every: u64,
+        sched_every: u64,
+        debug: bool,
+    ) {
+        self.spawn_arrivals(now);
+        self.wake_restarts(now);
+
+        if tick.is_multiple_of(report_every) {
+            self.report_and_tune(now);
+        }
+        if tick.is_multiple_of(sched_every) {
+            self.reschedule(now);
+            self.sample(now);
+            if debug && tick.is_multiple_of(sched_every * 60) {
+                let s = self.series.last().expect("just sampled");
+                eprintln!(
+                    "[sim {:>7.2}h] running {:>3} pending {:>3} used {:>3}/{} finished {}",
+                    now / 3600.0,
+                    s.running_jobs,
+                    s.pending_jobs,
+                    s.used_gpus,
+                    s.total_gpus,
+                    self.jobs.len() - self.active.len(),
+                );
+            }
+        }
+    }
+
+    /// The next event horizon after `tick` (exclusive chunk end, in
+    /// `(tick, max_ticks]`): the earliest of the next report tick,
+    /// next scheduling tick, next arrival, next restart-delay expiry,
+    /// and the end of simulated time. Job completions are handled by
+    /// the chunk itself (prediction inside [`Self::advance_chunk`]
+    /// plus an authoritative per-tick check).
+    fn next_horizon(
+        &self,
+        tick: u64,
+        dt: f64,
+        report_every: u64,
+        sched_every: u64,
+        max_ticks: u64,
+    ) -> u64 {
+        let mut horizon = max_ticks
+            .min((tick / report_every + 1) * report_every)
+            .min((tick / sched_every + 1) * sched_every);
+        if let Some((spec, _)) = self.arrivals.last() {
+            horizon = horizon.min(first_tick_at_or_after(spec.submit_time, dt, tick + 1));
+        }
+        for &i in &self.active {
+            if let JobState::Restarting { until } = self.jobs[i].state {
+                horizon = horizon.min(first_tick_at_or_after(until, dt, tick + 1));
+            }
+        }
+        horizon.max(tick + 1)
+    }
+
+    /// Advances up to `horizon - start` ticks with per-job invariants
+    /// hoisted, stopping early (after the tick in which it happens) at
+    /// the first job completion — a completion zeroes the job's
+    /// placement, which invalidates the cached interference vector for
+    /// the *next* tick.
+    ///
+    /// Bit-compatibility with the reference stepper:
+    /// - RNG: exactly one `gen_range(-noise..=noise)` per running job
+    ///   holding GPUs, in ascending job order, per tick — nothing else
+    ///   draws inside a chunk;
+    /// - f64 accumulation: `progress`, `examples_processed`,
+    ///   `gputime`, `node_seconds`, and the profiler sum advance by
+    ///   one addition per tick in the original order; cached products
+    ///   (`gpus · dt`, `throughput · dt`, `t_iter / (1 − slow)`) have
+    ///   bit-identical operands to the per-tick recomputation;
+    /// - efficiency is recomputed per tick through the same
+    ///   `SimJob::true_efficiency` path — it is a nonlinear function
+    ///   of the job's own moving progress and cannot be hoisted.
+    fn advance_chunk(&mut self, start: u64, horizon: u64, dt: f64) -> ChunkOutcome {
+        self.compute_interference();
+        let noise = self.config.measurement_noise;
+        let node_dt = self.spec.num_nodes() as f64 * dt;
+        let arrivals_empty = self.arrivals.is_empty();
+
+        let mut ctxs = std::mem::take(&mut self.chunk_buf);
+        let mut max_len = horizon - start;
+
+        let jobs = &mut self.jobs;
+        for &idx in &self.active {
+            let job = &mut jobs[idx];
+            match job.state {
+                JobState::Running => {}
+                JobState::Restarting { .. } => {
+                    ctxs.push(ChunkCtx {
+                        idx,
+                        gpu_dt: job.gpus() as f64 * dt,
+                        run: None,
+                    });
+                    continue;
+                }
+                _ => continue,
+            }
+            let Some(shape) = job.shape() else { continue };
+            let m = job.batch_size;
+            let slow = self.slowdown.get(idx).copied().unwrap_or(0.0);
+            let t_iter = job.true_t_iter(shape, m);
+            let throughput = (m as f64 / t_iter) * (1.0 - slow);
+            let tput_dt = throughput * dt;
+
+            // Earliest analytically-predicted completion: efficiency
+            // ≤ 1, so progress grows by at most `throughput · dt` per
+            // tick and the job cannot finish in fewer than
+            // ⌊remaining / (throughput · dt)⌋ ticks. Purely a
+            // chunk-length heuristic — the per-tick finish check below
+            // stays authoritative, so correctness never depends on it.
+            let remaining = job.spec.work - job.progress;
+            if tput_dt > 0.0 && remaining > 0.0 {
+                let lb = (remaining / tput_dt).floor();
+                if lb.is_finite() && lb >= 1.0 {
+                    max_len = max_len.min(if lb >= 9.0e18 { u64::MAX } else { lb as u64 });
+                }
+            }
+
+            let obs = job.agent.begin_observation_run(shape, m);
+            ctxs.push(ChunkCtx {
+                idx,
+                gpu_dt: shape.gpus as f64 * dt,
+                run: Some(RunCtx {
+                    batch: m,
+                    work: job.spec.work,
+                    throughput,
+                    tput_dt,
+                    t_base: t_iter / (1.0 - slow),
+                    obs,
+                }),
+            });
+        }
+
+        let rng = &mut self.rng;
+        let mut finished = std::mem::take(&mut self.finished_buf);
+        let mut executed = 0u64;
+        let mut exit = false;
+        'ticks: for t in start..start + max_len {
+            let now = t as f64 * dt;
+            executed += 1;
+            for ctx in ctxs.iter_mut() {
+                let job = &mut jobs[ctx.idx];
+                let Some(rs) = &mut ctx.run else {
+                    job.gputime += ctx.gpu_dt;
+                    continue;
+                };
+                let eff = job.true_efficiency(rs.batch);
+                job.progress += rs.throughput * eff * dt;
+                job.examples_processed += rs.tput_dt;
+                job.gputime += ctx.gpu_dt;
+
+                // The agent observes a noisy iteration time (including
+                // any interference slowdown, which it cannot
+                // distinguish).
+                let eps: f64 = rng.gen_range(-noise..=noise);
+                rs.obs.observe(rs.t_base * (1.0 + eps));
+
+                if job.progress >= rs.work {
+                    job.state = JobState::Finished { at: now + dt };
+                    job.placement.iter_mut().for_each(|g| *g = 0);
+                    finished.push((ctx.idx, job.spec.id));
+                }
+            }
+            self.node_seconds += node_dt;
+
+            if !finished.is_empty() {
+                for &(_, id) in finished.iter() {
+                    self.events.push(SchedulingEvent {
+                        time: now + dt,
+                        job: id,
+                        kind: EventKind::Finished,
+                        gpus: 0,
+                    });
+                }
+                self.active
+                    .retain(|i| !finished.iter().any(|&(f, _)| f == *i));
+                exit = arrivals_empty && self.active.is_empty();
+                break 'ticks;
+            }
+        }
+
+        // Commit the batched profiler observations (including those of
+        // jobs that just finished — the reference stepper records up
+        // to and including the finish tick too).
+        for ctx in ctxs.iter_mut() {
+            if let Some(rs) = ctx.run.take() {
+                jobs[ctx.idx].agent.record_observation_run(rs.obs);
+            }
+        }
+        ctxs.clear();
+        self.chunk_buf = ctxs;
+        finished.clear();
+        self.finished_buf = finished;
+
+        ChunkOutcome {
+            ticks: executed,
+            exit,
+        }
+    }
+
+    /// Advances training for one tick — the reference stepper's inner
+    /// loop, a faithful retention of the pre-refactor engine's
+    /// `advance` body *including its cost profile*: a fresh
+    /// interference vector allocated every tick, a scan over every job
+    /// (finished ones included), `t_iter`/efficiency recomputed from
+    /// scratch, and each noisy sample recorded individually through
+    /// the profiler's `BTreeMap`.
+    ///
+    /// The one departure is bookkeeping the macro path's shared
+    /// boundary code requires: finished jobs are also pruned from
+    /// `self.active` (the pre-refactor engine had no active index and
+    /// re-scanned all jobs instead). That retain runs only on finish
+    /// ticks and never changes the trajectory.
+    fn advance_tick_reference(&mut self, now: f64, dt: f64) {
+        let slowdown = self.interference_slowdowns_reference();
+        let noise = self.config.measurement_noise;
+        let mut finished = Vec::new();
+        for (idx, job) in self.jobs.iter_mut().enumerate() {
+            match job.state {
+                JobState::Running => {}
+                JobState::Restarting { .. } => {
+                    job.gputime += job.gpus() as f64 * dt;
+                    continue;
+                }
+                _ => continue,
+            }
+            let Some(shape) = job.shape() else { continue };
+            let m = job.batch_size;
+            let slow = slowdown.get(idx).copied().unwrap_or(0.0);
+            let t_iter = job.true_t_iter(shape, m);
+            let throughput = (m as f64 / t_iter) * (1.0 - slow);
+            let eff = job.true_efficiency(m);
+            job.progress += throughput * eff * dt;
+            job.examples_processed += throughput * dt;
+            job.gputime += shape.gpus as f64 * dt;
+
+            // The agent observes a noisy iteration time (including any
+            // interference slowdown, which it cannot distinguish).
+            let eps: f64 = self.rng.gen_range(-noise..=noise);
+            let t_obs = t_iter / (1.0 - slow) * (1.0 + eps);
+            job.agent.observe_iteration(shape, m, t_obs);
+
+            if job.progress >= job.spec.work {
+                job.state = JobState::Finished { at: now + dt };
+                job.placement.iter_mut().for_each(|g| *g = 0);
+                finished.push((idx, job.spec.id));
+            }
+        }
+        for &(_, id) in finished.iter() {
+            self.events.push(SchedulingEvent {
+                time: now + dt,
+                job: id,
+                kind: EventKind::Finished,
+                gpus: 0,
+            });
+        }
+        if !finished.is_empty() {
+            self.active
+                .retain(|i| !finished.iter().any(|&(f, _)| f == *i));
+        }
+    }
+
+    /// The pre-refactor per-tick interference computation, kept
+    /// verbatim for the reference stepper: allocates the slowdown
+    /// vector fresh and, per node, rescans every job's placement
+    /// (recounting its node spread each time) — O(nodes · jobs ·
+    /// nodes). Produces exactly the same values as
+    /// [`Self::compute_interference`].
+    fn interference_slowdowns_reference(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.jobs.len()];
+        let factor = self.config.interference_slowdown;
+        if factor <= 0.0 {
+            return out;
+        }
+        let n = self.spec.num_nodes();
+        for node in 0..n {
+            let mut distributed = Vec::new();
+            for (i, job) in self.jobs.iter().enumerate() {
+                if job.is_finished() || node >= job.placement.len() {
+                    continue;
+                }
+                let nodes_used = job.placement.iter().filter(|&&g| g > 0).count();
+                if job.placement[node] > 0 && nodes_used > 1 {
+                    distributed.push(i);
+                }
+            }
+            if distributed.len() > 1 {
+                for i in distributed {
+                    out[i] = factor;
+                }
+            }
+        }
+        out
+    }
+
     /// Moves due arrivals into the active job set.
     fn spawn_arrivals(&mut self, now: f64) {
         while let Some((spec, _)) = self.arrivals.last() {
             if spec.submit_time <= now {
                 let (spec, user) = self.arrivals.pop().expect("checked non-empty");
+                self.active.push(self.jobs.len());
                 self.jobs
                     .push(SimJob::new(spec, user, self.spec.num_nodes()));
             } else {
                 break;
+            }
+        }
+    }
+
+    /// Wakes jobs whose restart delay elapsed.
+    fn wake_restarts(&mut self, now: f64) {
+        for &i in &self.active {
+            let job = &mut self.jobs[i];
+            if let JobState::Restarting { until } = job.state {
+                if now >= until {
+                    job.state = JobState::Running;
+                }
             }
         }
     }
@@ -204,7 +659,9 @@ impl<P: SchedulingPolicy> Simulation<P> {
         let adapt = policy.adapts_batch_size();
         let config = self.config;
         let rng = &mut self.rng;
-        for job in &mut self.jobs {
+        let jobs = &mut self.jobs;
+        for &i in &self.active {
+            let job = &mut jobs[i];
             if !job.is_running() {
                 continue;
             }
@@ -253,38 +710,45 @@ impl<P: SchedulingPolicy> Simulation<P> {
     }
 
     /// Scheduling interval: optionally resize the cluster, then apply
-    /// the policy's allocation matrix.
+    /// the policy's allocation matrix. The `PolicyJobView` vector is
+    /// recycled across intervals (and across the `desired_nodes` /
+    /// `schedule` calls when no resize happens) instead of being
+    /// reallocated and rebuilt per call.
     fn reschedule(&mut self, now: f64) {
         // Auto-scaling hook.
-        let active: Vec<usize> = self.active_indices();
-        {
-            let views: Vec<PolicyJobView<'_>> = active
+        let mut views = take_views(&mut self.view_buf);
+        views.extend(
+            self.active
                 .iter()
-                .map(|&i| PolicyJobView::from_sim_job(&self.jobs[i]))
-                .collect();
-            if let Some(nodes) = self
-                .policy
-                .desired_nodes(now, &views, &self.spec, &mut self.rng)
-            {
-                self.resize_cluster(nodes.max(1), now);
-            }
+                .map(|&i| PolicyJobView::from_sim_job(&self.jobs[i])),
+        );
+        let desired = self
+            .policy
+            .desired_nodes(now, &views, &self.spec, &mut self.rng);
+        if let Some(nodes) = desired {
+            // Resizing mutates placements, so the views are rebuilt.
+            store_views(&mut self.view_buf, views);
+            self.resize_cluster(nodes.max(1), now);
+            views = take_views(&mut self.view_buf);
+            views.extend(
+                self.active
+                    .iter()
+                    .map(|&i| PolicyJobView::from_sim_job(&self.jobs[i])),
+            );
         }
-
-        let active: Vec<usize> = self.active_indices();
-        let views: Vec<PolicyJobView<'_>> = active
-            .iter()
-            .map(|&i| PolicyJobView::from_sim_job(&self.jobs[i]))
-            .collect();
         if views.is_empty() {
+            store_views(&mut self.view_buf, views);
             return;
         }
         let mut matrix = self.policy.schedule(now, &views, &self.spec, &mut self.rng);
+        store_views(&mut self.view_buf, views);
         if let Some(mut stats) = self.policy.take_interval_stats() {
             stats.time = now;
             self.sched_stats.push(stats);
         }
         self.clamp_matrix(&mut matrix);
 
+        let active = std::mem::take(&mut self.active);
         for (row, &i) in active.iter().enumerate() {
             let new_row: Vec<u32> = if row < matrix.num_jobs() {
                 let mut r = matrix.row(row).to_vec();
@@ -295,6 +759,7 @@ impl<P: SchedulingPolicy> Simulation<P> {
             };
             self.apply_placement(i, new_row, now);
         }
+        self.active = active;
     }
 
     /// Applies one job's new placement row, with restart accounting
@@ -403,87 +868,36 @@ impl<P: SchedulingPolicy> Simulation<P> {
         }
     }
 
-    /// Advances training for one tick.
-    fn advance(&mut self, _now: f64, dt: f64) {
-        let slowdown = self.interference_slowdowns();
-        let noise = self.config.measurement_noise;
-        let mut finished = Vec::new();
-        for (idx, job) in self.jobs.iter_mut().enumerate() {
-            match job.state {
-                JobState::Running => {}
-                JobState::Restarting { .. } => {
-                    job.gputime += job.gpus() as f64 * dt;
-                    continue;
-                }
-                _ => continue,
-            }
-            let Some(shape) = job.shape() else { continue };
-            let m = job.batch_size;
-            let slow = slowdown.get(idx).copied().unwrap_or(0.0);
-            let t_iter = job.true_t_iter(shape, m);
-            let throughput = (m as f64 / t_iter) * (1.0 - slow);
-            let eff = job.true_efficiency(m);
-            job.progress += throughput * eff * dt;
-            job.examples_processed += throughput * dt;
-            job.gputime += shape.gpus as f64 * dt;
-
-            // The agent observes a noisy iteration time (including any
-            // interference slowdown, which it cannot distinguish).
-            let eps: f64 = self.rng.gen_range(-noise..=noise);
-            let t_obs = t_iter / (1.0 - slow) * (1.0 + eps);
-            job.agent.observe_iteration(shape, m, t_obs);
-
-            if job.progress >= job.spec.work {
-                job.state = JobState::Finished { at: _now + dt };
-                job.placement.iter_mut().for_each(|g| *g = 0);
-                finished.push(job.spec.id);
-            }
-        }
-        for job in finished {
-            self.events.push(SchedulingEvent {
-                time: _now + dt,
-                job,
-                kind: EventKind::Finished,
-                gpus: 0,
-            });
-        }
-    }
-
-    /// Per-job interference slowdown: when two or more *distributed*
-    /// jobs occupy one node, all of them are slowed (Sec. 4.2.1 /
-    /// Fig 9).
-    fn interference_slowdowns(&self) -> Vec<f64> {
-        let mut out = vec![0.0; self.jobs.len()];
+    /// Refreshes the per-job interference buffer: when two or more
+    /// *distributed* jobs occupy one node, all of them are slowed
+    /// (Sec. 4.2.1 / Fig 9). O(active · nodes) — each job's node count
+    /// is taken once, not once per node as the original per-tick loop
+    /// did.
+    fn compute_interference(&mut self) {
+        self.slowdown.clear();
+        self.slowdown.resize(self.jobs.len(), 0.0);
         let factor = self.config.interference_slowdown;
         if factor <= 0.0 {
-            return out;
+            return;
         }
-        let n = self.spec.num_nodes();
-        for node in 0..n {
-            let mut distributed = Vec::new();
-            for (i, job) in self.jobs.iter().enumerate() {
-                if job.is_finished() || node >= job.placement.len() {
-                    continue;
-                }
-                let nodes_used = job.placement.iter().filter(|&&g| g > 0).count();
-                if job.placement[node] > 0 && nodes_used > 1 {
-                    distributed.push(i);
-                }
-            }
-            if distributed.len() > 1 {
-                for i in distributed {
-                    out[i] = factor;
-                }
+        let mut dist = std::mem::take(&mut self.dist_buf);
+        dist.clear();
+        for &i in &self.active {
+            if self.jobs[i].placement.iter().filter(|&&g| g > 0).count() > 1 {
+                dist.push(i);
             }
         }
-        out
-    }
-
-    /// Indices of non-finished jobs.
-    fn active_indices(&self) -> Vec<usize> {
-        (0..self.jobs.len())
-            .filter(|&i| !self.jobs[i].is_finished())
-            .collect()
+        if dist.len() > 1 {
+            for node in 0..self.spec.num_nodes() {
+                let occupies = |i: usize| self.jobs[i].placement.get(node).is_some_and(|&g| g > 0);
+                if dist.iter().filter(|&&i| occupies(i)).count() > 1 {
+                    for &i in dist.iter().filter(|&&i| occupies(i)) {
+                        self.slowdown[i] = factor;
+                    }
+                }
+            }
+        }
+        self.dist_buf = dist;
     }
 
     /// Records one cluster-state sample.
@@ -494,7 +908,8 @@ impl<P: SchedulingPolicy> Simulation<P> {
         let mut eff_sum = 0.0;
         let mut tput = 0.0;
         let mut goodput = 0.0;
-        for job in &self.jobs {
+        for &i in &self.active {
+            let job = &self.jobs[i];
             match job.state {
                 JobState::Running | JobState::Restarting { .. } => {
                     used += job.gpus();
@@ -517,10 +932,8 @@ impl<P: SchedulingPolicy> Simulation<P> {
             }
         }
         if self.config.record_job_series {
-            for job in &self.jobs {
-                if job.is_finished() {
-                    continue;
-                }
+            for &i in &self.active {
+                let job = &self.jobs[i];
                 self.job_series.push(JobSample {
                     time: now,
                     job: job.spec.id,
@@ -673,6 +1086,51 @@ mod tests {
     fn rejects_empty_workload() {
         let spec = ClusterSpec::homogeneous(2, 4).unwrap();
         assert!(Simulation::new(quick_config(), spec, FcfsPacked { gpus: 1 }, vec![]).is_none());
+    }
+
+    #[test]
+    fn rejects_non_finite_submit_times() {
+        let spec = ClusterSpec::homogeneous(2, 4).unwrap();
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let mut wl = small_workload(3);
+            wl[1].0.submit_time = bad;
+            assert!(
+                Simulation::new(quick_config(), spec.clone(), FcfsPacked { gpus: 1 }, wl).is_none(),
+                "submit_time {bad} must be rejected"
+            );
+        }
+        // Negative-but-finite submit times stay legal (spawn at t=0).
+        let mut wl = small_workload(3);
+        wl[1].0.submit_time = -5.0;
+        assert!(Simulation::new(quick_config(), spec, FcfsPacked { gpus: 1 }, wl).is_some());
+    }
+
+    #[test]
+    fn tick_search_is_exact() {
+        for (time, dt, lo, want) in [
+            (0.0, 1.0, 1, 1),
+            (29.5, 1.0, 1, 30),
+            (30.0, 1.0, 1, 30),
+            (30.0, 1.0, 31, 31),
+            (-4.0, 1.0, 1, 1),
+            (0.3, 0.1, 1, 3),
+            (1.0e30, 1.0, 1, u64::MAX),
+        ] {
+            assert_eq!(
+                first_tick_at_or_after(time, dt, lo),
+                want,
+                "time {time} dt {dt} lo {lo}"
+            );
+        }
+        // Exactness against accumulated float error: the first tick at
+        // or after k·dt must be exactly k for awkward dt values.
+        let dt = 0.1;
+        for k in [3u64, 7, 10, 1000, 999_983] {
+            let t = first_tick_at_or_after(k as f64 * dt, dt, 1);
+            assert_eq!(t, t.max(1));
+            assert!((t as f64) * dt >= k as f64 * dt);
+            assert!(t == 0 || ((t - 1) as f64) * dt < k as f64 * dt);
+        }
     }
 
     #[test]

@@ -1,0 +1,323 @@
+//! Determinism suite for the macro-stepped simulation engine.
+//!
+//! The engine's contract is that restructuring the tick loop around
+//! event horizons is a pure performance change: for a fixed seed the
+//! `SimResult` must be **byte-identical** (compared through its
+//! serialized form, which exposes every f64 bit pattern) to the
+//! reference tick-stepper the repo retains in
+//! [`Simulation::run_reference`]. Two layers pin that contract:
+//!
+//! 1. golden-trajectory digests: FNV-1a64 hashes of serialized
+//!    `SimResult`s for fixed seed/workload pairs, captured from the
+//!    pre-refactor engine (commit `80aa410`) and never allowed to
+//!    drift;
+//! 2. a proptest driving both steppers over random small workloads
+//!    (varied arrivals, restart churn, interference) and requiring
+//!    bitwise-equal results.
+
+use pollux_cluster::{AllocationMatrix, ClusterSpec, JobId};
+use pollux_simulator::{PolicyJobView, SchedulingPolicy, SimConfig, Simulation};
+use pollux_workload::{JobSpec, ModelKind, TraceConfig, TraceGenerator, UserConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+
+/// FNV-1a 64-bit digest; tiny, dependency-free, and stable.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Small-model workload with staggered arrivals.
+fn workload(n: usize, stagger: f64, seed: u64) -> Vec<(JobSpec, UserConfig)> {
+    let trace = TraceGenerator::new(TraceConfig {
+        num_jobs: 40,
+        seed,
+        ..Default::default()
+    })
+    .unwrap()
+    .generate();
+    trace
+        .into_iter()
+        .filter(|j| j.kind == ModelKind::ResNet18Cifar10 || j.kind == ModelKind::NeuMFMovieLens)
+        .take(n)
+        .enumerate()
+        .map(|(i, mut spec)| {
+            spec.id = JobId(i as u32);
+            spec.submit_time = i as f64 * stagger;
+            let user = spec.tuned;
+            (spec, user)
+        })
+        .collect()
+}
+
+/// A deliberately churny policy: placements rotate with a slow phase,
+/// so jobs suffer periodic restarts and preemptions, and distributed
+/// jobs overlap on shared nodes (exercising interference). It also
+/// lets agents re-tune batch sizes, driving the report-path RNG draws.
+#[derive(Clone, Copy)]
+struct Churn;
+
+impl SchedulingPolicy for Churn {
+    fn name(&self) -> &'static str {
+        "churn"
+    }
+
+    fn adapts_batch_size(&self) -> bool {
+        true
+    }
+
+    fn schedule(
+        &mut self,
+        now: f64,
+        jobs: &[PolicyJobView<'_>],
+        spec: &ClusterSpec,
+        _rng: &mut StdRng,
+    ) -> AllocationMatrix {
+        let nodes = spec.num_nodes();
+        let phase = (now / 600.0) as usize;
+        let mut m = AllocationMatrix::zeros(jobs.len(), nodes);
+        for (j, _) in jobs.iter().enumerate() {
+            // Jobs alternate between a 1-GPU solo placement and a
+            // 2-node distributed placement whose node pair rotates.
+            let start = (j + phase) % nodes;
+            if (j + phase).is_multiple_of(3) {
+                m.set(j, start, 1);
+                m.set(j, (start + 1) % nodes, 1);
+            } else {
+                m.set(j, start, 1);
+            }
+        }
+        m
+    }
+}
+
+/// FCFS packing (copy of the engine's doc-test idiom): stable
+/// placements, no churn — the quiet counterpart of [`Churn`].
+#[derive(Clone, Copy)]
+struct FcfsPacked {
+    gpus: u32,
+}
+
+impl SchedulingPolicy for FcfsPacked {
+    fn name(&self) -> &'static str {
+        "fcfs-packed"
+    }
+
+    fn schedule(
+        &mut self,
+        _now: f64,
+        jobs: &[PolicyJobView<'_>],
+        spec: &ClusterSpec,
+        _rng: &mut StdRng,
+    ) -> AllocationMatrix {
+        let mut free: Vec<u32> = spec.iter().map(|(_, s)| s.gpus).collect();
+        let mut m = AllocationMatrix::zeros(jobs.len(), spec.num_nodes());
+        for (j, view) in jobs.iter().enumerate() {
+            if view.is_running() {
+                for (n, &g) in view.current_placement.iter().enumerate() {
+                    m.set(j, n, g);
+                    free[n] = free[n].saturating_sub(g);
+                }
+                continue;
+            }
+            let mut need = self.gpus;
+            for (n, f) in free.iter_mut().enumerate() {
+                if need == 0 {
+                    break;
+                }
+                let take = need.min(*f);
+                if take > 0 {
+                    m.set(j, n, take);
+                    *f -= take;
+                    need -= take;
+                }
+            }
+            if need > 0 {
+                for (n, f) in free.iter_mut().enumerate() {
+                    *f += m.get(j, n);
+                    m.set(j, n, 0);
+                }
+            }
+        }
+        m
+    }
+}
+
+fn churn_config() -> SimConfig {
+    SimConfig {
+        max_sim_time: 6.0 * 3600.0,
+        interference_slowdown: 0.3,
+        seed: 5,
+        ..Default::default()
+    }
+}
+
+fn quiet_config() -> SimConfig {
+    SimConfig {
+        max_sim_time: 12.0 * 3600.0,
+        seed: 7,
+        ..Default::default()
+    }
+}
+
+fn json_of<P: SchedulingPolicy>(
+    cfg: SimConfig,
+    spec: ClusterSpec,
+    policy: P,
+    wl: Vec<(JobSpec, UserConfig)>,
+    reference: bool,
+) -> String {
+    let sim = Simulation::new(cfg, spec, policy, wl).unwrap();
+    let result = if reference {
+        sim.run_reference()
+    } else {
+        sim.run()
+    };
+    serde_json::to_string(&result).expect("SimResult serializes")
+}
+
+fn digest_of<P: SchedulingPolicy>(
+    cfg: SimConfig,
+    spec: ClusterSpec,
+    policy: P,
+    wl: Vec<(JobSpec, UserConfig)>,
+) -> u64 {
+    fnv1a64(json_of(cfg, spec, policy, wl, false).as_bytes())
+}
+
+/// Panics with the first differing byte region when two serialized
+/// results are not identical (mirrors `pollux-core`'s determinism
+/// suite so divergences are easy to localize).
+fn assert_byte_identical(macro_stepped: &str, reference: &str, label: &str) {
+    if macro_stepped == reference {
+        return;
+    }
+    let at = macro_stepped
+        .bytes()
+        .zip(reference.bytes())
+        .position(|(a, b)| a != b)
+        .unwrap_or_else(|| macro_stepped.len().min(reference.len()));
+    let lo = at.saturating_sub(80);
+    panic!(
+        "{label}: macro-stepped result diverged from the reference \
+         stepper at byte {at}\n  macro: …{}…\n  ref:   …{}…",
+        &macro_stepped[lo..(at + 80).min(macro_stepped.len())],
+        &reference[lo..(at + 80).min(reference.len())],
+    );
+}
+
+/// Golden digests captured from the pre-refactor 1 s tick loop. If one
+/// of these changes, the engine's trajectory changed — that is a
+/// correctness regression, not an acceptable side effect of a
+/// performance PR.
+const GOLDEN_CHURN: u64 = 0x3cf2_5ae5_ac27_01e5;
+const GOLDEN_QUIET: u64 = 0x5454_2cce_0419_5e8c;
+
+#[test]
+fn golden_trajectory_churn() {
+    let spec = ClusterSpec::homogeneous(3, 4).unwrap();
+    let d = digest_of(churn_config(), spec, Churn, workload(8, 300.0, 3));
+    assert_eq!(
+        d, GOLDEN_CHURN,
+        "macro-stepped engine diverged from the pinned pre-refactor trajectory: 0x{d:016x}"
+    );
+}
+
+#[test]
+fn golden_trajectory_quiet() {
+    let spec = ClusterSpec::homogeneous(2, 4).unwrap();
+    let d = digest_of(
+        quiet_config(),
+        spec,
+        FcfsPacked { gpus: 2 },
+        workload(6, 45.0, 11),
+    );
+    assert_eq!(
+        d, GOLDEN_QUIET,
+        "macro-stepped engine diverged from the pinned pre-refactor trajectory: 0x{d:016x}"
+    );
+}
+
+/// The retained reference stepper must reproduce the same pinned
+/// digests — it *is* the pre-refactor engine.
+#[test]
+fn reference_stepper_matches_goldens() {
+    let churn = fnv1a64(
+        json_of(
+            churn_config(),
+            ClusterSpec::homogeneous(3, 4).unwrap(),
+            Churn,
+            workload(8, 300.0, 3),
+            true,
+        )
+        .as_bytes(),
+    );
+    assert_eq!(churn, GOLDEN_CHURN, "reference drifted: 0x{churn:016x}");
+    let quiet = fnv1a64(
+        json_of(
+            quiet_config(),
+            ClusterSpec::homogeneous(2, 4).unwrap(),
+            FcfsPacked { gpus: 2 },
+            workload(6, 45.0, 11),
+            true,
+        )
+        .as_bytes(),
+    );
+    assert_eq!(quiet, GOLDEN_QUIET, "reference drifted: 0x{quiet:016x}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+    /// Bitwise equality of the macro-stepped engine and the reference
+    /// tick-stepper on random small workloads: varied arrival
+    /// staggering, cluster shapes, interference levels, measurement
+    /// noise, and both churny (restart/preemption/interference-heavy)
+    /// and quiet placement policies.
+    #[test]
+    fn macro_step_equals_reference_stepper(
+        n_jobs in 1usize..6,
+        stagger in 0.0f64..900.0,
+        wl_seed in 0u64..1_000,
+        sim_seed in 0u64..1_000,
+        nodes in 1u32..4,
+        gpus in 2u32..5,
+        interference in 0.0f64..0.7,
+        noise in 0.0f64..0.15,
+        hours in 0.4f64..2.5,
+        churny in 0u32..2,
+    ) {
+        let cfg = SimConfig {
+            max_sim_time: hours * 3600.0,
+            interference_slowdown: interference,
+            measurement_noise: noise,
+            seed: sim_seed,
+            ..Default::default()
+        };
+        let spec = ClusterSpec::homogeneous(nodes, gpus).unwrap();
+        let wl = workload(n_jobs, stagger, wl_seed);
+        let (a, b) = if churny == 1 {
+            (
+                json_of(cfg, spec.clone(), Churn, wl.clone(), false),
+                json_of(cfg, spec, Churn, wl, true),
+            )
+        } else {
+            (
+                json_of(cfg, spec.clone(), FcfsPacked { gpus: 2 }, wl.clone(), false),
+                json_of(cfg, spec, FcfsPacked { gpus: 2 }, wl, true),
+            )
+        };
+        assert_byte_identical(
+            &a,
+            &b,
+            &format!(
+                "jobs={n_jobs} stagger={stagger:.1} wl_seed={wl_seed} sim_seed={sim_seed} \
+                 nodes={nodes} gpus={gpus} interference={interference:.2} noise={noise:.3} \
+                 hours={hours:.2} churny={churny}"
+            ),
+        );
+    }
+}
