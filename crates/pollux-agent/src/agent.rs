@@ -173,6 +173,32 @@ impl PolluxAgent {
         }
     }
 
+    /// [`refit`](Self::refit) with telemetry: times the fit as an
+    /// `agent/refit` span and records fit quality (an `agent/rmsle_1e6`
+    /// histogram of `RMSLE · 10⁶`, since histogram buckets are integer
+    /// powers of two) and warm-start acceptance counters
+    /// (`agent/refit_warm_accepted` vs `agent/refit_cold`). The fit
+    /// itself is byte-for-byte the same computation as `refit`;
+    /// recording only reads the resulting report.
+    pub fn refit_recorded(&mut self, recorder: &pollux_telemetry::Recorder) -> bool {
+        let span = recorder.span("agent", "refit");
+        let fitted = self.refit();
+        drop(span);
+        recorder.incr("agent", "refits", 1);
+        if fitted {
+            let report = self.fitted.as_ref().expect("refit returned true");
+            recorder.observe("agent", "rmsle_1e6", (report.rmsle.max(0.0) * 1e6) as u64);
+            if report.used_warm_start {
+                recorder.incr("agent", "refit_warm_accepted", 1);
+            } else {
+                recorder.incr("agent", "refit_cold", 1);
+            }
+        } else {
+            recorder.incr("agent", "refit_failed", 1);
+        }
+        fitted
+    }
+
     /// The fitted throughput parameters, or `None` before any fit.
     pub fn throughput_params(&self) -> Option<ThroughputParams> {
         self.fitted.as_ref().map(|f| f.params)

@@ -8,7 +8,10 @@
 //!    sample through the `BTreeMap`;
 //! 2. `macro_step` — the event-horizon engine ([`Simulation::run`]):
 //!    per-job constants are hoisted once per macro-step and the
-//!    intervening ticks run in a tight inner loop (this PR's design).
+//!    intervening ticks run in a tight inner loop;
+//! 3. `macro_step_telemetry` — the same engine with a live
+//!    `MemorySink`-backed telemetry recorder attached, pricing the
+//!    instrumentation overhead (budget: ≤ 5 % over the bare engine).
 //!
 //! The two arms must produce **byte-identical** serialized
 //! `SimResult`s — the same contract the determinism suite pins — so
@@ -22,8 +25,10 @@
 
 use pollux_cluster::{AllocationMatrix, ClusterSpec};
 use pollux_simulator::{PolicyJobView, SchedulingPolicy, SimConfig, Simulation};
+use pollux_telemetry::{MemorySink, Recorder};
 use pollux_workload::{JobSpec, TraceConfig, TraceGenerator, UserConfig};
 use rand::rngs::StdRng;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// FCFS packing at a fixed GPU ask: running jobs keep their placement,
@@ -120,13 +125,22 @@ fn sim_config(s: &Scenario) -> SimConfig {
 /// workload; returns the serialized result (for the identity check)
 /// and the wall time of the simulation itself (trace generation and
 /// serialization stay outside the timed region).
-fn run_arm(s: &Scenario, wl: &[(JobSpec, UserConfig)], reference: bool) -> (String, u128) {
+fn run_arm(s: &Scenario, wl: &[(JobSpec, UserConfig)], arm: Arm) -> (String, u128) {
     let spec = ClusterSpec::homogeneous(s.nodes, s.gpus_per_node).unwrap();
     let wl = wl.to_vec();
+    // Sink construction stays outside the timed region; draining events
+    // during the run (ring-buffer pushes) is part of what we price.
+    let recorder = match arm {
+        Arm::MacroStepTelemetry => Some(Recorder::new(Arc::new(MemorySink::new(1 << 16)))),
+        _ => None,
+    };
     let start = Instant::now();
-    let sim = Simulation::new(sim_config(s), spec, FcfsPacked { gpus: 2 }, wl)
+    let mut sim = Simulation::new(sim_config(s), spec, FcfsPacked { gpus: 2 }, wl)
         .expect("valid simulation inputs");
-    let result = if reference {
+    if let Some(recorder) = recorder {
+        sim = sim.with_recorder(recorder);
+    }
+    let result = if matches!(arm, Arm::Reference) {
         sim.run_reference()
     } else {
         sim.run()
@@ -134,6 +148,13 @@ fn run_arm(s: &Scenario, wl: &[(JobSpec, UserConfig)], reference: bool) -> (Stri
     let ns = start.elapsed().as_nanos();
     let json = serde_json::to_string(&result).expect("SimResult serializes");
     (json, ns)
+}
+
+#[derive(Clone, Copy)]
+enum Arm {
+    Reference,
+    MacroStep,
+    MacroStepTelemetry,
 }
 
 struct ArmResult {
@@ -146,12 +167,12 @@ fn measure(
     name: &'static str,
     s: &Scenario,
     wl: &[(JobSpec, UserConfig)],
-    reference: bool,
+    arm: Arm,
     reps: usize,
 ) -> ArmResult {
-    let (json, mut best_ns) = run_arm(s, wl, reference);
+    let (json, mut best_ns) = run_arm(s, wl, arm);
     for _ in 1..reps {
-        let (again, ns) = run_arm(s, wl, reference);
+        let (again, ns) = run_arm(s, wl, arm);
         assert_eq!(again, json, "{name}: non-deterministic across repetitions");
         best_ns = best_ns.min(ns);
     }
@@ -189,23 +210,66 @@ fn main() {
     };
 
     let wl = workload(&scenario);
-    let reference = measure("reference", &scenario, &wl, true, reps);
-    let macro_step = measure("macro_step", &scenario, &wl, false, reps);
+    let reference = measure("reference", &scenario, &wl, Arm::Reference, reps);
+    // The telemetry overhead is a small delta (low single-digit
+    // percent) that per-run scheduling jitter (±20 % on a shared
+    // machine) easily swamps. Sample both macro arms from one
+    // interleaved loop — same count, same time window, alternating
+    // order within each pair — and compare minima: each arm's minimum
+    // converges to its noise-floor runtime, and the symmetric schedule
+    // keeps slow machine phases from biasing either arm.
+    let pairs = if quick { reps.max(2) } else { 12 };
+    let mut macro_step = ArmResult {
+        name: "macro_step",
+        json: String::new(),
+        best_ns: u128::MAX,
+    };
+    let mut telemetry = ArmResult {
+        name: "macro_step_telemetry",
+        json: String::new(),
+        best_ns: u128::MAX,
+    };
+    for i in 0..pairs {
+        let order = if i % 2 == 0 {
+            [Arm::MacroStep, Arm::MacroStepTelemetry]
+        } else {
+            [Arm::MacroStepTelemetry, Arm::MacroStep]
+        };
+        for arm in order {
+            let slot = match arm {
+                Arm::MacroStep => &mut macro_step,
+                _ => &mut telemetry,
+            };
+            let (json, ns) = run_arm(&scenario, &wl, arm);
+            if slot.json.is_empty() {
+                slot.json = json;
+            } else {
+                assert_eq!(json, slot.json, "{}: non-deterministic", slot.name);
+            }
+            slot.best_ns = slot.best_ns.min(ns);
+        }
+    }
+    let overhead_pct = (telemetry.best_ns as f64 / macro_step.best_ns as f64 - 1.0) * 100.0;
 
-    // The hard contract first: both steppers walked the same
-    // trajectory, bit for bit.
-    if reference.json != macro_step.json {
-        let at = reference
-            .json
-            .bytes()
-            .zip(macro_step.json.bytes())
-            .position(|(a, b)| a != b)
-            .unwrap_or_else(|| reference.json.len().min(macro_step.json.len()));
-        panic!("steppers diverged at byte {at}; run the determinism suite");
+    // The hard contract first: all three arms walked the same
+    // trajectory, bit for bit — telemetry included.
+    for arm in [&macro_step, &telemetry] {
+        if reference.json != arm.json {
+            let at = reference
+                .json
+                .bytes()
+                .zip(arm.json.bytes())
+                .position(|(a, b)| a != b)
+                .unwrap_or_else(|| reference.json.len().min(arm.json.len()));
+            panic!(
+                "{} diverged from reference at byte {at}; run the determinism suite",
+                arm.name
+            );
+        }
     }
 
     let speedup = reference.best_ns as f64 / macro_step.best_ns as f64;
-    let arms = [&reference, &macro_step];
+    let arms = [&reference, &macro_step, &telemetry];
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(&format!(
@@ -226,7 +290,8 @@ fn main() {
         ));
     }
     out.push_str(&format!(
-        "  ],\n  \"speedup_macro_vs_reference\": {speedup:.2}\n}}\n"
+        "  ],\n  \"speedup_macro_vs_reference\": {speedup:.2},\n  \"telemetry_enabled\": {},\n  \"telemetry_overhead_pct\": {overhead_pct:.2}\n}}\n",
+        cfg!(feature = "telemetry"),
     ));
 
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json");
@@ -243,6 +308,12 @@ fn main() {
             speedup >= 5.0,
             "macro-stepped engine must be at least 5x the reference tick loop \
              on the paper-scale trace (got {speedup:.2}x)"
+        );
+        // Quick runs are too noisy (1 rep, tiny trace) for a tight
+        // overhead bound; the full run enforces the ≤ 5 % budget.
+        assert!(
+            overhead_pct <= 5.0,
+            "telemetry recorder overhead exceeded the 5% budget (got {overhead_pct:.2}%)"
         );
     }
 }

@@ -19,5 +19,5 @@ pub mod runner;
 pub mod service;
 
 pub use policy::{PolluxConfig, PolluxPolicy};
-pub use runner::{run_trace, ConfigChoice};
+pub use runner::{run_trace, run_trace_recorded, ConfigChoice};
 pub use service::{ClusterService, JobHandle, ServiceConfig};

@@ -153,12 +153,14 @@ impl SchedulingPolicy for PolluxPolicy {
     }
 
     fn take_interval_stats(&mut self) -> Option<SchedIntervalSample> {
+        // Wall-clock build/evolve timings are NOT part of the sample:
+        // they flow through the telemetry recorder (sched/table_build
+        // and sched/ga_evolve spans) so the deterministic serialized
+        // output stays machine-independent.
         self.sched
             .take_interval_stats()
             .map(|s| SchedIntervalSample {
                 time: 0.0, // Stamped by the engine.
-                table_build_nanos: s.table_build_nanos,
-                ga_evolve_nanos: s.ga_evolve_nanos,
                 generations_run: s.ga.generations_run,
                 fitness_evals: s.ga.fitness_evals,
                 incremental_evals: s.ga.incremental_evals,
@@ -167,6 +169,10 @@ impl SchedulingPolicy for PolluxPolicy {
                 table_misses: s.speedup.misses,
                 table_solves: s.speedup.solves,
             })
+    }
+
+    fn attach_telemetry(&mut self, recorder: pollux_telemetry::Recorder) {
+        self.sched.set_recorder(recorder);
     }
 
     fn desired_nodes(

@@ -2,6 +2,7 @@
 
 use pollux_cluster::ClusterSpec;
 use pollux_simulator::{SchedulingPolicy, SimConfig, SimResult, Simulation};
+use pollux_telemetry::Recorder;
 use pollux_workload::JobSpec;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -34,6 +35,21 @@ pub fn run_trace<P: SchedulingPolicy>(
     spec: ClusterSpec,
     sim: SimConfig,
 ) -> Option<SimResult> {
+    run_trace_recorded(policy, trace, choice, spec, sim, Recorder::disabled())
+}
+
+/// [`run_trace`] with a telemetry recorder attached to the simulation
+/// (and, through it, the policy and every job agent). Recording is
+/// observational only: the returned `SimResult` is bit-identical to a
+/// recorder-free run with the same inputs.
+pub fn run_trace_recorded<P: SchedulingPolicy>(
+    policy: P,
+    trace: &[JobSpec],
+    choice: ConfigChoice,
+    spec: ClusterSpec,
+    sim: SimConfig,
+    recorder: Recorder,
+) -> Option<SimResult> {
     let submissions = match choice {
         ConfigChoice::Tuned => trace.iter().map(|j| (j.clone(), j.tuned)).collect(),
         ConfigChoice::Realistic => trace.iter().map(|j| (j.clone(), j.realistic)).collect(),
@@ -52,7 +68,11 @@ pub fn run_trace<P: SchedulingPolicy>(
                 .collect()
         }
     };
-    Some(Simulation::new(sim, spec, policy, submissions)?.run())
+    Some(
+        Simulation::new(sim, spec, policy, submissions)?
+            .with_recorder(recorder)
+            .run(),
+    )
 }
 
 #[cfg(test)]

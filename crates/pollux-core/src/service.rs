@@ -25,6 +25,7 @@ use pollux_models::{BatchSizeLimits, GradientStats, PlacementShape};
 use pollux_sched::{
     job_weight, Autoscaler, PolluxSched, SchedJob, SpeedupTableStats, WeightConfig,
 };
+use pollux_telemetry::Recorder;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
@@ -45,6 +46,11 @@ pub struct ServiceConfig {
     pub interval: Duration,
     /// RNG seed for the genetic algorithm.
     pub seed: u64,
+    /// Telemetry recorder shared by the service, its scheduler, and
+    /// every job's refits. Disabled by default; attach one built on a
+    /// sink (e.g. `JsonlSink`) to capture `service/round` spans and
+    /// scheduler counters.
+    pub telemetry: Recorder,
 }
 
 impl Default for ServiceConfig {
@@ -53,6 +59,7 @@ impl Default for ServiceConfig {
             pollux: PolluxConfig::default(),
             interval: Duration::from_secs(60),
             seed: 0,
+            telemetry: Recorder::disabled(),
         }
     }
 }
@@ -81,6 +88,7 @@ struct Shared {
     /// `pollux.sched.speedup.stats` service key).
     speedup_stats: RwLock<SpeedupTableStats>,
     weights: WeightConfig,
+    recorder: Recorder,
 }
 
 impl Shared {
@@ -92,6 +100,8 @@ impl Shared {
         autoscaler: Option<&Autoscaler>,
         rng: &mut StdRng,
     ) {
+        let _span = self.recorder.span("service", "round");
+        self.recorder.incr("service", "rounds", 1);
         // Snapshot job state under the lock, then release it before the
         // (potentially long) genetic optimization so training threads
         // are never blocked behind a scheduling round.
@@ -99,6 +109,7 @@ impl Shared {
             let jobs = self.jobs.lock();
             if jobs.is_empty() {
                 drop(jobs);
+                self.recorder.incr("service", "empty_rounds", 1);
                 *self.rounds.write() += 1;
                 return;
             }
@@ -148,6 +159,8 @@ impl Shared {
             }
         }
 
+        self.recorder
+            .incr("service", "jobs_scheduled", sched_jobs.len() as u64);
         let spec = self.spec.read().clone();
         let matrix: AllocationMatrix = sched.schedule(&sched_jobs, &spec, rng);
         // Re-acquire to apply; jobs completed mid-round are skipped.
@@ -207,8 +220,9 @@ impl JobHandle {
     /// Returns `false` when no observations exist yet.
     pub fn refit(&self) -> bool {
         let mut jobs = self.shared.jobs.lock();
+        let recorder = &self.shared.recorder;
         jobs.get_mut(&self.id)
-            .map(|e| e.agent.refit())
+            .map(|e| e.agent.refit_recorded(recorder))
             .unwrap_or(false)
     }
 
@@ -262,11 +276,13 @@ impl ClusterService {
             rounds: RwLock::new(0),
             speedup_stats: RwLock::new(SpeedupTableStats::default()),
             weights: config.pollux.sched.weights,
+            recorder: config.telemetry.clone(),
         });
         let (tx, rx) = sync_channel::<Command>(16);
         let interval = config.interval;
         let thread_shared = Arc::clone(&shared);
         let mut sched = PolluxSched::new(config.pollux.sched);
+        sched.set_recorder(config.telemetry);
         let mut rng = StdRng::seed_from_u64(config.seed);
         let thread = std::thread::spawn(move || {
             // `recv_timeout` is both the trigger listener and the
@@ -379,6 +395,11 @@ impl Drop for ClusterService {
         if let Some(t) = self.thread.take() {
             let _ = t.join();
         }
+        // Snapshot counters/histograms into the capture now that the
+        // scheduler thread is quiescent. Unconditional: the graceful
+        // `shutdown` path joins (and takes) the thread before this
+        // drop runs.
+        self.shared.recorder.flush();
     }
 }
 
@@ -400,6 +421,7 @@ mod tests {
                 pollux,
                 interval: Duration::from_millis(5),
                 seed: 1,
+                ..Default::default()
             },
             spec,
         )
@@ -536,6 +558,7 @@ mod tests {
                 pollux,
                 interval: Duration::from_millis(5),
                 seed: 3,
+                ..Default::default()
             },
             ClusterSpec::homogeneous(1, 4).unwrap(),
         )
@@ -558,6 +581,56 @@ mod tests {
         let nodes = service.cluster_spec().num_nodes();
         assert!(nodes > 1, "cluster stayed at {nodes} node(s)");
         service.shutdown();
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn service_rounds_emit_telemetry() {
+        use pollux_telemetry::{Event, MemorySink};
+        let sink = Arc::new(MemorySink::new(8192));
+        let mut pollux = PolluxConfig::default();
+        pollux.sched.ga = GaConfig {
+            population: 12,
+            generations: 6,
+            ..Default::default()
+        };
+        let service = ClusterService::start(
+            ServiceConfig {
+                pollux,
+                interval: Duration::from_millis(5),
+                seed: 1,
+                telemetry: Recorder::new(sink.clone()),
+            },
+            ClusterSpec::homogeneous(2, 4).unwrap(),
+        )
+        .unwrap();
+        let profile = ModelKind::ResNet18Cifar10.profile();
+        let h = service
+            .submit(profile.m0, profile.eta0, profile.limits)
+            .unwrap();
+        feed_profile(&h, ModelKind::ResNet18Cifar10);
+        service.trigger_schedule();
+        assert!(service.wait_for_rounds(2, Duration::from_secs(10)));
+        service.shutdown();
+
+        let events = sink.drain();
+        let span = |sub: &str, name: &str| {
+            events.iter().any(|e| {
+                matches!(e, Event::Span { .. }) && e.subsystem() == sub && e.name() == name
+            })
+        };
+        assert!(span("service", "round"), "no service/round span");
+        assert!(span("agent", "refit"), "no agent/refit span");
+        assert!(span("sched", "ga_evolve"), "no sched/ga_evolve span");
+        // The drop-time flush snapshots counters into the capture.
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, Event::Count { value, .. } if *value > 0)
+                    && e.subsystem() == "service"
+                    && e.name() == "rounds"),
+            "no service/rounds counter snapshot"
+        );
     }
 
     #[test]

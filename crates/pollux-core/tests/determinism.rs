@@ -145,6 +145,66 @@ fn run_sim(sched_threads: usize) -> String {
     serde_json::to_string(&result).expect("SimResult serializes")
 }
 
+/// A live telemetry recorder must not change a single byte of the
+/// serialized full-stack result: same trace, same seed, with and
+/// without a `MemorySink`-backed recorder attached through
+/// `run_trace_recorded`. Recorder state (wall-clock spans, counters)
+/// never touches the simulation's RNG or float accumulation order.
+#[test]
+fn simulation_result_is_identical_with_telemetry_enabled() {
+    use std::sync::Arc;
+    let run = |recorded: bool| -> String {
+        let mut c = PolluxConfig::default();
+        c.sched.ga = GaConfig {
+            population: 16,
+            generations: 8,
+            ..Default::default()
+        };
+        let policy = PolluxPolicy::new(c).unwrap();
+        let trace = tiny_trace();
+        let spec = ClusterSpec::homogeneous(4, 4).unwrap();
+        let sim = SimConfig {
+            max_sim_time: 10.0 * 3600.0,
+            ..Default::default()
+        };
+        let result = if recorded {
+            let sink = Arc::new(pollux_telemetry::MemorySink::new(1 << 16));
+            let recorder = pollux_telemetry::Recorder::new(sink.clone());
+            let res = pollux_core::run_trace_recorded(
+                policy,
+                &trace,
+                ConfigChoice::Tuned,
+                spec,
+                sim,
+                recorder,
+            )
+            .unwrap();
+            if cfg!(feature = "telemetry") {
+                assert!(!sink.is_empty(), "recorder attached but nothing captured");
+            }
+            res
+        } else {
+            pollux_core::run_trace(policy, &trace, ConfigChoice::Tuned, spec, sim).unwrap()
+        };
+        serde_json::to_string(&result).expect("SimResult serializes")
+    };
+    let plain = run(false);
+    let recorded = run(true);
+    if plain != recorded {
+        let pos = plain
+            .bytes()
+            .zip(recorded.bytes())
+            .position(|(a, b)| a != b)
+            .unwrap_or(plain.len().min(recorded.len()));
+        let lo = pos.saturating_sub(200);
+        panic!(
+            "SimResult bytes differ with telemetry enabled at byte {pos}:\nplain:    ...{}...\nrecorded: ...{}...",
+            &plain[lo..(pos + 200).min(plain.len())],
+            &recorded[lo..(pos + 200).min(recorded.len())]
+        );
+    }
+}
+
 #[test]
 fn simulation_result_is_identical_across_sched_threads() {
     let serial = run_sim(1);

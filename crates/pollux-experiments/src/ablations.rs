@@ -13,7 +13,7 @@
 
 use crate::common::{mean, render_table};
 use pollux_cluster::{ClusterSpec, JobId};
-use pollux_core::{run_trace, ConfigChoice, PolluxConfig, PolluxPolicy};
+use pollux_core::{run_trace_recorded, ConfigChoice, PolluxConfig, PolluxPolicy};
 use pollux_models::{
     fit_throughput_params_constrained, EfficiencyModel, FitObservation, FitPriors, GoodputModel,
     PlacementShape, ThroughputParams,
@@ -136,8 +136,15 @@ pub fn restart_penalty_ablation(seed: u64) -> Vec<RestartPenaltyPoint> {
                 seed,
                 ..Default::default()
             };
-            let res = run_trace(policy, &trace, ConfigChoice::Tuned, spec.clone(), sim)
-                .expect("valid inputs");
+            let res = run_trace_recorded(
+                policy,
+                &trace,
+                ConfigChoice::Tuned,
+                spec.clone(),
+                sim,
+                crate::common::capture_recorder(),
+            )
+            .expect("valid inputs");
             RestartPenaltyPoint {
                 penalty,
                 avg_jct_hours: res.avg_jct().unwrap_or(f64::NAN) / 3600.0,
@@ -280,7 +287,15 @@ pub fn coadaptation_ablation(seed: u64) -> CoAdaptationAblation {
             seed,
             ..Default::default()
         };
-        run_trace(policy, &trace, ConfigChoice::Tuned, spec.clone(), sim).expect("valid inputs")
+        run_trace_recorded(
+            policy,
+            &trace,
+            ConfigChoice::Tuned,
+            spec.clone(),
+            sim,
+            crate::common::capture_recorder(),
+        )
+        .expect("valid inputs")
     };
     let full = run_variant(true);
     let fixed = run_variant(false);

@@ -7,7 +7,13 @@
 //! ```
 //!
 //! Environment:
-//! - `POLLUX_SIM_DEBUG=1` — print cluster state every simulated hour.
+//! - `POLLUX_SIM_JOBS=<n>` — override the trace size (default 160
+//!   jobs; e.g. 64 for a quick capture).
+//! - `POLLUX_SIM_DEBUG=1` — mirror every telemetry event to stderr as
+//!   JSONL while the simulation runs.
+//! - `POLLUX_TELEMETRY_OUT=<path>` — capture telemetry (spans,
+//!   counters, histograms, the goodput time-series) to a JSONL file;
+//!   summarize it with `telemetry_report`.
 //! - `POLLUX_JSON_OUT=<path>` — also dump the full `SimResult` (per-job
 //!   records, cluster series, allocation timeline) as JSON per policy,
 //!   to `<path>.<policy>.json`.
@@ -16,19 +22,30 @@
 
 use pollux_baselines::{Optimus, Tiresias, TiresiasConfig};
 use pollux_cluster::ClusterSpec;
-use pollux_core::{run_trace, ConfigChoice, PolluxConfig, PolluxPolicy};
+use pollux_core::{run_trace_recorded, ConfigChoice, PolluxConfig, PolluxPolicy};
+use pollux_experiments::common::capture_recorder;
 use pollux_sched::GaConfig;
 use pollux_simulator::{SchedulingPolicy, SimConfig};
 use pollux_workload::{TraceConfig, TraceGenerator};
 use std::time::Instant;
 
 fn run_one(name: &str, policy: Box<dyn SchedulingPolicy>, seed: u64) {
-    let trace = TraceGenerator::new(TraceConfig {
+    let mut trace_cfg = TraceConfig {
         seed,
         ..Default::default()
-    })
-    .expect("valid trace config")
-    .generate();
+    };
+    if let Ok(jobs) = std::env::var("POLLUX_SIM_JOBS") {
+        match jobs.parse() {
+            Ok(n) if n > 0 => trace_cfg.num_jobs = n,
+            _ => {
+                eprintln!("invalid POLLUX_SIM_JOBS {jobs:?}; expected a positive integer");
+                std::process::exit(2);
+            }
+        }
+    }
+    let trace = TraceGenerator::new(trace_cfg)
+        .expect("valid trace config")
+        .generate();
     let spec = ClusterSpec::homogeneous(16, 4).expect("valid cluster");
     let sim = SimConfig {
         max_sim_time: 96.0 * 3600.0,
@@ -40,22 +57,44 @@ fn run_one(name: &str, policy: Box<dyn SchedulingPolicy>, seed: u64) {
         std::fs::write(&path, json).expect("trace file writable");
     }
     let t0 = Instant::now();
-    let res =
-        run_trace(policy, &trace, ConfigChoice::Tuned, spec, sim).expect("valid simulation inputs");
+    let res = run_trace_recorded(
+        policy,
+        &trace,
+        ConfigChoice::Tuned,
+        spec,
+        sim,
+        capture_recorder(),
+    )
+    .expect("valid simulation inputs");
     if let Ok(path) = std::env::var("POLLUX_JSON_OUT") {
         let json = serde_json::to_string_pretty(&res).expect("result serializes");
         std::fs::write(format!("{path}.{name}.json"), json).expect("output file writable");
     }
+    let s = res.summary();
+    let h = |v: Option<f64>| v.unwrap_or(0.0) / 3600.0;
     println!(
         "{name:<10} wall {:>8.2?}  jobs {}  unfinished {}  avg JCT {:.2}h  p99 {:.1}h  \
          makespan {:.1}h  stat-eff {:.1}%",
         t0.elapsed(),
         res.records.len(),
         res.unfinished(),
-        res.avg_jct().unwrap_or(0.0) / 3600.0,
-        res.percentile_jct(99.0).unwrap_or(0.0) / 3600.0,
+        s.avg_jct.unwrap_or(0.0) / 3600.0,
+        h(s.p99_jct),
         res.makespan() / 3600.0,
         res.avg_cluster_efficiency().unwrap_or(0.0) * 100.0,
+    );
+    println!(
+        "{:<10} JCT p50/p95/p99 {:.2}/{:.2}/{:.2}h  wait avg {:.2}h p50/p95/p99 \
+         {:.2}/{:.2}/{:.2}h  never-started {}",
+        "",
+        h(s.p50_jct),
+        h(s.p95_jct),
+        h(s.p99_jct),
+        s.avg_wait.unwrap_or(0.0) / 3600.0,
+        h(s.p50_wait),
+        h(s.p95_wait),
+        h(s.p99_wait),
+        s.never_started,
     );
 }
 

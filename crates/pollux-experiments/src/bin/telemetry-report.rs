@@ -1,0 +1,196 @@
+//! `telemetry-report` — summarize a JSONL telemetry capture.
+//!
+//! ```sh
+//! POLLUX_TELEMETRY_OUT=/tmp/cap.jsonl pollux-sim pollux 1
+//! telemetry-report /tmp/cap.jsonl
+//! ```
+//!
+//! Prints a wall-clock span breakdown per subsystem, cumulative
+//! counter totals, histogram percentiles, and a digest of each
+//! time-series (e.g. the per-interval cluster goodput samples).
+//! Counters and histograms are cumulative snapshots re-emitted at
+//! every flush, so the report keeps the *latest* snapshot per name;
+//! spans and points are summed/collected over the whole file.
+
+use pollux_experiments::common::render_table;
+use pollux_telemetry::{Event, HistogramSnapshot};
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader};
+
+#[derive(Default)]
+struct SpanAgg {
+    count: u64,
+    total_ns: u64,
+    max_ns: u64,
+}
+
+#[derive(Default)]
+struct PointAgg {
+    count: u64,
+    first_time: f64,
+    last_time: f64,
+    /// Last value per field, in first-seen order.
+    last_fields: Vec<(String, f64)>,
+}
+
+fn ms(ns: u64) -> String {
+    format!("{:.2}", ns as f64 / 1e6)
+}
+
+fn main() {
+    let path = match std::env::args().nth(1) {
+        Some(p) => p,
+        None => {
+            eprintln!("usage: telemetry-report <capture.jsonl>");
+            std::process::exit(2);
+        }
+    };
+    let file = match std::fs::File::open(&path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cannot open {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let mut spans: BTreeMap<(String, String), SpanAgg> = BTreeMap::new();
+    let mut counters: BTreeMap<(String, String), u64> = BTreeMap::new();
+    let mut hists: BTreeMap<(String, String), HistogramSnapshot> = BTreeMap::new();
+    let mut points: BTreeMap<(String, String), PointAgg> = BTreeMap::new();
+    let mut lines = 0u64;
+    let mut skipped = 0u64;
+
+    for line in BufReader::new(file).lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("read error after {lines} lines: {e}");
+                break;
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        lines += 1;
+        let Some(event) = Event::parse_jsonl(&line) else {
+            skipped += 1;
+            continue;
+        };
+        let key = (event.subsystem().to_string(), event.name().to_string());
+        match event {
+            Event::Span { dur_ns, .. } => {
+                let agg = spans.entry(key).or_default();
+                agg.count += 1;
+                agg.total_ns += dur_ns;
+                agg.max_ns = agg.max_ns.max(dur_ns);
+            }
+            Event::Count { value, .. } => {
+                counters.insert(key, value);
+            }
+            Event::Hist { buckets, .. } => {
+                hists.insert(key, HistogramSnapshot::from_sparse(buckets));
+            }
+            Event::Point { time, fields, .. } => {
+                let agg = points.entry(key).or_default();
+                if agg.count == 0 {
+                    agg.first_time = time;
+                }
+                agg.count += 1;
+                agg.last_time = time;
+                agg.last_fields = fields
+                    .into_iter()
+                    .map(|(k, v)| (k.into_owned(), v))
+                    .collect();
+            }
+        }
+    }
+
+    println!("capture: {path} ({lines} events, {skipped} unparseable)\n");
+
+    if !spans.is_empty() {
+        let total: u64 = spans.values().map(|a| a.total_ns).sum();
+        let rows: Vec<Vec<String>> = spans
+            .iter()
+            .map(|((sub, name), a)| {
+                vec![
+                    format!("{sub}/{name}"),
+                    a.count.to_string(),
+                    ms(a.total_ns),
+                    ms(a.total_ns / a.count.max(1)),
+                    ms(a.max_ns),
+                    format!("{:.1}%", 100.0 * a.total_ns as f64 / total.max(1) as f64),
+                ]
+            })
+            .collect();
+        println!("spans (wall clock):");
+        print!(
+            "{}",
+            render_table(
+                &["span", "count", "total ms", "mean ms", "max ms", "share"],
+                &rows,
+            )
+        );
+        println!();
+    }
+
+    if !counters.is_empty() {
+        let rows: Vec<Vec<String>> = counters
+            .iter()
+            .map(|((sub, name), v)| vec![format!("{sub}/{name}"), v.to_string()])
+            .collect();
+        println!("counters (cumulative):");
+        print!("{}", render_table(&["counter", "total"], &rows));
+        println!();
+    }
+
+    if !hists.is_empty() {
+        let pct = |s: &HistogramSnapshot, p: f64| {
+            s.percentile(p)
+                .map(|v| format!("{v:.0}"))
+                .unwrap_or_else(|| "-".into())
+        };
+        let rows: Vec<Vec<String>> = hists
+            .iter()
+            .map(|((sub, name), s)| {
+                vec![
+                    format!("{sub}/{name}"),
+                    s.count.to_string(),
+                    pct(s, 50.0),
+                    pct(s, 90.0),
+                    pct(s, 99.0),
+                ]
+            })
+            .collect();
+        println!("histograms (log₂ buckets; percentiles are bucket midpoints):");
+        print!(
+            "{}",
+            render_table(&["histogram", "count", "p50", "p90", "p99"], &rows)
+        );
+        println!();
+    }
+
+    if !points.is_empty() {
+        let rows: Vec<Vec<String>> = points
+            .iter()
+            .map(|((sub, name), a)| {
+                let last = a
+                    .last_fields
+                    .iter()
+                    .map(|(k, v)| format!("{k}={v:.2}"))
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                vec![
+                    format!("{sub}/{name}"),
+                    a.count.to_string(),
+                    format!("{:.0}..{:.0}", a.first_time, a.last_time),
+                    last,
+                ]
+            })
+            .collect();
+        println!("time-series:");
+        print!(
+            "{}",
+            render_table(&["series", "points", "time range (s)", "last point"], &rows)
+        );
+    }
+}

@@ -4,7 +4,9 @@
 use pollux_cluster::ClusterSpec;
 use pollux_sched::GaConfig;
 use pollux_simulator::SimConfig;
+use pollux_telemetry::{JsonlSink, Recorder};
 use pollux_workload::{JobSpec, TraceConfig, TraceGenerator};
+use std::sync::{Arc, OnceLock};
 
 /// The paper's testbed: 16 nodes × 4 Tesla T4 GPUs (Sec. 5.1).
 pub fn testbed_cluster() -> ClusterSpec {
@@ -41,6 +43,28 @@ pub fn evaluation_trace(i: u64, load: f64) -> Vec<JobSpec> {
     })
     .expect("static config is valid")
     .generate()
+}
+
+/// The process-wide experiment recorder. When `POLLUX_TELEMETRY_OUT`
+/// names a file, telemetry from every simulation run through the
+/// experiment drivers is captured there as JSONL (summarize it with
+/// the `telemetry_report` bin); otherwise recording is disabled and
+/// every call site degrades to a no-op. The decision is made once per
+/// process so sweeps over many traces append into one capture.
+pub fn capture_recorder() -> Recorder {
+    static RECORDER: OnceLock<Recorder> = OnceLock::new();
+    RECORDER
+        .get_or_init(|| match std::env::var_os("POLLUX_TELEMETRY_OUT") {
+            Some(path) => match JsonlSink::create(&path) {
+                Ok(sink) => Recorder::new(Arc::new(sink)),
+                Err(e) => {
+                    eprintln!("POLLUX_TELEMETRY_OUT {path:?} not writable ({e}); telemetry off");
+                    Recorder::disabled()
+                }
+            },
+            None => Recorder::disabled(),
+        })
+        .clone()
 }
 
 /// Mean of a slice (None when empty).

@@ -11,7 +11,7 @@
 use crate::common::render_table;
 use pollux_baselines::OrEtAlAutoscaler;
 use pollux_cluster::{ClusterSpec, JobId};
-use pollux_core::{run_trace, ConfigChoice, PolluxConfig, PolluxPolicy};
+use pollux_core::{run_trace_recorded, ConfigChoice, PolluxConfig, PolluxPolicy};
 use pollux_sched::{AutoscaleConfig, GaConfig};
 use pollux_simulator::{SimConfig, SimResult};
 use pollux_workload::{JobSpec, ModelKind, UserConfig};
@@ -141,12 +141,13 @@ pub fn run(work_scale: f64, max_nodes: u32) -> Fig10Result {
         });
         let policy = PolluxPolicy::new(cfg).expect("valid config");
         extract(
-            run_trace(
+            run_trace_recorded(
                 policy,
                 std::slice::from_ref(&job),
                 ConfigChoice::Tuned,
                 start.clone(),
                 sim,
+                crate::common::capture_recorder(),
             )
             .expect("valid inputs"),
         )
@@ -159,12 +160,13 @@ pub fn run(work_scale: f64, max_nodes: u32) -> Fig10Result {
         };
         let policy = OrEtAlAutoscaler::new(cfg);
         extract(
-            run_trace(
+            run_trace_recorded(
                 policy,
                 std::slice::from_ref(&job),
                 ConfigChoice::Tuned,
                 start,
                 sim,
+                crate::common::capture_recorder(),
             )
             .expect("valid inputs"),
         )

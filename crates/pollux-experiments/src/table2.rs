@@ -3,11 +3,12 @@
 //! (statistical efficiency, throughput and goodput factors).
 
 use crate::common::{
-    evaluation_trace, experiment_ga, experiment_sim, mean, render_table, testbed_cluster,
+    capture_recorder, evaluation_trace, experiment_ga, experiment_sim, mean, render_table,
+    testbed_cluster,
 };
 use crate::sweep::sweep;
 use pollux_baselines::{Optimus, Tiresias, TiresiasConfig};
-use pollux_core::{run_trace, ConfigChoice, PolluxConfig, PolluxPolicy};
+use pollux_core::{run_trace_recorded, ConfigChoice, PolluxConfig, PolluxPolicy};
 use pollux_simulator::{SchedulingPolicy, SimResult};
 use serde::{Deserialize, Serialize};
 
@@ -118,7 +119,15 @@ pub fn run_one(policy: Policy, trace_idx: u64, opts: &Table2Options) -> SimResul
     let mut sim = experiment_sim(trace_idx);
     sim.interference_slowdown = opts.interference;
     let boxed = make_policy(policy, opts);
-    run_trace(boxed, &trace, opts.choice, testbed_cluster(), sim).expect("valid simulation inputs")
+    run_trace_recorded(
+        boxed,
+        &trace,
+        opts.choice,
+        testbed_cluster(),
+        sim,
+        capture_recorder(),
+    )
+    .expect("valid simulation inputs")
 }
 
 /// Runs the full experiment. Per-trace cells run on the [`sweep`]

@@ -94,6 +94,30 @@ mod tests {
         assert!(seen.lock().unwrap().len() > 1, "ran on a single thread");
     }
 
+    /// Recorder counters must be *exact* (not approximate) under
+    /// concurrent workers: each increment is one `fetch_add`, so the
+    /// sum over any interleaving equals the serial sum.
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn telemetry_counters_are_exact_under_workers() {
+        use pollux_telemetry::{NullSink, Recorder};
+        use std::sync::Arc;
+        let rec = Recorder::new(Arc::new(NullSink));
+        let counter = rec.counter("par", "work");
+        let hist = rec.histogram("par", "values");
+        let n = 10_000usize;
+        for threads in [1, 2, 4, 8] {
+            parallel_map(n, threads, |i| {
+                counter.add(i as u64);
+                hist.observe(i as u64);
+                rec.incr("par", "items", 1);
+            });
+        }
+        let expected = (n as u64 * (n as u64 - 1) / 2) * 4;
+        assert_eq!(rec.counter_value("par", "work"), expected);
+        assert_eq!(rec.counter_value("par", "items"), 4 * n as u64);
+    }
+
     #[test]
     #[should_panic(expected = "worker panicked")]
     fn worker_panics_propagate() {

@@ -10,6 +10,7 @@ use crate::ga::{GaConfig, GaOutcome, GaRunStats, GeneticAlgorithm};
 use crate::speedup::{SchedJob, SpeedupTable, SpeedupTableStats};
 use crate::weights::WeightConfig;
 use pollux_cluster::{AllocationMatrix, ClusterSpec, JobId};
+use pollux_telemetry::Recorder;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -37,19 +38,16 @@ impl Default for SchedConfig {
     }
 }
 
-/// Hot-path breakdown of one scheduling interval: where the time went
-/// and how many evaluations the GA spent.
+/// Evaluation-count breakdown of one scheduling interval.
 ///
-/// The counters (`ga`, `speedup`) are deterministic for a fixed seed
-/// at any thread count; the `*_nanos` wall-clock timings are not and
-/// must never feed back into scheduling decisions.
+/// Every field is deterministic for a fixed seed at any thread count.
+/// Wall-clock timings of the interval (table build, GA evolve) are
+/// *not* part of this struct: they are emitted as telemetry spans
+/// (`sched/table_build`, `sched/ga_evolve`) through the recorder
+/// attached via [`PolluxSched::set_recorder`], keeping every
+/// deterministic output free of machine-dependent values.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SchedIntervalStats {
-    /// Wall-clock nanoseconds spent precomputing the dense
-    /// [`SpeedupTable`] for this interval.
-    pub table_build_nanos: u64,
-    /// Wall-clock nanoseconds spent inside `GeneticAlgorithm::evolve`.
-    pub ga_evolve_nanos: u64,
     /// GA evaluation counters (generations, full vs. incremental
     /// fitness evaluations, contribution rows recomputed).
     pub ga: GaRunStats,
@@ -67,6 +65,7 @@ pub struct PolluxSched {
     saved_job_ids: Vec<JobId>,
     last_interval: Option<SchedIntervalStats>,
     cumulative_speedup: SpeedupTableStats,
+    recorder: Recorder,
 }
 
 impl PolluxSched {
@@ -79,7 +78,16 @@ impl PolluxSched {
             saved_job_ids: Vec::new(),
             last_interval: None,
             cumulative_speedup: SpeedupTableStats::default(),
+            recorder: Recorder::disabled(),
         }
+    }
+
+    /// Attaches a telemetry recorder: each interval emits its
+    /// wall-clock spans (`sched/table_build`, `sched/ga_evolve`) and
+    /// evaluation counters through it. Telemetry is observational
+    /// only — schedules are bit-identical with or without a recorder.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
     }
 
     /// The active configuration.
@@ -122,11 +130,26 @@ impl PolluxSched {
         let speedup = table.stats();
         self.cumulative_speedup.accumulate(speedup);
         self.last_interval = Some(SchedIntervalStats {
-            table_build_nanos,
-            ga_evolve_nanos,
             ga: outcome.stats,
             speedup,
         });
+        // Wall-clock timings leave through the telemetry sink only;
+        // everything deterministic ships via SchedIntervalStats.
+        let rec = &self.recorder;
+        rec.record_duration_ns("sched", "table_build", table_build_nanos);
+        rec.record_duration_ns("sched", "ga_evolve", ga_evolve_nanos);
+        rec.incr("sched", "intervals", 1);
+        rec.incr("sched", "generations", outcome.stats.generations_run);
+        rec.incr("sched", "fitness_evals", outcome.stats.fitness_evals);
+        rec.incr(
+            "sched",
+            "incremental_evals",
+            outcome.stats.incremental_evals,
+        );
+        rec.incr("sched", "rows_recomputed", outcome.stats.rows_recomputed);
+        rec.incr("sched", "table_hits", speedup.hits);
+        rec.incr("sched", "table_misses", speedup.misses);
+        rec.incr("sched", "table_solves", speedup.solves);
         self.saved_population = outcome.population.clone();
         self.saved_job_ids = jobs.iter().map(|j| j.id).collect();
         outcome

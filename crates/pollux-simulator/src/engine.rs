@@ -29,6 +29,7 @@ use crate::policy::{PolicyJobView, SchedulingPolicy};
 use pollux_agent::ObservationRun;
 use pollux_cluster::{AllocationMatrix, ClusterSpec, JobId, NodeId};
 use pollux_models::GradientStats;
+use pollux_telemetry::{Counter, HistogramHandle, NullSink, Recorder};
 use pollux_workload::{JobSpec, UserConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -127,6 +128,58 @@ pub struct Simulation<P: SchedulingPolicy> {
     chunk_buf: Vec<ChunkCtx>,
     /// Recycled per-tick finish list.
     finished_buf: Vec<(usize, JobId)>,
+    /// Telemetry handle (disabled by default; see
+    /// [`Simulation::with_recorder`]). Purely observational: the
+    /// determinism suite proves a `SimResult` is bit-identical with
+    /// recording on, off, or compiled out.
+    recorder: Recorder,
+    /// Hoisted counter/histogram handles for the engine hot path.
+    telem: EngineTelemetry,
+    /// Cumulative restart count across all jobs (feeds the
+    /// `engine/cluster_sample` time-series; per-job counts live on
+    /// the job records).
+    restarts_total: u64,
+}
+
+/// Counter and histogram handles hoisted out of the engine hot path:
+/// one atomic add per touch, no registry lookup. All fields are inert
+/// ZSTs when the `telemetry` feature is off, and no-op handles when no
+/// recorder is attached.
+#[derive(Default)]
+struct EngineTelemetry {
+    /// Macro-steps executed.
+    chunks: Counter,
+    /// Ticks advanced (sum of chunk lengths).
+    ticks: Counter,
+    /// Chunks cut short by a mid-chunk job completion.
+    mid_chunk_aborts: Counter,
+    /// Interference-vector recomputations (one per macro-step).
+    interference_recomputes: Counter,
+    /// Which event horizon bounded each chunk.
+    horizon_report: Counter,
+    horizon_sched: Counter,
+    horizon_arrival: Counter,
+    horizon_restart: Counter,
+    horizon_end: Counter,
+    /// Distribution of chunk lengths in ticks.
+    chunk_ticks: HistogramHandle,
+}
+
+impl EngineTelemetry {
+    fn new(rec: &Recorder) -> Self {
+        Self {
+            chunks: rec.counter("engine", "chunks"),
+            ticks: rec.counter("engine", "ticks"),
+            mid_chunk_aborts: rec.counter("engine", "mid_chunk_aborts"),
+            interference_recomputes: rec.counter("engine", "interference_recomputes"),
+            horizon_report: rec.counter("engine", "horizon_report"),
+            horizon_sched: rec.counter("engine", "horizon_sched"),
+            horizon_arrival: rec.counter("engine", "horizon_arrival"),
+            horizon_restart: rec.counter("engine", "horizon_restart"),
+            horizon_end: rec.counter("engine", "horizon_end"),
+            chunk_ticks: rec.histogram("engine", "chunk_ticks"),
+        }
+    }
 }
 
 /// Per-job invariants hoisted for one macro-step: between event
@@ -253,7 +306,40 @@ impl<P: SchedulingPolicy> Simulation<P> {
             view_buf: Vec::new(),
             chunk_buf: Vec::new(),
             finished_buf: Vec::new(),
+            recorder: Recorder::disabled(),
+            telem: EngineTelemetry::default(),
+            restarts_total: 0,
         })
+    }
+
+    /// Attaches a telemetry recorder to the simulation and its policy.
+    ///
+    /// Recording is observational only: it never draws from the
+    /// simulation RNG or perturbs any f64 accumulation, so the
+    /// resulting `SimResult` is bit-identical with or without a
+    /// recorder (pinned by the golden-digest suite in
+    /// `tests/macro_step.rs`).
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.telem = EngineTelemetry::new(&recorder);
+        self.policy.attach_telemetry(recorder.clone());
+        self.recorder = recorder;
+        self
+    }
+
+    /// `POLLUX_SIM_DEBUG` support: mirror every telemetry event to
+    /// stderr as JSONL. When no recorder is attached, a throwaway
+    /// `NullSink` recorder is created so the mirror alone works — the
+    /// engine hot path carries no ad-hoc debug branches.
+    fn init_debug_mirror(&mut self) {
+        if std::env::var_os("POLLUX_SIM_DEBUG").is_some() {
+            if !self.recorder.is_enabled() {
+                let rec = Recorder::new(std::sync::Arc::new(NullSink));
+                self.telem = EngineTelemetry::new(&rec);
+                self.policy.attach_telemetry(rec.clone());
+                self.recorder = rec;
+            }
+            self.recorder.enable_stderr_mirror();
+        }
     }
 
     /// Runs the simulation to completion (all jobs finished) or to the
@@ -268,13 +354,13 @@ impl<P: SchedulingPolicy> Simulation<P> {
         let sched_every = (self.config.sched_interval / dt).round().max(1.0) as u64;
         let report_every = (self.config.report_interval / dt).round().max(1.0) as u64;
         let max_ticks = (self.config.max_sim_time / dt).ceil() as u64;
-        let debug = std::env::var_os("POLLUX_SIM_DEBUG").is_some();
+        self.init_debug_mirror();
 
         let mut now = 0.0;
         let mut tick = 0u64;
         while tick < max_ticks {
             now = tick as f64 * dt;
-            self.tick_boundaries(tick, now, report_every, sched_every, debug);
+            self.tick_boundaries(tick, now, report_every, sched_every);
             let horizon = self.next_horizon(tick, dt, report_every, sched_every, max_ticks);
             let chunk = self.advance_chunk(tick, horizon, dt);
             tick += chunk.ticks;
@@ -298,12 +384,12 @@ impl<P: SchedulingPolicy> Simulation<P> {
         let sched_every = (self.config.sched_interval / dt).round().max(1.0) as u64;
         let report_every = (self.config.report_interval / dt).round().max(1.0) as u64;
         let max_ticks = (self.config.max_sim_time / dt).ceil() as u64;
-        let debug = std::env::var_os("POLLUX_SIM_DEBUG").is_some();
+        self.init_debug_mirror();
 
         let mut now = 0.0;
         for tick in 0..max_ticks {
             now = tick as f64 * dt;
-            self.tick_boundaries(tick, now, report_every, sched_every, debug);
+            self.tick_boundaries(tick, now, report_every, sched_every);
             self.advance_tick_reference(now, dt);
             self.node_seconds += self.spec.num_nodes() as f64 * dt;
 
@@ -325,14 +411,7 @@ impl<P: SchedulingPolicy> Simulation<P> {
     /// to call on non-boundary ticks (each action no-ops when not
     /// due), which is what makes resuming after a mid-chunk job
     /// completion trivial.
-    fn tick_boundaries(
-        &mut self,
-        tick: u64,
-        now: f64,
-        report_every: u64,
-        sched_every: u64,
-        debug: bool,
-    ) {
+    fn tick_boundaries(&mut self, tick: u64, now: f64, report_every: u64, sched_every: u64) {
         self.spawn_arrivals(now);
         self.wake_restarts(now);
 
@@ -342,18 +421,6 @@ impl<P: SchedulingPolicy> Simulation<P> {
         if tick.is_multiple_of(sched_every) {
             self.reschedule(now);
             self.sample(now);
-            if debug && tick.is_multiple_of(sched_every * 60) {
-                let s = self.series.last().expect("just sampled");
-                eprintln!(
-                    "[sim {:>7.2}h] running {:>3} pending {:>3} used {:>3}/{} finished {}",
-                    now / 3600.0,
-                    s.running_jobs,
-                    s.pending_jobs,
-                    s.used_gpus,
-                    s.total_gpus,
-                    self.jobs.len() - self.active.len(),
-                );
-            }
         }
     }
 
@@ -363,6 +430,11 @@ impl<P: SchedulingPolicy> Simulation<P> {
     /// and the end of simulated time. Job completions are handled by
     /// the chunk itself (prediction inside [`Self::advance_chunk`]
     /// plus an authoritative per-tick check).
+    ///
+    /// Telemetry: bumps the `engine/horizon_*` counter of whichever
+    /// source won (strictly earliest; ties go to the first candidate
+    /// in end → report → sched → arrival → restart order). Counter
+    /// handles use interior mutability, so `&self` suffices.
     fn next_horizon(
         &self,
         tick: u64,
@@ -371,17 +443,35 @@ impl<P: SchedulingPolicy> Simulation<P> {
         sched_every: u64,
         max_ticks: u64,
     ) -> u64 {
-        let mut horizon = max_ticks
-            .min((tick / report_every + 1) * report_every)
-            .min((tick / sched_every + 1) * sched_every);
+        let mut horizon = max_ticks;
+        let mut fired = &self.telem.horizon_end;
+        let report = (tick / report_every + 1) * report_every;
+        if report < horizon {
+            horizon = report;
+            fired = &self.telem.horizon_report;
+        }
+        let sched = (tick / sched_every + 1) * sched_every;
+        if sched < horizon {
+            horizon = sched;
+            fired = &self.telem.horizon_sched;
+        }
         if let Some((spec, _)) = self.arrivals.last() {
-            horizon = horizon.min(first_tick_at_or_after(spec.submit_time, dt, tick + 1));
+            let arrival = first_tick_at_or_after(spec.submit_time, dt, tick + 1);
+            if arrival < horizon {
+                horizon = arrival;
+                fired = &self.telem.horizon_arrival;
+            }
         }
         for &i in &self.active {
             if let JobState::Restarting { until } = self.jobs[i].state {
-                horizon = horizon.min(first_tick_at_or_after(until, dt, tick + 1));
+                let wake = first_tick_at_or_after(until, dt, tick + 1);
+                if wake < horizon {
+                    horizon = wake;
+                    fired = &self.telem.horizon_restart;
+                }
             }
         }
+        fired.add(1);
         horizon.max(tick + 1)
     }
 
@@ -524,6 +614,15 @@ impl<P: SchedulingPolicy> Simulation<P> {
         finished.clear();
         self.finished_buf = finished;
 
+        self.telem.chunks.add(1);
+        self.telem.ticks.add(executed);
+        self.telem.chunk_ticks.observe(executed);
+        if executed < horizon - start {
+            // A completion (or its prediction) cut the chunk short of
+            // its event horizon.
+            self.telem.mid_chunk_aborts.add(1);
+        }
+
         ChunkOutcome {
             ticks: executed,
             exit,
@@ -658,6 +757,7 @@ impl<P: SchedulingPolicy> Simulation<P> {
         let policy = &self.policy;
         let adapt = policy.adapts_batch_size();
         let config = self.config;
+        let recorder = &self.recorder;
         let rng = &mut self.rng;
         let jobs = &mut self.jobs;
         for &i in &self.active {
@@ -685,7 +785,10 @@ impl<P: SchedulingPolicy> Simulation<P> {
             let config_trigger = configs > job.last_fit_configs
                 && (job.last_fit_configs < 8 || configs >= 2 * job.last_fit_configs);
             let sample_trigger = samples >= 4 * job.last_fit_samples.max(1);
-            if configs > 0 && (config_trigger || sample_trigger) && job.agent.refit() {
+            if configs > 0
+                && (config_trigger || sample_trigger)
+                && job.agent.refit_recorded(recorder)
+            {
                 job.last_fit_configs = configs;
                 job.last_fit_samples = samples;
             }
@@ -715,6 +818,7 @@ impl<P: SchedulingPolicy> Simulation<P> {
     /// `schedule` calls when no resize happens) instead of being
     /// reallocated and rebuilt per call.
     fn reschedule(&mut self, now: f64) {
+        let _span = self.recorder.span("engine", "reschedule");
         // Auto-scaling hook.
         let mut views = take_views(&mut self.view_buf);
         views.extend(
@@ -806,6 +910,7 @@ impl<P: SchedulingPolicy> Simulation<P> {
                         until: now + self.config.restart_delay,
                     };
                     job.num_restarts += 1;
+                    self.restarts_total += 1;
                     event_kind = EventKind::Restarted;
                 } else {
                     job.state = JobState::Running;
@@ -874,6 +979,7 @@ impl<P: SchedulingPolicy> Simulation<P> {
     /// is taken once, not once per node as the original per-tick loop
     /// did.
     fn compute_interference(&mut self) {
+        self.telem.interference_recomputes.add(1);
         self.slowdown.clear();
         self.slowdown.resize(self.jobs.len(), 0.0);
         let factor = self.config.interference_slowdown;
@@ -943,6 +1049,11 @@ impl<P: SchedulingPolicy> Simulation<P> {
                 });
             }
         }
+        let mean_efficiency = if running > 0 {
+            eff_sum / running as f64
+        } else {
+            0.0
+        };
         self.series.push(ClusterSample {
             time: now,
             nodes: self.spec.num_nodes() as u32,
@@ -950,18 +1061,34 @@ impl<P: SchedulingPolicy> Simulation<P> {
             used_gpus: used,
             running_jobs: running,
             pending_jobs: pending,
-            mean_efficiency: if running > 0 {
-                eff_sum / running as f64
-            } else {
-                0.0
-            },
+            mean_efficiency,
             total_throughput: tput,
             total_goodput: goodput,
         });
+        // The per-interval cluster time-series: values copied from the
+        // sample just recorded, never computed differently for
+        // telemetry (determinism contract).
+        self.recorder.point(
+            "engine",
+            "cluster_sample",
+            now,
+            &[
+                ("goodput", goodput),
+                ("throughput", tput),
+                ("mean_efficiency", mean_efficiency),
+                ("used_gpus", used as f64),
+                ("total_gpus", self.spec.total_gpus() as f64),
+                ("running_jobs", running as f64),
+                ("pending_jobs", pending as f64),
+                ("restarts", self.restarts_total as f64),
+            ],
+        );
     }
 
-    /// Builds the final result.
+    /// Builds the final result. Flushes the recorder first so counter
+    /// and histogram snapshots land in the capture.
     fn finalize(self, end_time: f64) -> SimResult {
+        self.recorder.flush();
         let records = self
             .jobs
             .iter()

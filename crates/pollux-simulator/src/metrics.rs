@@ -34,6 +34,14 @@ impl JobRecord {
         self.finish_time.map(|f| f - self.submit_time)
     }
 
+    /// Queue time (first start − submit): how long the job waited for
+    /// its first allocation. `None` for jobs that never started within
+    /// the horizon; a job that started but did not finish still has a
+    /// queue time.
+    pub fn queue_time(&self) -> Option<f64> {
+        self.start_time.map(|s| s - self.submit_time)
+    }
+
     /// Lifetime average statistical efficiency: useful / processed.
     pub fn avg_efficiency(&self) -> Option<f64> {
         if self.examples_processed > 0.0 {
@@ -114,24 +122,16 @@ pub struct JobSample {
 /// implement [`crate::SchedulingPolicy::take_interval_stats`] (the
 /// Pollux policy does; baselines report nothing).
 ///
-/// The wall-clock fields are non-deterministic and excluded from
-/// serialization; every counter is deterministic for a fixed seed and
-/// thread count. The vendored serde stub serializes through `Debug`,
-/// so the manual `Debug` impl below deliberately omits the nanos
-/// fields — that keeps serialized `SimResult`s byte-identical across
-/// thread counts while the timings stay readable in code.
-#[derive(Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+/// Every field is deterministic for a fixed seed and thread count, so
+/// the whole struct participates in the serialized (golden-digested)
+/// `SimResult`. Wall-clock timings of the interval are deliberately
+/// *not* here: they are machine-dependent and flow through the
+/// telemetry sink instead (spans `sched/table_build` and
+/// `sched/ga_evolve`) — see DESIGN.md § Telemetry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct SchedIntervalSample {
     /// Simulation time of the interval (s).
     pub time: f64,
-    /// Wall-clock nanoseconds spent precomputing the dense speedup
-    /// table (not serialized: machine-dependent).
-    #[serde(skip)]
-    pub table_build_nanos: u64,
-    /// Wall-clock nanoseconds spent in the genetic-algorithm evolve
-    /// loop (not serialized: machine-dependent).
-    #[serde(skip)]
-    pub ga_evolve_nanos: u64,
     /// GA generations executed.
     pub generations_run: u64,
     /// Full-chromosome fitness evaluations.
@@ -150,23 +150,74 @@ pub struct SchedIntervalSample {
     pub table_solves: u64,
 }
 
-impl std::fmt::Debug for SchedIntervalSample {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        // Deliberately omits `table_build_nanos` / `ga_evolve_nanos`:
-        // under the vendored serde stub, Debug IS the serialized form,
-        // and wall-clock timings must not leak into determinism
-        // comparisons of serialized `SimResult`s.
-        f.debug_struct("SchedIntervalSample")
-            .field("time", &self.time)
-            .field("generations_run", &self.generations_run)
-            .field("fitness_evals", &self.fitness_evals)
-            .field("incremental_evals", &self.incremental_evals)
-            .field("rows_recomputed", &self.rows_recomputed)
-            .field("table_hits", &self.table_hits)
-            .field("table_misses", &self.table_misses)
-            .field("table_solves", &self.table_solves)
-            .finish()
+/// One point of the derived per-interval cluster time-series
+/// ([`SimResult::cluster_timeseries`]): the goodput/efficiency/
+/// allocation view of the cluster plus cumulative restarts.
+///
+/// Computed on demand from `series` and `events`; deliberately **not**
+/// stored in [`SimResult`], so the serialized (golden-digested) form
+/// of a run is unchanged by its existence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterIntervalPoint {
+    /// Sample time (s).
+    pub time: f64,
+    /// Aggregate true goodput (useful examples/s).
+    pub total_goodput: f64,
+    /// Aggregate true throughput (examples/s).
+    pub total_throughput: f64,
+    /// Mean statistical efficiency across running jobs.
+    pub mean_efficiency: f64,
+    /// GPUs currently allocated.
+    pub used_gpus: u32,
+    /// Total GPUs in the cluster.
+    pub total_gpus: u32,
+    /// Jobs currently running.
+    pub running_jobs: u32,
+    /// Jobs currently pending.
+    pub pending_jobs: u32,
+    /// Checkpoint-restarts that occurred at or before this sample.
+    pub restarts: u64,
+}
+
+/// Percentile summary of a run's completion and waiting behavior
+/// ([`SimResult::summary`]). Percentiles are nearest-rank; wait-time
+/// statistics cover every job that started (finished or not), while
+/// never-started jobs appear only in `never_started`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MetricsSummary {
+    /// Jobs that finished within the horizon.
+    pub finished: usize,
+    /// Jobs that did not finish within the horizon.
+    pub unfinished: usize,
+    /// Jobs that never received a first allocation.
+    pub never_started: usize,
+    /// Mean JCT over finished jobs (s).
+    pub avg_jct: Option<f64>,
+    /// Median JCT (s).
+    pub p50_jct: Option<f64>,
+    /// 95th-percentile JCT (s).
+    pub p95_jct: Option<f64>,
+    /// 99th-percentile JCT (s).
+    pub p99_jct: Option<f64>,
+    /// Mean queue wait over started jobs (s).
+    pub avg_wait: Option<f64>,
+    /// Median queue wait (s).
+    pub p50_wait: Option<f64>,
+    /// 95th-percentile queue wait (s).
+    pub p95_wait: Option<f64>,
+    /// 99th-percentile queue wait (s).
+    pub p99_wait: Option<f64>,
+}
+
+/// Nearest-rank percentile of an unsorted sample (`None` when empty or
+/// `p` is outside `[0, 100]`).
+fn percentile_of(mut vals: Vec<f64>, p: f64) -> Option<f64> {
+    if vals.is_empty() || !(0.0..=100.0).contains(&p) {
+        return None;
     }
+    vals.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let rank = ((p / 100.0 * vals.len() as f64).ceil() as usize).clamp(1, vals.len());
+    Some(vals[rank - 1])
 }
 
 /// Complete result of one simulation run.
@@ -219,13 +270,79 @@ impl SimResult {
 
     /// The `p`-th percentile JCT (0 < p ≤ 100), nearest-rank.
     pub fn percentile_jct(&self, p: f64) -> Option<f64> {
-        let mut j = self.jcts();
-        if j.is_empty() || !(0.0..=100.0).contains(&p) {
-            return None;
+        percentile_of(self.jcts(), p)
+    }
+
+    /// Queue waits (first start − submit) of all jobs that started.
+    pub fn wait_times(&self) -> Vec<f64> {
+        self.records
+            .iter()
+            .filter_map(JobRecord::queue_time)
+            .collect()
+    }
+
+    /// The `p`-th percentile queue wait (0 < p ≤ 100), nearest-rank,
+    /// over jobs that started. `None` when no job ever started.
+    pub fn percentile_wait(&self, p: f64) -> Option<f64> {
+        percentile_of(self.wait_times(), p)
+    }
+
+    /// Percentile summary of completions and queue waits.
+    pub fn summary(&self) -> MetricsSummary {
+        let waits = self.wait_times();
+        let avg_wait = if waits.is_empty() {
+            None
+        } else {
+            Some(waits.iter().sum::<f64>() / waits.len() as f64)
+        };
+        MetricsSummary {
+            finished: self.records.len() - self.unfinished(),
+            unfinished: self.unfinished(),
+            never_started: self
+                .records
+                .iter()
+                .filter(|r| r.start_time.is_none())
+                .count(),
+            avg_jct: self.avg_jct(),
+            p50_jct: self.percentile_jct(50.0),
+            p95_jct: self.percentile_jct(95.0),
+            p99_jct: self.percentile_jct(99.0),
+            avg_wait,
+            p50_wait: self.percentile_wait(50.0),
+            p95_wait: self.percentile_wait(95.0),
+            p99_wait: self.percentile_wait(99.0),
         }
-        j.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-        let rank = ((p / 100.0 * j.len() as f64).ceil() as usize).clamp(1, j.len());
-        Some(j[rank - 1])
+    }
+
+    /// The derived per-interval cluster time-series: every
+    /// [`ClusterSample`] joined with the cumulative restart count from
+    /// the event timeline. Both inputs are time-sorted by
+    /// construction, so the join is a linear merge.
+    pub fn cluster_timeseries(&self) -> Vec<ClusterIntervalPoint> {
+        let mut restarts = 0u64;
+        let mut next_event = 0usize;
+        self.series
+            .iter()
+            .map(|s| {
+                while next_event < self.events.len() && self.events[next_event].time <= s.time {
+                    if self.events[next_event].kind == EventKind::Restarted {
+                        restarts += 1;
+                    }
+                    next_event += 1;
+                }
+                ClusterIntervalPoint {
+                    time: s.time,
+                    total_goodput: s.total_goodput,
+                    total_throughput: s.total_throughput,
+                    mean_efficiency: s.mean_efficiency,
+                    used_gpus: s.used_gpus,
+                    total_gpus: s.total_gpus,
+                    running_jobs: s.running_jobs,
+                    pending_jobs: s.pending_jobs,
+                    restarts,
+                }
+            })
+            .collect()
     }
 
     /// Makespan: last finish time minus first submission, if all jobs
@@ -397,6 +514,98 @@ mod tests {
             assert!(w[0].0 <= w[1].0 && w[0].1 <= w[1].1);
         }
         assert!(SimResult::default().jct_cdf().is_empty());
+    }
+
+    #[test]
+    fn queue_time_handles_never_started_and_unfinished_jobs() {
+        // Finished job: waited 25 s for its first allocation.
+        let mut finished = record(0, 10.0, Some(110.0));
+        finished.start_time = Some(35.0);
+        assert_eq!(finished.queue_time(), Some(25.0));
+
+        // Started but unfinished: queue time exists, JCT does not.
+        let started_unfinished = JobRecord {
+            start_time: Some(50.0),
+            ..record(1, 10.0, None)
+        };
+        assert_eq!(started_unfinished.queue_time(), Some(40.0));
+        assert_eq!(started_unfinished.jct(), None);
+
+        // Never started: no queue time at all.
+        let never_started = record(2, 10.0, None);
+        assert_eq!(never_started.start_time, None);
+        assert_eq!(never_started.queue_time(), None);
+
+        let res = SimResult {
+            records: vec![finished, started_unfinished, never_started],
+            ..Default::default()
+        };
+        // Wait percentiles cover the two started jobs only.
+        assert_eq!(res.wait_times(), vec![25.0, 40.0]);
+        assert_eq!(res.percentile_wait(50.0), Some(25.0));
+        assert_eq!(res.percentile_wait(99.0), Some(40.0));
+        let s = res.summary();
+        assert_eq!(s.finished, 1);
+        assert_eq!(s.unfinished, 2);
+        assert_eq!(s.never_started, 1);
+        assert_eq!(s.avg_wait, Some(32.5));
+        assert_eq!(s.p50_jct, Some(100.0));
+        assert_eq!(s.p99_wait, Some(40.0));
+    }
+
+    #[test]
+    fn summary_of_unstarted_workload_is_all_none() {
+        let res = SimResult {
+            records: vec![record(0, 0.0, None), record(1, 5.0, None)],
+            ..Default::default()
+        };
+        let s = res.summary();
+        assert_eq!(s.finished, 0);
+        assert_eq!(s.unfinished, 2);
+        assert_eq!(s.never_started, 2);
+        assert_eq!(s.avg_jct, None);
+        assert_eq!(s.p99_jct, None);
+        assert_eq!(s.avg_wait, None);
+        assert_eq!(s.p50_wait, None);
+    }
+
+    #[test]
+    fn cluster_timeseries_accumulates_restarts() {
+        let sample = |time: f64| ClusterSample {
+            time,
+            nodes: 1,
+            total_gpus: 4,
+            used_gpus: 2,
+            running_jobs: 1,
+            pending_jobs: 0,
+            mean_efficiency: 0.9,
+            total_throughput: 10.0,
+            total_goodput: 9.0,
+        };
+        let event = |time: f64, kind: EventKind| SchedulingEvent {
+            time,
+            job: JobId(0),
+            kind,
+            gpus: 1,
+        };
+        let res = SimResult {
+            series: vec![sample(0.0), sample(60.0), sample(120.0)],
+            events: vec![
+                event(0.0, EventKind::Started),
+                event(60.0, EventKind::Restarted),
+                event(90.0, EventKind::Restarted),
+                event(125.0, EventKind::Restarted), // after the last sample
+            ],
+            ..Default::default()
+        };
+        let ts = res.cluster_timeseries();
+        assert_eq!(ts.len(), 3);
+        assert_eq!(ts[0].restarts, 0);
+        assert_eq!(ts[1].restarts, 1, "same-time restart counts");
+        assert_eq!(ts[2].restarts, 2);
+        assert_eq!(ts[2].total_goodput, 9.0);
+        assert_eq!(ts[2].used_gpus, 2);
+        assert!(SimResult::default().cluster_timeseries().is_empty());
     }
 
     #[test]

@@ -10,6 +10,7 @@ use crate::metrics::SchedIntervalSample;
 use pollux_agent::AgentReport;
 use pollux_cluster::{AllocationMatrix, ClusterSpec, JobId};
 use pollux_models::BatchSizeLimits;
+use pollux_telemetry::Recorder;
 use pollux_workload::{ModelProfile, UserConfig};
 use rand::rngs::StdRng;
 
@@ -132,6 +133,14 @@ pub trait SchedulingPolicy {
     fn take_interval_stats(&mut self) -> Option<SchedIntervalSample> {
         None
     }
+
+    /// Hands the policy a telemetry [`Recorder`] so its internals
+    /// (e.g. Pollux's GA) can emit spans and counters. Called by the
+    /// engine when a recorder is attached via
+    /// [`crate::Simulation::with_recorder`]; the default discards it.
+    /// Implementations must uphold the determinism contract: recording
+    /// may not change any scheduling decision.
+    fn attach_telemetry(&mut self, _recorder: Recorder) {}
 }
 
 impl<P: SchedulingPolicy + ?Sized> SchedulingPolicy for Box<P> {
@@ -173,6 +182,10 @@ impl<P: SchedulingPolicy + ?Sized> SchedulingPolicy for Box<P> {
 
     fn take_interval_stats(&mut self) -> Option<SchedIntervalSample> {
         (**self).take_interval_stats()
+    }
+
+    fn attach_telemetry(&mut self, recorder: Recorder) {
+        (**self).attach_telemetry(recorder)
     }
 }
 

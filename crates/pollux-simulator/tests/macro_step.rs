@@ -270,6 +270,66 @@ fn reference_stepper_matches_goldens() {
     assert_eq!(quiet, GOLDEN_QUIET, "reference drifted: 0x{quiet:016x}");
 }
 
+/// Attaching a live telemetry recorder must not perturb the simulated
+/// trajectory by a single byte: telemetry reads simulation state but
+/// never feeds back into RNG draws or float accumulation order. The
+/// pinned goldens double as the oracle. When the `telemetry` feature
+/// is compiled out the same code path runs with the ZST no-op
+/// recorder, so this test also pins the compiled-out digests.
+#[test]
+fn golden_trajectories_survive_live_telemetry() {
+    use pollux_telemetry::{MemorySink, Recorder};
+    use std::sync::Arc;
+
+    let digest_with_recorder = |cfg: SimConfig,
+                                spec: ClusterSpec,
+                                policy: Box<dyn SchedulingPolicy>,
+                                wl: Vec<(JobSpec, UserConfig)>|
+     -> (u64, usize) {
+        let sink = Arc::new(MemorySink::new(1 << 16));
+        let recorder = Recorder::new(sink.clone() as Arc<dyn pollux_telemetry::Sink>);
+        let result = Simulation::new(cfg, spec, policy, wl)
+            .unwrap()
+            .with_recorder(recorder)
+            .run();
+        let json = serde_json::to_string(&result).expect("SimResult serializes");
+        (fnv1a64(json.as_bytes()), sink.len())
+    };
+
+    let (churn, churn_events) = digest_with_recorder(
+        churn_config(),
+        ClusterSpec::homogeneous(3, 4).unwrap(),
+        Box::new(Churn),
+        workload(8, 300.0, 3),
+    );
+    assert_eq!(
+        churn, GOLDEN_CHURN,
+        "telemetry perturbed the churn trajectory: 0x{churn:016x}"
+    );
+    let (quiet, quiet_events) = digest_with_recorder(
+        quiet_config(),
+        ClusterSpec::homogeneous(2, 4).unwrap(),
+        Box::new(FcfsPacked { gpus: 2 }),
+        workload(6, 45.0, 11),
+    );
+    assert_eq!(
+        quiet, GOLDEN_QUIET,
+        "telemetry perturbed the quiet trajectory: 0x{quiet:016x}"
+    );
+
+    // Prove the recorder was actually live (not silently disabled) in
+    // full builds; compiled-out builds record nothing by design.
+    #[cfg(feature = "telemetry")]
+    {
+        assert!(churn_events > 0, "churn run recorded no telemetry events");
+        assert!(quiet_events > 0, "quiet run recorded no telemetry events");
+    }
+    #[cfg(not(feature = "telemetry"))]
+    {
+        assert_eq!(churn_events + quiet_events, 0);
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(10))]
     /// Bitwise equality of the macro-stepped engine and the reference

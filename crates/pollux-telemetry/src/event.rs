@@ -1,0 +1,263 @@
+//! The telemetry event vocabulary and its JSONL form.
+
+use crate::json::{self, JsonValue};
+use std::borrow::Cow;
+
+/// One telemetry event. Every variant carries a `(subsystem, name)`
+/// pair — e.g. `("engine", "chunk_ticks")` — that report tooling
+/// groups by.
+///
+/// Names are `Cow<'static, str>` so the recorder's hot path (span
+/// drops, per-sample points) borrows the `&'static str` literals at
+/// call sites instead of allocating; only [`Event::parse_jsonl`]
+/// produces owned strings.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A closed wall-clock span. `start_ns` is relative to the
+    /// recorder's creation; both fields are machine-dependent and must
+    /// never feed back into deterministic state.
+    Span {
+        /// Subsystem that opened the span.
+        subsystem: Cow<'static, str>,
+        /// Span name.
+        name: Cow<'static, str>,
+        /// Nanoseconds from recorder creation to span start.
+        start_ns: u64,
+        /// Span duration in nanoseconds.
+        dur_ns: u64,
+    },
+    /// A counter snapshot (cumulative value at flush time).
+    Count {
+        /// Subsystem owning the counter.
+        subsystem: Cow<'static, str>,
+        /// Counter name.
+        name: Cow<'static, str>,
+        /// Cumulative value.
+        value: u64,
+    },
+    /// A histogram snapshot: total observation count plus sparse
+    /// `(bucket_index, count)` pairs (see [`crate::Histogram`] for the
+    /// bucket-to-range mapping).
+    Hist {
+        /// Subsystem owning the histogram.
+        subsystem: Cow<'static, str>,
+        /// Histogram name.
+        name: Cow<'static, str>,
+        /// Total observations.
+        count: u64,
+        /// Non-empty `(bucket, count)` pairs, ascending by bucket.
+        buckets: Vec<(u8, u64)>,
+    },
+    /// One time-series point: a simulation-time stamp plus named `f64`
+    /// fields (e.g. the per-interval cluster goodput sample).
+    Point {
+        /// Subsystem emitting the series.
+        subsystem: Cow<'static, str>,
+        /// Series name.
+        name: Cow<'static, str>,
+        /// Simulation time of the point (seconds; *not* wall clock).
+        time: f64,
+        /// Named values, in emission order.
+        fields: Vec<(Cow<'static, str>, f64)>,
+    },
+}
+
+impl Event {
+    /// The subsystem this event belongs to.
+    pub fn subsystem(&self) -> &str {
+        match self {
+            Event::Span { subsystem, .. }
+            | Event::Count { subsystem, .. }
+            | Event::Hist { subsystem, .. }
+            | Event::Point { subsystem, .. } => subsystem,
+        }
+    }
+
+    /// The event name within its subsystem.
+    pub fn name(&self) -> &str {
+        match self {
+            Event::Span { name, .. }
+            | Event::Count { name, .. }
+            | Event::Hist { name, .. }
+            | Event::Point { name, .. } => name,
+        }
+    }
+
+    /// Renders the event as one JSONL line (no trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(96);
+        let header = |out: &mut String, t: &str, sub: &str, name: &str| {
+            out.push_str("{\"t\":\"");
+            out.push_str(t);
+            out.push_str("\",\"sub\":");
+            json::write_str(out, sub);
+            out.push_str(",\"name\":");
+            json::write_str(out, name);
+        };
+        match self {
+            Event::Span {
+                subsystem,
+                name,
+                start_ns,
+                dur_ns,
+            } => {
+                header(&mut out, "span", subsystem, name);
+                out.push_str(&format!(",\"start_ns\":{start_ns},\"dur_ns\":{dur_ns}}}"));
+            }
+            Event::Count {
+                subsystem,
+                name,
+                value,
+            } => {
+                header(&mut out, "count", subsystem, name);
+                out.push_str(&format!(",\"value\":{value}}}"));
+            }
+            Event::Hist {
+                subsystem,
+                name,
+                count,
+                buckets,
+            } => {
+                header(&mut out, "hist", subsystem, name);
+                out.push_str(&format!(",\"count\":{count},\"buckets\":["));
+                for (i, (b, c)) in buckets.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!("[{b},{c}]"));
+                }
+                out.push_str("]}");
+            }
+            Event::Point {
+                subsystem,
+                name,
+                time,
+                fields,
+            } => {
+                header(&mut out, "point", subsystem, name);
+                out.push_str(",\"time\":");
+                json::write_f64(&mut out, *time);
+                out.push_str(",\"fields\":{");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    json::write_str(&mut out, k);
+                    out.push(':');
+                    json::write_f64(&mut out, *v);
+                }
+                out.push_str("}}");
+            }
+        }
+        out
+    }
+
+    /// Parses one JSONL line produced by [`Self::to_jsonl`]. Returns
+    /// `None` for blank lines, malformed JSON, or unknown event types
+    /// (callers should skip those rather than abort a whole capture).
+    pub fn parse_jsonl(line: &str) -> Option<Event> {
+        let line = line.trim();
+        if line.is_empty() {
+            return None;
+        }
+        let v = json::parse(line)?;
+        let sub: Cow<'static, str> = Cow::Owned(v.get("sub")?.as_str()?.to_string());
+        let name: Cow<'static, str> = Cow::Owned(v.get("name")?.as_str()?.to_string());
+        match v.get("t")?.as_str()? {
+            "span" => Some(Event::Span {
+                subsystem: sub,
+                name,
+                start_ns: v.get("start_ns")?.as_u64()?,
+                dur_ns: v.get("dur_ns")?.as_u64()?,
+            }),
+            "count" => Some(Event::Count {
+                subsystem: sub,
+                name,
+                value: v.get("value")?.as_u64()?,
+            }),
+            "hist" => {
+                let mut buckets = Vec::new();
+                for pair in v.get("buckets")?.as_arr()? {
+                    let pair = pair.as_arr()?;
+                    if pair.len() != 2 {
+                        return None;
+                    }
+                    buckets.push((pair[0].as_u64()?.min(255) as u8, pair[1].as_u64()?));
+                }
+                Some(Event::Hist {
+                    subsystem: sub,
+                    name,
+                    count: v.get("count")?.as_u64()?,
+                    buckets,
+                })
+            }
+            "point" => {
+                let fields = match v.get("fields")? {
+                    JsonValue::Obj(pairs) => pairs
+                        .iter()
+                        .map(|(k, val)| Some((Cow::Owned(k.clone()), val.as_f64().unwrap_or(0.0))))
+                        .collect::<Option<Vec<_>>>()?,
+                    _ => return None,
+                };
+                Some(Event::Point {
+                    subsystem: sub,
+                    name,
+                    time: v.get("time")?.as_f64().unwrap_or(0.0),
+                    fields,
+                })
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_variant_round_trips() {
+        let events = [
+            Event::Span {
+                subsystem: "engine".into(),
+                name: "reschedule".into(),
+                start_ns: 12,
+                dur_ns: 34_000,
+            },
+            Event::Count {
+                subsystem: "sched".into(),
+                name: "fitness_evals".into(),
+                // Integers round-trip exactly through the reader's f64
+                // representation up to 2^53 — far above any real count.
+                value: (1 << 53) - 1,
+            },
+            Event::Hist {
+                subsystem: "engine".into(),
+                name: "chunk_ticks".into(),
+                count: 18,
+                buckets: vec![(0, 1), (6, 17)],
+            },
+            Event::Point {
+                subsystem: "engine".into(),
+                name: "cluster_sample".into(),
+                time: 3600.0,
+                fields: vec![("goodput".into(), 120.5), ("used_gpus".into(), 14.0)],
+            },
+        ];
+        for e in events {
+            let line = e.to_jsonl();
+            assert_eq!(Event::parse_jsonl(&line).as_ref(), Some(&e), "{line}");
+        }
+    }
+
+    #[test]
+    fn skips_blanks_and_garbage() {
+        assert_eq!(Event::parse_jsonl(""), None);
+        assert_eq!(Event::parse_jsonl("   "), None);
+        assert_eq!(Event::parse_jsonl("not json"), None);
+        assert_eq!(
+            Event::parse_jsonl(r#"{"t":"mystery","sub":"a","name":"b"}"#),
+            None
+        );
+    }
+}

@@ -1,0 +1,157 @@
+//! Deterministic log-scale-bucket histograms.
+//!
+//! Bucket boundaries are powers of two, so assignment is a pure
+//! function of the value (`leading_zeros`) with no floating-point
+//! arithmetic anywhere — two captures of the same run bucket
+//! identically on any machine.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Bucket count: bucket 0 holds zeros, bucket `b ≥ 1` holds values in
+/// `[2^(b-1), 2^b)`, up to bucket 64 for `[2^63, u64::MAX]`.
+pub const NUM_BUCKETS: usize = 65;
+
+/// A lock-free log₂-bucket histogram over `u64` observations.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; NUM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// The bucket index a value falls into.
+    pub fn bucket_of(value: u64) -> usize {
+        (64 - value.leading_zeros()) as usize
+    }
+
+    /// The inclusive `[lo, hi]` value range of a bucket.
+    pub fn bucket_bounds(bucket: usize) -> (u64, u64) {
+        match bucket {
+            0 => (0, 0),
+            64 => (1 << 63, u64::MAX),
+            b => (1 << (b - 1), (1 << b) - 1),
+        }
+    }
+
+    /// Records one observation. Relaxed atomics: counts are exact
+    /// under concurrent observers; only inter-bucket ordering is
+    /// unspecified, which a snapshot taken after the workers join
+    /// never observes.
+    pub fn observe(&self, value: u64) {
+        self.buckets[Self::bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Takes a sparse snapshot of the current counts.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = Vec::new();
+        let mut count = 0u64;
+        for (b, cell) in self.buckets.iter().enumerate() {
+            let c = cell.load(Ordering::Relaxed);
+            if c > 0 {
+                buckets.push((b as u8, c));
+                count += c;
+            }
+        }
+        HistogramSnapshot { count, buckets }
+    }
+}
+
+/// An immutable sparse histogram snapshot, as carried by
+/// [`crate::Event::Hist`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Non-empty `(bucket, count)` pairs, ascending by bucket.
+    pub buckets: Vec<(u8, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Rebuilds a snapshot from the sparse pairs of a parsed event.
+    pub fn from_sparse(buckets: Vec<(u8, u64)>) -> Self {
+        let count = buckets.iter().map(|&(_, c)| c).sum();
+        Self { count, buckets }
+    }
+
+    /// Estimates the `p`-th percentile (0 ≤ p ≤ 100) by nearest-rank
+    /// bucket walk, reporting the bucket's midpoint. The estimate is
+    /// exact for bucket 0 (zeros) and within 2× elsewhere — the
+    /// resolution log buckets buy.
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        if self.count == 0 || !(0.0..=100.0).contains(&p) {
+            return None;
+        }
+        let rank = ((p / 100.0 * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for &(b, c) in &self.buckets {
+            seen += c;
+            if seen >= rank {
+                let (lo, hi) = Histogram::bucket_bounds(b as usize);
+                return Some(lo as f64 + (hi - lo) as f64 / 2.0);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_assignment_is_exact_at_powers_of_two() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+        for b in 0..NUM_BUCKETS {
+            let (lo, hi) = Histogram::bucket_bounds(b);
+            assert_eq!(Histogram::bucket_of(lo), b, "lo of bucket {b}");
+            assert_eq!(Histogram::bucket_of(hi), b, "hi of bucket {b}");
+        }
+    }
+
+    #[test]
+    fn snapshot_is_sparse_and_complete() {
+        let h = Histogram::new();
+        for v in [0, 0, 1, 5, 5, 5, 1024] {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 7);
+        assert_eq!(s.buckets, vec![(0, 2), (1, 1), (3, 3), (11, 1)]);
+        assert_eq!(HistogramSnapshot::from_sparse(s.buckets.clone()), s);
+    }
+
+    #[test]
+    fn percentiles_walk_buckets() {
+        let h = Histogram::new();
+        for _ in 0..90 {
+            h.observe(0);
+        }
+        for _ in 0..10 {
+            h.observe(1000); // bucket 10: [512, 1023]
+        }
+        let s = h.snapshot();
+        assert_eq!(s.percentile(50.0), Some(0.0));
+        let p99 = s.percentile(99.0).unwrap();
+        assert!((512.0..=1023.0).contains(&p99), "p99 = {p99}");
+        assert_eq!(s.percentile(0.0), Some(0.0));
+        assert_eq!(HistogramSnapshot::default().percentile(50.0), None);
+        assert_eq!(s.percentile(101.0), None);
+    }
+}

@@ -28,6 +28,7 @@ fn main() {
             pollux,
             interval: Duration::from_millis(50),
             seed: 7,
+            ..Default::default()
         },
         ClusterSpec::homogeneous(4, 4).expect("valid cluster"),
     )
