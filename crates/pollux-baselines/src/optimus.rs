@@ -207,12 +207,13 @@ mod tests {
                     gpus: 1,
                     batch_size: batch,
                 },
-                profile: &self.profile,
+                profile: Some(&self.profile),
                 limits: self.profile.limits,
                 report: self.agent.report(),
                 gputime: 0.0,
                 submit_time: id as f64,
                 current_placement: &self.placement,
+                started: false,
                 batch_size: batch,
                 remaining_work: remaining,
             }
@@ -279,12 +280,13 @@ mod tests {
                 gpus: 1,
                 batch_size: profile.m0,
             },
-            profile: &profile,
+            profile: Some(&profile),
             limits: profile.limits,
             report: None,
             gputime: 0.0,
             submit_time: 0.0,
             current_placement: &placement,
+            started: false,
             batch_size: profile.m0,
             remaining_work: 1e6,
         }];

@@ -191,12 +191,13 @@ mod tests {
                     gpus: 4,
                     batch_size: self.profile.m0,
                 },
-                profile: &self.profile,
+                profile: Some(&self.profile),
                 limits: self.profile.limits,
                 report: self.agent.report(),
                 gputime: 0.0,
                 submit_time: 0.0,
                 current_placement: &self.placement,
+                started: false,
                 batch_size: self.profile.m0,
                 remaining_work: 1e8,
             }
@@ -235,12 +236,13 @@ mod tests {
                 gpus: 1,
                 batch_size: profile.m0,
             },
-            profile: &profile,
+            profile: Some(&profile),
             limits: profile.limits,
             report: None,
             gputime: 0.0,
             submit_time: 0.0,
             current_placement: &placement,
+            started: false,
             batch_size: profile.m0,
             remaining_work: 1e8,
         };

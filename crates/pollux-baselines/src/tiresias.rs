@@ -149,7 +149,7 @@ mod tests {
                     gpus,
                     batch_size: self.profile.m0,
                 },
-                profile: &self.profile,
+                profile: Some(&self.profile),
                 limits: BatchSizeLimits::new(
                     self.profile.m0,
                     self.profile.limits.max_global,
@@ -160,6 +160,7 @@ mod tests {
                 gputime,
                 submit_time: submit,
                 current_placement: placement,
+                started: false,
                 batch_size: self.profile.m0,
                 remaining_work: 1e6,
             }

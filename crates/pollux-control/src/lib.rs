@@ -1,0 +1,35 @@
+//! The time-agnostic Pollux control-plane core (Sec. 4.3).
+//!
+//! The paper's architecture is *one* control plane — `PolluxSched`
+//! reschedules, `PolluxAgent` tunes — driven either by a discrete-time
+//! simulator or by a live cluster. This crate holds the pieces both
+//! drivers share, so they can never disagree on lifecycle semantics:
+//!
+//! - [`JobLifecycle`]: the per-job state machine
+//!   (`Pending → Running → Restarting → Finished`) owning restart,
+//!   queue-time, and GPU-time accounting;
+//! - [`SchedulingPolicy`] / [`PolicyJobView`]: the policy interface and
+//!   the immutable per-job view policies consume;
+//! - [`sched_jobs_from_views`] / [`bootstrap_sched_job`]: the single
+//!   home for fairness weights (Eqn 16) and the prior-driven
+//!   exploration bootstrap (Sec. 4.1);
+//! - [`RoundPlanner`]: the pure reschedule-round pipeline — invoke the
+//!   policy over the views, clamp the returned matrix to capacity, and
+//!   diff old vs new placements into explicit [`Reallocation`]
+//!   decisions which the caller applies to its own job store.
+//!
+//! Nothing here reads clocks, sleeps, or touches global state: `now`
+//! is always an input and the RNG is caller-owned, so the same core is
+//! exact under simulated time (`pollux-simulator`) and approximate
+//! under wall-clock time (`ClusterService` in `pollux-core`), with
+//! bit-identical decisions for identical inputs.
+
+pub mod lifecycle;
+pub mod policy;
+pub mod round;
+pub mod sched_jobs;
+
+pub use lifecycle::{JobLifecycle, JobState};
+pub use policy::{PolicyJobView, SchedIntervalSample, SchedulingPolicy};
+pub use round::{Reallocation, RoundError, RoundOutcome, RoundPlanner};
+pub use sched_jobs::{bootstrap_sched_job, sched_jobs_from_views};

@@ -1,0 +1,215 @@
+//! The scheduling-policy interface.
+//!
+//! A policy is invoked at every scheduling round with read-only views
+//! of all active (non-finished) jobs. It returns the allocation matrix
+//! to apply; optionally it can also resize the cluster (cloud
+//! auto-scaling). Both the simulator engine and the live
+//! `ClusterService` build the views and drive the policy through the
+//! same [`crate::RoundPlanner`].
+
+use pollux_agent::AgentReport;
+use pollux_cluster::{AllocationMatrix, ClusterSpec, JobId};
+use pollux_models::BatchSizeLimits;
+use pollux_telemetry::Recorder;
+use pollux_workload::{ModelProfile, UserConfig};
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// Read-only per-job information exposed to policies.
+///
+/// Ground truth is deliberately absent except for `remaining_work`,
+/// which implements the paper's *Optimus+Oracle* concession ("we run
+/// each job ahead of time and provide Optimus with the exact number of
+/// iterations until completion", Sec. 5.2). Honest policies simply
+/// ignore it.
+#[derive(Debug, Clone)]
+pub struct PolicyJobView<'a> {
+    /// Stable job identifier.
+    pub id: JobId,
+    /// The user-submitted `(GPUs, batch size)` configuration.
+    pub user: UserConfig,
+    /// Static, user-visible model metadata (name, m0, memory limits).
+    /// `None` for drivers without a ground-truth profile object (the
+    /// live service, whose jobs exist only as agents).
+    pub profile: Option<&'a ModelProfile>,
+    /// Batch-size limits (same as `profile.limits` when a profile is
+    /// present).
+    pub limits: BatchSizeLimits,
+    /// The agent's latest report, absent until its first θsys fit.
+    pub report: Option<AgentReport>,
+    /// Attained service in GPU-seconds (drives Tiresias priorities and
+    /// Pollux job weights).
+    pub gputime: f64,
+    /// Submission time.
+    pub submit_time: f64,
+    /// The placement row currently applied (cluster-width).
+    pub current_placement: &'a [u32],
+    /// Whether the job has ever started training. The round pipeline
+    /// uses this to decide which re-allocations pay the
+    /// checkpoint-restart delay.
+    pub started: bool,
+    /// Current batch size in effect.
+    pub batch_size: u64,
+    /// ORACLE: remaining work in examples at m0-efficiency.
+    pub remaining_work: f64,
+}
+
+impl PolicyJobView<'_> {
+    /// True when the job currently holds GPUs.
+    pub fn is_running(&self) -> bool {
+        self.current_placement.iter().any(|&g| g > 0)
+    }
+}
+
+/// Per-interval scheduler cost breakdown, reported by policies that
+/// implement [`SchedulingPolicy::take_interval_stats`] (the Pollux
+/// policy does; baselines report nothing).
+///
+/// Every field is deterministic for a fixed seed and thread count, so
+/// the whole struct participates in the serialized (golden-digested)
+/// `SimResult`. Wall-clock timings of the interval are deliberately
+/// *not* here: they are machine-dependent and flow through the
+/// telemetry sink instead (spans `sched/table_build` and
+/// `sched/ga_evolve`) — see DESIGN.md § Telemetry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct SchedIntervalSample {
+    /// Simulation time of the interval (s).
+    pub time: f64,
+    /// GA generations executed.
+    pub generations_run: u64,
+    /// Full-chromosome fitness evaluations.
+    pub fitness_evals: u64,
+    /// Fitness evaluations answered incrementally (only touched rows
+    /// recomputed).
+    pub incremental_evals: u64,
+    /// Per-job contribution rows recomputed across all incremental
+    /// evaluations.
+    pub rows_recomputed: u64,
+    /// Dense-table lookups answered in range.
+    pub table_hits: u64,
+    /// Out-of-range table lookups (answered 0).
+    pub table_misses: u64,
+    /// Golden-section goodput solves spent building the table.
+    pub table_solves: u64,
+}
+
+/// A cluster scheduling policy under evaluation.
+pub trait SchedulingPolicy {
+    /// Human-readable policy name (used in experiment output).
+    fn name(&self) -> &'static str;
+
+    /// Whether the driver should let each job's agent re-tune its
+    /// batch size and learning rate (true for Pollux, false for the
+    /// baselines, which use the user-submitted batch size with
+    /// AdaScale LR only — Sec. 5.2).
+    fn adapts_batch_size(&self) -> bool {
+        false
+    }
+
+    /// Computes the allocation matrix for this round. Row `i`
+    /// corresponds to `jobs[i]`. The returned matrix must be feasible
+    /// for `spec`; the round pipeline clamps infeasible matrices
+    /// defensively.
+    fn schedule(
+        &mut self,
+        now: f64,
+        jobs: &[PolicyJobView<'_>],
+        spec: &ClusterSpec,
+        rng: &mut StdRng,
+    ) -> AllocationMatrix;
+
+    /// Cloud auto-scaling hook: return the desired number of nodes, or
+    /// `None` to keep the cluster fixed. Called before `schedule` at
+    /// each round.
+    fn desired_nodes(
+        &mut self,
+        _now: f64,
+        _jobs: &[PolicyJobView<'_>],
+        _spec: &ClusterSpec,
+        _rng: &mut StdRng,
+    ) -> Option<u32> {
+        None
+    }
+
+    /// Explicit batch-size choice for policies that scale the batch
+    /// without goodput awareness (e.g. Or et al.'s throughput-based
+    /// autoscaler, which grows the batch linearly with workers). Only
+    /// consulted when [`Self::adapts_batch_size`] is `false`; `None`
+    /// keeps the job's current batch size.
+    fn choose_batch_size(&self, _job: &PolicyJobView<'_>) -> Option<u64> {
+        None
+    }
+
+    /// Parallelism hint: drivers call this once at startup with their
+    /// configured scheduling thread count (`SimConfig::sched_threads`
+    /// in the simulator; 1 = serial). Policies whose optimizer
+    /// supports parallel evaluation (e.g. Pollux's genetic algorithm)
+    /// reconfigure their worker pool; the default is a no-op, so
+    /// purely serial policies need not care. Implementations must keep
+    /// results independent of the thread count (Pollux's GA guarantees
+    /// bit-identical schedules for a fixed seed).
+    fn configure_parallelism(&mut self, _threads: usize) {}
+
+    /// Drains the cost breakdown of the most recent `schedule` call,
+    /// if the policy records one. The round pipeline calls this after
+    /// every round, stamps the sample with the round time, and returns
+    /// it in the [`crate::RoundOutcome`] (the simulator appends it to
+    /// `SimResult::sched_stats`). The default reports nothing.
+    fn take_interval_stats(&mut self) -> Option<SchedIntervalSample> {
+        None
+    }
+
+    /// Hands the policy a telemetry [`Recorder`] so its internals
+    /// (e.g. Pollux's GA) can emit spans and counters. Called by the
+    /// driver when a recorder is attached (the simulator's
+    /// `Simulation::with_recorder`, the service's config); the default
+    /// discards it. Implementations must uphold the determinism
+    /// contract: recording may not change any scheduling decision.
+    fn attach_telemetry(&mut self, _recorder: Recorder) {}
+}
+
+impl<P: SchedulingPolicy + ?Sized> SchedulingPolicy for Box<P> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn adapts_batch_size(&self) -> bool {
+        (**self).adapts_batch_size()
+    }
+
+    fn schedule(
+        &mut self,
+        now: f64,
+        jobs: &[PolicyJobView<'_>],
+        spec: &ClusterSpec,
+        rng: &mut StdRng,
+    ) -> AllocationMatrix {
+        (**self).schedule(now, jobs, spec, rng)
+    }
+
+    fn desired_nodes(
+        &mut self,
+        now: f64,
+        jobs: &[PolicyJobView<'_>],
+        spec: &ClusterSpec,
+        rng: &mut StdRng,
+    ) -> Option<u32> {
+        (**self).desired_nodes(now, jobs, spec, rng)
+    }
+
+    fn choose_batch_size(&self, job: &PolicyJobView<'_>) -> Option<u64> {
+        (**self).choose_batch_size(job)
+    }
+
+    fn configure_parallelism(&mut self, threads: usize) {
+        (**self).configure_parallelism(threads)
+    }
+
+    fn take_interval_stats(&mut self) -> Option<SchedIntervalSample> {
+        (**self).take_interval_stats()
+    }
+
+    fn attach_telemetry(&mut self, recorder: Recorder) {
+        (**self).attach_telemetry(recorder)
+    }
+}

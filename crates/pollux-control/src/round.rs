@@ -1,0 +1,430 @@
+//! The reschedule-round pipeline.
+//!
+//! One [`RoundPlanner::plan`] call is one scheduling round: invoke the
+//! [`SchedulingPolicy`] over immutable job views, clamp the returned
+//! allocation matrix to cluster capacity, and diff old vs new
+//! placements into explicit [`Reallocation`] decisions. The planner is
+//! pure with respect to its caller's state — it mutates nothing but
+//! the policy and the RNG — so the simulator engine and the live
+//! service apply the same [`RoundOutcome`] to their own job stores.
+
+use crate::policy::{PolicyJobView, SchedIntervalSample, SchedulingPolicy};
+use pollux_cluster::{AllocationMatrix, ClusterSpec, JobId};
+use pollux_telemetry::{Counter, Recorder};
+use rand::rngs::StdRng;
+
+/// One explicit placement-change decision produced by a round.
+///
+/// Jobs whose placement is unchanged produce no reallocation; a
+/// pending job allocated zero GPUs again likewise produces nothing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reallocation {
+    /// The job being re-placed.
+    pub job: JobId,
+    /// Index of the job in the round's view slice (callers that keep
+    /// jobs in view order can apply by index instead of id lookup).
+    pub row: usize,
+    /// The placement row that was in effect (cluster-width).
+    pub old: Vec<u32>,
+    /// The placement row to apply (cluster-width).
+    pub new: Vec<u32>,
+    /// Whether applying this decision pays the checkpoint-restart
+    /// delay: true exactly when the job had already started training
+    /// and is granted GPUs again (`new` non-zero). Zero-GPU decisions
+    /// are preemptions and never restart.
+    pub triggers_restart: bool,
+}
+
+impl Reallocation {
+    /// GPUs granted by the new placement (0 = preemption).
+    pub fn gpus(&self) -> u32 {
+        self.new.iter().sum()
+    }
+}
+
+/// The result of one scheduling round, applied by the caller.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RoundOutcome {
+    /// Placement changes, in view (row) order.
+    pub reallocations: Vec<Reallocation>,
+    /// The policy's cost breakdown for this round, stamped with the
+    /// round time, if the policy reports one.
+    pub stats: Option<SchedIntervalSample>,
+}
+
+/// A round could not be planned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoundError {
+    /// Two views carried the same job id; the diff (and any
+    /// id-indexed application of it) would be ambiguous.
+    DuplicateJobId(JobId),
+}
+
+impl std::fmt::Display for RoundError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RoundError::DuplicateJobId(id) => {
+                write!(f, "duplicate job id {id} in round views")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RoundError {}
+
+/// The shared reschedule-round pipeline.
+///
+/// Holds only a hoisted telemetry counter (disabled by default) plus
+/// a recycled scratch buffer; all per-round inputs arrive as
+/// arguments, so one planner serves any number of rounds
+/// deterministically.
+#[derive(Default)]
+pub struct RoundPlanner {
+    /// Hoisted `control/reallocations` counter: `plan` runs every
+    /// reschedule round, so the per-call registry lookup of
+    /// `Recorder::incr` is paid once at attach time instead. The
+    /// planner deliberately emits no spans of its own — it sits on
+    /// the simulator's hot path, already bracketed by the driver's
+    /// span (`engine/reschedule` in the simulator, `control/plan` in
+    /// the live service).
+    reallocations_ctr: Counter,
+    /// Recycled duplicate-check scratch.
+    ids_buf: Vec<JobId>,
+}
+
+impl RoundPlanner {
+    /// A planner with telemetry disabled.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attaches a telemetry recorder. Observational only: recording
+    /// never changes a planned outcome.
+    pub fn attach_telemetry(&mut self, recorder: Recorder) {
+        self.reallocations_ctr = recorder.counter("control", "reallocations");
+    }
+
+    /// The auto-scaling phase of a round: asks the policy for a
+    /// desired cluster size. The caller performs the actual resize
+    /// (and rebuilds its views) because node removal touches
+    /// driver-owned placements.
+    pub fn desired_nodes<P: SchedulingPolicy + ?Sized>(
+        &self,
+        policy: &mut P,
+        now: f64,
+        views: &[PolicyJobView<'_>],
+        spec: &ClusterSpec,
+        rng: &mut StdRng,
+    ) -> Option<u32> {
+        policy.desired_nodes(now, views, spec, rng)
+    }
+
+    /// Plans one scheduling round over `views`.
+    ///
+    /// Pipeline: invoke `policy.schedule`, drain and time-stamp its
+    /// interval stats, clamp the matrix to `spec` capacity, then diff
+    /// each view's current placement against its new row. An empty
+    /// view slice short-circuits to an empty outcome without invoking
+    /// the policy (both drivers skip empty rounds).
+    ///
+    /// Every RNG draw made during the round comes from `policy` via
+    /// `rng`, in view order — the planner itself never draws — which
+    /// is what keeps the simulator's determinism contract intact.
+    pub fn plan<P: SchedulingPolicy + ?Sized>(
+        &mut self,
+        policy: &mut P,
+        now: f64,
+        views: &[PolicyJobView<'_>],
+        spec: &ClusterSpec,
+        rng: &mut StdRng,
+    ) -> Result<RoundOutcome, RoundError> {
+        if views.is_empty() {
+            return Ok(RoundOutcome::default());
+        }
+        self.ids_buf.clear();
+        self.ids_buf.extend(views.iter().map(|v| v.id));
+        self.ids_buf.sort_unstable();
+        for w in self.ids_buf.windows(2) {
+            if w[0] == w[1] {
+                return Err(RoundError::DuplicateJobId(w[0]));
+            }
+        }
+
+        let mut matrix = policy.schedule(now, views, spec, rng);
+        let stats = policy.take_interval_stats().map(|mut s| {
+            s.time = now;
+            s
+        });
+        clamp_matrix(&mut matrix, spec);
+
+        let mut reallocations = Vec::new();
+        for (row, view) in views.iter().enumerate() {
+            let new_row: Vec<u32> = if row < matrix.num_jobs() {
+                let mut r = matrix.row(row).to_vec();
+                r.resize(spec.num_nodes(), 0);
+                r
+            } else {
+                vec![0; spec.num_nodes()]
+            };
+            if new_row[..] == *view.current_placement {
+                continue;
+            }
+            let gpus: u32 = new_row.iter().sum();
+            if gpus == 0 && !view.current_placement.iter().any(|&g| g > 0) {
+                continue; // Pending -> pending: nothing happened.
+            }
+            reallocations.push(Reallocation {
+                job: view.id,
+                row,
+                old: view.current_placement.to_vec(),
+                new: new_row,
+                triggers_restart: gpus > 0 && view.started,
+            });
+        }
+        self.reallocations_ctr.add(reallocations.len() as u64);
+        Ok(RoundOutcome {
+            reallocations,
+            stats,
+        })
+    }
+}
+
+/// Defensively trims an infeasible policy matrix to capacity: the
+/// matrix is first brought to cluster width, then over-capacity nodes
+/// shed GPUs round-robin across jobs until feasible.
+fn clamp_matrix(m: &mut AllocationMatrix, spec: &ClusterSpec) {
+    if m.num_nodes() != spec.num_nodes() {
+        m.resize_nodes(spec.num_nodes());
+    }
+    for node in m.over_capacity_nodes(spec) {
+        let n = node.index();
+        let cap = spec.gpus_on(node);
+        let mut j = 0;
+        while m.gpus_used_on(n) > cap {
+            if m.get(j, n) > 0 {
+                m.set(j, n, m.get(j, n) - 1);
+            }
+            j = (j + 1) % m.num_jobs().max(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pollux_models::BatchSizeLimits;
+    use pollux_workload::UserConfig;
+    use rand::SeedableRng;
+
+    /// A scripted policy: returns the preloaded matrix for each round.
+    struct Scripted {
+        rounds: Vec<AllocationMatrix>,
+        next: usize,
+    }
+
+    impl Scripted {
+        fn new(rounds: Vec<AllocationMatrix>) -> Self {
+            Self { rounds, next: 0 }
+        }
+    }
+
+    impl SchedulingPolicy for Scripted {
+        fn name(&self) -> &'static str {
+            "scripted"
+        }
+        fn schedule(
+            &mut self,
+            _now: f64,
+            jobs: &[PolicyJobView<'_>],
+            spec: &ClusterSpec,
+            _rng: &mut StdRng,
+        ) -> AllocationMatrix {
+            let i = self.next.min(self.rounds.len().saturating_sub(1));
+            self.next += 1;
+            self.rounds
+                .get(i)
+                .cloned()
+                .unwrap_or_else(|| AllocationMatrix::zeros(jobs.len(), spec.num_nodes()))
+        }
+    }
+
+    fn view<'a>(id: u32, placement: &'a [u32], started: bool) -> PolicyJobView<'a> {
+        PolicyJobView {
+            id: JobId(id),
+            user: UserConfig {
+                gpus: 1,
+                batch_size: 128,
+            },
+            profile: None,
+            limits: BatchSizeLimits::new(128, 1024, 512).unwrap(),
+            report: None,
+            gputime: 0.0,
+            submit_time: 0.0,
+            current_placement: placement,
+            started,
+            batch_size: 128,
+            remaining_work: f64::INFINITY,
+        }
+    }
+
+    fn matrix(rows: &[&[u32]]) -> AllocationMatrix {
+        let nodes = rows.first().map_or(0, |r| r.len());
+        let mut m = AllocationMatrix::zeros(rows.len(), nodes);
+        for (j, row) in rows.iter().enumerate() {
+            for (n, &g) in row.iter().enumerate() {
+                m.set(j, n, g);
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn empty_round_plans_nothing_without_invoking_policy() {
+        struct Panicky;
+        impl SchedulingPolicy for Panicky {
+            fn name(&self) -> &'static str {
+                "panicky"
+            }
+            fn schedule(
+                &mut self,
+                _now: f64,
+                _jobs: &[PolicyJobView<'_>],
+                _spec: &ClusterSpec,
+                _rng: &mut StdRng,
+            ) -> AllocationMatrix {
+                panic!("schedule must not run for an empty round")
+            }
+        }
+        let mut planner = RoundPlanner::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let spec = ClusterSpec::homogeneous(2, 4).unwrap();
+        let outcome = planner
+            .plan(&mut Panicky, 0.0, &[], &spec, &mut rng)
+            .unwrap();
+        assert_eq!(outcome, RoundOutcome::default());
+    }
+
+    #[test]
+    fn duplicate_job_ids_are_rejected() {
+        let p0 = vec![0u32, 0];
+        let views = [view(3, &p0, false), view(3, &p0, false)];
+        let mut planner = RoundPlanner::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let spec = ClusterSpec::homogeneous(2, 4).unwrap();
+        let err = planner
+            .plan(
+                &mut Scripted::new(vec![matrix(&[&[1, 0], &[0, 1]])]),
+                0.0,
+                &views,
+                &spec,
+                &mut rng,
+            )
+            .unwrap_err();
+        assert_eq!(err, RoundError::DuplicateJobId(JobId(3)));
+    }
+
+    #[test]
+    fn zero_gpu_round_preempts_started_job_then_restart_on_regrant() {
+        // Round 1: a previously-running (started) job is allocated
+        // zero GPUs — an explicit preemption that must NOT trigger a
+        // restart. Round 2: the same job is granted GPUs again — that
+        // re-allocation DOES pay the restart delay.
+        let spec = ClusterSpec::homogeneous(2, 4).unwrap();
+        let mut planner = RoundPlanner::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut policy = Scripted::new(vec![
+            matrix(&[&[0, 0]]), // preempt
+            matrix(&[&[0, 2]]), // re-grant
+        ]);
+
+        let held = vec![2u32, 0];
+        let views = [view(0, &held, true)];
+        let outcome = planner
+            .plan(&mut policy, 60.0, &views, &spec, &mut rng)
+            .unwrap();
+        assert_eq!(outcome.reallocations.len(), 1);
+        let r = &outcome.reallocations[0];
+        assert_eq!(r.job, JobId(0));
+        assert_eq!(r.old, vec![2, 0]);
+        assert_eq!(r.new, vec![0, 0]);
+        assert_eq!(r.gpus(), 0);
+        assert!(!r.triggers_restart, "preemption must not restart");
+
+        // The caller applies the preemption through the lifecycle.
+        let mut lifecycle = crate::JobLifecycle::new();
+        lifecycle.grant(false, 0.0, 30.0);
+        assert!(lifecycle.preempt());
+        assert_eq!(lifecycle.num_restarts(), 0);
+
+        let idle = vec![0u32, 0];
+        let views = [view(0, &idle, true)];
+        let outcome = planner
+            .plan(&mut policy, 120.0, &views, &spec, &mut rng)
+            .unwrap();
+        assert_eq!(outcome.reallocations.len(), 1);
+        let r = &outcome.reallocations[0];
+        assert_eq!(r.new, vec![0, 2]);
+        assert!(r.triggers_restart, "resuming a started job restarts it");
+        lifecycle.grant(r.triggers_restart, 120.0, 30.0);
+        assert_eq!(
+            lifecycle.state(),
+            crate::JobState::Restarting { until: 150.0 }
+        );
+        assert_eq!(lifecycle.num_restarts(), 1);
+    }
+
+    #[test]
+    fn unchanged_and_pending_to_pending_rows_are_silent() {
+        let spec = ClusterSpec::homogeneous(2, 4).unwrap();
+        let mut planner = RoundPlanner::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let held = vec![1u32, 0];
+        let idle = vec![0u32, 0];
+        // Job 0 keeps its row; job 1 stays pending; job 2 first-starts.
+        let views = [
+            view(0, &held, true),
+            view(1, &idle, false),
+            view(2, &idle, false),
+        ];
+        let m = matrix(&[&[1, 0], &[0, 0], &[0, 1]]);
+        let outcome = planner
+            .plan(&mut Scripted::new(vec![m]), 0.0, &views, &spec, &mut rng)
+            .unwrap();
+        assert_eq!(outcome.reallocations.len(), 1);
+        let r = &outcome.reallocations[0];
+        assert_eq!(r.job, JobId(2));
+        assert_eq!(r.row, 2);
+        assert!(!r.triggers_restart, "first start is not a restart");
+    }
+
+    #[test]
+    fn infeasible_matrices_are_clamped_to_capacity() {
+        let spec = ClusterSpec::homogeneous(1, 2).unwrap();
+        let mut planner = RoundPlanner::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let idle = vec![0u32];
+        let views = [view(0, &idle, false), view(1, &idle, false)];
+        // 4 GPUs demanded on a 2-GPU node: round-robin decrement trims
+        // to capacity.
+        let m = matrix(&[&[2], &[2]]);
+        let outcome = planner
+            .plan(&mut Scripted::new(vec![m]), 0.0, &views, &spec, &mut rng)
+            .unwrap();
+        let total: u32 = outcome.reallocations.iter().map(|r| r.gpus()).sum();
+        assert!(total <= 2, "clamped total {total}");
+        // A matrix narrower than the cluster is widened with zeros.
+        let spec_wide = ClusterSpec::homogeneous(3, 2).unwrap();
+        let idle3 = vec![0u32, 0, 0];
+        let views = [view(0, &idle3, false)];
+        let outcome = planner
+            .plan(
+                &mut Scripted::new(vec![matrix(&[&[1]])]),
+                0.0,
+                &views,
+                &spec_wide,
+                &mut rng,
+            )
+            .unwrap();
+        assert_eq!(outcome.reallocations[0].new, vec![1, 0, 0]);
+    }
+}

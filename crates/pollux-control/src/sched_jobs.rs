@@ -1,0 +1,135 @@
+//! The single home for converting policy job views into scheduler
+//! jobs: fairness weights (Eqn 16) and the prior-driven exploration
+//! bootstrap (Sec. 4.1). Previously duplicated between the simulator
+//! policy wrapper and the live service's round loop.
+
+use crate::policy::PolicyJobView;
+use pollux_cluster::JobId;
+use pollux_models::{BatchSizeLimits, EfficiencyModel, GoodputModel, ThroughputParams};
+use pollux_sched::{job_weight, SchedJob, WeightConfig};
+
+/// Builds the prior-driven bootstrap [`SchedJob`] for a job that has
+/// not produced an agent report yet.
+///
+/// A fresh job has no throughput observations, so its bootstrap model
+/// assumes *perfect scaling* (`T_grad ∝ m/K`, no sync cost) and zero
+/// noise scale (no batch-size benefit), with the scale-out cap
+/// starting at 2 — the paper's exploration behavior (Sec. 4.1,
+/// "Prior-driven exploration"): new jobs start small and are grown as
+/// their agents learn.
+pub fn bootstrap_sched_job(
+    id: JobId,
+    limits: BatchSizeLimits,
+    weight: f64,
+    current_placement: Vec<u32>,
+) -> SchedJob {
+    let params = ThroughputParams::new(0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 1.0)
+        .expect("static bootstrap params are valid");
+    let eff = EfficiencyModel::from_noise_scale(limits.min, 0.0).expect("limits.min >= 1");
+    let model = GoodputModel::new(params, eff, limits).expect("eff.m0 == limits.min");
+    let min_gpus = limits.min_gpus().max(1);
+    SchedJob {
+        id,
+        model,
+        min_gpus,
+        gpu_cap: min_gpus.max(2),
+        weight,
+        current_placement,
+    }
+}
+
+/// Converts policy views into scheduler jobs: the fairness weight from
+/// attained GPU-time, the agent's fitted goodput model when a report
+/// exists, and the bootstrap prior ([`bootstrap_sched_job`])
+/// otherwise.
+pub fn sched_jobs_from_views(weights: &WeightConfig, jobs: &[PolicyJobView<'_>]) -> Vec<SchedJob> {
+    jobs.iter()
+        .map(|view| {
+            let weight = job_weight(weights, view.gputime);
+            match &view.report {
+                Some(report) => SchedJob {
+                    id: view.id,
+                    model: report.model,
+                    min_gpus: report.min_gpus,
+                    gpu_cap: report.gpu_cap,
+                    weight,
+                    current_placement: view.current_placement.to_vec(),
+                },
+                None => bootstrap_sched_job(
+                    view.id,
+                    view.limits,
+                    weight,
+                    view.current_placement.to_vec(),
+                ),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bootstrap_caps_fresh_jobs_at_two_gpus() {
+        let limits = BatchSizeLimits::new(128, 4096, 512).unwrap();
+        let j = bootstrap_sched_job(JobId(7), limits, 1.0, vec![0, 0]);
+        assert_eq!(j.id, JobId(7));
+        assert_eq!(j.min_gpus, 1);
+        assert_eq!(j.gpu_cap, 2);
+        assert_eq!(j.weight, 1.0);
+        // Perfect scaling, zero noise: goodput is defined at the
+        // minimum batch and the model is usable by the GA.
+        assert!(
+            j.model
+                .goodput(pollux_models::PlacementShape::single(), limits.min)
+                > 0.0
+        );
+    }
+
+    #[test]
+    fn views_with_reports_use_the_fitted_model() {
+        use pollux_agent::PolluxAgent;
+        use pollux_models::PlacementShape;
+        use pollux_workload::{ModelKind, UserConfig};
+
+        let profile = ModelKind::ResNet18Cifar10.profile();
+        let mut agent = PolluxAgent::new(profile.m0, profile.eta0, profile.limits).unwrap();
+        for (g, n) in [(1u32, 1u32), (2, 1), (4, 1), (8, 2)] {
+            let shape = PlacementShape::new(g, n).unwrap();
+            agent.observe_iteration(shape, profile.m0, profile.params.t_iter(shape, profile.m0));
+        }
+        assert!(agent.refit());
+        let report = agent.report();
+        assert!(report.is_some());
+
+        let placement = vec![0u32; 4];
+        let mk_view = |report| PolicyJobView {
+            id: JobId(0),
+            user: UserConfig {
+                gpus: 1,
+                batch_size: profile.m0,
+            },
+            profile: Some(&profile),
+            limits: profile.limits,
+            report,
+            gputime: 3600.0,
+            submit_time: 0.0,
+            current_placement: &placement,
+            started: false,
+            batch_size: profile.m0,
+            remaining_work: 1e6,
+        };
+        let weights = WeightConfig::default();
+        let fitted = sched_jobs_from_views(&weights, &[mk_view(report)]);
+        let fresh = sched_jobs_from_views(&weights, &[mk_view(None)]);
+        assert_eq!(fitted.len(), 1);
+        // The fitted job inherits the agent's cap; the fresh one is
+        // bootstrapped to the exploration cap of 2.
+        assert!(fitted[0].gpu_cap >= fresh[0].gpu_cap);
+        assert_eq!(fresh[0].gpu_cap, 2);
+        // Both carry the same attained-service weight.
+        assert_eq!(fitted[0].weight, job_weight(&weights, 3600.0));
+        assert_eq!(fitted[0].weight, fresh[0].weight);
+    }
+}

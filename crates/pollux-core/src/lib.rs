@@ -10,9 +10,11 @@
 //! - optionally, the goodput-driven autoscaler resizes the cluster in
 //!   cloud settings (Sec. 4.2.2).
 //!
-//! [`policy::PolluxPolicy`] packages all of this behind the
-//! simulator's `SchedulingPolicy` interface; [`runner`] provides
-//! one-call drivers used by the examples and experiments.
+//! [`policy::PolluxPolicy`] packages all of this behind the shared
+//! control plane's `SchedulingPolicy` interface (from
+//! `pollux-control`, driven by both the simulator's engine and the
+//! live [`service::ClusterService`]); [`runner`] provides one-call
+//! drivers used by the examples and experiments.
 
 pub mod policy;
 pub mod runner;
@@ -20,4 +22,4 @@ pub mod service;
 
 pub use policy::{PolluxConfig, PolluxPolicy};
 pub use runner::{run_trace, run_trace_recorded, ConfigChoice};
-pub use service::{ClusterService, JobHandle, ServiceConfig};
+pub use service::{ClusterService, JobHandle, ServiceConfig, ServiceError};

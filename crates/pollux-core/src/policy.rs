@@ -1,45 +1,14 @@
 //! `PolluxPolicy`: the co-adaptive scheduler behind the
 //! `SchedulingPolicy` interface.
 
-use pollux_cluster::{AllocationMatrix, ClusterSpec, JobId};
-use pollux_models::{BatchSizeLimits, EfficiencyModel, GoodputModel, ThroughputParams};
+use pollux_cluster::{AllocationMatrix, ClusterSpec};
+use pollux_control::{sched_jobs_from_views, PolicyJobView, SchedIntervalSample, SchedulingPolicy};
 use pollux_sched::{
-    job_weight, AutoscaleConfig, Autoscaler, PolluxSched, SchedConfig, SchedJob, SpeedupTableStats,
+    AutoscaleConfig, Autoscaler, PolluxSched, SchedConfig, SchedJob, SpeedupTableStats,
     WeightConfig,
 };
-use pollux_simulator::{PolicyJobView, SchedIntervalSample, SchedulingPolicy};
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
-
-/// Builds the prior-driven bootstrap [`SchedJob`] for a job that has
-/// not produced an agent report yet.
-///
-/// A fresh job has no throughput observations, so its bootstrap model
-/// assumes *perfect scaling* (`T_grad ∝ m/K`, no sync cost) and zero
-/// noise scale (no batch-size benefit), with the scale-out cap
-/// starting at 2 — the paper's exploration behavior (Sec. 4.1,
-/// "Prior-driven exploration"): new jobs start small and are grown as
-/// their agents learn.
-pub(crate) fn bootstrap_sched_job(
-    id: JobId,
-    limits: BatchSizeLimits,
-    weight: f64,
-    current_placement: Vec<u32>,
-) -> SchedJob {
-    let params = ThroughputParams::new(0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 1.0)
-        .expect("static bootstrap params are valid");
-    let eff = EfficiencyModel::from_noise_scale(limits.min, 0.0).expect("limits.min >= 1");
-    let model = GoodputModel::new(params, eff, limits).expect("eff.m0 == limits.min");
-    let min_gpus = limits.min_gpus().max(1);
-    SchedJob {
-        id,
-        model,
-        min_gpus,
-        gpu_cap: min_gpus.max(2),
-        weight,
-        current_placement,
-    }
-}
 
 /// Configuration of the full Pollux policy.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -89,31 +58,12 @@ impl PolluxPolicy {
         })
     }
 
-    /// Converts the policy views into scheduler jobs, synthesizing the
-    /// prior-driven bootstrap model ([`bootstrap_sched_job`]) for jobs
-    /// without an agent report.
+    /// Converts the policy views into scheduler jobs via the shared
+    /// control-plane helper, which synthesizes the prior-driven
+    /// bootstrap model ([`pollux_control::bootstrap_sched_job`]) for
+    /// jobs without an agent report.
     fn sched_jobs(&self, jobs: &[PolicyJobView<'_>]) -> Vec<SchedJob> {
-        jobs.iter()
-            .map(|view| {
-                let weight = job_weight(&self.weights, view.gputime);
-                match &view.report {
-                    Some(report) => SchedJob {
-                        id: view.id,
-                        model: report.model,
-                        min_gpus: report.min_gpus,
-                        gpu_cap: report.gpu_cap,
-                        weight,
-                        current_placement: view.current_placement.to_vec(),
-                    },
-                    None => bootstrap_sched_job(
-                        view.id,
-                        view.limits,
-                        weight,
-                        view.current_placement.to_vec(),
-                    ),
-                }
-            })
-            .collect()
+        sched_jobs_from_views(&self.weights, jobs)
     }
 
     /// Cumulative dense speedup-table counters across every interval
@@ -260,12 +210,13 @@ mod tests {
                     gpus: 1,
                     batch_size: self.profile.m0,
                 },
-                profile: &self.profile,
+                profile: Some(&self.profile),
                 limits: self.profile.limits,
                 report: self.agent.as_ref().and_then(|a| a.report()),
                 gputime: self.gputime,
                 submit_time: id as f64,
                 current_placement: &self.placement,
+                started: false,
                 batch_size: self.profile.m0,
                 remaining_work: 1e6,
             }

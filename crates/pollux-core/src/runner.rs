@@ -1,7 +1,7 @@
 //! One-call simulation drivers used by the examples and experiments.
 
 use pollux_cluster::ClusterSpec;
-use pollux_simulator::{SchedulingPolicy, SimConfig, SimResult, Simulation};
+use pollux_simulator::{SchedulingPolicy, SimBuildError, SimConfig, SimResult, Simulation};
 use pollux_telemetry::Recorder;
 use pollux_workload::JobSpec;
 use rand::rngs::StdRng;
@@ -26,15 +26,19 @@ pub enum ConfigChoice {
 }
 
 /// Runs one `trace` under `policy` on `spec`, selecting per-job user
-/// configurations per `choice`. Returns `None` when the simulation
-/// inputs are invalid (empty trace, bad config).
+/// configurations per `choice`.
+///
+/// # Errors
+///
+/// [`SimBuildError`] when the simulation inputs are invalid (empty
+/// trace, bad config, non-finite submit time).
 pub fn run_trace<P: SchedulingPolicy>(
     policy: P,
     trace: &[JobSpec],
     choice: ConfigChoice,
     spec: ClusterSpec,
     sim: SimConfig,
-) -> Option<SimResult> {
+) -> Result<SimResult, SimBuildError> {
     run_trace_recorded(policy, trace, choice, spec, sim, Recorder::disabled())
 }
 
@@ -42,6 +46,10 @@ pub fn run_trace<P: SchedulingPolicy>(
 /// (and, through it, the policy and every job agent). Recording is
 /// observational only: the returned `SimResult` is bit-identical to a
 /// recorder-free run with the same inputs.
+///
+/// # Errors
+///
+/// [`SimBuildError`] when the simulation inputs are invalid.
 pub fn run_trace_recorded<P: SchedulingPolicy>(
     policy: P,
     trace: &[JobSpec],
@@ -49,7 +57,7 @@ pub fn run_trace_recorded<P: SchedulingPolicy>(
     spec: ClusterSpec,
     sim: SimConfig,
     recorder: Recorder,
-) -> Option<SimResult> {
+) -> Result<SimResult, SimBuildError> {
     let submissions = match choice {
         ConfigChoice::Tuned => trace.iter().map(|j| (j.clone(), j.tuned)).collect(),
         ConfigChoice::Realistic => trace.iter().map(|j| (j.clone(), j.realistic)).collect(),
@@ -68,11 +76,9 @@ pub fn run_trace_recorded<P: SchedulingPolicy>(
                 .collect()
         }
     };
-    Some(
-        Simulation::new(sim, spec, policy, submissions)?
-            .with_recorder(recorder)
-            .run(),
-    )
+    Ok(Simulation::try_new(sim, spec, policy, submissions)?
+        .with_recorder(recorder)
+        .run())
 }
 
 #[cfg(test)]
@@ -148,5 +154,33 @@ mod tests {
         let b = run_trace(quick_pollux(), &trace, choice, spec, sim).unwrap();
         let jcts = |r: &SimResult| r.jcts();
         assert_eq!(jcts(&a), jcts(&b));
+    }
+
+    #[test]
+    fn invalid_inputs_surface_typed_errors() {
+        let spec = ClusterSpec::homogeneous(2, 4).unwrap();
+        let err = run_trace(
+            quick_pollux(),
+            &[],
+            ConfigChoice::Tuned,
+            spec.clone(),
+            SimConfig::default(),
+        )
+        .err();
+        assert_eq!(err, Some(SimBuildError::EmptyWorkload));
+
+        let bad = SimConfig {
+            tick_seconds: 0.0,
+            ..Default::default()
+        };
+        let err = run_trace(
+            quick_pollux(),
+            &tiny_trace(),
+            ConfigChoice::Tuned,
+            spec,
+            bad,
+        )
+        .err();
+        assert_eq!(err, Some(SimBuildError::InvalidConfig));
     }
 }

@@ -12,27 +12,64 @@
 //!   iteration timings and gradient statistics through it, and reads
 //!   back its current placement and `(m*, η)` tuning decision.
 //!
+//! Each scheduling round is one pass through the shared control-plane
+//! pipeline ([`pollux_control::RoundPlanner`]): the service snapshots
+//! its jobs into [`pollux_control::PolicyJobView`]s, the planner
+//! invokes [`PolluxPolicy`] and diffs placements into
+//! [`pollux_control::Reallocation`]s, and the service applies them to
+//! its job table — the **same** planner, bootstrap priors, fairness
+//! weights, and restart semantics the simulator's engine drives.
+//! Per-job lifecycle (pending → running → restarting → finished,
+//! restart and GPU-time accounting) lives in the shared
+//! [`JobLifecycle`] state machine.
+//!
 //! All state is behind `parking_lot` locks; the scheduler thread is
 //! driven by a bounded `std::sync::mpsc` command channel whose
 //! `recv_timeout` doubles as the periodic ticker, so the service shuts
 //! down deterministically.
 
-use crate::policy::PolluxConfig;
+use crate::policy::{PolluxConfig, PolluxPolicy};
 use parking_lot::{Mutex, RwLock};
-use pollux_agent::{PolluxAgent, TuningDecision};
-use pollux_cluster::{AllocationMatrix, ClusterSpec, JobId};
+use pollux_agent::{AgentReport, PolluxAgent, TuningDecision};
+use pollux_cluster::{ClusterSpec, JobId, NodeId};
+use pollux_control::{JobLifecycle, JobState, PolicyJobView, RoundPlanner, SchedulingPolicy};
 use pollux_models::{BatchSizeLimits, GradientStats, PlacementShape};
-use pollux_sched::{
-    job_weight, Autoscaler, PolluxSched, SchedJob, SpeedupTableStats, WeightConfig,
-};
+use pollux_sched::SpeedupTableStats;
 use pollux_telemetry::Recorder;
+use pollux_workload::UserConfig;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
 use std::sync::mpsc::{sync_channel, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Errors surfaced by the service API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The Pollux configuration is invalid (e.g. inconsistent
+    /// autoscale thresholds).
+    InvalidConfig,
+    /// A submission's agent parameters are invalid (`limits.min != m0`
+    /// or a non-positive `η0` — the contract of `PolluxAgent::new`).
+    InvalidLimits,
+    /// The scheduler thread has shut down and no longer accepts
+    /// commands.
+    Shutdown,
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::InvalidConfig => write!(f, "invalid Pollux service configuration"),
+            Self::InvalidLimits => write!(f, "invalid job parameters (limits/m0/eta0)"),
+            Self::Shutdown => write!(f, "service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
 
 /// Configuration of the live service.
 #[derive(Debug, Clone)]
@@ -44,6 +81,11 @@ pub struct ServiceConfig {
     pub pollux: PolluxConfig,
     /// Wall-clock interval between scheduling rounds.
     pub interval: Duration,
+    /// Checkpoint-restart delay charged to a started job whenever the
+    /// scheduler moves it (the live analog of the simulator's
+    /// `restart_delay`): the job sits in
+    /// [`JobState::Restarting`] until the delay elapses.
+    pub restart_delay: Duration,
     /// RNG seed for the genetic algorithm.
     pub seed: u64,
     /// Telemetry recorder shared by the service, its scheduler, and
@@ -58,6 +100,7 @@ impl Default for ServiceConfig {
         Self {
             pollux: PolluxConfig::default(),
             interval: Duration::from_secs(60),
+            restart_delay: Duration::from_secs(30),
             seed: 0,
             telemetry: Recorder::disabled(),
         }
@@ -74,8 +117,48 @@ enum Command {
 
 struct JobEntry {
     agent: PolluxAgent,
-    gputime_seconds: f64,
+    lifecycle: JobLifecycle,
     placement: Vec<u32>,
+    submit_time: f64,
+}
+
+/// An owned per-job snapshot taken under the jobs lock, so the
+/// (potentially long) scheduling round can build its
+/// [`PolicyJobView`]s without blocking training threads.
+struct JobSnapshot {
+    id: JobId,
+    limits: BatchSizeLimits,
+    report: Option<AgentReport>,
+    gputime: f64,
+    started: bool,
+    submit_time: f64,
+    placement: Vec<u32>,
+}
+
+/// Builds borrowed policy views over a snapshot. The live service has
+/// no ground-truth model profile (`profile: None`) and no oracle
+/// remaining-work estimate; policies that need either (Optimus+Oracle)
+/// are simulator-only.
+fn views_of(snaps: &[JobSnapshot]) -> Vec<PolicyJobView<'_>> {
+    snaps
+        .iter()
+        .map(|s| PolicyJobView {
+            id: s.id,
+            user: UserConfig {
+                gpus: 1,
+                batch_size: s.limits.min,
+            },
+            profile: None,
+            limits: s.limits,
+            report: s.report,
+            gputime: s.gputime,
+            submit_time: s.submit_time,
+            current_placement: &s.placement,
+            started: s.started,
+            batch_size: s.limits.min,
+            remaining_work: f64::INFINITY,
+        })
+        .collect()
 }
 
 struct Shared {
@@ -87,100 +170,151 @@ struct Shared {
     /// scheduler thread after every round (the
     /// `pollux.sched.speedup.stats` service key).
     speedup_stats: RwLock<SpeedupTableStats>,
-    weights: WeightConfig,
+    /// Service birth; `now` for lifecycle stamps is seconds since this.
+    epoch: Instant,
+    restart_delay: f64,
     recorder: Recorder,
 }
 
 impl Shared {
-    /// One scheduling round: snapshot job models, run the GA, apply
-    /// the resulting placements.
+    /// One scheduling round through the shared control-plane pipeline:
+    /// wake expired restarts, snapshot job state, let the
+    /// [`RoundPlanner`] run the policy (autoscale + GA + placement
+    /// diff), apply the resulting reallocations.
     fn schedule_once(
         &self,
-        sched: &mut PolluxSched,
-        autoscaler: Option<&Autoscaler>,
+        policy: &mut PolluxPolicy,
+        planner: &mut RoundPlanner,
         rng: &mut StdRng,
+        now: f64,
     ) {
         let _span = self.recorder.span("service", "round");
         self.recorder.incr("service", "rounds", 1);
-        // Snapshot job state under the lock, then release it before the
-        // (potentially long) genetic optimization so training threads
-        // are never blocked behind a scheduling round.
-        let (ids, sched_jobs) = {
-            let jobs = self.jobs.lock();
-            if jobs.is_empty() {
-                drop(jobs);
-                self.recorder.incr("service", "empty_rounds", 1);
-                *self.rounds.write() += 1;
-                return;
+        {
+            let mut jobs = self.jobs.lock();
+            for entry in jobs.values_mut() {
+                entry.lifecycle.wake(now);
             }
-            let mut ids: Vec<JobId> = jobs.keys().copied().collect();
-            ids.sort();
-            let num_nodes = self.spec.read().num_nodes();
-            let sched_jobs: Vec<SchedJob> = ids
-                .iter()
-                .map(|id| {
-                    let entry = &jobs[id];
-                    let weight = job_weight(&self.weights, entry.gputime_seconds);
-                    let mut current = entry.placement.clone();
-                    current.resize(num_nodes, 0);
-                    match entry.agent.report() {
-                        Some(report) => SchedJob {
-                            id: *id,
-                            model: report.model,
-                            min_gpus: report.min_gpus,
-                            gpu_cap: report.gpu_cap,
-                            weight,
-                            current_placement: current,
-                        },
-                        None => crate::policy::bootstrap_sched_job(
-                            *id,
-                            entry.agent.limits(),
-                            weight,
-                            current,
-                        ),
-                    }
-                })
-                .collect();
-            (ids, sched_jobs)
-        };
+        }
+        let mut snaps = self.snapshot_jobs();
+        if snaps.is_empty() {
+            self.recorder.incr("service", "empty_rounds", 1);
+            *self.rounds.write() += 1;
+            return;
+        }
 
-        // Optional cloud auto-scaling before allocation.
-        if let Some(scaler) = autoscaler {
-            let current_nodes = self.spec.read().num_nodes() as u32;
-            let decision = scaler.recommend(&sched_jobs, current_nodes, rng);
-            if decision.nodes != current_nodes {
-                let gpus = {
-                    let spec = self.spec.read();
-                    spec.gpus_on(pollux_cluster::NodeId(0))
-                };
-                if let Some(new_spec) = ClusterSpec::homogeneous(decision.nodes, gpus) {
-                    *self.spec.write() = new_spec;
+        // Optional cloud auto-scaling before allocation. Resizing
+        // mutates placements, so the snapshot is rebuilt.
+        {
+            let spec = self.spec.read().clone();
+            let views = views_of(&snaps);
+            let desired = planner.desired_nodes(policy, now, &views, &spec, rng);
+            drop(views);
+            if let Some(nodes) = desired {
+                if self.resize_cluster(nodes.max(1)) {
+                    snaps = self.snapshot_jobs();
                 }
             }
         }
 
         self.recorder
-            .incr("service", "jobs_scheduled", sched_jobs.len() as u64);
+            .incr("service", "jobs_scheduled", snaps.len() as u64);
         let spec = self.spec.read().clone();
-        let matrix: AllocationMatrix = sched.schedule(&sched_jobs, &spec, rng);
+        let views = views_of(&snaps);
+        // The planner itself stays span-free (it sits on the
+        // simulator's hot path too); the service wraps it here where
+        // rounds are seconds apart.
+        let outcome = {
+            let _plan_span = self.recorder.span("control", "plan");
+            planner
+                .plan(policy, now, &views, &spec, rng)
+                .expect("service job ids are unique")
+        };
+        drop(views);
+
         // Re-acquire to apply; jobs completed mid-round are skipped.
-        let mut jobs = self.jobs.lock();
-        for (row, id) in ids.iter().enumerate() {
-            if let Some(entry) = jobs.get_mut(id) {
-                let mut placement = matrix.row(row).to_vec();
-                placement.resize(spec.num_nodes(), 0);
-                let gpus: u32 = placement.iter().sum();
+        {
+            let mut jobs = self.jobs.lock();
+            for r in outcome.reallocations {
+                let Some(entry) = jobs.get_mut(&r.job) else {
+                    continue;
+                };
+                let gpus = r.gpus();
+                entry.placement = r.new;
                 if gpus > 0 {
-                    let nodes = placement.iter().filter(|&&g| g > 0).count() as u32;
+                    let nodes = entry.placement.iter().filter(|&&g| g > 0).count() as u32;
                     if let Some(shape) = PlacementShape::new(gpus, nodes) {
                         entry.agent.note_allocation(shape);
                     }
+                    entry
+                        .lifecycle
+                        .grant(r.triggers_restart, now, self.restart_delay);
+                } else {
+                    entry.lifecycle.preempt();
                 }
-                entry.placement = placement;
             }
         }
-        *self.speedup_stats.write() = sched.speedup_stats();
+        *self.speedup_stats.write() = policy.speedup_stats();
         *self.rounds.write() += 1;
+    }
+
+    /// Snapshots every registered job (in ascending id order, the
+    /// planner's required view order) with placements normalized to
+    /// the current cluster width.
+    fn snapshot_jobs(&self) -> Vec<JobSnapshot> {
+        let num_nodes = self.spec.read().num_nodes();
+        let jobs = self.jobs.lock();
+        let mut ids: Vec<JobId> = jobs.keys().copied().collect();
+        ids.sort();
+        ids.into_iter()
+            .map(|id| {
+                let entry = &jobs[&id];
+                let mut placement = entry.placement.clone();
+                placement.resize(num_nodes, 0);
+                JobSnapshot {
+                    id,
+                    limits: entry.agent.limits(),
+                    report: entry.agent.report(),
+                    gputime: entry.lifecycle.gputime(),
+                    started: entry.lifecycle.has_started(),
+                    submit_time: entry.submit_time,
+                    placement,
+                }
+            })
+            .collect()
+    }
+
+    /// Resizes the cluster to `nodes` homogeneous nodes, preempting
+    /// jobs that held GPUs on removed nodes (the same whole-job
+    /// preemption rule as the simulator's engine). Returns whether the
+    /// cluster actually changed.
+    fn resize_cluster(&self, nodes: u32) -> bool {
+        let new_n = nodes as usize;
+        {
+            let mut spec = self.spec.write();
+            if new_n == spec.num_nodes() {
+                return false;
+            }
+            let gpus_per_node = spec.gpus_on(NodeId(0));
+            let Some(new_spec) = ClusterSpec::homogeneous(nodes, gpus_per_node) else {
+                return false;
+            };
+            *spec = new_spec;
+        }
+        let mut jobs = self.jobs.lock();
+        for entry in jobs.values_mut() {
+            let loses_gpus = entry.placement.iter().skip(new_n).any(|&g| g > 0);
+            entry.placement.resize(new_n, 0);
+            if loses_gpus {
+                entry.placement.iter_mut().for_each(|g| *g = 0);
+                entry.lifecycle.preempt();
+            }
+        }
+        true
+    }
+
+    fn now(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64()
     }
 }
 
@@ -198,13 +332,13 @@ impl JobHandle {
     }
 
     /// Reports one measured training iteration (the `PolluxAgent`
-    /// profiling hook). `gputime` advances the job's attained service
-    /// for fairness weighting.
+    /// profiling hook). Attained GPU-time advances for fairness
+    /// weighting.
     pub fn record_iteration(&self, shape: PlacementShape, batch_size: u64, t_iter: f64) {
         let mut jobs = self.shared.jobs.lock();
         if let Some(entry) = jobs.get_mut(&self.id) {
             entry.agent.observe_iteration(shape, batch_size, t_iter);
-            entry.gputime_seconds += t_iter * shape.gpus as f64;
+            entry.lifecycle.accrue_gputime(t_iter * shape.gpus as f64);
         }
     }
 
@@ -237,6 +371,26 @@ impl JobHandle {
             .unwrap_or_default()
     }
 
+    /// The job's lifecycle state as tracked by the shared control
+    /// plane, or `None` once deregistered.
+    pub fn state(&self) -> Option<JobState> {
+        self.shared
+            .jobs
+            .lock()
+            .get(&self.id)
+            .map(|e| e.lifecycle.state())
+    }
+
+    /// Checkpoint-restarts this job has paid so far.
+    pub fn num_restarts(&self) -> u32 {
+        self.shared
+            .jobs
+            .lock()
+            .get(&self.id)
+            .map(|e| e.lifecycle.num_restarts())
+            .unwrap_or(0)
+    }
+
     /// The agent's `(m*, η)` decision for the current placement, or
     /// `None` while unallocated or before the first fit.
     pub fn tuning(&self) -> Option<TuningDecision> {
@@ -263,26 +417,27 @@ pub struct ClusterService {
 impl ClusterService {
     /// Starts the service with a background scheduler thread.
     ///
-    /// Returns `None` when the Pollux configuration is invalid (e.g.
-    /// inconsistent autoscale thresholds).
-    pub fn start(config: ServiceConfig, spec: ClusterSpec) -> Option<Self> {
-        let autoscaler = match config.pollux.autoscale {
-            Some(c) => Some(Autoscaler::new(c)?),
-            None => None,
-        };
+    /// # Errors
+    ///
+    /// [`ServiceError::InvalidConfig`] when the Pollux configuration
+    /// is invalid (e.g. inconsistent autoscale thresholds).
+    pub fn start(config: ServiceConfig, spec: ClusterSpec) -> Result<Self, ServiceError> {
+        let mut policy = PolluxPolicy::new(config.pollux).ok_or(ServiceError::InvalidConfig)?;
+        policy.attach_telemetry(config.telemetry.clone());
+        let mut planner = RoundPlanner::new();
+        planner.attach_telemetry(config.telemetry.clone());
         let shared = Arc::new(Shared {
             spec: RwLock::new(spec),
             jobs: Mutex::new(HashMap::new()),
             rounds: RwLock::new(0),
             speedup_stats: RwLock::new(SpeedupTableStats::default()),
-            weights: config.pollux.sched.weights,
-            recorder: config.telemetry.clone(),
+            epoch: Instant::now(),
+            restart_delay: config.restart_delay.as_secs_f64(),
+            recorder: config.telemetry,
         });
         let (tx, rx) = sync_channel::<Command>(16);
         let interval = config.interval;
         let thread_shared = Arc::clone(&shared);
-        let mut sched = PolluxSched::new(config.pollux.sched);
-        sched.set_recorder(config.telemetry);
         let mut rng = StdRng::seed_from_u64(config.seed);
         let thread = std::thread::spawn(move || {
             // `recv_timeout` is both the trigger listener and the
@@ -291,10 +446,11 @@ impl ClusterService {
             while let Ok(Command::Schedule) | Err(RecvTimeoutError::Timeout) =
                 rx.recv_timeout(interval)
             {
-                thread_shared.schedule_once(&mut sched, autoscaler.as_ref(), &mut rng);
+                let now = thread_shared.now();
+                thread_shared.schedule_once(&mut policy, &mut planner, &mut rng, now);
             }
         });
-        Some(Self {
+        Ok(Self {
             shared,
             commands: tx,
             thread: Some(thread),
@@ -304,10 +460,17 @@ impl ClusterService {
 
     /// Registers a new training job and returns its handle.
     ///
-    /// Returns `None` when `limits.min != m0` or `η0` is invalid (the
-    /// same contract as [`PolluxAgent::new`]).
-    pub fn submit(&self, m0: u64, eta0: f64, limits: BatchSizeLimits) -> Option<JobHandle> {
-        let agent = PolluxAgent::new(m0, eta0, limits)?;
+    /// # Errors
+    ///
+    /// [`ServiceError::InvalidLimits`] when `limits.min != m0` or
+    /// `η0` is invalid (the same contract as `PolluxAgent::new`).
+    pub fn submit(
+        &self,
+        m0: u64,
+        eta0: f64,
+        limits: BatchSizeLimits,
+    ) -> Result<JobHandle, ServiceError> {
+        let agent = PolluxAgent::new(m0, eta0, limits).ok_or(ServiceError::InvalidLimits)?;
         let id = {
             let mut next = self.next_id.lock();
             let id = JobId(*next);
@@ -315,15 +478,17 @@ impl ClusterService {
             id
         };
         let num_nodes = self.shared.spec.read().num_nodes();
+        let submit_time = self.shared.now();
         self.shared.jobs.lock().insert(
             id,
             JobEntry {
                 agent,
-                gputime_seconds: 0.0,
+                lifecycle: JobLifecycle::new(),
                 placement: vec![0; num_nodes],
+                submit_time,
             },
         );
-        Some(JobHandle {
+        Ok(JobHandle {
             id,
             shared: Arc::clone(&self.shared),
         })
@@ -336,13 +501,16 @@ impl ClusterService {
     }
 
     /// Requests an immediate scheduling round (in addition to the
-    /// periodic ticker). Non-blocking; returns `false` if the service
-    /// is shutting down.
-    pub fn trigger_schedule(&self) -> bool {
-        !matches!(
-            self.commands.try_send(Command::Schedule),
-            Err(TrySendError::Disconnected(_))
-        )
+    /// periodic ticker). Non-blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Shutdown`] when the scheduler thread is gone.
+    pub fn trigger_schedule(&self) -> Result<(), ServiceError> {
+        match self.commands.try_send(Command::Schedule) {
+            Err(TrySendError::Disconnected(_)) => Err(ServiceError::Shutdown),
+            _ => Ok(()),
+        }
     }
 
     /// Blocks until at least `n` scheduling rounds have completed.
@@ -420,6 +588,7 @@ mod tests {
             ServiceConfig {
                 pollux,
                 interval: Duration::from_millis(5),
+                restart_delay: Duration::from_millis(1),
                 seed: 1,
                 ..Default::default()
             },
@@ -450,15 +619,19 @@ mod tests {
             .unwrap();
         assert_ne!(a.id(), b.id());
         assert_eq!(service.num_jobs(), 2);
+        assert_eq!(a.state(), Some(JobState::Pending));
 
         let before = service.rounds();
-        assert!(service.trigger_schedule());
+        service.trigger_schedule().unwrap();
         assert!(service.wait_for_rounds(before + 2, Duration::from_secs(10)));
 
-        // Fresh jobs are bootstrapped: each gets 1-2 GPUs.
+        // Fresh jobs are bootstrapped: each gets 1-2 GPUs and starts
+        // (never restarts — a first grant pays no delay).
         for h in [&a, &b] {
             let gpus: u32 = h.placement().iter().sum();
             assert!((1..=2).contains(&gpus), "placement {:?}", h.placement());
+            assert_eq!(h.num_restarts(), 0);
+            assert_ne!(h.state(), Some(JobState::Pending));
         }
         // Rounds with jobs build dense tables: the service key reports
         // accumulated solves and lookups.
@@ -481,7 +654,7 @@ mod tests {
         // cap 16), the scheduler should grant a substantial
         // allocation on the idle 8-GPU cluster.
         let before = service.rounds();
-        service.trigger_schedule();
+        service.trigger_schedule().unwrap();
         assert!(service.wait_for_rounds(before + 2, Duration::from_secs(10)));
         let gpus: u32 = h.placement().iter().sum();
         assert!(gpus >= 4, "placement {:?}", h.placement());
@@ -505,13 +678,13 @@ mod tests {
         feed_profile(&a, ModelKind::ResNet18Cifar10);
         feed_profile(&b, ModelKind::ResNet18Cifar10);
         let before = service.rounds();
-        service.trigger_schedule();
+        service.trigger_schedule().unwrap();
         assert!(service.wait_for_rounds(before + 2, Duration::from_secs(10)));
 
         service.complete(a.id());
         assert_eq!(service.num_jobs(), 1);
         let before = service.rounds();
-        service.trigger_schedule();
+        service.trigger_schedule().unwrap();
         assert!(service.wait_for_rounds(before + 2, Duration::from_secs(10)));
         // The survivor can now take the whole node (cap permitting).
         let gpus: u32 = b.placement().iter().sum();
@@ -519,6 +692,40 @@ mod tests {
         // The departed handle reads back empty.
         assert!(a.placement().is_empty());
         assert!(a.tuning().is_none());
+        assert_eq!(a.state(), None);
+        service.shutdown();
+    }
+
+    #[test]
+    fn reallocation_after_start_pays_a_restart() {
+        let service = quick_service(ClusterSpec::homogeneous(1, 4).unwrap());
+        let profile = ModelKind::ResNet18Cifar10.profile();
+        // `a` starts alone and grows onto the whole node.
+        let a = service
+            .submit(profile.m0, profile.eta0, profile.limits)
+            .unwrap();
+        feed_profile(&a, ModelKind::ResNet18Cifar10);
+        let before = service.rounds();
+        service.trigger_schedule().unwrap();
+        assert!(service.wait_for_rounds(before + 2, Duration::from_secs(10)));
+        let gpus_before: u32 = a.placement().iter().sum();
+        assert!(gpus_before >= 2, "placement {:?}", a.placement());
+
+        // A second job arrives; the scheduler shrinks `a`, which pays
+        // the checkpoint-restart delay through the shared lifecycle.
+        let b = service
+            .submit(profile.m0, profile.eta0, profile.limits)
+            .unwrap();
+        feed_profile(&b, ModelKind::ResNet18Cifar10);
+        let before = service.rounds();
+        service.trigger_schedule().unwrap();
+        assert!(service.wait_for_rounds(before + 2, Duration::from_secs(10)));
+        let gpus_after: u32 = a.placement().iter().sum();
+        if gpus_after != gpus_before {
+            assert!(a.num_restarts() >= 1, "reallocation did not restart");
+        }
+        let gpus_b: u32 = b.placement().iter().sum();
+        assert!(gpus_b >= 1, "newcomer unplaced: {:?}", b.placement());
         service.shutdown();
     }
 
@@ -576,7 +783,7 @@ mod tests {
         assert!(h.refit());
         h.record_gradient_stats(GradientStats::new(60.0, 1.0).unwrap());
         let before = service.rounds();
-        service.trigger_schedule();
+        service.trigger_schedule().unwrap();
         assert!(service.wait_for_rounds(before + 3, Duration::from_secs(20)));
         let nodes = service.cluster_spec().num_nodes();
         assert!(nodes > 1, "cluster stayed at {nodes} node(s)");
@@ -600,6 +807,7 @@ mod tests {
                 interval: Duration::from_millis(5),
                 seed: 1,
                 telemetry: Recorder::new(sink.clone()),
+                ..Default::default()
             },
             ClusterSpec::homogeneous(2, 4).unwrap(),
         )
@@ -609,7 +817,7 @@ mod tests {
             .submit(profile.m0, profile.eta0, profile.limits)
             .unwrap();
         feed_profile(&h, ModelKind::ResNet18Cifar10);
-        service.trigger_schedule();
+        service.trigger_schedule().unwrap();
         assert!(service.wait_for_rounds(2, Duration::from_secs(10)));
         service.shutdown();
 
@@ -620,6 +828,7 @@ mod tests {
             })
         };
         assert!(span("service", "round"), "no service/round span");
+        assert!(span("control", "plan"), "no control/plan span");
         assert!(span("agent", "refit"), "no agent/refit span");
         assert!(span("sched", "ga_evolve"), "no sched/ga_evolve span");
         // The drop-time flush snapshots counters into the capture.
@@ -637,8 +846,38 @@ mod tests {
     fn invalid_submission_rejected() {
         let service = quick_service(ClusterSpec::homogeneous(1, 4).unwrap());
         let limits = BatchSizeLimits::new(128, 1024, 512).unwrap();
-        assert!(service.submit(64, 0.1, limits).is_none(), "m0 mismatch");
-        assert!(service.submit(128, 0.0, limits).is_none(), "bad eta0");
+        assert_eq!(
+            service.submit(64, 0.1, limits).err(),
+            Some(ServiceError::InvalidLimits),
+            "m0 mismatch"
+        );
+        assert_eq!(
+            service.submit(128, 0.0, limits).err(),
+            Some(ServiceError::InvalidLimits),
+            "bad eta0"
+        );
         service.shutdown();
+    }
+
+    #[test]
+    fn invalid_autoscale_config_rejected() {
+        use pollux_sched::AutoscaleConfig;
+        let pollux = PolluxConfig {
+            autoscale: Some(AutoscaleConfig {
+                low_util: 0.9,
+                high_util: 0.1,
+                ..Default::default()
+            }),
+            ..Default::default()
+        };
+        let err = ClusterService::start(
+            ServiceConfig {
+                pollux,
+                ..Default::default()
+            },
+            ClusterSpec::homogeneous(1, 4).unwrap(),
+        )
+        .err();
+        assert_eq!(err, Some(ServiceError::InvalidConfig));
     }
 }

@@ -126,7 +126,7 @@ const WARM_ACCEPT_RMSLE: f64 = 0.02;
 /// Consecutive refits see nearly the same observation set, so the old
 /// optimum almost always lies in the new optimum's basin: one
 /// quasi-Newton solve from `warm` typically converges immediately. When
-/// that solve reaches an RMSLE of at most [`WARM_ACCEPT_RMSLE`] the
+/// that solve reaches an RMSLE of at most `WARM_ACCEPT_RMSLE` the
 /// multi-start restarts are skipped entirely
 /// ([`FitReport::used_warm_start`] is set); otherwise the warm
 /// candidate merely competes with the cold-start seeds, so the result

@@ -10,7 +10,7 @@
 //! noise. So the engine computes per-job invariants once per
 //! macro-step (interference slowdown, iteration time, throughput, the
 //! profiler slot) and advances all intervening ticks in a tight inner
-//! loop; see [`Simulation::advance_chunk`] for the exact contract.
+//! loop; see `Simulation::advance_chunk` for the exact contract.
 //!
 //! The determinism contract is strict: for a fixed seed the
 //! macro-stepped engine produces a `SimResult` **bit-identical** to
@@ -27,7 +27,8 @@ use crate::metrics::{
 };
 use crate::policy::{PolicyJobView, SchedulingPolicy};
 use pollux_agent::ObservationRun;
-use pollux_cluster::{AllocationMatrix, ClusterSpec, JobId, NodeId};
+use pollux_cluster::{ClusterSpec, JobId, NodeId};
+use pollux_control::{Reallocation, RoundPlanner};
 use pollux_models::GradientStats;
 use pollux_telemetry::{Counter, HistogramHandle, NullSink, Recorder};
 use pollux_workload::{JobSpec, UserConfig};
@@ -100,6 +101,11 @@ pub struct Simulation<P: SchedulingPolicy> {
     config: SimConfig,
     spec: ClusterSpec,
     policy: P,
+    /// The shared control-plane round pipeline (also driven by the
+    /// live `ClusterService` in `pollux-core`): invokes the policy,
+    /// clamps its matrix, and diffs placements into reallocation
+    /// decisions the engine applies.
+    planner: RoundPlanner,
     /// Not-yet-submitted jobs, sorted by ascending submit time.
     arrivals: Vec<Submission>,
     /// Spawned jobs (active and finished).
@@ -264,34 +270,76 @@ fn store_views(buf: &mut Vec<PolicyJobView<'static>>, mut views: Vec<PolicyJobVi
     *buf = unsafe { Vec::from_raw_parts(ptr.cast::<PolicyJobView<'static>>(), 0, cap) };
 }
 
+/// Why a [`Simulation`] could not be built.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimBuildError {
+    /// The [`SimConfig`] failed validation (non-positive tick size,
+    /// intervals, horizon, or restart delay).
+    InvalidConfig,
+    /// The workload contains no submissions.
+    EmptyWorkload,
+    /// A submission's submit time is NaN or infinite, so it has no
+    /// meaningful position in the arrival order.
+    NonFiniteSubmitTime,
+}
+
+impl std::fmt::Display for SimBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::InvalidConfig => write!(f, "invalid simulation config"),
+            Self::EmptyWorkload => write!(f, "workload has no submissions"),
+            Self::NonFiniteSubmitTime => write!(f, "submission with non-finite submit time"),
+        }
+    }
+}
+
+impl std::error::Error for SimBuildError {}
+
 impl<P: SchedulingPolicy> Simulation<P> {
-    /// Creates a simulation. Returns `None` when the config fails
-    /// validation, the workload is empty, or any submit time is
-    /// non-finite.
+    /// Creates a simulation. Returns `None` when [`Self::try_new`]
+    /// would fail; kept as the concise constructor for tests and
+    /// examples that don't care which input was bad.
     pub fn new(
+        config: SimConfig,
+        spec: ClusterSpec,
+        policy: P,
+        workload: Vec<Submission>,
+    ) -> Option<Self> {
+        Self::try_new(config, spec, policy, workload).ok()
+    }
+
+    /// Creates a simulation, reporting *why* the inputs were rejected.
+    ///
+    /// # Errors
+    ///
+    /// - [`SimBuildError::InvalidConfig`] when the config fails
+    ///   validation;
+    /// - [`SimBuildError::EmptyWorkload`] when no jobs are submitted;
+    /// - [`SimBuildError::NonFiniteSubmitTime`] when a submit time is
+    ///   NaN or infinite (the old `partial_cmp(..).unwrap_or(Equal)`
+    ///   sort silently produced an arbitrary arrival order).
+    pub fn try_new(
         config: SimConfig,
         spec: ClusterSpec,
         mut policy: P,
         mut workload: Vec<Submission>,
-    ) -> Option<Self> {
-        let config = config.validated()?;
+    ) -> Result<Self, SimBuildError> {
+        let config = config.validated().ok_or(SimBuildError::InvalidConfig)?;
         if workload.is_empty() {
-            return None;
+            return Err(SimBuildError::EmptyWorkload);
         }
-        // A NaN submit time has no meaningful position in the arrival
-        // order (the old `partial_cmp(..).unwrap_or(Equal)` sort
-        // silently produced an arbitrary one), so reject it here.
         if workload.iter().any(|(s, _)| !s.submit_time.is_finite()) {
-            return None;
+            return Err(SimBuildError::NonFiniteSubmitTime);
         }
         policy.configure_parallelism(config.sched_threads);
         workload.sort_by(|a, b| a.0.submit_time.total_cmp(&b.0.submit_time));
         workload.reverse(); // Pop from the back in time order.
         let seed = config.seed;
-        Some(Self {
+        Ok(Self {
             config,
             spec,
             policy,
+            planner: RoundPlanner::new(),
             arrivals: workload,
             jobs: Vec::new(),
             active: Vec::new(),
@@ -322,6 +370,7 @@ impl<P: SchedulingPolicy> Simulation<P> {
     pub fn with_recorder(mut self, recorder: Recorder) -> Self {
         self.telem = EngineTelemetry::new(&recorder);
         self.policy.attach_telemetry(recorder.clone());
+        self.planner.attach_telemetry(recorder.clone());
         self.recorder = recorder;
         self
     }
@@ -336,6 +385,7 @@ impl<P: SchedulingPolicy> Simulation<P> {
                 let rec = Recorder::new(std::sync::Arc::new(NullSink));
                 self.telem = EngineTelemetry::new(&rec);
                 self.policy.attach_telemetry(rec.clone());
+                self.planner.attach_telemetry(rec.clone());
                 self.recorder = rec;
             }
             self.recorder.enable_stderr_mirror();
@@ -347,7 +397,7 @@ impl<P: SchedulingPolicy> Simulation<P> {
     ///
     /// Macro-stepped: boundary work (arrivals, wake-ups, reports,
     /// scheduling) happens at event horizons; the ticks in between run
-    /// through [`Self::advance_chunk`] with per-job invariants hoisted.
+    /// through `Self::advance_chunk` with per-job invariants hoisted.
     /// Bit-identical to [`Self::run_reference`] for any fixed seed.
     pub fn run(mut self) -> SimResult {
         let dt = self.config.tick_seconds;
@@ -463,7 +513,7 @@ impl<P: SchedulingPolicy> Simulation<P> {
             }
         }
         for &i in &self.active {
-            if let JobState::Restarting { until } = self.jobs[i].state {
+            if let JobState::Restarting { until } = self.jobs[i].state() {
                 let wake = first_tick_at_or_after(until, dt, tick + 1);
                 if wake < horizon {
                     horizon = wake;
@@ -505,7 +555,7 @@ impl<P: SchedulingPolicy> Simulation<P> {
         let jobs = &mut self.jobs;
         for &idx in &self.active {
             let job = &mut jobs[idx];
-            match job.state {
+            match job.state() {
                 JobState::Running => {}
                 JobState::Restarting { .. } => {
                     ctxs.push(ChunkCtx {
@@ -563,13 +613,13 @@ impl<P: SchedulingPolicy> Simulation<P> {
             for ctx in ctxs.iter_mut() {
                 let job = &mut jobs[ctx.idx];
                 let Some(rs) = &mut ctx.run else {
-                    job.gputime += ctx.gpu_dt;
+                    job.lifecycle.accrue_gputime(ctx.gpu_dt);
                     continue;
                 };
                 let eff = job.true_efficiency(rs.batch);
                 job.progress += rs.throughput * eff * dt;
                 job.examples_processed += rs.tput_dt;
-                job.gputime += ctx.gpu_dt;
+                job.lifecycle.accrue_gputime(ctx.gpu_dt);
 
                 // The agent observes a noisy iteration time (including
                 // any interference slowdown, which it cannot
@@ -578,7 +628,7 @@ impl<P: SchedulingPolicy> Simulation<P> {
                 rs.obs.observe(rs.t_base * (1.0 + eps));
 
                 if job.progress >= rs.work {
-                    job.state = JobState::Finished { at: now + dt };
+                    job.lifecycle.finish(now + dt);
                     job.placement.iter_mut().for_each(|g| *g = 0);
                     finished.push((ctx.idx, job.spec.id));
                 }
@@ -647,10 +697,11 @@ impl<P: SchedulingPolicy> Simulation<P> {
         let noise = self.config.measurement_noise;
         let mut finished = Vec::new();
         for (idx, job) in self.jobs.iter_mut().enumerate() {
-            match job.state {
+            match job.state() {
                 JobState::Running => {}
                 JobState::Restarting { .. } => {
-                    job.gputime += job.gpus() as f64 * dt;
+                    let gpu_dt = job.gpus() as f64 * dt;
+                    job.lifecycle.accrue_gputime(gpu_dt);
                     continue;
                 }
                 _ => continue,
@@ -663,7 +714,7 @@ impl<P: SchedulingPolicy> Simulation<P> {
             let eff = job.true_efficiency(m);
             job.progress += throughput * eff * dt;
             job.examples_processed += throughput * dt;
-            job.gputime += shape.gpus as f64 * dt;
+            job.lifecycle.accrue_gputime(shape.gpus as f64 * dt);
 
             // The agent observes a noisy iteration time (including any
             // interference slowdown, which it cannot distinguish).
@@ -672,7 +723,7 @@ impl<P: SchedulingPolicy> Simulation<P> {
             job.agent.observe_iteration(shape, m, t_obs);
 
             if job.progress >= job.spec.work {
-                job.state = JobState::Finished { at: now + dt };
+                job.lifecycle.finish(now + dt);
                 job.placement.iter_mut().for_each(|g| *g = 0);
                 finished.push((idx, job.spec.id));
             }
@@ -741,12 +792,7 @@ impl<P: SchedulingPolicy> Simulation<P> {
     /// Wakes jobs whose restart delay elapsed.
     fn wake_restarts(&mut self, now: f64) {
         for &i in &self.active {
-            let job = &mut self.jobs[i];
-            if let JobState::Restarting { until } = job.state {
-                if now >= until {
-                    job.state = JobState::Running;
-                }
-            }
+            self.jobs[i].lifecycle.wake(now);
         }
     }
 
@@ -800,7 +846,7 @@ impl<P: SchedulingPolicy> Simulation<P> {
                     }
                 }
             } else {
-                let chosen = policy.choose_batch_size(&PolicyJobView::from_sim_job(job));
+                let chosen = policy.choose_batch_size(&job.policy_view());
                 if let Some(m) = chosen {
                     if let Some(shape) = job.shape() {
                         if let Some((lo, hi)) = job.profile.limits.range(shape) {
@@ -812,117 +858,80 @@ impl<P: SchedulingPolicy> Simulation<P> {
         }
     }
 
-    /// Scheduling interval: optionally resize the cluster, then apply
-    /// the policy's allocation matrix. The `PolicyJobView` vector is
-    /// recycled across intervals (and across the `desired_nodes` /
-    /// `schedule` calls when no resize happens) instead of being
-    /// reallocated and rebuilt per call.
+    /// Scheduling interval: one round of the shared control-plane
+    /// pipeline. The engine builds views over the active jobs, lets
+    /// the [`RoundPlanner`] invoke the policy and diff placements,
+    /// then applies each [`Reallocation`] to its job store. The
+    /// `PolicyJobView` vector is recycled across intervals (and across
+    /// the `desired_nodes` / `plan` calls when no resize happens)
+    /// instead of being reallocated and rebuilt per call.
     fn reschedule(&mut self, now: f64) {
         let _span = self.recorder.span("engine", "reschedule");
-        // Auto-scaling hook.
+        // Auto-scaling phase.
         let mut views = take_views(&mut self.view_buf);
-        views.extend(
-            self.active
-                .iter()
-                .map(|&i| PolicyJobView::from_sim_job(&self.jobs[i])),
-        );
-        let desired = self
-            .policy
-            .desired_nodes(now, &views, &self.spec, &mut self.rng);
+        views.extend(self.active.iter().map(|&i| self.jobs[i].policy_view()));
+        let desired =
+            self.planner
+                .desired_nodes(&mut self.policy, now, &views, &self.spec, &mut self.rng);
         if let Some(nodes) = desired {
             // Resizing mutates placements, so the views are rebuilt.
             store_views(&mut self.view_buf, views);
             self.resize_cluster(nodes.max(1), now);
             views = take_views(&mut self.view_buf);
-            views.extend(
-                self.active
-                    .iter()
-                    .map(|&i| PolicyJobView::from_sim_job(&self.jobs[i])),
-            );
+            views.extend(self.active.iter().map(|&i| self.jobs[i].policy_view()));
         }
-        if views.is_empty() {
-            store_views(&mut self.view_buf, views);
-            return;
-        }
-        let mut matrix = self.policy.schedule(now, &views, &self.spec, &mut self.rng);
+        let outcome = self
+            .planner
+            .plan(&mut self.policy, now, &views, &self.spec, &mut self.rng)
+            .expect("active jobs have unique ids");
         store_views(&mut self.view_buf, views);
-        if let Some(mut stats) = self.policy.take_interval_stats() {
-            stats.time = now;
+        if let Some(stats) = outcome.stats {
             self.sched_stats.push(stats);
         }
-        self.clamp_matrix(&mut matrix);
-
-        let active = std::mem::take(&mut self.active);
-        for (row, &i) in active.iter().enumerate() {
-            let new_row: Vec<u32> = if row < matrix.num_jobs() {
-                let mut r = matrix.row(row).to_vec();
-                r.resize(self.spec.num_nodes(), 0);
-                r
-            } else {
-                vec![0; self.spec.num_nodes()]
-            };
-            self.apply_placement(i, new_row, now);
+        for r in outcome.reallocations {
+            let i = self.active[r.row];
+            self.apply_reallocation(i, r, now);
         }
-        self.active = active;
     }
 
-    /// Applies one job's new placement row, with restart accounting
-    /// and timeline events.
-    fn apply_placement(&mut self, i: usize, new_row: Vec<u32>, now: f64) {
+    /// Applies one planned reallocation: the placement row itself, the
+    /// engine-owned consequences (agent allocation note, batch-size
+    /// clamp), the lifecycle transition, and the timeline event.
+    fn apply_reallocation(&mut self, i: usize, r: Reallocation, now: f64) {
+        let job = &mut self.jobs[i];
+        debug_assert_eq!(job.spec.id, r.job, "view order matches active order");
+        job.placement = r.new;
         let event_kind;
         let event_gpus;
-        let event_job;
-        {
-            let job = &mut self.jobs[i];
-            if job.is_finished() || job.placement == new_row {
-                return;
-            }
-            let had_started = job.start_time.is_some();
-            let was_placed = job.gpus() > 0;
-            job.placement = new_row;
-            event_job = job.spec.id;
+        if let Some(shape) = job.shape() {
+            job.agent.note_allocation(shape);
 
-            if job.gpus() == 0 {
-                // Preempted: progress is checkpointed, the job waits.
-                job.state = JobState::Pending;
-                if !was_placed {
-                    return; // Pending -> pending: nothing happened.
-                }
-                event_kind = EventKind::Preempted;
-                event_gpus = 0;
+            // Clamp the batch size into the feasible range for the
+            // new placement (a batch tuned for many GPUs may not
+            // fit on few).
+            if let Some((lo, hi)) = job.profile.limits.range(shape) {
+                job.batch_size = job.batch_size.clamp(lo, hi);
+            }
+
+            job.lifecycle
+                .grant(r.triggers_restart, now, self.config.restart_delay);
+            if r.triggers_restart {
+                self.restarts_total += 1;
+                event_kind = EventKind::Restarted;
             } else {
-                let shape = job.shape().expect("gpus > 0");
-                job.agent.note_allocation(shape);
-
-                // Clamp the batch size into the feasible range for the
-                // new placement (a batch tuned for many GPUs may not
-                // fit on few).
-                if let Some((lo, hi)) = job.profile.limits.range(shape) {
-                    job.batch_size = job.batch_size.clamp(lo, hi);
-                }
-
-                if had_started {
-                    // Any re-allocation after the first start pays the
-                    // checkpoint-restart delay (Sec. 5.3 "simulator
-                    // fidelity"), including resuming from a preempted
-                    // (checkpointed) state.
-                    job.state = JobState::Restarting {
-                        until: now + self.config.restart_delay,
-                    };
-                    job.num_restarts += 1;
-                    self.restarts_total += 1;
-                    event_kind = EventKind::Restarted;
-                } else {
-                    job.state = JobState::Running;
-                    job.start_time = Some(now);
-                    event_kind = EventKind::Started;
-                }
-                event_gpus = shape.gpus;
+                event_kind = EventKind::Started;
             }
+            event_gpus = shape.gpus;
+        } else {
+            // Preempted: progress is checkpointed, the job waits. The
+            // planner only emits zero-GPU decisions for placed jobs.
+            job.lifecycle.preempt();
+            event_kind = EventKind::Preempted;
+            event_gpus = 0;
         }
         self.events.push(SchedulingEvent {
             time: now,
-            job: event_job,
+            job: r.job,
             kind: event_kind,
             gpus: event_gpus,
         });
@@ -950,25 +959,7 @@ impl<P: SchedulingPolicy> Simulation<P> {
                 // The whole job is preempted (partial placements would
                 // change its world silently).
                 job.placement.iter_mut().for_each(|g| *g = 0);
-                job.state = JobState::Pending;
-            }
-        }
-    }
-
-    /// Defensively trims an infeasible policy matrix to capacity.
-    fn clamp_matrix(&mut self, m: &mut AllocationMatrix) {
-        if m.num_nodes() != self.spec.num_nodes() {
-            m.resize_nodes(self.spec.num_nodes());
-        }
-        for node in m.over_capacity_nodes(&self.spec) {
-            let n = node.index();
-            let cap = self.spec.gpus_on(node);
-            let mut j = 0;
-            while m.gpus_used_on(n) > cap {
-                if m.get(j, n) > 0 {
-                    m.set(j, n, m.get(j, n) - 1);
-                }
-                j = (j + 1) % m.num_jobs().max(1);
+                job.lifecycle.preempt();
             }
         }
     }
@@ -1016,13 +1007,13 @@ impl<P: SchedulingPolicy> Simulation<P> {
         let mut goodput = 0.0;
         for &i in &self.active {
             let job = &self.jobs[i];
-            match job.state {
+            match job.state() {
                 JobState::Running | JobState::Restarting { .. } => {
                     used += job.gpus();
                 }
                 _ => {}
             }
-            match job.state {
+            match job.state() {
                 JobState::Running => {
                     running += 1;
                     if let Some(shape) = job.shape() {
@@ -1096,13 +1087,10 @@ impl<P: SchedulingPolicy> Simulation<P> {
                 id: job.spec.id,
                 kind: job.spec.kind,
                 submit_time: job.spec.submit_time,
-                start_time: job.start_time,
-                finish_time: match job.state {
-                    JobState::Finished { at } => Some(at),
-                    _ => None,
-                },
-                gputime: job.gputime,
-                num_restarts: job.num_restarts,
+                start_time: job.start_time(),
+                finish_time: job.lifecycle.finish_time(),
+                gputime: job.gputime(),
+                num_restarts: job.num_restarts(),
                 examples_processed: job.examples_processed,
                 useful_examples: job.progress,
             })
@@ -1123,7 +1111,7 @@ impl<P: SchedulingPolicy> Simulation<P> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pollux_cluster::JobId;
+    use pollux_cluster::{AllocationMatrix, JobId};
     use pollux_workload::{ModelKind, TraceConfig, TraceGenerator};
 
     /// A trivial policy: every active job gets `gpus` GPUs packed onto

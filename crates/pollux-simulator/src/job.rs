@@ -1,29 +1,19 @@
 //! Simulated job state.
 
+use crate::policy::PolicyJobView;
 use pollux_agent::PolluxAgent;
 use pollux_models::{EfficiencyModel, PlacementShape};
 use pollux_workload::{JobSpec, ModelProfile, UserConfig};
 
-/// Lifecycle of a simulated job.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum JobState {
-    /// Submitted but not yet (or currently not) allocated GPUs.
-    Pending,
-    /// Training on its current placement.
-    Running,
-    /// Checkpoint-restarting after a re-allocation; resumes at `until`.
-    Restarting {
-        /// Simulation time at which training resumes.
-        until: f64,
-    },
-    /// Reached its total work at time `at`.
-    Finished {
-        /// Completion time.
-        at: f64,
-    },
-}
+pub use pollux_control::{JobLifecycle, JobState};
 
 /// One job inside the simulation: ground truth + the agent's noisy view.
+///
+/// Lifecycle state (pending/running/restarting/finished, restart and
+/// GPU-time accounting) lives in the shared control-plane
+/// [`JobLifecycle`] — the same state machine the live `ClusterService`
+/// drives — while this struct adds the simulation-only ground truth:
+/// the model profile, training progress, and the noisy-profiled agent.
 #[derive(Debug, Clone)]
 pub struct SimJob {
     /// The submission record (model, submit time, total work, user
@@ -37,8 +27,9 @@ pub struct SimJob {
     pub profile: ModelProfile,
     /// The job's `PolluxAgent` (profiles, fits, tunes).
     pub agent: PolluxAgent,
-    /// Lifecycle state.
-    pub state: JobState,
+    /// Shared lifecycle state machine (state, start time, restarts,
+    /// attained GPU-time).
+    pub lifecycle: JobLifecycle,
     /// Current placement row (GPUs per node), cluster-width.
     pub placement: Vec<u32>,
     /// Current total batch size.
@@ -47,12 +38,6 @@ pub struct SimJob {
     pub progress: f64,
     /// Accumulated raw examples processed (for throughput accounting).
     pub examples_processed: f64,
-    /// Attained GPU-time in GPU-seconds.
-    pub gputime: f64,
-    /// First time the job received GPUs.
-    pub start_time: Option<f64>,
-    /// Number of checkpoint-restarts suffered.
-    pub num_restarts: u32,
     /// Fit bookkeeping: configurations seen at the last refit.
     pub(crate) last_fit_configs: usize,
     /// Fit bookkeeping: samples seen at the last refit.
@@ -72,27 +57,61 @@ impl SimJob {
             user,
             profile,
             agent,
-            state: JobState::Pending,
+            lifecycle: JobLifecycle::new(),
             placement: vec![0; num_nodes],
             batch_size,
             progress: 0.0,
             examples_processed: 0.0,
-            gputime: 0.0,
-            start_time: None,
-            num_restarts: 0,
             last_fit_configs: 0,
             last_fit_samples: 0,
         }
     }
 
+    /// Current lifecycle state.
+    pub fn state(&self) -> JobState {
+        self.lifecycle.state()
+    }
+
+    /// Attained GPU-time in GPU-seconds.
+    pub fn gputime(&self) -> f64 {
+        self.lifecycle.gputime()
+    }
+
+    /// First time the job received GPUs.
+    pub fn start_time(&self) -> Option<f64> {
+        self.lifecycle.start_time()
+    }
+
+    /// Number of checkpoint-restarts suffered.
+    pub fn num_restarts(&self) -> u32 {
+        self.lifecycle.num_restarts()
+    }
+
     /// Whether the job has finished.
     pub fn is_finished(&self) -> bool {
-        matches!(self.state, JobState::Finished { .. })
+        self.lifecycle.is_finished()
     }
 
     /// Whether the job is actively making progress.
     pub fn is_running(&self) -> bool {
-        matches!(self.state, JobState::Running)
+        self.lifecycle.is_running()
+    }
+
+    /// The read-only view of this job handed to scheduling policies.
+    pub fn policy_view(&self) -> PolicyJobView<'_> {
+        PolicyJobView {
+            id: self.spec.id,
+            user: self.user,
+            profile: Some(&self.profile),
+            limits: self.profile.limits,
+            report: self.agent.report(),
+            gputime: self.lifecycle.gputime(),
+            submit_time: self.spec.submit_time,
+            current_placement: &self.placement,
+            started: self.lifecycle.has_started(),
+            batch_size: self.batch_size,
+            remaining_work: self.remaining_work(),
+        }
     }
 
     /// The job's current placement shape, if it holds any GPUs.
@@ -167,7 +186,7 @@ mod tests {
     #[test]
     fn new_job_is_pending_and_unplaced() {
         let j = sample_job();
-        assert_eq!(j.state, JobState::Pending);
+        assert_eq!(j.state(), JobState::Pending);
         assert_eq!(j.shape(), None);
         assert_eq!(j.gpus(), 0);
         assert_eq!(j.progress_fraction(), 0.0);
@@ -231,5 +250,32 @@ mod tests {
             j.true_throughput(shape, 512),
             j.profile.params.throughput(shape, 512)
         );
+    }
+
+    #[test]
+    fn view_reflects_job_state() {
+        let mut job = sample_job();
+        job.placement = vec![0, 2, 0, 0];
+        job.lifecycle.accrue_gputime(120.0);
+        job.progress = job.spec.work / 2.0;
+
+        let v = job.policy_view();
+        assert_eq!(v.id, job.spec.id);
+        assert!(v.is_running());
+        assert!(!v.started, "GPUs held but never granted through a round");
+        assert_eq!(v.gputime, 120.0);
+        assert!((v.remaining_work - job.spec.work / 2.0).abs() < 1e-6);
+        assert!(v.report.is_none(), "no fit yet");
+    }
+
+    #[test]
+    fn view_report_appears_after_fit() {
+        let mut job = sample_job();
+        let shape = PlacementShape::single();
+        let t = job.true_t_iter(shape, job.profile.m0);
+        job.agent.observe_iteration(shape, job.profile.m0, t);
+        assert!(job.agent.refit());
+        let v = job.policy_view();
+        assert!(v.report.is_some());
     }
 }

@@ -27,7 +27,7 @@ pub mod metrics;
 pub mod policy;
 
 pub use config::SimConfig;
-pub use engine::Simulation;
-pub use job::{JobState, SimJob};
+pub use engine::{SimBuildError, Simulation};
+pub use job::{JobLifecycle, JobState, SimJob};
 pub use metrics::{ClusterSample, JobRecord, SchedIntervalSample, SimResult};
 pub use policy::{PolicyJobView, SchedulingPolicy};

@@ -118,37 +118,10 @@ pub struct JobSample {
     pub progress: f64,
 }
 
-/// Per-interval scheduler cost breakdown, reported by policies that
-/// implement [`crate::SchedulingPolicy::take_interval_stats`] (the
-/// Pollux policy does; baselines report nothing).
-///
-/// Every field is deterministic for a fixed seed and thread count, so
-/// the whole struct participates in the serialized (golden-digested)
-/// `SimResult`. Wall-clock timings of the interval are deliberately
-/// *not* here: they are machine-dependent and flow through the
-/// telemetry sink instead (spans `sched/table_build` and
-/// `sched/ga_evolve`) — see DESIGN.md § Telemetry.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
-pub struct SchedIntervalSample {
-    /// Simulation time of the interval (s).
-    pub time: f64,
-    /// GA generations executed.
-    pub generations_run: u64,
-    /// Full-chromosome fitness evaluations.
-    pub fitness_evals: u64,
-    /// Fitness evaluations answered incrementally (only touched rows
-    /// recomputed).
-    pub incremental_evals: u64,
-    /// Per-job contribution rows recomputed across all incremental
-    /// evaluations.
-    pub rows_recomputed: u64,
-    /// Dense-table lookups answered in range.
-    pub table_hits: u64,
-    /// Out-of-range table lookups (answered 0).
-    pub table_misses: u64,
-    /// Golden-section goodput solves spent building the table.
-    pub table_solves: u64,
-}
+/// Per-interval scheduler cost breakdown; defined in the shared
+/// control-plane core and re-exported here because it participates in
+/// the serialized (golden-digested) [`SimResult`].
+pub use pollux_control::SchedIntervalSample;
 
 /// One point of the derived per-interval cluster time-series
 /// ([`SimResult::cluster_timeseries`]): the goodput/efficiency/

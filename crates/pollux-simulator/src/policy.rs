@@ -1,234 +1,11 @@
-//! The scheduling-policy interface.
+//! The scheduling-policy interface, re-exported from the shared
+//! control-plane core.
 //!
 //! A policy is invoked at every scheduling interval with read-only
 //! views of all active (non-finished) jobs. It returns the allocation
 //! matrix to apply; optionally it can also resize the cluster (cloud
-//! auto-scaling).
+//! auto-scaling). The types live in `pollux-control` so the live
+//! `ClusterService` drives the very same interface; the simulator
+//! builds its views with [`crate::SimJob::policy_view`].
 
-use crate::job::SimJob;
-use crate::metrics::SchedIntervalSample;
-use pollux_agent::AgentReport;
-use pollux_cluster::{AllocationMatrix, ClusterSpec, JobId};
-use pollux_models::BatchSizeLimits;
-use pollux_telemetry::Recorder;
-use pollux_workload::{ModelProfile, UserConfig};
-use rand::rngs::StdRng;
-
-/// Read-only per-job information exposed to policies.
-///
-/// Ground truth is deliberately absent except for `remaining_work`,
-/// which implements the paper's *Optimus+Oracle* concession ("we run
-/// each job ahead of time and provide Optimus with the exact number of
-/// iterations until completion", Sec. 5.2). Honest policies simply
-/// ignore it.
-#[derive(Debug, Clone)]
-pub struct PolicyJobView<'a> {
-    /// Stable job identifier.
-    pub id: JobId,
-    /// The user-submitted `(GPUs, batch size)` configuration.
-    pub user: UserConfig,
-    /// Static, user-visible model metadata (name, m0, memory limits).
-    pub profile: &'a ModelProfile,
-    /// Batch-size limits (same as `profile.limits`, for convenience).
-    pub limits: BatchSizeLimits,
-    /// The agent's latest report, absent until its first θsys fit.
-    pub report: Option<AgentReport>,
-    /// Attained service in GPU-seconds (drives Tiresias priorities and
-    /// Pollux job weights).
-    pub gputime: f64,
-    /// Submission time.
-    pub submit_time: f64,
-    /// The placement row currently applied (cluster-width).
-    pub current_placement: &'a [u32],
-    /// Current batch size in effect.
-    pub batch_size: u64,
-    /// ORACLE: remaining work in examples at m0-efficiency.
-    pub remaining_work: f64,
-}
-
-impl<'a> PolicyJobView<'a> {
-    /// Builds the view from a simulated job (engine internal, but
-    /// public for writing custom drivers and tests).
-    pub fn from_sim_job(job: &'a SimJob) -> Self {
-        Self {
-            id: job.spec.id,
-            user: job.user,
-            profile: &job.profile,
-            limits: job.profile.limits,
-            report: job.agent.report(),
-            gputime: job.gputime,
-            submit_time: job.spec.submit_time,
-            current_placement: &job.placement,
-            batch_size: job.batch_size,
-            remaining_work: job.remaining_work(),
-        }
-    }
-
-    /// True when the job currently holds GPUs.
-    pub fn is_running(&self) -> bool {
-        self.current_placement.iter().any(|&g| g > 0)
-    }
-}
-
-/// A cluster scheduling policy under evaluation.
-pub trait SchedulingPolicy {
-    /// Human-readable policy name (used in experiment output).
-    fn name(&self) -> &'static str;
-
-    /// Whether the engine should let each job's agent re-tune its
-    /// batch size and learning rate (true for Pollux, false for the
-    /// baselines, which use the user-submitted batch size with
-    /// AdaScale LR only — Sec. 5.2).
-    fn adapts_batch_size(&self) -> bool {
-        false
-    }
-
-    /// Computes the allocation matrix for this interval. Row `i`
-    /// corresponds to `jobs[i]`. The returned matrix must be feasible
-    /// for `spec`; the engine clamps infeasible matrices defensively.
-    fn schedule(
-        &mut self,
-        now: f64,
-        jobs: &[PolicyJobView<'_>],
-        spec: &ClusterSpec,
-        rng: &mut StdRng,
-    ) -> AllocationMatrix;
-
-    /// Cloud auto-scaling hook: return the desired number of nodes, or
-    /// `None` to keep the cluster fixed. Called before `schedule` at
-    /// each interval.
-    fn desired_nodes(
-        &mut self,
-        _now: f64,
-        _jobs: &[PolicyJobView<'_>],
-        _spec: &ClusterSpec,
-        _rng: &mut StdRng,
-    ) -> Option<u32> {
-        None
-    }
-
-    /// Explicit batch-size choice for policies that scale the batch
-    /// without goodput awareness (e.g. Or et al.'s throughput-based
-    /// autoscaler, which grows the batch linearly with workers). Only
-    /// consulted when [`Self::adapts_batch_size`] is `false`; `None`
-    /// keeps the job's current batch size.
-    fn choose_batch_size(&self, _job: &PolicyJobView<'_>) -> Option<u64> {
-        None
-    }
-
-    /// Parallelism hint: the engine calls this once at simulation
-    /// start with [`crate::SimConfig::sched_threads`]. Policies whose
-    /// optimizer supports parallel evaluation (e.g. Pollux's genetic
-    /// algorithm) reconfigure their worker pool; the default is a
-    /// no-op, so purely serial policies need not care. Implementations
-    /// must keep results independent of the thread count (Pollux's GA
-    /// guarantees bit-identical schedules for a fixed seed).
-    fn configure_parallelism(&mut self, _threads: usize) {}
-
-    /// Drains the cost breakdown of the most recent `schedule` call,
-    /// if the policy records one. The engine calls this after every
-    /// interval and appends the sample (stamped with the simulation
-    /// time) to [`crate::SimResult::sched_stats`]. The default
-    /// reports nothing.
-    fn take_interval_stats(&mut self) -> Option<SchedIntervalSample> {
-        None
-    }
-
-    /// Hands the policy a telemetry [`Recorder`] so its internals
-    /// (e.g. Pollux's GA) can emit spans and counters. Called by the
-    /// engine when a recorder is attached via
-    /// [`crate::Simulation::with_recorder`]; the default discards it.
-    /// Implementations must uphold the determinism contract: recording
-    /// may not change any scheduling decision.
-    fn attach_telemetry(&mut self, _recorder: Recorder) {}
-}
-
-impl<P: SchedulingPolicy + ?Sized> SchedulingPolicy for Box<P> {
-    fn name(&self) -> &'static str {
-        (**self).name()
-    }
-
-    fn adapts_batch_size(&self) -> bool {
-        (**self).adapts_batch_size()
-    }
-
-    fn schedule(
-        &mut self,
-        now: f64,
-        jobs: &[PolicyJobView<'_>],
-        spec: &ClusterSpec,
-        rng: &mut StdRng,
-    ) -> AllocationMatrix {
-        (**self).schedule(now, jobs, spec, rng)
-    }
-
-    fn desired_nodes(
-        &mut self,
-        now: f64,
-        jobs: &[PolicyJobView<'_>],
-        spec: &ClusterSpec,
-        rng: &mut StdRng,
-    ) -> Option<u32> {
-        (**self).desired_nodes(now, jobs, spec, rng)
-    }
-
-    fn choose_batch_size(&self, job: &PolicyJobView<'_>) -> Option<u64> {
-        (**self).choose_batch_size(job)
-    }
-
-    fn configure_parallelism(&mut self, threads: usize) {
-        (**self).configure_parallelism(threads)
-    }
-
-    fn take_interval_stats(&mut self) -> Option<SchedIntervalSample> {
-        (**self).take_interval_stats()
-    }
-
-    fn attach_telemetry(&mut self, recorder: Recorder) {
-        (**self).attach_telemetry(recorder)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::job::SimJob;
-    use pollux_models::PlacementShape;
-    use pollux_workload::{TraceConfig, TraceGenerator};
-
-    #[test]
-    fn view_reflects_job_state() {
-        let trace = TraceGenerator::new(TraceConfig::default())
-            .unwrap()
-            .generate();
-        let spec = trace[0].clone();
-        let user = spec.tuned;
-        let mut job = SimJob::new(spec, user, 4);
-        job.placement = vec![0, 2, 0, 0];
-        job.gputime = 120.0;
-        job.progress = job.spec.work / 2.0;
-
-        let v = PolicyJobView::from_sim_job(&job);
-        assert_eq!(v.id, job.spec.id);
-        assert!(v.is_running());
-        assert_eq!(v.gputime, 120.0);
-        assert!((v.remaining_work - job.spec.work / 2.0).abs() < 1e-6);
-        assert!(v.report.is_none(), "no fit yet");
-    }
-
-    #[test]
-    fn view_report_appears_after_fit() {
-        let trace = TraceGenerator::new(TraceConfig::default())
-            .unwrap()
-            .generate();
-        let spec = trace[0].clone();
-        let user = spec.tuned;
-        let mut job = SimJob::new(spec, user, 4);
-        let shape = PlacementShape::single();
-        let t = job.true_t_iter(shape, job.profile.m0);
-        job.agent.observe_iteration(shape, job.profile.m0, t);
-        assert!(job.agent.refit());
-        let v = PolicyJobView::from_sim_job(&job);
-        assert!(v.report.is_some());
-    }
-}
+pub use pollux_control::{PolicyJobView, SchedulingPolicy};

@@ -48,8 +48,16 @@ fn main() {
     // Fresh jobs get bootstrap allocations (1-2 GPUs).
     service.wait_for_rounds(2, Duration::from_secs(30));
     println!("bootstrap placements:");
-    println!("  resnet: {:?}", h_resnet.placement());
-    println!("  speech: {:?}", h_speech.placement());
+    println!(
+        "  resnet: {:?} ({:?})",
+        h_resnet.placement(),
+        h_resnet.state()
+    );
+    println!(
+        "  speech: {:?} ({:?})",
+        h_speech.placement(),
+        h_speech.state()
+    );
 
     // Training code reports profiled iterations + gradient statistics
     // (here generated from the ground-truth profiles).
@@ -67,7 +75,7 @@ fn main() {
     // The next rounds use the reported goodput models: the scalable
     // job grows; both get tuned batch sizes and learning rates.
     let r = service.rounds();
-    service.trigger_schedule();
+    service.trigger_schedule().expect("service running");
     service.wait_for_rounds(r + 3, Duration::from_secs(30));
 
     println!("\nafter agent reports:");
@@ -86,7 +94,7 @@ fn main() {
     // Completing a job frees its GPUs at the next round.
     service.complete(h_speech.id());
     let r = service.rounds();
-    service.trigger_schedule();
+    service.trigger_schedule().expect("service running");
     service.wait_for_rounds(r + 2, Duration::from_secs(30));
     let gpus: u32 = h_resnet.placement().iter().sum();
     println!("\nafter speech completes, resnet holds {gpus} GPUs");

@@ -2,13 +2,14 @@
 //!
 //! See the individual crates for detailed documentation:
 //! [`pollux_core`], [`pollux_models`], [`pollux_sched`], [`pollux_agent`],
-//! [`pollux_simulator`], [`pollux_workload`], [`pollux_baselines`],
-//! [`pollux_trainer`], [`pollux_experiments`], [`pollux_opt`],
-//! [`pollux_cluster`].
+//! [`pollux_control`], [`pollux_simulator`], [`pollux_workload`],
+//! [`pollux_baselines`], [`pollux_trainer`], [`pollux_experiments`],
+//! [`pollux_opt`], [`pollux_cluster`].
 
 pub use pollux_agent as agent;
 pub use pollux_baselines as baselines;
 pub use pollux_cluster as cluster;
+pub use pollux_control as control;
 pub use pollux_core as core;
 pub use pollux_experiments as experiments;
 pub use pollux_models as models;

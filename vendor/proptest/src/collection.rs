@@ -4,7 +4,7 @@ use crate::strategy::Strategy;
 use rand::rngs::StdRng;
 use rand::Rng;
 
-/// Length specification for [`vec`]: either an exact length or a
+/// Length specification for [`vec()`]: either an exact length or a
 /// half-open / inclusive range of lengths.
 #[derive(Debug, Clone)]
 pub struct SizeRange {

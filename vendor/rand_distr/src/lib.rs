@@ -9,7 +9,7 @@
 
 use rand::RngCore;
 
-/// Types from which values can be sampled with an [`Rng`].
+/// Types from which values can be sampled with an `Rng`.
 pub trait Distribution<T> {
     /// Draws one value.
     fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
