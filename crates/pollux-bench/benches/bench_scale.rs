@@ -1,0 +1,364 @@
+//! Datacenter-scale sweep of the scheduling round: how does one
+//! Pollux optimization + planning round cost grow with cluster and
+//! job-queue size?
+//!
+//! Sweep points (nodes × jobs): 16×64, 64×256, 256×2 500, 1024×10 000,
+//! each drawn from a synthetic month-long trace (720 h submission
+//! window). Per point, three arms:
+//!
+//! 1. `pollux_racked` — the two-phase rack-aware GA
+//!    ([`pollux_sched::rackga`] + per-rack placement GA) under a
+//!    16-nodes-per-rack topology. Runs at **every** point, including
+//!    1024×10 000.
+//! 2. `pollux_flat` — the dense single-rack GA baseline. Runs only up
+//!    to 256 nodes: its chromosome is one cell per (job, node) and a
+//!    10 000 × 1 024 population stops fitting in time or memory —
+//!    which is the point of the sweep.
+//! 3. `planner` — a [`RoundPlanner`] round over a cheap keep-current
+//!    policy: a quiet round (no placement changes) must materialize
+//!    **zero** rows, and a churn round touching `k` jobs must
+//!    materialize exactly `k`, evidencing the O(changed) diff.
+//!
+//! The scaling claim pinned in full mode: going 64×256 → 256×2 500,
+//! the racked round cost must grow by a smaller factor than the dense
+//! round cost (sublinear relative to the dense baseline), and the
+//! 1024×10 000 racked point must complete.
+//!
+//! Not a criterion bench: a custom `main` writing machine-readable
+//! output to `BENCH_scale.json` in the repo root. Set
+//! `BENCH_SCALE_QUICK=1` (CI does) to sweep only the two smallest
+//! points with one repetition, same schema, no hard assertions.
+
+use pollux_cluster::{AllocationMatrix, ClusterSpec, Topology};
+use pollux_control::{bootstrap_sched_job, PolicyJobView, RoundPlanner, SchedulingPolicy};
+use pollux_sched::{GaConfig, PolluxSched, SchedConfig, SchedJob};
+use pollux_workload::{JobSpec, TraceConfig, TraceGenerator, UserConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Nodes per rack for the racked arm (64 GPUs per rack at 4/node).
+const NODES_PER_RACK: u32 = 16;
+/// GPUs per node across the sweep.
+const GPUS_PER_NODE: u32 = 4;
+/// Jobs moved in the planner churn round.
+const CHURNED_JOBS: usize = 8;
+
+struct Point {
+    nodes: u32,
+    jobs: usize,
+    /// Whether the dense single-rack baseline is tractable here.
+    flat: bool,
+}
+
+const SWEEP: [Point; 4] = [
+    Point {
+        nodes: 16,
+        jobs: 64,
+        flat: true,
+    },
+    Point {
+        nodes: 64,
+        jobs: 256,
+        flat: true,
+    },
+    Point {
+        nodes: 256,
+        jobs: 2_500,
+        flat: true,
+    },
+    Point {
+        nodes: 1_024,
+        jobs: 10_000,
+        flat: false,
+    },
+];
+
+/// Month-long synthetic submission window for every point.
+fn trace(jobs: usize) -> Vec<JobSpec> {
+    TraceGenerator::new(TraceConfig {
+        num_jobs: jobs,
+        duration_hours: 720.0,
+        max_gpus: 2 * GPUS_PER_NODE,
+        gpus_per_node: GPUS_PER_NODE,
+        seed: 2024,
+        ..Default::default()
+    })
+    .expect("static trace config is valid")
+    .generate()
+}
+
+/// The standing job set one round optimizes: every trace job as a
+/// scheduler job (bootstrap goodput prior — no agent loop here; the
+/// round cost, not the trajectory, is what this bench prices), with
+/// the trace's tuned GPU ask as the scale cap and a packed placement
+/// so the keep/home-rack machinery engages.
+fn sched_jobs(specs: &[JobSpec], nodes: u32) -> Vec<SchedJob> {
+    let placements = packed_placements(specs.len(), nodes);
+    specs
+        .iter()
+        .zip(placements)
+        .map(|(spec, placement)| {
+            let mut job = bootstrap_sched_job(spec.id, spec.kind.profile().limits, 1.0, placement);
+            job.gpu_cap = spec.tuned.gpus.clamp(1, 2 * GPUS_PER_NODE);
+            job
+        })
+        .collect()
+}
+
+/// One GPU per job, packed node by node until the cluster is full;
+/// later jobs idle. Deterministic, rack-local, capacity-feasible.
+fn packed_placements(jobs: usize, nodes: u32) -> Vec<Vec<u32>> {
+    let n = nodes as usize;
+    let mut free = vec![GPUS_PER_NODE; n];
+    let mut next = 0usize;
+    (0..jobs)
+        .map(|_| {
+            let mut row = vec![0u32; n];
+            while next < n && free[next] == 0 {
+                next += 1;
+            }
+            if next < n {
+                row[next] = 1;
+                free[next] -= 1;
+            }
+            row
+        })
+        .collect()
+}
+
+fn ga_config() -> GaConfig {
+    GaConfig {
+        population: 12,
+        generations: 8,
+        ..Default::default()
+    }
+}
+
+/// One full optimization round; returns the matrix and its wall time.
+fn sched_round(
+    jobs: &[SchedJob],
+    spec: &ClusterSpec,
+    topo: Option<&Topology>,
+) -> (AllocationMatrix, u128) {
+    let mut sched = PolluxSched::new(SchedConfig {
+        ga: ga_config(),
+        ..Default::default()
+    });
+    sched.set_topology(topo.cloned());
+    let mut rng = StdRng::seed_from_u64(11);
+    let start = Instant::now();
+    let matrix = sched.schedule(jobs, spec, &mut rng);
+    (matrix, start.elapsed().as_nanos())
+}
+
+/// Keep-current policy with an optional forced migration of the first
+/// `churn` running jobs to the last node — the planner diff under a
+/// quiet (churn = 0) and a lightly churning round.
+struct KeepPolicy {
+    churn: usize,
+}
+
+impl SchedulingPolicy for KeepPolicy {
+    fn name(&self) -> &'static str {
+        "keep-current"
+    }
+
+    fn schedule(
+        &mut self,
+        _now: f64,
+        jobs: &[PolicyJobView<'_>],
+        spec: &ClusterSpec,
+        _rng: &mut StdRng,
+    ) -> AllocationMatrix {
+        let n = spec.num_nodes();
+        let mut m = AllocationMatrix::zeros(jobs.len(), n);
+        let mut moved = 0usize;
+        for (j, view) in jobs.iter().enumerate() {
+            if moved < self.churn && view.is_running() {
+                m.set(j, n - 1, view.current_placement.iter().sum());
+                moved += 1;
+                continue;
+            }
+            for (node, &g) in view.current_placement.iter().enumerate() {
+                if g > 0 {
+                    m.set(j, node, g);
+                }
+            }
+        }
+        m
+    }
+}
+
+struct PlannerCost {
+    ns: u128,
+    rows_materialized: u64,
+    reallocations: usize,
+}
+
+/// One planner round over `jobs` views with `churn` forced moves.
+fn planner_round(specs: &[JobSpec], nodes: u32, churn: usize) -> PlannerCost {
+    let spec = ClusterSpec::homogeneous(nodes, GPUS_PER_NODE).expect("nodes >= 1");
+    let placements = packed_placements(specs.len(), nodes);
+    let views: Vec<PolicyJobView<'_>> = specs
+        .iter()
+        .zip(&placements)
+        .map(|(job, placement)| PolicyJobView {
+            id: job.id,
+            user: UserConfig {
+                gpus: job.tuned.gpus,
+                batch_size: job.tuned.batch_size,
+            },
+            profile: None,
+            limits: job.kind.profile().limits,
+            report: None,
+            gputime: 0.0,
+            submit_time: job.submit_time,
+            current_placement: placement,
+            started: true,
+            batch_size: job.tuned.batch_size,
+            remaining_work: 1.0e9,
+        })
+        .collect();
+    let mut planner = RoundPlanner::new();
+    let mut policy = KeepPolicy { churn };
+    let mut rng = StdRng::seed_from_u64(13);
+    let start = Instant::now();
+    let outcome = planner
+        .plan(&mut policy, 0.0, &views, &spec, &mut rng)
+        .expect("unique job ids");
+    PlannerCost {
+        ns: start.elapsed().as_nanos(),
+        rows_materialized: planner.rows_materialized(),
+        reallocations: outcome.reallocations.len(),
+    }
+}
+
+struct PointResult {
+    nodes: u32,
+    jobs: usize,
+    racked_ns: u128,
+    flat_ns: Option<u128>,
+    quiet: PlannerCost,
+    churned: PlannerCost,
+}
+
+fn measure_point(point: &Point, reps: usize) -> PointResult {
+    let specs = trace(point.jobs);
+    let jobs = sched_jobs(&specs, point.nodes);
+    let spec = ClusterSpec::homogeneous(point.nodes, GPUS_PER_NODE).expect("nodes >= 1");
+    let topo = Topology::grouped(point.nodes, NODES_PER_RACK).expect("valid rack grouping");
+
+    let (racked_matrix, mut racked_ns) = sched_round(&jobs, &spec, Some(&topo));
+    for _ in 1..reps {
+        let (again, ns) = sched_round(&jobs, &spec, Some(&topo));
+        assert_eq!(
+            again, racked_matrix,
+            "racked round non-deterministic at {}x{}",
+            point.nodes, point.jobs
+        );
+        racked_ns = racked_ns.min(ns);
+    }
+
+    let flat_ns = point.flat.then(|| {
+        let (flat_matrix, mut best) = sched_round(&jobs, &spec, None);
+        for _ in 1..reps {
+            let (again, ns) = sched_round(&jobs, &spec, None);
+            assert_eq!(
+                again, flat_matrix,
+                "flat round non-deterministic at {}x{}",
+                point.nodes, point.jobs
+            );
+            best = best.min(ns);
+        }
+        best
+    });
+
+    let quiet = planner_round(&specs, point.nodes, 0);
+    assert_eq!(
+        quiet.rows_materialized, 0,
+        "quiet round must materialize zero placement rows"
+    );
+    assert_eq!(quiet.reallocations, 0, "quiet round must not reallocate");
+    let churn = CHURNED_JOBS.min(point.jobs);
+    let churned = planner_round(&specs, point.nodes, churn);
+    assert_eq!(
+        churned.rows_materialized, churn as u64,
+        "churn round must materialize exactly the changed rows"
+    );
+
+    PointResult {
+        nodes: point.nodes,
+        jobs: point.jobs,
+        racked_ns,
+        flat_ns,
+        quiet,
+        churned,
+    }
+}
+
+fn main() {
+    let quick = std::env::var("BENCH_SCALE_QUICK").is_ok_and(|v| v != "0");
+    let (points, reps): (&[Point], usize) = if quick {
+        (&SWEEP[..2], 1)
+    } else {
+        (&SWEEP[..], 2)
+    };
+
+    let results: Vec<PointResult> = points.iter().map(|p| measure_point(p, reps)).collect();
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!(
+        "  \"bench\": \"bench_scale\",\n  \"quick\": {quick},\n  \"gpus_per_node\": {GPUS_PER_NODE},\n  \"nodes_per_rack\": {NODES_PER_RACK},\n  \"trace_window_hours\": 720.0,\n  \"reps\": {reps},\n  \"points\": [\n"
+    ));
+    for (i, r) in results.iter().enumerate() {
+        let flat = r.flat_ns.map_or("null".to_string(), |ns| ns.to_string());
+        out.push_str(&format!(
+            "    {{ \"nodes\": {}, \"jobs\": {}, \"racked_round_ns\": {}, \"flat_round_ns\": {}, \"planner_quiet_ns\": {}, \"planner_quiet_rows\": {}, \"planner_churn_ns\": {}, \"planner_churn_rows\": {} }}{}\n",
+            r.nodes,
+            r.jobs,
+            r.racked_ns,
+            flat,
+            r.quiet.ns,
+            r.quiet.rows_materialized,
+            r.churned.ns,
+            r.churned.rows_materialized,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    // The scaling evidence: cost growth going 64x256 -> 256x2500 for
+    // each arm (only meaningful when both points ran both arms).
+    let growth = (!quick && results.len() >= 3)
+        .then(|| {
+            let flat = results[2].flat_ns? as f64 / results[1].flat_ns? as f64;
+            let racked = results[2].racked_ns as f64 / results[1].racked_ns as f64;
+            Some((flat, racked))
+        })
+        .flatten();
+    match growth {
+        Some((flat, racked)) => out.push_str(&format!(
+            "  ],\n  \"growth_64x256_to_256x2500\": {{ \"flat\": {flat:.2}, \"racked\": {racked:.2} }}\n}}\n"
+        )),
+        None => out.push_str("  ],\n  \"growth_64x256_to_256x2500\": null\n}\n"),
+    }
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scale.json");
+    std::fs::write(path, &out).expect("write BENCH_scale.json");
+    print!("{out}");
+
+    if !quick {
+        let (flat, racked) = growth.expect("full sweep ran both arms at the shared points");
+        assert!(
+            racked < flat,
+            "racked round cost must grow slower than the dense baseline \
+             (racked {racked:.2}x vs flat {flat:.2}x going 64x256 -> 256x2500)"
+        );
+        let largest = results.last().expect("sweep is non-empty");
+        assert_eq!(
+            (largest.nodes, largest.jobs),
+            (1_024, 10_000),
+            "the datacenter-scale point must run"
+        );
+    }
+}

@@ -1,0 +1,300 @@
+//! Sparse allocation representation for datacenter-scale clusters.
+//!
+//! [`crate::AllocationMatrix`] stores one `u32` per (job, node) cell;
+//! at 10k jobs × 1k nodes that is 40 MB touched on every copy, diff,
+//! and fitness pass even though a placement row holds GPUs on a
+//! handful of nodes. [`SparseAllocation`] stores only the occupied
+//! cells — per-job sorted `(node, gpus)` entry lists — so mutation,
+//! diffing, and per-node occupancy queries cost O(occupied), not
+//! O(nodes). A dense-view adapter ([`SparseAllocation::to_dense`] /
+//! [`SparseAllocation::dense_row`]) bridges to code still speaking
+//! matrices; the `sparse_equiv` proptest suite pins the two
+//! representations to each other under random operation sequences.
+
+use pollux_models::PlacementShape;
+use serde::{Deserialize, Serialize};
+
+use crate::alloc::AllocationMatrix;
+
+/// Per-job `{node → gpus}` maps over a fixed node count.
+///
+/// Invariants: each row's entries are sorted by node index, hold
+/// `gpus > 0` only, and reference nodes `< num_nodes`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SparseAllocation {
+    num_nodes: usize,
+    /// `rows[j]` — sorted `(node, gpus)` with `gpus > 0`.
+    rows: Vec<Vec<(u32, u32)>>,
+}
+
+impl SparseAllocation {
+    /// An empty allocation: no job holds any GPU.
+    pub fn zeros(num_jobs: usize, num_nodes: usize) -> Self {
+        Self {
+            num_nodes,
+            rows: vec![Vec::new(); num_jobs],
+        }
+    }
+
+    /// Converts a dense matrix, dropping zero cells.
+    pub fn from_dense(m: &AllocationMatrix) -> Self {
+        let rows = m
+            .iter_rows()
+            .map(|(_, row)| {
+                row.iter()
+                    .enumerate()
+                    .filter(|&(_, &g)| g > 0)
+                    .map(|(n, &g)| (n as u32, g))
+                    .collect()
+            })
+            .collect();
+        Self {
+            num_nodes: m.num_nodes(),
+            rows,
+        }
+    }
+
+    /// Materializes the equivalent dense matrix.
+    pub fn to_dense(&self) -> AllocationMatrix {
+        let mut m = AllocationMatrix::zeros(self.num_jobs(), self.num_nodes);
+        for (j, row) in self.rows.iter().enumerate() {
+            for &(n, g) in row {
+                m.set(j, n as usize, g);
+            }
+        }
+        m
+    }
+
+    /// Number of jobs (rows).
+    pub fn num_jobs(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of nodes (columns of the dense view).
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// The occupied entries of job `j`: sorted `(node, gpus)` pairs.
+    pub fn entries(&self, j: usize) -> &[(u32, u32)] {
+        &self.rows[j]
+    }
+
+    /// GPUs of job `j` on node `n` (0 when unoccupied).
+    pub fn get(&self, j: usize, n: usize) -> u32 {
+        match self.rows[j].binary_search_by_key(&(n as u32), |&(node, _)| node) {
+            Ok(i) => self.rows[j][i].1,
+            Err(_) => 0,
+        }
+    }
+
+    /// Sets job `j`'s GPU count on node `n` (0 clears the entry).
+    pub fn set(&mut self, j: usize, n: usize, gpus: u32) {
+        assert!(n < self.num_nodes, "node {n} out of range");
+        let row = &mut self.rows[j];
+        match row.binary_search_by_key(&(n as u32), |&(node, _)| node) {
+            Ok(i) => {
+                if gpus == 0 {
+                    row.remove(i);
+                } else {
+                    row[i].1 = gpus;
+                }
+            }
+            Err(i) => {
+                if gpus > 0 {
+                    row.insert(i, (n as u32, gpus));
+                }
+            }
+        }
+    }
+
+    /// Replaces job `j`'s row from a dense slice (width must match).
+    pub fn set_row_dense(&mut self, j: usize, row: &[u32]) {
+        assert_eq!(row.len(), self.num_nodes, "row width mismatch");
+        self.rows[j] = row
+            .iter()
+            .enumerate()
+            .filter(|&(_, &g)| g > 0)
+            .map(|(n, &g)| (n as u32, g))
+            .collect();
+    }
+
+    /// Appends an empty row; returns its index.
+    pub fn push_job(&mut self) -> usize {
+        self.rows.push(Vec::new());
+        self.rows.len() - 1
+    }
+
+    /// Removes job `j`'s row, shifting later rows up.
+    pub fn remove_job(&mut self, j: usize) {
+        self.rows.remove(j);
+    }
+
+    /// Grows or shrinks the node count; entries on dropped nodes are
+    /// discarded (matching `AllocationMatrix::resize_nodes`, which
+    /// truncates rows).
+    pub fn resize_nodes(&mut self, num_nodes: usize) {
+        if num_nodes < self.num_nodes {
+            for row in &mut self.rows {
+                row.retain(|&(n, _)| (n as usize) < num_nodes);
+            }
+        }
+        self.num_nodes = num_nodes;
+    }
+
+    /// Total GPUs of job `j`.
+    pub fn gpus_of(&self, j: usize) -> u32 {
+        self.rows[j].iter().map(|&(_, g)| g).sum()
+    }
+
+    /// Number of nodes job `j` occupies.
+    pub fn nodes_of(&self, j: usize) -> u32 {
+        self.rows[j].len() as u32
+    }
+
+    /// The `(K, N)` placement shape of job `j`, `None` when idle.
+    pub fn shape_of(&self, j: usize) -> Option<PlacementShape> {
+        let gpus = self.gpus_of(j);
+        if gpus == 0 {
+            None
+        } else {
+            PlacementShape::new(gpus, self.nodes_of(j))
+        }
+    }
+
+    /// Whether job `j` spans more than one node.
+    pub fn is_distributed(&self, j: usize) -> bool {
+        self.rows[j].len() > 1
+    }
+
+    /// Total GPUs allocated on node `n` across all jobs.
+    ///
+    /// O(jobs · log occupancy); for hot loops prefer a per-node
+    /// occupancy index maintained alongside (see the simulator's
+    /// interference index).
+    pub fn gpus_used_on(&self, n: usize) -> u32 {
+        (0..self.rows.len()).map(|j| self.get(j, n)).sum()
+    }
+
+    /// Total GPUs allocated across all jobs and nodes.
+    pub fn total_gpus_used(&self) -> u32 {
+        self.rows
+            .iter()
+            .flat_map(|row| row.iter().map(|&(_, g)| g))
+            .sum()
+    }
+
+    /// Materializes job `j`'s dense row.
+    pub fn dense_row(&self, j: usize) -> Vec<u32> {
+        let mut row = vec![0; self.num_nodes];
+        for &(n, g) in &self.rows[j] {
+            row[n as usize] = g;
+        }
+        row
+    }
+
+    /// Whether job `j`'s row equals the dense slice `row` under
+    /// implicit zero padding (either side may be narrower than the
+    /// other; missing cells count as 0). Cost O(occupied + |row|'s
+    /// nonzeros) — no materialization.
+    pub fn row_equals_dense(&self, j: usize, row: &[u32]) -> bool {
+        let mut entries = self.rows[j].iter().peekable();
+        for (n, &g) in row.iter().enumerate() {
+            match entries.peek() {
+                Some(&&(node, gpus)) if node as usize == n => {
+                    if gpus != g {
+                        return false;
+                    }
+                    entries.next();
+                }
+                _ => {
+                    if g != 0 {
+                        return false;
+                    }
+                }
+            }
+        }
+        entries.next().is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip_and_entry_compaction() {
+        let mut s = SparseAllocation::zeros(2, 4);
+        s.set(0, 2, 3);
+        s.set(0, 0, 1);
+        s.set(1, 3, 2);
+        assert_eq!(s.entries(0), &[(0, 1), (2, 3)]);
+        assert_eq!(s.get(0, 2), 3);
+        assert_eq!(s.get(0, 1), 0);
+        s.set(0, 2, 0);
+        assert_eq!(s.entries(0), &[(0, 1)]);
+        assert_eq!(s.gpus_of(1), 2);
+        assert_eq!(s.nodes_of(0), 1);
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let m = AllocationMatrix::from_rows(vec![vec![2, 0, 1], vec![0, 0, 0]], 3).unwrap();
+        let s = SparseAllocation::from_dense(&m);
+        assert_eq!(s.to_dense(), m);
+        assert_eq!(s.dense_row(0), vec![2, 0, 1]);
+        assert!(s.is_distributed(0));
+        assert!(!s.is_distributed(1));
+        assert_eq!(s.shape_of(0), PlacementShape::new(3, 2));
+        assert_eq!(s.shape_of(1), None);
+    }
+
+    #[test]
+    fn resize_drops_trailing_entries() {
+        let mut s = SparseAllocation::zeros(1, 4);
+        s.set(0, 1, 2);
+        s.set(0, 3, 5);
+        s.resize_nodes(2);
+        assert_eq!(s.entries(0), &[(1, 2)]);
+        s.resize_nodes(5);
+        assert_eq!(s.num_nodes(), 5);
+        assert_eq!(s.get(0, 3), 0);
+    }
+
+    #[test]
+    fn push_remove_job() {
+        let mut s = SparseAllocation::zeros(1, 2);
+        s.set(0, 0, 1);
+        let j = s.push_job();
+        s.set(j, 1, 4);
+        s.remove_job(0);
+        assert_eq!(s.num_jobs(), 1);
+        assert_eq!(s.entries(0), &[(1, 4)]);
+        assert_eq!(s.total_gpus_used(), 4);
+    }
+
+    #[test]
+    fn row_equals_dense_pads_with_zeros() {
+        let mut s = SparseAllocation::zeros(1, 4);
+        s.set(0, 1, 2);
+        assert!(s.row_equals_dense(0, &[0, 2, 0, 0]));
+        assert!(s.row_equals_dense(0, &[0, 2]));
+        assert!(!s.row_equals_dense(0, &[0, 2, 1, 0]));
+        assert!(!s.row_equals_dense(0, &[0, 0, 0, 0]));
+        let empty = SparseAllocation::zeros(1, 2);
+        assert!(empty.row_equals_dense(0, &[]));
+        assert!(empty.row_equals_dense(0, &[0, 0]));
+        assert!(!empty.row_equals_dense(0, &[1]));
+    }
+
+    #[test]
+    fn per_node_usage_matches_dense() {
+        let m = AllocationMatrix::from_rows(vec![vec![2, 0, 1], vec![1, 1, 0], vec![0, 0, 0]], 3)
+            .unwrap();
+        let s = SparseAllocation::from_dense(&m);
+        for n in 0..3 {
+            assert_eq!(s.gpus_used_on(n), m.gpus_used_on(n));
+        }
+        assert_eq!(s.total_gpus_used(), m.total_gpus_used());
+    }
+}

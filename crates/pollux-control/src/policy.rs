@@ -8,7 +8,7 @@
 //! same [`crate::RoundPlanner`].
 
 use pollux_agent::AgentReport;
-use pollux_cluster::{AllocationMatrix, ClusterSpec, JobId};
+use pollux_cluster::{AllocationMatrix, ClusterSpec, JobId, Topology};
 use pollux_models::BatchSizeLimits;
 use pollux_telemetry::Recorder;
 use pollux_workload::{ModelProfile, UserConfig};
@@ -150,6 +150,16 @@ pub trait SchedulingPolicy {
     /// bit-identical schedules for a fixed seed).
     fn configure_parallelism(&mut self, _threads: usize) {}
 
+    /// Topology hint: drivers call this at startup (and again after a
+    /// cluster resize) with the rack layout, or `None` when the
+    /// cluster is flat. Rack-aware policies (Pollux's two-phase GA)
+    /// decompose their placement search along the racks; the default
+    /// is a no-op, so flat policies need not care. Implementations
+    /// must stay bit-identical to their flat search under a
+    /// single-rack topology — the golden-digest suites pin this for
+    /// Pollux.
+    fn configure_topology(&mut self, _topology: Option<&Topology>) {}
+
     /// Drains the cost breakdown of the most recent `schedule` call,
     /// if the policy records one. The round pipeline calls this after
     /// every round, stamps the sample with the round time, and returns
@@ -203,6 +213,10 @@ impl<P: SchedulingPolicy + ?Sized> SchedulingPolicy for Box<P> {
 
     fn configure_parallelism(&mut self, threads: usize) {
         (**self).configure_parallelism(threads)
+    }
+
+    fn configure_topology(&mut self, topology: Option<&Topology>) {
+        (**self).configure_topology(topology)
     }
 
     fn take_interval_stats(&mut self) -> Option<SchedIntervalSample> {

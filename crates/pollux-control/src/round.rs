@@ -90,6 +90,11 @@ pub struct RoundPlanner {
     reallocations_ctr: Counter,
     /// Recycled duplicate-check scratch.
     ids_buf: Vec<JobId>,
+    /// Cumulative count of placement rows materialized by the diff
+    /// phase. A quiet round (policy returns every current placement)
+    /// materializes zero rows — round cost scales with churn, not
+    /// cluster size; the regression test pins this.
+    rows_materialized: u64,
 }
 
 impl RoundPlanner {
@@ -102,6 +107,14 @@ impl RoundPlanner {
     /// never changes a planned outcome.
     pub fn attach_telemetry(&mut self, recorder: Recorder) {
         self.reallocations_ctr = recorder.counter("control", "reallocations");
+    }
+
+    /// Cumulative number of placement rows the diff phase has copied
+    /// out of policy matrices across all rounds. Unchanged rows are
+    /// compared in place and never allocated, so this grows O(churn)
+    /// per round, independent of job and node counts.
+    pub fn rows_materialized(&self) -> u64 {
+        self.rows_materialized
     }
 
     /// The auto-scaling phase of a round: asks the policy for a
@@ -157,22 +170,29 @@ impl RoundPlanner {
         });
         clamp_matrix(&mut matrix, spec);
 
+        let num_nodes = spec.num_nodes();
         let mut reallocations = Vec::new();
         for (row, view) in views.iter().enumerate() {
-            let new_row: Vec<u32> = if row < matrix.num_jobs() {
-                let mut r = matrix.row(row).to_vec();
-                r.resize(spec.num_nodes(), 0);
-                r
+            // Post-clamp the matrix is cluster-width, so a view's row
+            // (or the implicit all-zero row when the policy returned
+            // too few) can be compared in place; rows are copied out
+            // only once known to differ, keeping a quiet round's diff
+            // cost O(changed) instead of O(jobs × nodes).
+            let matrix_row: &[u32] = if row < matrix.num_jobs() {
+                matrix.row(row)
             } else {
-                vec![0; spec.num_nodes()]
+                &[]
             };
-            if new_row[..] == *view.current_placement {
+            if rows_equal_padded(matrix_row, view.current_placement, num_nodes) {
                 continue;
             }
-            let gpus: u32 = new_row.iter().sum();
+            let gpus: u32 = matrix_row.iter().sum();
             if gpus == 0 && !view.current_placement.iter().any(|&g| g > 0) {
                 continue; // Pending -> pending: nothing happened.
             }
+            let mut new_row = matrix_row.to_vec();
+            new_row.resize(num_nodes, 0);
+            self.rows_materialized += 1;
             reallocations.push(Reallocation {
                 job: view.id,
                 row,
@@ -187,6 +207,21 @@ impl RoundPlanner {
             stats,
         })
     }
+}
+
+/// Whether a policy matrix row equals a view's current placement,
+/// treating cells past `matrix_row.len()` as zero. `current` narrower
+/// or wider than the cluster (a transient width mismatch around a
+/// resize) always diffs as changed, matching the strict slice
+/// comparison this replaces.
+fn rows_equal_padded(matrix_row: &[u32], current: &[u32], width: usize) -> bool {
+    if current.len() != width {
+        return false;
+    }
+    current
+        .iter()
+        .enumerate()
+        .all(|(n, &g)| matrix_row.get(n).copied().unwrap_or(0) == g)
 }
 
 /// Defensively trims an infeasible policy matrix to capacity: the
@@ -395,6 +430,58 @@ mod tests {
         assert_eq!(r.job, JobId(2));
         assert_eq!(r.row, 2);
         assert!(!r.triggers_restart, "first start is not a restart");
+    }
+
+    #[test]
+    fn quiet_round_materializes_zero_rows_and_churn_only_changed() {
+        // 64 jobs each holding one GPU on their own node; the policy
+        // returns exactly the current allocation. The diff phase must
+        // allocate nothing: O(changed) == 0, not O(jobs).
+        let jobs = 64usize;
+        let spec = ClusterSpec::homogeneous(jobs as u32, 4).unwrap();
+        let placements: Vec<Vec<u32>> = (0..jobs)
+            .map(|j| {
+                let mut p = vec![0u32; jobs];
+                p[j] = 1;
+                p
+            })
+            .collect();
+        let views: Vec<PolicyJobView<'_>> = placements
+            .iter()
+            .enumerate()
+            .map(|(j, p)| view(j as u32, p, true))
+            .collect();
+        let quiet = AllocationMatrix::from_rows(placements.clone(), jobs).unwrap();
+        // Round 2: only job 0 moves (node 0 -> node 1's second slot).
+        let mut churned_rows = placements.clone();
+        churned_rows[0] = vec![0; jobs];
+        churned_rows[0][1] = 1;
+        let churned = AllocationMatrix::from_rows(churned_rows, jobs).unwrap();
+
+        let mut planner = RoundPlanner::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut policy = Scripted::new(vec![quiet, churned]);
+
+        let outcome = planner
+            .plan(&mut policy, 60.0, &views, &spec, &mut rng)
+            .unwrap();
+        assert!(outcome.reallocations.is_empty());
+        assert_eq!(
+            planner.rows_materialized(),
+            0,
+            "a quiet round must not materialize any placement rows"
+        );
+
+        let outcome = planner
+            .plan(&mut policy, 120.0, &views, &spec, &mut rng)
+            .unwrap();
+        assert_eq!(outcome.reallocations.len(), 1);
+        assert_eq!(outcome.reallocations[0].job, JobId(0));
+        assert_eq!(
+            planner.rows_materialized(),
+            1,
+            "round cost must scale with churn, not job count"
+        );
     }
 
     #[test]

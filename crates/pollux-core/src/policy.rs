@@ -1,7 +1,7 @@
 //! `PolluxPolicy`: the co-adaptive scheduler behind the
 //! `SchedulingPolicy` interface.
 
-use pollux_cluster::{AllocationMatrix, ClusterSpec};
+use pollux_cluster::{AllocationMatrix, ClusterSpec, Topology};
 use pollux_control::{sched_jobs_from_views, PolicyJobView, SchedIntervalSample, SchedulingPolicy};
 use pollux_sched::{
     AutoscaleConfig, Autoscaler, PolluxSched, SchedConfig, SchedJob, SpeedupTableStats,
@@ -100,6 +100,10 @@ impl SchedulingPolicy for PolluxPolicy {
 
     fn configure_parallelism(&mut self, threads: usize) {
         self.sched.set_threads(threads);
+    }
+
+    fn configure_topology(&mut self, topology: Option<&Topology>) {
+        self.sched.set_topology(topology.cloned());
     }
 
     fn take_interval_stats(&mut self) -> Option<SchedIntervalSample> {

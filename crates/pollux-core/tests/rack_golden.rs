@@ -1,0 +1,121 @@
+//! Golden-digest regression for the rack-aware two-phase scheduler.
+//!
+//! Two halves of the topology contract:
+//!
+//! 1. **Degenerate topology is inert.** A single-rack grouping (any
+//!    `nodes_per_rack` ≥ the node count, or exactly the node count)
+//!    must leave the full Pollux stack's serialized `SimResult`
+//!    byte-identical to the flat (no-topology) run — the racked code
+//!    path is only entered with ≥ 2 racks, and the config knob alone
+//!    may not perturb a single RNG draw or float accumulation.
+//! 2. **The multi-rack trajectory is pinned.** A 4-rack run (8 nodes,
+//!    `nodes_per_rack = 2`) exercises the two-phase search (rack
+//!    assignment GA + per-rack placement GAs); its digest is pinned so
+//!    the racked trajectory can only change deliberately, with the
+//!    constant updated in the same commit that changes the search.
+
+use pollux_cluster::ClusterSpec;
+use pollux_core::{ConfigChoice, PolluxConfig, PolluxPolicy};
+use pollux_sched::GaConfig;
+use pollux_simulator::SimConfig;
+use pollux_workload::{JobSpec, ModelKind, TraceConfig, TraceGenerator};
+
+/// FNV-1a 64-bit digest; tiny, dependency-free, and stable (mirrors
+/// the simulator's macro_step suite).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn tiny_trace() -> Vec<JobSpec> {
+    TraceGenerator::new(TraceConfig {
+        num_jobs: 6,
+        duration_hours: 0.5,
+        seed: 11,
+        ..Default::default()
+    })
+    .unwrap()
+    .generate()
+    .into_iter()
+    .filter(|j| {
+        matches!(
+            j.kind,
+            ModelKind::ResNet18Cifar10 | ModelKind::NeuMFMovieLens
+        )
+    })
+    .collect()
+}
+
+fn run_sim(nodes: u32, nodes_per_rack: u32) -> String {
+    let mut c = PolluxConfig::default();
+    c.sched.ga = GaConfig {
+        population: 16,
+        generations: 8,
+        ..Default::default()
+    };
+    let policy = PolluxPolicy::new(c).unwrap();
+    let trace = tiny_trace();
+    assert!(!trace.is_empty());
+    let spec = ClusterSpec::homogeneous(nodes, 4).unwrap();
+    let sim = SimConfig {
+        max_sim_time: 10.0 * 3600.0,
+        nodes_per_rack,
+        ..Default::default()
+    };
+    let result = pollux_core::run_trace(policy, &trace, ConfigChoice::Tuned, spec, sim).unwrap();
+    serde_json::to_string(&result).expect("SimResult serializes")
+}
+
+/// Single-rack topologies must be byte-identical to the flat run for
+/// the real Pollux stack — GA draws, batch adaptation, restarts, the
+/// works. `nodes_per_rack = 4` is exactly one rack on 4 nodes;
+/// `nodes_per_rack = 64` saturates to one rack.
+#[test]
+fn single_rack_topology_is_byte_identical_to_flat() {
+    let flat = run_sim(4, 0);
+    for npr in [4u32, 64] {
+        let racked = run_sim(4, npr);
+        if flat != racked {
+            let at = flat
+                .bytes()
+                .zip(racked.bytes())
+                .position(|(a, b)| a != b)
+                .unwrap_or_else(|| flat.len().min(racked.len()));
+            let lo = at.saturating_sub(120);
+            panic!(
+                "nodes_per_rack={npr} diverged from the flat run at byte {at}\n  \
+                 flat:   …{}…\n  racked: …{}…",
+                &flat[lo..(at + 120).min(flat.len())],
+                &racked[lo..(at + 120).min(racked.len())],
+            );
+        }
+    }
+}
+
+/// Pinned digest of the 4-rack small-cluster trajectory (8 nodes × 4
+/// GPUs, `nodes_per_rack = 2`). This run takes the two-phase path
+/// every scheduling round; if the constant changes, the racked search
+/// changed — update it only together with a deliberate change to the
+/// rack assignment or per-rack placement GA.
+const GOLDEN_FOUR_RACK: u64 = 0xbe94_18a2_be53_5c35;
+
+#[test]
+fn golden_trajectory_four_racks() {
+    let d = fnv1a64(run_sim(8, 2).as_bytes());
+    assert_eq!(
+        d, GOLDEN_FOUR_RACK,
+        "the 4-rack Pollux trajectory drifted: 0x{d:016x}"
+    );
+}
+
+/// Same seed, same racked configuration → same bytes. The racked path
+/// must be as deterministic as the flat one (one serial RNG stream
+/// through phase 1 and the per-rack phase-2 searches).
+#[test]
+fn racked_run_is_repeatable() {
+    assert_eq!(run_sim(8, 2), run_sim(8, 2));
+}

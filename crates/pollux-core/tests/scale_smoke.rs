@@ -1,0 +1,92 @@
+//! Datacenter-scale smoke test: the full Pollux stack (engine +
+//! agents + racked two-phase GA + planner) over a 256-node × 1 000-job
+//! trace, behind an env gate so the default `cargo test` stays fast.
+//!
+//! Run with:
+//!
+//! ```text
+//! POLLUX_SCALE_SMOKE=1 cargo test --release -p pollux-core --test scale_smoke
+//! ```
+//!
+//! CI runs exactly that. Besides completing at all — which the dense
+//! structures did not at this size within any reasonable budget — the
+//! run must fit a generous wall-clock envelope, so gross scaling
+//! regressions (an accidental O(nodes · jobs) rescan per chunk, a
+//! dense table at cluster width) fail loudly rather than slowly.
+
+use pollux_cluster::ClusterSpec;
+use pollux_core::{ConfigChoice, PolluxConfig, PolluxPolicy};
+use pollux_sched::GaConfig;
+use pollux_simulator::SimConfig;
+use pollux_workload::{TraceConfig, TraceGenerator};
+use std::time::{Duration, Instant};
+
+/// Wall-clock budget for the whole simulated run (release build).
+/// Locally this completes in well under a third of the budget; the
+/// slack absorbs shared-runner jitter, not algorithmic regressions —
+/// a dense-path regression overshoots by an order of magnitude.
+const BUDGET: Duration = Duration::from_secs(300);
+
+#[test]
+fn datacenter_scale_trace_completes_within_budget() {
+    if !std::env::var("POLLUX_SCALE_SMOKE").is_ok_and(|v| v != "0") {
+        eprintln!("scale smoke skipped: set POLLUX_SCALE_SMOKE=1 to run");
+        return;
+    }
+    if cfg!(debug_assertions) {
+        eprintln!("scale smoke wants --release (the budget assumes it)");
+    }
+
+    let trace = TraceGenerator::new(TraceConfig {
+        num_jobs: 1_000,
+        duration_hours: 1.0,
+        max_gpus: 8,
+        gpus_per_node: 4,
+        seed: 2025,
+        ..Default::default()
+    })
+    .expect("static trace config is valid")
+    .generate();
+
+    let mut c = PolluxConfig::default();
+    c.sched.ga = GaConfig {
+        population: 12,
+        generations: 8,
+        ..Default::default()
+    };
+    let policy = PolluxPolicy::new(c).unwrap();
+    let spec = ClusterSpec::homogeneous(256, 4).unwrap();
+    let sim = SimConfig {
+        max_sim_time: 1.5 * 3600.0,
+        nodes_per_rack: 16,
+        ..Default::default()
+    };
+
+    let start = Instant::now();
+    let result = pollux_core::run_trace(policy, &trace, ConfigChoice::Tuned, spec, sim)
+        .expect("valid simulation inputs");
+    let elapsed = start.elapsed();
+
+    assert_eq!(result.records.len(), 1_000, "every job must be simulated");
+    let started = result
+        .records
+        .iter()
+        .filter(|j| j.start_time.is_some())
+        .count();
+    assert!(
+        started > 0,
+        "the racked scheduler never placed a single job"
+    );
+    eprintln!(
+        "scale smoke: 256 nodes x 1000 jobs, {} started, wall {:.1}s (budget {:.0}s)",
+        started,
+        elapsed.as_secs_f64(),
+        BUDGET.as_secs_f64()
+    );
+    assert!(
+        elapsed <= BUDGET,
+        "datacenter-scale run blew the wall-clock budget: {:.1}s > {:.0}s",
+        elapsed.as_secs_f64(),
+        BUDGET.as_secs_f64()
+    );
+}

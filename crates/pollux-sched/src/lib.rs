@@ -45,6 +45,7 @@ pub mod fitness;
 pub mod ga;
 pub mod local_search;
 pub mod par;
+pub mod rackga;
 pub mod scheduler;
 pub mod speedup;
 pub mod weights;
@@ -59,6 +60,7 @@ pub use ga::{
 };
 pub use local_search::{LocalSearch, LocalSearchConfig};
 pub use par::parallel_map;
+pub use rackga::{assign_racks, home_rack};
 pub use scheduler::{PolluxSched, SchedConfig, SchedIntervalStats};
 pub use speedup::{CacheStats, SchedJob, SpeedupCache, SpeedupTable, SpeedupTableStats};
 pub use weights::{job_weight, WeightConfig};

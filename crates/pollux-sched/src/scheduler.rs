@@ -7,9 +7,10 @@
 //! completions, evolves it, and returns the best allocation matrix.
 
 use crate::ga::{GaConfig, GaOutcome, GaRunStats, GeneticAlgorithm};
+use crate::rackga;
 use crate::speedup::{SchedJob, SpeedupTable, SpeedupTableStats};
 use crate::weights::WeightConfig;
-use pollux_cluster::{AllocationMatrix, ClusterSpec, JobId};
+use pollux_cluster::{AllocationMatrix, ClusterSpec, JobId, NodeId, NodeSpec, Topology};
 use pollux_telemetry::Recorder;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -66,6 +67,9 @@ pub struct PolluxSched {
     last_interval: Option<SchedIntervalStats>,
     cumulative_speedup: SpeedupTableStats,
     recorder: Recorder,
+    /// Rack layout for the two-phase (rack, then GPU) search. `None`
+    /// or a single rack → the flat search, bit for bit.
+    topology: Option<Topology>,
 }
 
 impl PolluxSched {
@@ -79,7 +83,23 @@ impl PolluxSched {
             last_interval: None,
             cumulative_speedup: SpeedupTableStats::default(),
             recorder: Recorder::disabled(),
+            topology: None,
         }
+    }
+
+    /// Sets (or clears) the rack topology. With `None` or a
+    /// single-rack topology the scheduler runs the flat search
+    /// unchanged — same RNG draws, same schedule, bit for bit; with
+    /// ≥ 2 racks each interval runs the two-phase search: a cheap
+    /// rack-assignment GA ([`crate::rackga`]) followed by the
+    /// placement GA independently inside each rack.
+    pub fn set_topology(&mut self, topology: Option<Topology>) {
+        self.topology = topology;
+    }
+
+    /// The active rack topology, if any.
+    pub fn topology(&self) -> Option<&Topology> {
+        self.topology.as_ref()
     }
 
     /// Attaches a telemetry recorder: each interval emits its
@@ -119,6 +139,15 @@ impl PolluxSched {
         spec: &ClusterSpec,
         rng: &mut R,
     ) -> GaOutcome {
+        // Two-phase rack search only when a real (multi-rack) topology
+        // matching the cluster width is configured; everything else
+        // falls through to the flat path untouched.
+        if let Some(topo) = self.topology.as_ref() {
+            if topo.num_racks() > 1 && topo.num_nodes() == spec.num_nodes() {
+                let topo = topo.clone();
+                return self.optimize_racked(&topo, jobs, spec, rng);
+            }
+        }
         let seed = self.reconciled_seed(jobs, spec);
         let threads = self.config.ga.threads.max(1);
         let build_start = Instant::now();
@@ -153,6 +182,142 @@ impl PolluxSched {
         self.saved_population = outcome.population.clone();
         self.saved_job_ids = jobs.iter().map(|j| j.id).collect();
         outcome
+    }
+
+    /// The two-phase rack search: assign jobs to racks with the cheap
+    /// assignment GA, then evolve the placement GA independently per
+    /// rack over only that rack's nodes and jobs, and stitch the
+    /// sub-matrices back into a cluster-width allocation.
+    ///
+    /// Feasibility and interference avoidance compose: racks partition
+    /// the nodes, so per-rack-feasible sub-matrices are globally
+    /// feasible and distributed jobs from different racks can never
+    /// share a node. The combined fitness is the weight-average of the
+    /// per-rack fitnesses (exactly the global fitness of the stitched
+    /// matrix, since fitness is a weighted mean of per-job
+    /// contributions and every job lives in exactly one rack).
+    ///
+    /// One approximation is inherent: a running job reassigned to a
+    /// different rack sees an empty `current_placement` in its
+    /// sub-problem, so the placement GA's restart penalty does not
+    /// fire for it — the rack phase's keep-bonus prices the move at
+    /// rack granularity instead. Per-rack speedup tables replace the
+    /// single dense table (whose size grows with total cluster GPUs);
+    /// saved populations are not carried across intervals on this
+    /// path because rack membership reshuffles round to round.
+    fn optimize_racked<R: Rng>(
+        &mut self,
+        topo: &Topology,
+        jobs: &[SchedJob],
+        spec: &ClusterSpec,
+        rng: &mut R,
+    ) -> GaOutcome {
+        let threads = self.config.ga.threads.max(1);
+        let assignment = rackga::assign_racks(jobs, spec, topo, rng);
+
+        let mut best = AllocationMatrix::zeros(jobs.len(), spec.num_nodes());
+        let mut stats = GaRunStats::default();
+        let mut speedup = SpeedupTableStats::default();
+        let mut table_build_nanos = 0u64;
+        let mut ga_evolve_nanos = 0u64;
+        let mut fitness_weighted = 0.0;
+        let mut weight_total = 0.0;
+
+        for r in 0..topo.num_racks() {
+            let members: Vec<usize> = (0..jobs.len()).filter(|&j| assignment[j] == r).collect();
+            if members.is_empty() {
+                continue;
+            }
+            let rack_nodes = topo.nodes_in(r);
+            let sub_spec = ClusterSpec::new(
+                rack_nodes
+                    .iter()
+                    .map(|&n| NodeSpec {
+                        gpus: spec.gpus_on(NodeId(n)),
+                    })
+                    .collect(),
+            )
+            .expect("racks are non-empty and rack nodes have GPUs");
+            let sub_jobs: Vec<SchedJob> = members
+                .iter()
+                .map(|&j| {
+                    let job = &jobs[j];
+                    // Slice the placement to the rack's columns; a job
+                    // currently placed elsewhere sees an empty row.
+                    let placement: Vec<u32> = if job.current_placement.len() == spec.num_nodes() {
+                        rack_nodes
+                            .iter()
+                            .map(|&n| job.current_placement[n as usize])
+                            .collect()
+                    } else {
+                        Vec::new()
+                    };
+                    SchedJob {
+                        id: job.id,
+                        model: job.model,
+                        min_gpus: job.min_gpus,
+                        gpu_cap: job.gpu_cap,
+                        weight: job.weight,
+                        current_placement: placement,
+                    }
+                })
+                .collect();
+
+            let build_start = Instant::now();
+            let table = SpeedupTable::build(&sub_jobs, &sub_spec, threads);
+            table_build_nanos += build_start.elapsed().as_nanos() as u64;
+            let evolve_start = Instant::now();
+            let outcome = self
+                .ga
+                .evolve(&sub_jobs, &sub_spec, Vec::new(), &table, rng);
+            ga_evolve_nanos += evolve_start.elapsed().as_nanos() as u64;
+
+            let sub_speedup = table.stats();
+            speedup.accumulate(sub_speedup);
+            stats.generations_run += outcome.stats.generations_run;
+            stats.fitness_evals += outcome.stats.fitness_evals;
+            stats.incremental_evals += outcome.stats.incremental_evals;
+            stats.rows_recomputed += outcome.stats.rows_recomputed;
+
+            let wsum: f64 = sub_jobs.iter().map(|j| j.weight).sum();
+            fitness_weighted += outcome.best_fitness * wsum;
+            weight_total += wsum;
+            for (k, &j) in members.iter().enumerate() {
+                for (col, &n) in rack_nodes.iter().enumerate() {
+                    let g = outcome.best.get(k, col);
+                    if g > 0 {
+                        best.set(j, n as usize, g);
+                    }
+                }
+            }
+        }
+
+        let best_fitness = if weight_total > 0.0 {
+            fitness_weighted / weight_total
+        } else {
+            0.0
+        };
+        self.cumulative_speedup.accumulate(speedup);
+        self.last_interval = Some(SchedIntervalStats { ga: stats, speedup });
+        let rec = &self.recorder;
+        rec.record_duration_ns("sched", "table_build", table_build_nanos);
+        rec.record_duration_ns("sched", "ga_evolve", ga_evolve_nanos);
+        rec.incr("sched", "intervals", 1);
+        rec.incr("sched", "generations", stats.generations_run);
+        rec.incr("sched", "fitness_evals", stats.fitness_evals);
+        rec.incr("sched", "incremental_evals", stats.incremental_evals);
+        rec.incr("sched", "rows_recomputed", stats.rows_recomputed);
+        rec.incr("sched", "table_hits", speedup.hits);
+        rec.incr("sched", "table_misses", speedup.misses);
+        rec.incr("sched", "table_solves", speedup.solves);
+        self.saved_population = Vec::new();
+        self.saved_job_ids = jobs.iter().map(|j| j.id).collect();
+        GaOutcome {
+            best,
+            best_fitness,
+            population: Vec::new(),
+            stats,
+        }
     }
 
     /// Drains the hot-path breakdown of the most recent

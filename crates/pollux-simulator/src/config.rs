@@ -32,6 +32,16 @@ pub struct SimConfig {
     /// serial). Simulation results are independent of this value for
     /// policies honoring the determinism contract.
     pub sched_threads: usize,
+    /// Rack width handed to the policy at simulation start (and again
+    /// after every resize) via `SchedulingPolicy::configure_topology`:
+    /// nodes `[0, n)`, `[n, 2n)`, … form racks (the last may be
+    /// smaller). `0` (the default) keeps the cluster flat — no
+    /// topology is configured and results are byte-identical to
+    /// builds that predate the knob. Any value ≥ the node count yields
+    /// a single rack, which rack-aware policies must treat exactly
+    /// like the flat search.
+    #[serde(default)]
+    pub nodes_per_rack: u32,
     /// RNG seed for measurement noise and policy randomness.
     pub seed: u64,
 }
@@ -49,6 +59,7 @@ impl Default for SimConfig {
             max_sim_time: 7.0 * 24.0 * 3600.0,
             record_job_series: false,
             sched_threads: 1,
+            nodes_per_rack: 0,
             seed: 0,
         }
     }

@@ -21,13 +21,14 @@
 //! reference-equality proptest.
 
 use crate::config::SimConfig;
+use crate::interference::InterferenceIndex;
 use crate::job::{JobState, SimJob};
 use crate::metrics::{
     ClusterSample, EventKind, JobRecord, JobSample, SchedIntervalSample, SchedulingEvent, SimResult,
 };
 use crate::policy::{PolicyJobView, SchedulingPolicy};
 use pollux_agent::ObservationRun;
-use pollux_cluster::{ClusterSpec, JobId, NodeId};
+use pollux_cluster::{ClusterSpec, JobId, NodeId, Topology};
 use pollux_control::{Reallocation, RoundPlanner};
 use pollux_models::GradientStats;
 use pollux_telemetry::{Counter, HistogramHandle, NullSink, Recorder};
@@ -125,8 +126,13 @@ pub struct Simulation<P: SchedulingPolicy> {
     /// Reused interference buffer, indexed by job (all jobs, not just
     /// active ones, so stale entries can never alias a live index).
     slowdown: Vec<f64>,
-    /// Reused scratch list of distributed active jobs.
-    dist_buf: Vec<usize>,
+    /// Incremental interference index: per-node occupant sets and
+    /// per-job node counts, updated on placement deltas (reallocation,
+    /// finish, resize) so each macro-step's interference query costs
+    /// O(nodes + occupancy) instead of a full O(active · nodes)
+    /// placement rescan. Maintained on both steppers; only the macro
+    /// path reads it (the reference stepper keeps its verbatim scan).
+    interference: InterferenceIndex,
     /// Recycled (always empty) allocation for the per-interval policy
     /// views; see [`take_views`] / [`store_views`].
     view_buf: Vec<PolicyJobView<'static>>,
@@ -332,9 +338,15 @@ impl<P: SchedulingPolicy> Simulation<P> {
             return Err(SimBuildError::NonFiniteSubmitTime);
         }
         policy.configure_parallelism(config.sched_threads);
+        if config.nodes_per_rack > 0 {
+            if let Some(topo) = Topology::grouped(spec.num_nodes() as u32, config.nodes_per_rack) {
+                policy.configure_topology(Some(&topo));
+            }
+        }
         workload.sort_by(|a, b| a.0.submit_time.total_cmp(&b.0.submit_time));
         workload.reverse(); // Pop from the back in time order.
         let seed = config.seed;
+        let num_nodes = spec.num_nodes();
         Ok(Self {
             config,
             spec,
@@ -350,7 +362,7 @@ impl<P: SchedulingPolicy> Simulation<P> {
             sched_stats: Vec::new(),
             node_seconds: 0.0,
             slowdown: Vec::new(),
-            dist_buf: Vec::new(),
+            interference: InterferenceIndex::new(num_nodes),
             view_buf: Vec::new(),
             chunk_buf: Vec::new(),
             finished_buf: Vec::new(),
@@ -604,6 +616,7 @@ impl<P: SchedulingPolicy> Simulation<P> {
         }
 
         let rng = &mut self.rng;
+        let interference = &mut self.interference;
         let mut finished = std::mem::take(&mut self.finished_buf);
         let mut executed = 0u64;
         let mut exit = false;
@@ -629,6 +642,7 @@ impl<P: SchedulingPolicy> Simulation<P> {
 
                 if job.progress >= rs.work {
                     job.lifecycle.finish(now + dt);
+                    interference.clear_job(ctx.idx, &job.placement);
                     job.placement.iter_mut().for_each(|g| *g = 0);
                     finished.push((ctx.idx, job.spec.id));
                 }
@@ -724,6 +738,7 @@ impl<P: SchedulingPolicy> Simulation<P> {
 
             if job.progress >= job.spec.work {
                 job.lifecycle.finish(now + dt);
+                self.interference.clear_job(idx, &job.placement);
                 job.placement.iter_mut().for_each(|g| *g = 0);
                 finished.push((idx, job.spec.id));
             }
@@ -781,6 +796,7 @@ impl<P: SchedulingPolicy> Simulation<P> {
             if spec.submit_time <= now {
                 let (spec, user) = self.arrivals.pop().expect("checked non-empty");
                 self.active.push(self.jobs.len());
+                self.interference.push_job(); // Spawns with no placement.
                 self.jobs
                     .push(SimJob::new(spec, user, self.spec.num_nodes()));
             } else {
@@ -898,6 +914,9 @@ impl<P: SchedulingPolicy> Simulation<P> {
     /// engine-owned consequences (agent allocation note, batch-size
     /// clamp), the lifecycle transition, and the timeline event.
     fn apply_reallocation(&mut self, i: usize, r: Reallocation, now: f64) {
+        // Index delta from the authoritative old row, before it is
+        // overwritten.
+        self.interference.apply(i, &self.jobs[i].placement, &r.new);
         let job = &mut self.jobs[i];
         debug_assert_eq!(job.spec.id, r.job, "view order matches active order");
         job.placement = r.new;
@@ -962,13 +981,23 @@ impl<P: SchedulingPolicy> Simulation<P> {
                 job.lifecycle.preempt();
             }
         }
+        // Placements were edited wholesale, bypassing the index's
+        // delta updates: rebuild it from the rows now in effect.
+        self.interference
+            .rebuild(new_n, self.jobs.iter().map(|j| j.placement.as_slice()));
+        if self.config.nodes_per_rack > 0 {
+            if let Some(topo) = Topology::grouped(nodes, self.config.nodes_per_rack) {
+                self.policy.configure_topology(Some(&topo));
+            }
+        }
     }
 
     /// Refreshes the per-job interference buffer: when two or more
     /// *distributed* jobs occupy one node, all of them are slowed
-    /// (Sec. 4.2.1 / Fig 9). O(active · nodes) — each job's node count
-    /// is taken once, not once per node as the original per-tick loop
-    /// did.
+    /// (Sec. 4.2.1 / Fig 9). Served by the incremental
+    /// [`InterferenceIndex`] — O(nodes + occupancy) per macro-step
+    /// instead of rescanning every active placement — and cross-checked
+    /// against the full rescan in debug builds.
     fn compute_interference(&mut self) {
         self.telem.interference_recomputes.add(1);
         self.slowdown.clear();
@@ -977,24 +1006,12 @@ impl<P: SchedulingPolicy> Simulation<P> {
         if factor <= 0.0 {
             return;
         }
-        let mut dist = std::mem::take(&mut self.dist_buf);
-        dist.clear();
-        for &i in &self.active {
-            if self.jobs[i].placement.iter().filter(|&&g| g > 0).count() > 1 {
-                dist.push(i);
-            }
-        }
-        if dist.len() > 1 {
-            for node in 0..self.spec.num_nodes() {
-                let occupies = |i: usize| self.jobs[i].placement.get(node).is_some_and(|&g| g > 0);
-                if dist.iter().filter(|&&i| occupies(i)).count() > 1 {
-                    for &i in dist.iter().filter(|&&i| occupies(i)) {
-                        self.slowdown[i] = factor;
-                    }
-                }
-            }
-        }
-        self.dist_buf = dist;
+        self.interference.mark_slowdowns(factor, &mut self.slowdown);
+        debug_assert_eq!(
+            self.slowdown,
+            self.interference_slowdowns_reference(),
+            "incremental interference index diverged from the full rescan"
+        );
     }
 
     /// Records one cluster-state sample.

@@ -22,12 +22,14 @@
 
 pub mod config;
 pub mod engine;
+pub mod interference;
 pub mod job;
 pub mod metrics;
 pub mod policy;
 
 pub use config::SimConfig;
 pub use engine::{SimBuildError, Simulation};
+pub use interference::InterferenceIndex;
 pub use job::{JobLifecycle, JobState, SimJob};
 pub use metrics::{ClusterSample, JobRecord, SchedIntervalSample, SimResult};
 pub use policy::{PolicyJobView, SchedulingPolicy};

@@ -270,6 +270,42 @@ fn reference_stepper_matches_goldens() {
     assert_eq!(quiet, GOLDEN_QUIET, "reference drifted: 0x{quiet:016x}");
 }
 
+/// The `nodes_per_rack` knob must not perturb a single byte of the
+/// pinned trajectories: these policies ignore the topology hint, and
+/// the degenerate (single-rack) grouping is defined to be inert even
+/// for rack-aware policies (pollux-core's `rack_golden` suite pins
+/// that half of the contract for the real Pollux stack).
+#[test]
+fn golden_digests_hold_with_rack_topology_configured() {
+    // Exactly one rack (nodes_per_rack == num_nodes), one rack by
+    // saturation (>= num_nodes), and a genuinely multi-rack grouping —
+    // all inert for topology-blind policies.
+    for npr in [3u32, 64, 2] {
+        let cfg = SimConfig {
+            nodes_per_rack: npr,
+            ..churn_config()
+        };
+        let spec = ClusterSpec::homogeneous(3, 4).unwrap();
+        let d = digest_of(cfg, spec, Churn, workload(8, 300.0, 3));
+        assert_eq!(
+            d, GOLDEN_CHURN,
+            "nodes_per_rack={npr} perturbed the churn trajectory: 0x{d:016x}"
+        );
+    }
+    for npr in [2u32, 16] {
+        let cfg = SimConfig {
+            nodes_per_rack: npr,
+            ..quiet_config()
+        };
+        let spec = ClusterSpec::homogeneous(2, 4).unwrap();
+        let d = digest_of(cfg, spec, FcfsPacked { gpus: 2 }, workload(6, 45.0, 11));
+        assert_eq!(
+            d, GOLDEN_QUIET,
+            "nodes_per_rack={npr} perturbed the quiet trajectory: 0x{d:016x}"
+        );
+    }
+}
+
 /// Attaching a live telemetry recorder must not perturb the simulated
 /// trajectory by a single byte: telemetry reads simulation state but
 /// never feeds back into RNG draws or float accumulation order. The
