@@ -30,6 +30,6 @@ pub mod round;
 pub mod sched_jobs;
 
 pub use lifecycle::{JobLifecycle, JobState};
-pub use policy::{PolicyJobView, SchedIntervalSample, SchedulingPolicy};
+pub use policy::{PlacementDelta, PolicyJobView, SchedIntervalSample, SchedulingPolicy};
 pub use round::{Reallocation, RoundError, RoundOutcome, RoundPlanner};
-pub use sched_jobs::{bootstrap_sched_job, sched_jobs_from_views};
+pub use sched_jobs::{bootstrap_sched_job, sched_jobs_from_views, SchedJobCache};

@@ -93,6 +93,18 @@ pub struct SchedIntervalSample {
     pub table_solves: u64,
 }
 
+/// One sparse placement decision: the new placement row for the view
+/// at index `row`. Returned by [`SchedulingPolicy::schedule_sparse`]
+/// so a quiet round never materializes a dense `jobs × nodes` matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlacementDelta {
+    /// Index into the round's view slice.
+    pub row: usize,
+    /// The new placement row. The planner pads (or truncates) it to
+    /// cluster width before diffing against the current placement.
+    pub gpus: Vec<u32>,
+}
+
 /// A cluster scheduling policy under evaluation.
 pub trait SchedulingPolicy {
     /// Human-readable policy name (used in experiment output).
@@ -117,6 +129,30 @@ pub trait SchedulingPolicy {
         spec: &ClusterSpec,
         rng: &mut StdRng,
     ) -> AllocationMatrix;
+
+    /// Sparse-round fast path, consulted by the round pipeline
+    /// *before* [`Self::schedule`]: policies that can express this
+    /// round's decision as "keep every current placement except these
+    /// rows" may return just the changed rows, making a quiet round
+    /// O(churn) instead of O(jobs × nodes). The default returns `None`
+    /// (without touching `rng`), which routes the round through the
+    /// dense [`Self::schedule`] path unchanged.
+    ///
+    /// Contract for implementers: deltas must be in ascending row
+    /// order with each row appearing at most once, and — because the
+    /// sparse path skips the dense defensive clamp — the implied
+    /// allocation (current placements with the deltas applied) must be
+    /// feasible for `spec`. The planner still pads rows to cluster
+    /// width and drops no-op deltas.
+    fn schedule_sparse(
+        &mut self,
+        _now: f64,
+        _jobs: &[PolicyJobView<'_>],
+        _spec: &ClusterSpec,
+        _rng: &mut StdRng,
+    ) -> Option<Vec<PlacementDelta>> {
+        None
+    }
 
     /// Cloud auto-scaling hook: return the desired number of nodes, or
     /// `None` to keep the cluster fixed. Called before `schedule` at
@@ -195,6 +231,16 @@ impl<P: SchedulingPolicy + ?Sized> SchedulingPolicy for Box<P> {
         rng: &mut StdRng,
     ) -> AllocationMatrix {
         (**self).schedule(now, jobs, spec, rng)
+    }
+
+    fn schedule_sparse(
+        &mut self,
+        now: f64,
+        jobs: &[PolicyJobView<'_>],
+        spec: &ClusterSpec,
+        rng: &mut StdRng,
+    ) -> Option<Vec<PlacementDelta>> {
+        (**self).schedule_sparse(now, jobs, spec, rng)
     }
 
     fn desired_nodes(

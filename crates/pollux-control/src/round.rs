@@ -8,7 +8,7 @@
 //! the policy and the RNG — so the simulator engine and the live
 //! service apply the same [`RoundOutcome`] to their own job stores.
 
-use crate::policy::{PolicyJobView, SchedIntervalSample, SchedulingPolicy};
+use crate::policy::{PlacementDelta, PolicyJobView, SchedIntervalSample, SchedulingPolicy};
 use pollux_cluster::{AllocationMatrix, ClusterSpec, JobId};
 use pollux_telemetry::{Counter, Recorder};
 use rand::rngs::StdRng;
@@ -90,6 +90,11 @@ pub struct RoundPlanner {
     reallocations_ctr: Counter,
     /// Recycled duplicate-check scratch.
     ids_buf: Vec<JobId>,
+    /// The previous round's id sequence in view order. When this
+    /// round's views carry the same ids in the same order (the common
+    /// quiet-round case), uniqueness was already proven and the
+    /// O(n log n) sort is skipped for one O(n) equality scan.
+    last_ids: Vec<JobId>,
     /// Cumulative count of placement rows materialized by the diff
     /// phase. A quiet round (policy returns every current placement)
     /// materializes zero rows — round cost scales with churn, not
@@ -134,11 +139,14 @@ impl RoundPlanner {
 
     /// Plans one scheduling round over `views`.
     ///
-    /// Pipeline: invoke `policy.schedule`, drain and time-stamp its
-    /// interval stats, clamp the matrix to `spec` capacity, then diff
-    /// each view's current placement against its new row. An empty
-    /// view slice short-circuits to an empty outcome without invoking
-    /// the policy (both drivers skip empty rounds).
+    /// Pipeline: consult `policy.schedule_sparse` (policies that can
+    /// name just their changed rows skip the dense matrix entirely —
+    /// see [`Self::plan_sparse`]); otherwise invoke `policy.schedule`,
+    /// drain and time-stamp its interval stats, clamp the matrix to
+    /// `spec` capacity, then diff each view's current placement
+    /// against its new row. An empty view slice short-circuits to an
+    /// empty outcome without invoking the policy (both drivers skip
+    /// empty rounds).
     ///
     /// Every RNG draw made during the round comes from `policy` via
     /// `rng`, in view order — the planner itself never draws — which
@@ -154,13 +162,10 @@ impl RoundPlanner {
         if views.is_empty() {
             return Ok(RoundOutcome::default());
         }
-        self.ids_buf.clear();
-        self.ids_buf.extend(views.iter().map(|v| v.id));
-        self.ids_buf.sort_unstable();
-        for w in self.ids_buf.windows(2) {
-            if w[0] == w[1] {
-                return Err(RoundError::DuplicateJobId(w[0]));
-            }
+        self.check_unique_ids(views)?;
+
+        if let Some(deltas) = policy.schedule_sparse(now, views, spec, rng) {
+            return Ok(self.plan_sparse(policy, now, views, spec, deltas));
         }
 
         let mut matrix = policy.schedule(now, views, spec, rng);
@@ -207,6 +212,82 @@ impl RoundPlanner {
             stats,
         })
     }
+
+    /// Validates that every view carries a unique job id. A round over
+    /// the exact id sequence of the previous round — the steady-state
+    /// case — is revalidated with one O(n) scan against the cached
+    /// sequence instead of re-sorting.
+    fn check_unique_ids(&mut self, views: &[PolicyJobView<'_>]) -> Result<(), RoundError> {
+        if self.last_ids.len() == views.len()
+            && views
+                .iter()
+                .zip(&self.last_ids)
+                .all(|(v, &id)| v.id == id)
+        {
+            return Ok(());
+        }
+        self.ids_buf.clear();
+        self.ids_buf.extend(views.iter().map(|v| v.id));
+        self.ids_buf.sort_unstable();
+        for w in self.ids_buf.windows(2) {
+            if w[0] == w[1] {
+                return Err(RoundError::DuplicateJobId(w[0]));
+            }
+        }
+        self.last_ids.clear();
+        self.last_ids.extend(views.iter().map(|v| v.id));
+        Ok(())
+    }
+
+    /// The sparse round path: the policy named only its changed rows,
+    /// so this never touches — let alone materializes — a dense
+    /// `jobs × nodes` matrix. Each delta is padded to cluster width
+    /// and diffed against its view's current placement; no-op deltas
+    /// and out-of-range rows are dropped. The dense defensive clamp is
+    /// skipped (the sparse contract makes the policy responsible for
+    /// feasibility — see [`SchedulingPolicy::schedule_sparse`]).
+    fn plan_sparse<P: SchedulingPolicy + ?Sized>(
+        &mut self,
+        policy: &mut P,
+        now: f64,
+        views: &[PolicyJobView<'_>],
+        spec: &ClusterSpec,
+        deltas: Vec<PlacementDelta>,
+    ) -> RoundOutcome {
+        let stats = policy.take_interval_stats().map(|mut s| {
+            s.time = now;
+            s
+        });
+        let num_nodes = spec.num_nodes();
+        let mut reallocations = Vec::with_capacity(deltas.len());
+        for delta in deltas {
+            let Some(view) = views.get(delta.row) else {
+                continue;
+            };
+            let mut new_row = delta.gpus;
+            new_row.resize(num_nodes, 0);
+            if rows_equal_padded(&new_row, view.current_placement, num_nodes) {
+                continue;
+            }
+            let gpus: u32 = new_row.iter().sum();
+            if gpus == 0 && !view.current_placement.iter().any(|&g| g > 0) {
+                continue; // Pending -> pending: nothing happened.
+            }
+            self.rows_materialized += 1;
+            reallocations.push(Reallocation {
+                job: view.id,
+                row: delta.row,
+                old: view.current_placement.to_vec(),
+                new: new_row,
+                triggers_restart: gpus > 0 && view.started,
+            });
+        }
+        self.reallocations_ctr.add(reallocations.len() as u64);
+        RoundOutcome {
+            reallocations,
+            stats,
+        }
+    }
 }
 
 /// Whether a policy matrix row equals a view's current placement,
@@ -217,6 +298,12 @@ impl RoundPlanner {
 fn rows_equal_padded(matrix_row: &[u32], current: &[u32], width: usize) -> bool {
     if current.len() != width {
         return false;
+    }
+    if matrix_row.len() == width {
+        // Equal-width rows (the common case on the sparse path, which
+        // pads every delta to cluster width) compare as a straight
+        // slice equality — one memcmp instead of a per-cell loop.
+        return matrix_row == current;
     }
     current
         .iter()
@@ -513,5 +600,152 @@ mod tests {
             )
             .unwrap();
         assert_eq!(outcome.reallocations[0].new, vec![1, 0, 0]);
+    }
+
+    /// A sparse policy: returns preloaded deltas per round and panics
+    /// if the dense path is ever consulted.
+    struct SparseScripted {
+        rounds: Vec<Vec<PlacementDelta>>,
+        next: usize,
+    }
+
+    impl SchedulingPolicy for SparseScripted {
+        fn name(&self) -> &'static str {
+            "sparse-scripted"
+        }
+        fn schedule(
+            &mut self,
+            _now: f64,
+            _jobs: &[PolicyJobView<'_>],
+            _spec: &ClusterSpec,
+            _rng: &mut StdRng,
+        ) -> AllocationMatrix {
+            panic!("dense schedule must not run when schedule_sparse answers")
+        }
+        fn schedule_sparse(
+            &mut self,
+            _now: f64,
+            _jobs: &[PolicyJobView<'_>],
+            _spec: &ClusterSpec,
+            _rng: &mut StdRng,
+        ) -> Option<Vec<PlacementDelta>> {
+            let i = self.next;
+            self.next += 1;
+            Some(self.rounds.get(i).cloned().unwrap_or_default())
+        }
+    }
+
+    #[test]
+    fn sparse_quiet_round_materializes_zero_rows() {
+        let spec = ClusterSpec::homogeneous(2, 4).unwrap();
+        let mut planner = RoundPlanner::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let p0 = vec![2u32, 0];
+        let p1 = vec![0u32, 2];
+        let views = [view(0, &p0, true), view(1, &p1, true)];
+        let mut policy = SparseScripted {
+            rounds: vec![vec![]],
+            next: 0,
+        };
+        let outcome = planner.plan(&mut policy, 0.0, &views, &spec, &mut rng).unwrap();
+        assert!(outcome.reallocations.is_empty());
+        assert_eq!(planner.rows_materialized(), 0);
+    }
+
+    #[test]
+    fn sparse_deltas_are_padded_diffed_and_noop_dropped() {
+        let spec = ClusterSpec::homogeneous(3, 4).unwrap();
+        let mut planner = RoundPlanner::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let p0 = vec![2u32, 0, 0];
+        let p1 = vec![0u32, 2, 0];
+        let p2 = vec![0u32, 0, 0];
+        let views = [view(0, &p0, true), view(1, &p1, true), view(2, &p2, false)];
+        let mut policy = SparseScripted {
+            rounds: vec![vec![
+                // Row 0: narrow no-op delta (pads to [2,0,0]) — dropped.
+                PlacementDelta {
+                    row: 0,
+                    gpus: vec![2],
+                },
+                // Row 1: a real move.
+                PlacementDelta {
+                    row: 1,
+                    gpus: vec![0, 0, 2],
+                },
+                // Row 2: pending job granted nothing — dropped.
+                PlacementDelta {
+                    row: 2,
+                    gpus: vec![],
+                },
+                // Out-of-range row — ignored.
+                PlacementDelta {
+                    row: 9,
+                    gpus: vec![4, 0, 0],
+                },
+            ]],
+            next: 0,
+        };
+        let outcome = planner.plan(&mut policy, 5.0, &views, &spec, &mut rng).unwrap();
+        assert_eq!(outcome.reallocations.len(), 1);
+        let r = &outcome.reallocations[0];
+        assert_eq!(r.job, JobId(1));
+        assert_eq!(r.old, vec![0, 2, 0]);
+        assert_eq!(r.new, vec![0, 0, 2]);
+        assert!(r.triggers_restart);
+        assert_eq!(planner.rows_materialized(), 1);
+    }
+
+    #[test]
+    fn sparse_path_still_rejects_duplicate_ids() {
+        let spec = ClusterSpec::homogeneous(2, 4).unwrap();
+        let mut planner = RoundPlanner::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let p0 = vec![0u32, 0];
+        let views = [view(5, &p0, false), view(5, &p0, false)];
+        let mut policy = SparseScripted {
+            rounds: vec![vec![]],
+            next: 0,
+        };
+        let err = planner
+            .plan(&mut policy, 0.0, &views, &spec, &mut rng)
+            .unwrap_err();
+        assert_eq!(err, RoundError::DuplicateJobId(JobId(5)));
+    }
+
+    #[test]
+    fn id_cache_revalidates_unchanged_sequences_and_catches_new_duplicates() {
+        let spec = ClusterSpec::homogeneous(2, 4).unwrap();
+        let mut planner = RoundPlanner::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let p0 = vec![0u32, 0];
+        // Round 1 proves [1, 2] unique and caches the sequence.
+        let views = [view(1, &p0, false), view(2, &p0, false)];
+        let mut policy = SparseScripted {
+            rounds: vec![vec![], vec![], vec![]],
+            next: 0,
+        };
+        planner.plan(&mut policy, 0.0, &views, &spec, &mut rng).unwrap();
+        // Round 2: identical sequence — revalidated by the O(n) scan.
+        planner.plan(&mut policy, 1.0, &views, &spec, &mut rng).unwrap();
+        // Round 3: the sequence changed AND now contains a duplicate —
+        // the cache must not mask it.
+        let dup = [view(2, &p0, false), view(2, &p0, false)];
+        let err = planner
+            .plan(&mut policy, 2.0, &dup, &spec, &mut rng)
+            .unwrap_err();
+        assert_eq!(err, RoundError::DuplicateJobId(JobId(2)));
+        // Round 4: after the rejected round, a valid changed sequence
+        // still passes.
+        let ok = [view(2, &p0, false), view(3, &p0, false)];
+        planner
+            .plan(
+                &mut Scripted::new(vec![matrix(&[&[0, 0], &[0, 0]])]),
+                3.0,
+                &ok,
+                &spec,
+                &mut rng,
+            )
+            .unwrap();
     }
 }

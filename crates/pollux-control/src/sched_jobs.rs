@@ -66,6 +66,153 @@ pub fn sched_jobs_from_views(weights: &WeightConfig, jobs: &[PolicyJobView<'_>])
         .collect()
 }
 
+/// Cross-round cache of the view → [`SchedJob`] conversion, so a quiet
+/// round (no arrivals, finishes, refits, or placement changes) reuses
+/// every entry instead of re-deriving models and re-allocating
+/// placement rows.
+///
+/// Entries are keyed by *position*: job `k` this round is compared
+/// against entry `k` from the previous round, which matches how
+/// drivers present views (stable submission order with finished jobs
+/// removed). An entry is reused when the id matches and its
+/// model-defining inputs are unchanged — for reported jobs the fitted
+/// model/caps, for bootstrap jobs the batch-size limits. Fairness
+/// weights are always refreshed in place (attained service grows every
+/// round) and do not count as a rebuild; a placement change is applied
+/// in place but *does* count as rebuilt, since downstream consumers
+/// key warm-start state off placement stability.
+///
+/// Correctness never depends on the cache: `refresh` is
+/// `debug_assert`-cross-checked against [`sched_jobs_from_views`] and
+/// is bit-identical to it by construction.
+#[derive(Debug, Default)]
+pub struct SchedJobCache {
+    jobs: Vec<SchedJob>,
+    /// Whether entry `k` was derived from an agent report (vs the
+    /// bootstrap prior). A job crossing that boundary is always
+    /// rebuilt.
+    from_report: Vec<bool>,
+    /// The limits a bootstrap entry was derived from.
+    limits: Vec<BatchSizeLimits>,
+    last_rebuilt: u64,
+    last_reused: u64,
+    total_rebuilt: u64,
+    total_reused: u64,
+}
+
+impl SchedJobCache {
+    /// Brings the cache in line with this round's views and returns
+    /// the scheduler jobs. Equivalent to [`sched_jobs_from_views`].
+    pub fn refresh(
+        &mut self,
+        weights: &WeightConfig,
+        views: &[PolicyJobView<'_>],
+    ) -> &[SchedJob] {
+        let prior = self.jobs.len().min(views.len());
+        self.jobs.truncate(views.len());
+        self.from_report.truncate(views.len());
+        self.limits.truncate(views.len());
+        let mut rebuilt = 0u64;
+        let mut reused = 0u64;
+        for (k, view) in views.iter().enumerate() {
+            let weight = job_weight(weights, view.gputime);
+            if k < prior && self.entry_matches(k, view) {
+                let job = &mut self.jobs[k];
+                job.weight = weight;
+                if job.current_placement.as_slice() == view.current_placement {
+                    reused += 1;
+                } else {
+                    job.current_placement.clear();
+                    job.current_placement
+                        .extend_from_slice(view.current_placement);
+                    rebuilt += 1;
+                }
+                continue;
+            }
+            let entry = match &view.report {
+                Some(report) => SchedJob {
+                    id: view.id,
+                    model: report.model,
+                    min_gpus: report.min_gpus,
+                    gpu_cap: report.gpu_cap,
+                    weight,
+                    current_placement: view.current_placement.to_vec(),
+                },
+                None => bootstrap_sched_job(
+                    view.id,
+                    view.limits,
+                    weight,
+                    view.current_placement.to_vec(),
+                ),
+            };
+            let from_report = view.report.is_some();
+            if k < self.jobs.len() {
+                self.jobs[k] = entry;
+                self.from_report[k] = from_report;
+                self.limits[k] = view.limits;
+            } else {
+                self.jobs.push(entry);
+                self.from_report.push(from_report);
+                self.limits.push(view.limits);
+            }
+            rebuilt += 1;
+        }
+        self.last_rebuilt = rebuilt;
+        self.last_reused = reused;
+        self.total_rebuilt += rebuilt;
+        self.total_reused += reused;
+        debug_assert_eq!(
+            self.jobs,
+            sched_jobs_from_views(weights, views),
+            "SchedJobCache diverged from a fresh conversion"
+        );
+        &self.jobs
+    }
+
+    fn entry_matches(&self, k: usize, view: &PolicyJobView<'_>) -> bool {
+        let job = &self.jobs[k];
+        if job.id != view.id {
+            return false;
+        }
+        match &view.report {
+            Some(r) => {
+                self.from_report[k]
+                    && job.model == r.model
+                    && job.min_gpus == r.min_gpus
+                    && job.gpu_cap == r.gpu_cap
+            }
+            None => !self.from_report[k] && self.limits[k] == view.limits,
+        }
+    }
+
+    /// The jobs produced by the most recent [`Self::refresh`]
+    /// (immutable re-borrow, for callers that need the rebuild counts
+    /// between refreshing and consuming).
+    pub fn jobs(&self) -> &[SchedJob] {
+        &self.jobs
+    }
+
+    /// Entries rebuilt by the most recent [`Self::refresh`].
+    pub fn last_rebuilt(&self) -> u64 {
+        self.last_rebuilt
+    }
+
+    /// Entries reused untouched by the most recent [`Self::refresh`].
+    pub fn last_reused(&self) -> u64 {
+        self.last_reused
+    }
+
+    /// Entries rebuilt across the cache's lifetime.
+    pub fn total_rebuilt(&self) -> u64 {
+        self.total_rebuilt
+    }
+
+    /// Entries reused across the cache's lifetime.
+    pub fn total_reused(&self) -> u64 {
+        self.total_reused
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -131,5 +278,114 @@ mod tests {
         // Both carry the same attained-service weight.
         assert_eq!(fitted[0].weight, job_weight(&weights, 3600.0));
         assert_eq!(fitted[0].weight, fresh[0].weight);
+    }
+
+    fn bare_view<'a>(id: u32, placement: &'a [u32], gputime: f64) -> PolicyJobView<'a> {
+        use pollux_workload::UserConfig;
+        PolicyJobView {
+            id: JobId(id),
+            user: UserConfig {
+                gpus: 1,
+                batch_size: 128,
+            },
+            profile: None,
+            limits: BatchSizeLimits::new(128, 4096, 512).unwrap(),
+            report: None,
+            gputime,
+            submit_time: 0.0,
+            current_placement: placement,
+            started: false,
+            batch_size: 128,
+            remaining_work: 1e6,
+        }
+    }
+
+    #[test]
+    fn cache_reuses_quiet_rounds_and_matches_fresh_conversion() {
+        let weights = WeightConfig::default();
+        let mut cache = SchedJobCache::default();
+        let p0 = vec![2u32, 0];
+        let p1 = vec![0u32, 2];
+        let views = [bare_view(1, &p0, 0.0), bare_view(2, &p1, 0.0)];
+        // Round 1: everything is new.
+        cache.refresh(&weights, &views);
+        assert_eq!((cache.last_rebuilt(), cache.last_reused()), (2, 0));
+        // Round 2: same views but more attained service — a weight
+        // update is not a rebuild.
+        let views = [bare_view(1, &p0, 60.0), bare_view(2, &p1, 60.0)];
+        let jobs = cache.refresh(&weights, &views).to_vec();
+        assert_eq!((cache.last_rebuilt(), cache.last_reused()), (0, 2));
+        assert_eq!(jobs, sched_jobs_from_views(&weights, &views));
+        assert_eq!(jobs[0].weight, job_weight(&weights, 60.0));
+    }
+
+    #[test]
+    fn cache_rebuilds_on_placement_change_arrival_and_departure() {
+        let weights = WeightConfig::default();
+        let mut cache = SchedJobCache::default();
+        let idle = vec![0u32, 0];
+        let views = [bare_view(1, &idle, 0.0), bare_view(2, &idle, 0.0)];
+        cache.refresh(&weights, &views);
+        // Job 1's placement changed; job 2 departed; job 3 arrived in
+        // its position (id mismatch at index 1 forces a rebuild there).
+        let moved = vec![2u32, 0];
+        let views = [bare_view(1, &moved, 0.0), bare_view(3, &idle, 0.0)];
+        cache.refresh(&weights, &views);
+        assert_eq!((cache.last_rebuilt(), cache.last_reused()), (2, 0));
+        assert_eq!(cache.jobs(), &sched_jobs_from_views(&weights, &views)[..]);
+        // Shrink: only job 1 remains, untouched since last round.
+        let views = [bare_view(1, &moved, 0.0)];
+        cache.refresh(&weights, &views);
+        assert_eq!((cache.last_rebuilt(), cache.last_reused()), (0, 1));
+        assert_eq!(cache.jobs().len(), 1);
+        assert_eq!(cache.total_rebuilt(), 4);
+        assert_eq!(cache.total_reused(), 1);
+    }
+
+    #[test]
+    fn cache_rebuilds_when_a_job_gains_a_report() {
+        use pollux_agent::PolluxAgent;
+        use pollux_models::PlacementShape;
+        use pollux_workload::{ModelKind, UserConfig};
+
+        let profile = ModelKind::ResNet18Cifar10.profile();
+        let mut agent = PolluxAgent::new(profile.m0, profile.eta0, profile.limits).unwrap();
+        for (g, n) in [(1u32, 1u32), (2, 1), (4, 1), (8, 2)] {
+            let shape = PlacementShape::new(g, n).unwrap();
+            agent.observe_iteration(shape, profile.m0, profile.params.t_iter(shape, profile.m0));
+        }
+        assert!(agent.refit());
+        let report = agent.report();
+        assert!(report.is_some());
+
+        let placement = vec![1u32, 0];
+        let mk_view = |report| PolicyJobView {
+            id: JobId(1),
+            user: UserConfig {
+                gpus: 1,
+                batch_size: profile.m0,
+            },
+            profile: Some(&profile),
+            limits: profile.limits,
+            report,
+            gputime: 0.0,
+            submit_time: 0.0,
+            current_placement: &placement,
+            started: true,
+            batch_size: profile.m0,
+            remaining_work: 1e6,
+        };
+        let weights = WeightConfig::default();
+        let mut cache = SchedJobCache::default();
+        // Bootstrap entry first, then the agent's first refit lands:
+        // crossing the bootstrap → report boundary is a rebuild.
+        cache.refresh(&weights, &[mk_view(None)]);
+        let views = [mk_view(report)];
+        cache.refresh(&weights, &views);
+        assert_eq!((cache.last_rebuilt(), cache.last_reused()), (1, 0));
+        assert_eq!(cache.jobs(), &sched_jobs_from_views(&weights, &views)[..]);
+        // The refit is sticky: the next round reuses the entry.
+        cache.refresh(&weights, &views);
+        assert_eq!((cache.last_rebuilt(), cache.last_reused()), (0, 1));
     }
 }

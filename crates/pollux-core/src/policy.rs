@@ -2,7 +2,9 @@
 //! `SchedulingPolicy` interface.
 
 use pollux_cluster::{AllocationMatrix, ClusterSpec, Topology};
-use pollux_control::{sched_jobs_from_views, PolicyJobView, SchedIntervalSample, SchedulingPolicy};
+use pollux_control::{
+    sched_jobs_from_views, PolicyJobView, SchedIntervalSample, SchedJobCache, SchedulingPolicy,
+};
 use pollux_sched::{
     AutoscaleConfig, Autoscaler, PolluxSched, SchedConfig, SchedJob, SpeedupTableStats,
     WeightConfig,
@@ -40,6 +42,13 @@ pub struct PolluxPolicy {
     weights: WeightConfig,
     autoscaler: Option<Autoscaler>,
     adapt_batch_size: bool,
+    /// Cross-round view → `SchedJob` cache: a quiet round reuses every
+    /// entry instead of re-deriving models and re-allocating placement
+    /// rows. Bit-identical to a fresh conversion by construction.
+    cache: SchedJobCache,
+    /// Hoisted `control/views_rebuilt` counter (no-op until telemetry
+    /// is attached).
+    views_rebuilt_ctr: pollux_telemetry::Counter,
 }
 
 impl PolluxPolicy {
@@ -55,6 +64,8 @@ impl PolluxPolicy {
             weights: config.sched.weights,
             autoscaler,
             adapt_batch_size: config.adapt_batch_size,
+            cache: SchedJobCache::default(),
+            views_rebuilt_ctr: pollux_telemetry::Counter::default(),
         })
     }
 
@@ -94,8 +105,12 @@ impl SchedulingPolicy for PolluxPolicy {
         spec: &ClusterSpec,
         rng: &mut StdRng,
     ) -> AllocationMatrix {
-        let sched_jobs = self.sched_jobs(jobs);
-        self.sched.schedule(&sched_jobs, spec, rng)
+        // The cached conversion is bit-identical to `self.sched_jobs`
+        // (debug_assert-checked inside `refresh`); a quiet round
+        // rebuilds zero entries.
+        self.cache.refresh(&self.weights, jobs);
+        self.views_rebuilt_ctr.add(self.cache.last_rebuilt());
+        self.sched.schedule(self.cache.jobs(), spec, rng)
     }
 
     fn configure_parallelism(&mut self, threads: usize) {
@@ -126,6 +141,9 @@ impl SchedulingPolicy for PolluxPolicy {
     }
 
     fn attach_telemetry(&mut self, recorder: pollux_telemetry::Recorder) {
+        // Hoist the counter handle once; `schedule` then pays one
+        // atomic add per round instead of a registry lookup.
+        self.views_rebuilt_ctr = recorder.counter("control", "views_rebuilt");
         self.sched.set_recorder(recorder);
     }
 

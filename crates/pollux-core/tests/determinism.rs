@@ -353,6 +353,168 @@ fn dense_table_matches_model_bitwise_at_any_thread_count() {
 }
 
 #[test]
+fn racked_optimize_is_identical_across_thread_counts() {
+    // The per-rack phase-2 GAs run in parallel with one serial seed
+    // draw per occupied rack; multi-round runs on one scheduler also
+    // exercise the cross-interval carry (warm-start populations and
+    // incremental tables), which must stay thread-count invariant.
+    use pollux_cluster::Topology;
+    let spec = ClusterSpec::homogeneous(8, 4).unwrap();
+    let topo = Topology::grouped(8, 2).unwrap();
+
+    let run = |threads: usize| {
+        let mut sched = sched_with_threads(threads);
+        sched.set_topology(Some(topo.clone()));
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut outcomes = Vec::new();
+        // Round 1 cold; rounds 2-3 warm (carry-over populated); the
+        // job set churns between rounds to exercise the id remap.
+        let mut jobs = sched_jobs(12, 8);
+        outcomes.push(sched.optimize(&jobs, &spec, &mut rng));
+        outcomes.push(sched.optimize(&jobs, &spec, &mut rng));
+        jobs.remove(3);
+        jobs.push(SchedJob {
+            id: JobId(100),
+            model: goodput_model(1234.0),
+            min_gpus: 1,
+            gpu_cap: 16,
+            weight: 1.0,
+            current_placement: vec![0; 8],
+        });
+        outcomes.push(sched.optimize(&jobs, &spec, &mut rng));
+        outcomes
+    };
+
+    let reference = run(1);
+    for threads in [2usize, 4] {
+        let outcomes = run(threads);
+        for (round, (base, got)) in reference.iter().zip(&outcomes).enumerate() {
+            assert_eq!(
+                base.best, got.best,
+                "racked best differs at {threads} threads, round {round}"
+            );
+            assert_eq!(
+                base.best_fitness.to_bits(),
+                got.best_fitness.to_bits(),
+                "racked fitness bits differ at {threads} threads, round {round}"
+            );
+            assert_eq!(
+                base.population, got.population,
+                "racked population differs at {threads} threads, round {round}"
+            );
+        }
+    }
+}
+
+mod incremental_table_proptests {
+    use super::*;
+    use pollux_sched::SpeedupTable;
+    use proptest::prelude::*;
+
+    /// One step of a job-stream mutation: what the scheduler sees
+    /// between consecutive intervals.
+    #[derive(Debug, Clone)]
+    enum Step {
+        /// Refit job at (index % len): new model parameters.
+        Mutate(usize, u8),
+        /// New job arrives with the given cap.
+        Arrive(u8),
+        /// Job at (index % len) departs.
+        Depart(usize),
+        /// Placement/weight churn only (must not dirty any row).
+        Touch(usize),
+    }
+
+    fn apply(jobs: &mut Vec<SchedJob>, next_id: &mut u32, step: &Step) {
+        match step {
+            Step::Mutate(i, phi) => {
+                if !jobs.is_empty() {
+                    let k = i % jobs.len();
+                    jobs[k].model = goodput_model(300.0 + 57.0 * *phi as f64);
+                }
+            }
+            Step::Arrive(cap) => {
+                jobs.push(SchedJob {
+                    id: JobId(*next_id),
+                    model: goodput_model(500.0 + 11.0 * *next_id as f64),
+                    min_gpus: 1,
+                    gpu_cap: 2 + (*cap as u32 % 30),
+                    weight: 1.0,
+                    current_placement: vec![0; 8],
+                });
+                *next_id += 1;
+            }
+            Step::Depart(i) => {
+                if !jobs.is_empty() {
+                    let k = i % jobs.len();
+                    jobs.remove(k);
+                }
+            }
+            Step::Touch(i) => {
+                if !jobs.is_empty() {
+                    let k = i % jobs.len();
+                    jobs[k].weight *= 0.9;
+                    jobs[k].current_placement[k % 8] += 1;
+                }
+            }
+        }
+    }
+
+    fn step_strategy() -> impl Strategy<Value = Step> {
+        (0u8..4, 0usize..64, 0u8..32).prop_map(|(kind, i, p)| match kind {
+            0 => Step::Mutate(i, p),
+            1 => Step::Arrive(p),
+            2 => Step::Depart(i),
+            _ => Step::Touch(i),
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        /// Under any interleaving of refits, arrivals, departures, and
+        /// placement churn, the incrementally-built table is
+        /// bit-identical to a from-scratch build — values AND the
+        /// (golden-digested) solve totals.
+        #[test]
+        fn incremental_table_is_bit_identical_to_fresh_under_churn(
+            steps in proptest::collection::vec(step_strategy(), 1..12),
+            threads in 1usize..4,
+        ) {
+            let spec = ClusterSpec::homogeneous(8, 4).unwrap();
+            let mut jobs = sched_jobs(6, 8);
+            let mut next_id = 100u32;
+            let mut prev = SpeedupTable::build(&jobs, &spec, threads);
+            for step in &steps {
+                apply(&mut jobs, &mut next_id, step);
+                let incr = SpeedupTable::build_reusing(
+                    &jobs, &spec, threads, Some(&prev),
+                );
+                let fresh = SpeedupTable::build(&jobs, &spec, 1);
+                prop_assert_eq!(incr.stats().solves, fresh.stats().solves);
+                prop_assert_eq!(incr.num_jobs(), fresh.num_jobs());
+                prop_assert_eq!(incr.max_gpus(), fresh.max_gpus());
+                for j in 0..jobs.len() {
+                    for gpus in 1..=fresh.max_gpus() {
+                        for nodes in [1u32, 2] {
+                            if nodes > gpus {
+                                continue;
+                            }
+                            let shape = PlacementShape::new(gpus, nodes).unwrap();
+                            prop_assert_eq!(
+                                incr.speedup(j, shape).to_bits(),
+                                fresh.speedup(j, shape).to_bits(),
+                                "job {} shape ({},{})", j, gpus, nodes
+                            );
+                        }
+                    }
+                }
+                prev = incr;
+            }
+        }
+    }
+}
+
+#[test]
 fn speedup_values_survive_shape_canonicalization_in_parallel() {
     // Same job queried through many equivalent shapes from many
     // threads must always observe the same canonical value.

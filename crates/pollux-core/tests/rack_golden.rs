@@ -101,7 +101,29 @@ fn single_rack_topology_is_byte_identical_to_flat() {
 /// every scheduling round; if the constant changes, the racked search
 /// changed — update it only together with a deliberate change to the
 /// rack assignment or per-rack placement GA.
-const GOLDEN_FOUR_RACK: u64 = 0xbe94_18a2_be53_5c35;
+///
+/// Re-pinned once (from `0xbe94_18a2_be53_5c35`) when the racked
+/// search went cross-round incremental, a package of deliberate
+/// stream changes landing together:
+///
+/// - the per-rack phase-2 GAs went parallel: each evolved rack
+///   receives its own seed drawn serially from the interval RNG (one
+///   `next_u64` per rack, rack order) instead of all racks sharing
+///   the single interval stream, so workers are order-independent and
+///   bit-identical at any thread count;
+/// - phase 1 seeds its population with the previous interval's
+///   assignment and stops after stale generations, which changes its
+///   draw count; ties in the assignment score now resolve to the
+///   carried/seed member instead of the last-ranked one;
+/// - a rack whose subproblem is verbatim unchanged replays last
+///   interval's answer without drawing a seed at all (the quiet-rack
+///   fast path).
+///
+/// Each piece changes the racked RNG stream, and with it this digest,
+/// exactly once for the package. Flat and single-rack runs never
+/// enter the racked path, so GOLDEN_CHURN/GOLDEN_QUIET and the
+/// single-rack ≡ flat byte-identity above are unaffected.
+const GOLDEN_FOUR_RACK: u64 = 0xa323_945d_078a_0207;
 
 #[test]
 fn golden_trajectory_four_racks() {

@@ -21,6 +21,14 @@ use pollux_simulator::SimConfig;
 use pollux_workload::{TraceConfig, TraceGenerator};
 use std::time::{Duration, Instant};
 
+fn gated() -> bool {
+    if !std::env::var("POLLUX_SCALE_SMOKE").is_ok_and(|v| v != "0") {
+        eprintln!("scale smoke skipped: set POLLUX_SCALE_SMOKE=1 to run");
+        return false;
+    }
+    true
+}
+
 /// Wall-clock budget for the whole simulated run (release build).
 /// Locally this completes in well under a third of the budget; the
 /// slack absorbs shared-runner jitter, not algorithmic regressions —
@@ -29,8 +37,7 @@ const BUDGET: Duration = Duration::from_secs(300);
 
 #[test]
 fn datacenter_scale_trace_completes_within_budget() {
-    if !std::env::var("POLLUX_SCALE_SMOKE").is_ok_and(|v| v != "0") {
-        eprintln!("scale smoke skipped: set POLLUX_SCALE_SMOKE=1 to run");
+    if !gated() {
         return;
     }
     if cfg!(debug_assertions) {
@@ -88,5 +95,110 @@ fn datacenter_scale_trace_completes_within_budget() {
         "datacenter-scale run blew the wall-clock budget: {:.1}s > {:.0}s",
         elapsed.as_secs_f64(),
         BUDGET.as_secs_f64()
+    );
+}
+
+/// A *quiet* round — same jobs, same placements, a policy with nothing
+/// to change — must be O(churn): the planner materializes zero
+/// reallocation rows and the view → `SchedJob` cache rebuilds zero
+/// entries, even at 256 nodes × 1 000 jobs.
+#[test]
+fn quiet_round_materializes_no_rows_and_rebuilds_no_views() {
+    use pollux_control::{
+        PlacementDelta, PolicyJobView, RoundPlanner, SchedJobCache, SchedulingPolicy,
+    };
+    use pollux_cluster::{AllocationMatrix, JobId};
+    use pollux_models::BatchSizeLimits;
+    use pollux_sched::WeightConfig;
+    use pollux_workload::UserConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    if !gated() {
+        return;
+    }
+
+    const NODES: usize = 256;
+    const JOBS: usize = 1_000;
+    let spec = ClusterSpec::homogeneous(NODES as u32, 4).unwrap();
+
+    /// Sparse keep-everything policy: steady state has no deltas.
+    struct Keep;
+    impl SchedulingPolicy for Keep {
+        fn name(&self) -> &'static str {
+            "keep"
+        }
+        fn schedule(
+            &mut self,
+            _now: f64,
+            jobs: &[PolicyJobView<'_>],
+            _spec: &ClusterSpec,
+            _rng: &mut StdRng,
+        ) -> AllocationMatrix {
+            panic!("quiet rounds must stay on the sparse path ({} jobs)", jobs.len())
+        }
+        fn schedule_sparse(
+            &mut self,
+            _now: f64,
+            _jobs: &[PolicyJobView<'_>],
+            _spec: &ClusterSpec,
+            _rng: &mut StdRng,
+        ) -> Option<Vec<PlacementDelta>> {
+            Some(Vec::new())
+        }
+    }
+
+    // Every job pinned to one GPU on a node, round-robin.
+    let placements: Vec<Vec<u32>> = (0..JOBS)
+        .map(|j| {
+            let mut p = vec![0u32; NODES];
+            p[j % NODES] = 1;
+            p
+        })
+        .collect();
+    let limits = BatchSizeLimits::new(128, 4096, 512).unwrap();
+    let views: Vec<PolicyJobView<'_>> = placements
+        .iter()
+        .enumerate()
+        .map(|(j, p)| PolicyJobView {
+            id: JobId(j as u32),
+            user: UserConfig {
+                gpus: 1,
+                batch_size: 128,
+            },
+            profile: None,
+            limits,
+            report: None,
+            gputime: 60.0,
+            submit_time: 0.0,
+            current_placement: p,
+            started: true,
+            batch_size: 128,
+            remaining_work: 1e9,
+        })
+        .collect();
+
+    let mut planner = RoundPlanner::new();
+    let mut cache = SchedJobCache::default();
+    let mut rng = StdRng::seed_from_u64(7);
+    let weights = WeightConfig::default();
+
+    // Round 1 warms both: the cache builds every entry, the planner
+    // caches the id sequence.
+    cache.refresh(&weights, &views);
+    let out = planner.plan(&mut Keep, 0.0, &views, &spec, &mut rng).unwrap();
+    assert!(out.reallocations.is_empty());
+    assert_eq!(cache.last_rebuilt() as usize, JOBS);
+
+    // Round 2 is quiet: zero rows materialized, zero views rebuilt.
+    cache.refresh(&weights, &views);
+    let out = planner.plan(&mut Keep, 60.0, &views, &spec, &mut rng).unwrap();
+    assert!(out.reallocations.is_empty());
+    assert_eq!(planner.rows_materialized(), 0, "quiet round materialized rows");
+    assert_eq!(cache.last_rebuilt(), 0, "quiet round rebuilt views");
+    assert_eq!(cache.last_reused() as usize, JOBS);
+    eprintln!(
+        "quiet round: {} nodes x {} jobs, 0 rows materialized, 0 views rebuilt",
+        NODES, JOBS
     );
 }

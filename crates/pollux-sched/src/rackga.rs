@@ -24,13 +24,20 @@
 //! topology byte-identical to the flat search.
 
 use crate::speedup::SchedJob;
-use pollux_cluster::{ClusterSpec, NodeId, Topology};
+use pollux_cluster::{ClusterSpec, JobId, NodeId, Topology};
 use rand::Rng;
+use std::collections::HashMap;
 
 /// Population size of the assignment GA.
 const POPULATION: usize = 16;
 /// Generations evolved per interval.
 const GENERATIONS: usize = 12;
+/// Consecutive generations without a strict best-score improvement
+/// before the search stops early. A warm interval seeded with the
+/// previous assignment (see [`assign_racks`]'s `prev`) usually starts
+/// at the optimum and stops here instead of running all
+/// [`GENERATIONS`].
+const EARLY_STOP_GENS: usize = 3;
 /// Per-gene mutation probability.
 const MUTATION_PROB: f64 = 0.125;
 /// Tournament size for parent selection.
@@ -72,10 +79,21 @@ pub fn home_rack(job: &SchedJob, topo: &Topology) -> Option<u32> {
 /// A small serial GA over assignment vectors, seeded with a greedy
 /// capacity-aware packing that respects home racks. With one rack (or
 /// no jobs) the answer is trivially all-zeros without touching `rng`.
+///
+/// `prev` carries the previous interval's assignment keyed by job id:
+/// when given, it seeds a second population member (surviving jobs
+/// keep their old rack, arrivals fall back to the greedy choice). On
+/// a quiet interval that member already scores at the previous
+/// optimum, so the search early-stops after [`EARLY_STOP_GENS`] stale
+/// generations — and, just as importantly, idle jobs (which have no
+/// home-rack keep-bonus anchoring them) stop reshuffling between
+/// racks from round to round, which is what keeps the phase-2
+/// per-rack carries valid.
 pub fn assign_racks<R: Rng>(
     jobs: &[SchedJob],
     spec: &ClusterSpec,
     topo: &Topology,
+    prev: Option<&HashMap<JobId, u32>>,
     rng: &mut R,
 ) -> Vec<u32> {
     let num_racks = topo.num_racks() as usize;
@@ -141,16 +159,47 @@ pub fn assign_racks<R: Rng>(
         }
     };
 
+    // Carried seed: the previous interval's rack per surviving job,
+    // greedy fallback for arrivals (and for stale rack indices, which
+    // only survive a topology change the caller failed to clear).
+    let carried: Option<Vec<u32>> = prev.map(|prev| {
+        seed.iter()
+            .enumerate()
+            .map(|(j, &g)| match prev.get(&jobs[j].id) {
+                Some(&r) if (r as usize) < num_racks => r,
+                _ => g,
+            })
+            .collect()
+    });
+
+    // Seed order matters: ranking sorts are stable and the final pick
+    // takes the sorted-first best, so among equal scores the carried
+    // assignment wins over the greedy re-derivation and both win over
+    // mutated children — quiet intervals keep the previous assignment
+    // instead of drifting through score ties.
     let mut population: Vec<(Vec<u32>, f64)> = Vec::with_capacity(POPULATION * 2);
-    let s = score(&seed);
-    population.push((seed, s));
+    if let Some(carried) = carried {
+        let s = score(&carried);
+        population.push((carried, s));
+    }
+    if population.is_empty() || population[0].0 != seed {
+        let s = score(&seed);
+        population.push((seed, s));
+    }
+    // Mutants spread from the better seed.
+    let base = (population.len() > 1 && population[1].1 > population[0].1) as usize;
     while population.len() < POPULATION {
-        let mut member = population[0].0.clone();
+        let mut member = population[base].0.clone();
         mutate(&mut member, rng);
         let s = score(&member);
         population.push((member, s));
     }
 
+    let mut best_score = population
+        .iter()
+        .map(|m| m.1)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let mut stale = 0usize;
     for _ in 0..GENERATIONS {
         // Parent selection draws by index into the *current* ranking;
         // the offspring are appended and the combined pool is ranked.
@@ -185,11 +234,23 @@ pub fn assign_racks<R: Rng>(
         }
         population.sort_by(|x, y| y.1.total_cmp(&x.1));
         population.truncate(POPULATION);
+        if population[0].1 > best_score {
+            best_score = population[0].1;
+            stale = 0;
+        } else {
+            stale += 1;
+            if stale >= EARLY_STOP_GENS {
+                break;
+            }
+        }
     }
 
+    // The population is sorted best-first after every generation;
+    // taking the front (not `max_by`, whose tie-break prefers the
+    // *last* maximum) keeps seed-order priority under score ties.
     population
         .into_iter()
-        .max_by(|x, y| x.1.total_cmp(&y.1))
+        .next()
         .expect("non-empty population")
         .0
 }
@@ -240,7 +301,7 @@ mod tests {
         let jobs: Vec<SchedJob> = (0..3).map(|i| job(i, vec![])).collect();
         let mut rng = StdRng::seed_from_u64(1);
         let before = rng.clone().next_u64();
-        let assign = assign_racks(&jobs, &spec, &topo, &mut rng);
+        let assign = assign_racks(&jobs, &spec, &topo, None, &mut rng);
         assert_eq!(assign, vec![0, 0, 0]);
         assert_eq!(rng.next_u64(), before, "single rack must not draw");
     }
@@ -250,8 +311,8 @@ mod tests {
         let topo = Topology::grouped(4, 2).unwrap();
         let spec = ClusterSpec::homogeneous(4, 4).unwrap();
         let jobs: Vec<SchedJob> = (0..6).map(|i| job(i, vec![])).collect();
-        let a1 = assign_racks(&jobs, &spec, &topo, &mut StdRng::seed_from_u64(7));
-        let a2 = assign_racks(&jobs, &spec, &topo, &mut StdRng::seed_from_u64(7));
+        let a1 = assign_racks(&jobs, &spec, &topo, None, &mut StdRng::seed_from_u64(7));
+        let a2 = assign_racks(&jobs, &spec, &topo, None, &mut StdRng::seed_from_u64(7));
         assert_eq!(a1, a2, "same seed, same assignment");
         assert!(a1.iter().all(|&r| r < topo.num_racks()));
         // 6 jobs of demand 1 against two racks of 8 GPUs each: both
@@ -267,7 +328,52 @@ mod tests {
         // Two running jobs, one per rack, each holding 2 GPUs; demand
         // fits everywhere, so the keep-bonus should pin them home.
         let jobs = vec![job(0, vec![2, 0, 0, 0]), job(1, vec![0, 0, 2, 0])];
-        let assign = assign_racks(&jobs, &spec, &topo, &mut StdRng::seed_from_u64(3));
+        let assign = assign_racks(&jobs, &spec, &topo, None, &mut StdRng::seed_from_u64(3));
         assert_eq!(assign, vec![0, 1]);
+    }
+
+    #[test]
+    fn carried_assignment_wins_score_ties() {
+        let topo = Topology::grouped(4, 2).unwrap();
+        let spec = ClusterSpec::homogeneous(4, 4).unwrap();
+        // Six idle jobs (no home rack, no keep-bonus): every split
+        // that fits scores identically, so without a carry the
+        // assignment is free to drift between intervals. With one,
+        // the previous assignment must win the ties verbatim.
+        let jobs: Vec<SchedJob> = (0..6).map(|i| job(i, vec![])).collect();
+        let prev: HashMap<JobId, u32> = (0..6u32)
+            .map(|i| (JobId(i), u32::from(i % 2 == 0)))
+            .collect();
+        let assign = assign_racks(
+            &jobs,
+            &spec,
+            &topo,
+            Some(&prev),
+            &mut StdRng::seed_from_u64(9),
+        );
+        let want: Vec<u32> = (0..6u32).map(|i| u32::from(i % 2 == 0)).collect();
+        assert_eq!(assign, want, "carried assignment must survive ties");
+    }
+
+    #[test]
+    fn carried_arrivals_fall_back_to_greedy() {
+        let topo = Topology::grouped(4, 2).unwrap();
+        let spec = ClusterSpec::homogeneous(4, 4).unwrap();
+        let jobs: Vec<SchedJob> = (0..3).map(|i| job(i, vec![])).collect();
+        // The carry only knows job 0 (plus a stale out-of-range rack
+        // for job 1, which must be ignored); jobs 1 and 2 are new.
+        let mut prev = HashMap::new();
+        prev.insert(JobId(0), 1u32);
+        prev.insert(JobId(1), 7u32);
+        let assign = assign_racks(
+            &jobs,
+            &spec,
+            &topo,
+            Some(&prev),
+            &mut StdRng::seed_from_u64(9),
+        );
+        assert_eq!(assign.len(), 3);
+        assert_eq!(assign[0], 1, "surviving job keeps its carried rack");
+        assert!(assign.iter().all(|&r| r < topo.num_racks()));
     }
 }

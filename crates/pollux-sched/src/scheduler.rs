@@ -7,12 +7,14 @@
 //! completions, evolves it, and returns the best allocation matrix.
 
 use crate::ga::{GaConfig, GaOutcome, GaRunStats, GeneticAlgorithm};
+use crate::par::parallel_map;
 use crate::rackga;
 use crate::speedup::{SchedJob, SpeedupTable, SpeedupTableStats};
 use crate::weights::WeightConfig;
 use pollux_cluster::{AllocationMatrix, ClusterSpec, JobId, NodeId, NodeSpec, Topology};
 use pollux_telemetry::Recorder;
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::time::Instant;
@@ -44,9 +46,11 @@ impl Default for SchedConfig {
 /// Every field is deterministic for a fixed seed at any thread count.
 /// Wall-clock timings of the interval (table build, GA evolve) are
 /// *not* part of this struct: they are emitted as telemetry spans
-/// (`sched/table_build`, `sched/ga_evolve`) through the recorder
-/// attached via [`PolluxSched::set_recorder`], keeping every
-/// deterministic output free of machine-dependent values.
+/// (`sched/table_build` and `sched/ga_evolve` on the flat path,
+/// `sched/rack_assign` and `sched/rack_evolve` on the racked path)
+/// through the recorder attached via [`PolluxSched::set_recorder`],
+/// keeping every deterministic output free of machine-dependent
+/// values.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SchedIntervalStats {
     /// GA evaluation counters (generations, full vs. incremental
@@ -70,6 +74,48 @@ pub struct PolluxSched {
     /// Rack layout for the two-phase (rack, then GPU) search. `None`
     /// or a single rack → the flat search, bit for bit.
     topology: Option<Topology>,
+    /// The previous flat interval's dense table: clean jobs' rows are
+    /// copied forward instead of re-solved
+    /// ([`SpeedupTable::build_reusing`]).
+    prev_table: Option<SpeedupTable>,
+    /// Per-rack cross-interval carry-over for the racked path, indexed
+    /// by rack. Cleared when the search switches paths or the topology
+    /// changes (rack indices renumber).
+    rack_carry: Vec<RackCarry>,
+    /// The previous interval's phase-1 rack assignment keyed by job
+    /// id. Seeds the next interval's assignment GA
+    /// ([`rackga::assign_racks`]) so quiet intervals keep rack
+    /// memberships stable — the precondition for the per-rack carries
+    /// above to hit. Cleared together with `rack_carry`.
+    assign_carry: HashMap<JobId, u32>,
+}
+
+/// What one rack's phase-2 search saves for the next interval: the
+/// evolved population (keyed by the member job ids for reconciliation
+/// after rack reshuffles), the rack's dense speedup table (for
+/// row-level reuse), and the exact subproblem it solved plus its
+/// answer — which lets a *quiet* rack (identical member jobs, models,
+/// weights, and rack-local placements next interval) return the
+/// previous result without re-searching at all.
+#[derive(Debug, Default)]
+struct RackCarry {
+    job_ids: Vec<JobId>,
+    population: Vec<AllocationMatrix>,
+    table: Option<SpeedupTable>,
+    /// The rack-local subproblem of the previous interval, compared
+    /// verbatim against the next interval's to detect a quiet rack.
+    sub_jobs: Vec<SchedJob>,
+    /// The previous best rack-local matrix and its fitness.
+    best: Option<(AllocationMatrix, f64)>,
+}
+
+/// One rack's phase-2 result, produced by a worker and stitched
+/// serially in rack order.
+struct RackRun {
+    outcome: GaOutcome,
+    table: SpeedupTable,
+    weight_sum: f64,
+    job_ids: Vec<JobId>,
 }
 
 impl PolluxSched {
@@ -84,6 +130,9 @@ impl PolluxSched {
             cumulative_speedup: SpeedupTableStats::default(),
             recorder: Recorder::disabled(),
             topology: None,
+            prev_table: None,
+            rack_carry: Vec::new(),
+            assign_carry: HashMap::new(),
         }
     }
 
@@ -93,7 +142,15 @@ impl PolluxSched {
     /// ≥ 2 racks each interval runs the two-phase search: a cheap
     /// rack-assignment GA ([`crate::rackga`]) followed by the
     /// placement GA independently inside each rack.
+    ///
+    /// Changing the topology drops the per-rack carry-over state
+    /// (saved populations and tables): rack indices renumber, so the
+    /// old carry would warm-start the wrong node columns.
     pub fn set_topology(&mut self, topology: Option<Topology>) {
+        if self.topology != topology {
+            self.rack_carry.clear();
+            self.assign_carry.clear();
+        }
         self.topology = topology;
     }
 
@@ -103,9 +160,11 @@ impl PolluxSched {
     }
 
     /// Attaches a telemetry recorder: each interval emits its
-    /// wall-clock spans (`sched/table_build`, `sched/ga_evolve`) and
-    /// evaluation counters through it. Telemetry is observational
-    /// only — schedules are bit-identical with or without a recorder.
+    /// wall-clock spans (`sched/table_build` and `sched/ga_evolve` on
+    /// the flat path, `sched/rack_assign` and `sched/rack_evolve` on
+    /// the racked path) and evaluation counters through it. Telemetry
+    /// is observational only — schedules are bit-identical with or
+    /// without a recorder.
     pub fn set_recorder(&mut self, recorder: Recorder) {
         self.recorder = recorder;
     }
@@ -148,10 +207,15 @@ impl PolluxSched {
                 return self.optimize_racked(&topo, jobs, spec, rng);
             }
         }
-        let seed = self.reconciled_seed(jobs, spec);
+        let seed = reconcile_population(
+            &self.saved_population,
+            &self.saved_job_ids,
+            jobs,
+            spec.num_nodes(),
+        );
         let threads = self.config.ga.threads.max(1);
         let build_start = Instant::now();
-        let table = SpeedupTable::build(jobs, spec, threads);
+        let table = SpeedupTable::build_reusing(jobs, spec, threads, self.prev_table.as_ref());
         let table_build_nanos = build_start.elapsed().as_nanos() as u64;
         let evolve_start = Instant::now();
         let outcome = self.ga.evolve(jobs, spec, seed, &table, rng);
@@ -179,8 +243,14 @@ impl PolluxSched {
         rec.incr("sched", "table_hits", speedup.hits);
         rec.incr("sched", "table_misses", speedup.misses);
         rec.incr("sched", "table_solves", speedup.solves);
+        rec.incr("sched", "table_rows_reused", speedup.rows_reused);
         self.saved_population = outcome.population.clone();
         self.saved_job_ids = jobs.iter().map(|j| j.id).collect();
+        // Each path owns its own carry-over; switching paths starts
+        // cold (correctness never depends on the carry, only warmth).
+        self.prev_table = Some(table);
+        self.rack_carry.clear();
+        self.assign_carry.clear();
         outcome
     }
 
@@ -202,9 +272,39 @@ impl PolluxSched {
     /// sub-problem, so the placement GA's restart penalty does not
     /// fire for it — the rack phase's keep-bonus prices the move at
     /// rack granularity instead. Per-rack speedup tables replace the
-    /// single dense table (whose size grows with total cluster GPUs);
-    /// saved populations are not carried across intervals on this
-    /// path because rack membership reshuffles round to round.
+    /// single dense table (whose size grows with total cluster GPUs).
+    ///
+    /// # Parallelism and determinism
+    ///
+    /// The per-rack phase-2 searches are independent (racks partition
+    /// both nodes and jobs), so they fan out over
+    /// [`crate::par::parallel_map`]. Determinism uses the same
+    /// seed-splitting discipline as the GA's seed-per-slot: after the
+    /// serial phase-1 assignment, the master RNG is advanced once per
+    /// *evolved* rack (in rack order) and each such rack evolves under
+    /// a private `StdRng` derived from its seed — so the result is
+    /// bit-identical at every thread count. Inner GA parallelism is
+    /// forced to 1 (outer parallelism replaces it; either choice is
+    /// bit-identical by the GA's thread-count invariance).
+    ///
+    /// # Cross-interval carry-over
+    ///
+    /// Each rack saves its evolved population (keyed by member job
+    /// ids), its dense table, and the exact subproblem it solved with
+    /// its answer. The next interval reconciles the population onto
+    /// the rack's new membership — survivors keep their rows,
+    /// departures are dropped, arrivals start empty — so the paper's
+    /// Sec. 4.3 warm start applies on the racked path too, and clean
+    /// jobs' table rows are copied forward instead of re-solved.
+    /// Phase 1 is seeded with the previous interval's assignment, so
+    /// quiet intervals keep rack memberships stable; a rack whose
+    /// subproblem is then verbatim unchanged replays last interval's
+    /// answer without re-searching at all (the quiet-rack fast path —
+    /// interval cost scales with the racks that changed). Wall-clock
+    /// timings of the two phases are emitted as telemetry spans
+    /// (`sched/rack_assign`, `sched/rack_evolve`) only, never
+    /// serialized; `sched/racks_evolved` and `sched/racks_reused`
+    /// count the fast path's hits.
     fn optimize_racked<R: Rng>(
         &mut self,
         topo: &Topology,
@@ -212,84 +312,186 @@ impl PolluxSched {
         spec: &ClusterSpec,
         rng: &mut R,
     ) -> GaOutcome {
-        let threads = self.config.ga.threads.max(1);
-        let assignment = rackga::assign_racks(jobs, spec, topo, rng);
+        let assignment = {
+            let _span = self.recorder.span("sched", "rack_assign");
+            let prev = (!self.assign_carry.is_empty()).then_some(&self.assign_carry);
+            rackga::assign_racks(jobs, spec, topo, prev, rng)
+        };
 
+        let num_racks = topo.num_racks() as usize;
+        let mut members_of: Vec<Vec<usize>> = vec![Vec::new(); num_racks];
+        for (j, &r) in assignment.iter().enumerate() {
+            members_of[r as usize].push(j);
+        }
+        let occupied: Vec<usize> = (0..num_racks).filter(|&r| !members_of[r].is_empty()).collect();
+
+        let mut prev_carry = std::mem::take(&mut self.rack_carry);
+        prev_carry.resize_with(num_racks, RackCarry::default);
+
+        // Serial pre-pass: each occupied rack's local subproblem —
+        // needed both by the evolve workers and to detect quiet racks.
+        let mut sub_jobs_of: Vec<Vec<SchedJob>> = occupied
+            .iter()
+            .map(|&r| {
+                let rack_nodes = topo.nodes_in(r as u32);
+                members_of[r]
+                    .iter()
+                    .map(|&j| {
+                        let job = &jobs[j];
+                        // Slice the placement to the rack's columns; a job
+                        // currently placed elsewhere sees an empty row.
+                        let placement: Vec<u32> = if job.current_placement.len() == spec.num_nodes()
+                        {
+                            rack_nodes
+                                .iter()
+                                .map(|&n| job.current_placement[n as usize])
+                                .collect()
+                        } else {
+                            Vec::new()
+                        };
+                        SchedJob {
+                            id: job.id,
+                            model: job.model,
+                            min_gpus: job.min_gpus,
+                            gpu_cap: job.gpu_cap,
+                            weight: job.weight,
+                            current_placement: placement,
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+
+        // Quiet-rack fast path: a rack whose subproblem is verbatim
+        // the one it solved last interval reuses last interval's
+        // answer (best matrix, fitness, population, table) without
+        // re-searching. Work per interval then scales with the racks
+        // that actually changed. The decision is a pure function of
+        // the inputs and the carry, so it is identical at every
+        // thread count.
+        let evolve_flags: Vec<bool> = occupied
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| {
+                let carry = &prev_carry[r];
+                carry.best.is_none() || carry.sub_jobs != sub_jobs_of[i]
+            })
+            .collect();
+        let active: Vec<usize> = (0..occupied.len()).filter(|&i| evolve_flags[i]).collect();
+        // One serial master-RNG draw per *evolved* rack, in rack
+        // order; quiet racks draw nothing (their result is already
+        // fixed), keeping the stream deterministic either way.
+        let rack_seeds: Vec<u64> = active.iter().map(|_| rng.next_u64()).collect();
+
+        let mut inner_cfg = self.config.ga;
+        inner_cfg.threads = 1;
+        let inner_ga = GeneticAlgorithm::new(inner_cfg);
+        let threads = self.config.ga.threads.max(1);
+
+        let evolve_start = Instant::now();
+        let runs: Vec<RackRun> = {
+            let prev_carry = &prev_carry;
+            let occupied = &occupied;
+            let active = &active;
+            let sub_jobs_of = &sub_jobs_of;
+            let rack_seeds = &rack_seeds;
+            let inner_ga = &inner_ga;
+            parallel_map(active.len(), threads, move |k| {
+                let i = active[k];
+                let r = occupied[i];
+                let rack_nodes = topo.nodes_in(r as u32);
+                let sub_spec = ClusterSpec::new(
+                    rack_nodes
+                        .iter()
+                        .map(|&n| NodeSpec {
+                            gpus: spec.gpus_on(NodeId(n)),
+                        })
+                        .collect(),
+                )
+                .expect("racks are non-empty and rack nodes have GPUs");
+                let sub_jobs = &sub_jobs_of[i];
+
+                let carry = &prev_carry[r];
+                let seed_pop = reconcile_population(
+                    &carry.population,
+                    &carry.job_ids,
+                    sub_jobs,
+                    rack_nodes.len(),
+                );
+                let table =
+                    SpeedupTable::build_reusing(sub_jobs, &sub_spec, 1, carry.table.as_ref());
+                let mut rack_rng = StdRng::seed_from_u64(rack_seeds[k]);
+                let outcome = inner_ga.evolve(sub_jobs, &sub_spec, seed_pop, &table, &mut rack_rng);
+                let weight_sum: f64 = sub_jobs.iter().map(|j| j.weight).sum();
+                let job_ids: Vec<JobId> = sub_jobs.iter().map(|j| j.id).collect();
+                RackRun {
+                    outcome,
+                    table,
+                    weight_sum,
+                    job_ids,
+                }
+            })
+        };
+        let ga_evolve_nanos = evolve_start.elapsed().as_nanos() as u64;
+
+        // Stitch serially in rack order (parallel_map preserves it).
         let mut best = AllocationMatrix::zeros(jobs.len(), spec.num_nodes());
         let mut stats = GaRunStats::default();
         let mut speedup = SpeedupTableStats::default();
-        let mut table_build_nanos = 0u64;
-        let mut ga_evolve_nanos = 0u64;
         let mut fitness_weighted = 0.0;
         let mut weight_total = 0.0;
-
-        for r in 0..topo.num_racks() {
-            let members: Vec<usize> = (0..jobs.len()).filter(|&j| assignment[j] == r).collect();
-            if members.is_empty() {
+        let mut racks_reused: u64 = 0;
+        let mut new_carry: Vec<RackCarry> = Vec::new();
+        new_carry.resize_with(num_racks, RackCarry::default);
+        let mut runs = runs.into_iter();
+        for (i, &r) in occupied.iter().enumerate() {
+            let rack_nodes = topo.nodes_in(r as u32);
+            if !evolve_flags[i] {
+                // Quiet rack: replay the carried answer and move the
+                // carry forward untouched. Its rows were all reused
+                // (nothing was solved or looked up this interval).
+                let carry = std::mem::take(&mut prev_carry[r]);
+                let (carry_best, carry_fitness) =
+                    carry.best.as_ref().expect("quiet racks carry a best");
+                let weight_sum: f64 = carry.sub_jobs.iter().map(|j| j.weight).sum();
+                fitness_weighted += carry_fitness * weight_sum;
+                weight_total += weight_sum;
+                speedup.rows_reused += carry.sub_jobs.len() as u64;
+                for (k, &j) in members_of[r].iter().enumerate() {
+                    for (col, &n) in rack_nodes.iter().enumerate() {
+                        let g = carry_best.get(k, col);
+                        if g > 0 {
+                            best.set(j, n as usize, g);
+                        }
+                    }
+                }
+                racks_reused += 1;
+                new_carry[r] = carry;
                 continue;
             }
-            let rack_nodes = topo.nodes_in(r);
-            let sub_spec = ClusterSpec::new(
-                rack_nodes
-                    .iter()
-                    .map(|&n| NodeSpec {
-                        gpus: spec.gpus_on(NodeId(n)),
-                    })
-                    .collect(),
-            )
-            .expect("racks are non-empty and rack nodes have GPUs");
-            let sub_jobs: Vec<SchedJob> = members
-                .iter()
-                .map(|&j| {
-                    let job = &jobs[j];
-                    // Slice the placement to the rack's columns; a job
-                    // currently placed elsewhere sees an empty row.
-                    let placement: Vec<u32> = if job.current_placement.len() == spec.num_nodes() {
-                        rack_nodes
-                            .iter()
-                            .map(|&n| job.current_placement[n as usize])
-                            .collect()
-                    } else {
-                        Vec::new()
-                    };
-                    SchedJob {
-                        id: job.id,
-                        model: job.model,
-                        min_gpus: job.min_gpus,
-                        gpu_cap: job.gpu_cap,
-                        weight: job.weight,
-                        current_placement: placement,
-                    }
-                })
-                .collect();
-
-            let build_start = Instant::now();
-            let table = SpeedupTable::build(&sub_jobs, &sub_spec, threads);
-            table_build_nanos += build_start.elapsed().as_nanos() as u64;
-            let evolve_start = Instant::now();
-            let outcome = self
-                .ga
-                .evolve(&sub_jobs, &sub_spec, Vec::new(), &table, rng);
-            ga_evolve_nanos += evolve_start.elapsed().as_nanos() as u64;
-
-            let sub_speedup = table.stats();
-            speedup.accumulate(sub_speedup);
-            stats.generations_run += outcome.stats.generations_run;
-            stats.fitness_evals += outcome.stats.fitness_evals;
-            stats.incremental_evals += outcome.stats.incremental_evals;
-            stats.rows_recomputed += outcome.stats.rows_recomputed;
-
-            let wsum: f64 = sub_jobs.iter().map(|j| j.weight).sum();
-            fitness_weighted += outcome.best_fitness * wsum;
-            weight_total += wsum;
-            for (k, &j) in members.iter().enumerate() {
+            let run = runs.next().expect("one run per evolved rack");
+            speedup.accumulate(run.table.stats());
+            stats.generations_run += run.outcome.stats.generations_run;
+            stats.fitness_evals += run.outcome.stats.fitness_evals;
+            stats.incremental_evals += run.outcome.stats.incremental_evals;
+            stats.rows_recomputed += run.outcome.stats.rows_recomputed;
+            fitness_weighted += run.outcome.best_fitness * run.weight_sum;
+            weight_total += run.weight_sum;
+            for (k, &j) in members_of[r].iter().enumerate() {
                 for (col, &n) in rack_nodes.iter().enumerate() {
-                    let g = outcome.best.get(k, col);
+                    let g = run.outcome.best.get(k, col);
                     if g > 0 {
                         best.set(j, n as usize, g);
                     }
                 }
             }
+            new_carry[r] = RackCarry {
+                job_ids: run.job_ids,
+                population: run.outcome.population,
+                table: Some(run.table),
+                sub_jobs: std::mem::take(&mut sub_jobs_of[i]),
+                best: Some((run.outcome.best, run.outcome.best_fitness)),
+            };
         }
 
         let best_fitness = if weight_total > 0.0 {
@@ -300,8 +502,7 @@ impl PolluxSched {
         self.cumulative_speedup.accumulate(speedup);
         self.last_interval = Some(SchedIntervalStats { ga: stats, speedup });
         let rec = &self.recorder;
-        rec.record_duration_ns("sched", "table_build", table_build_nanos);
-        rec.record_duration_ns("sched", "ga_evolve", ga_evolve_nanos);
+        rec.record_duration_ns("sched", "rack_evolve", ga_evolve_nanos);
         rec.incr("sched", "intervals", 1);
         rec.incr("sched", "generations", stats.generations_run);
         rec.incr("sched", "fitness_evals", stats.fitness_evals);
@@ -310,8 +511,18 @@ impl PolluxSched {
         rec.incr("sched", "table_hits", speedup.hits);
         rec.incr("sched", "table_misses", speedup.misses);
         rec.incr("sched", "table_solves", speedup.solves);
+        rec.incr("sched", "table_rows_reused", speedup.rows_reused);
+        rec.incr("sched", "racks_evolved", active.len() as u64);
+        rec.incr("sched", "racks_reused", racks_reused);
         self.saved_population = Vec::new();
         self.saved_job_ids = jobs.iter().map(|j| j.id).collect();
+        self.prev_table = None;
+        self.rack_carry = new_carry;
+        self.assign_carry = jobs
+            .iter()
+            .zip(&assignment)
+            .map(|(j, &r)| (j.id, r))
+            .collect();
         GaOutcome {
             best,
             best_fitness,
@@ -349,37 +560,44 @@ impl PolluxSched {
         self.optimize(jobs, spec, rng).best
     }
 
-    /// Adapts the saved population to the current job set and cluster
-    /// size: surviving jobs keep their evolved rows, new jobs start
-    /// with empty rows, and departed jobs' rows are dropped.
-    fn reconciled_seed(&self, jobs: &[SchedJob], spec: &ClusterSpec) -> Vec<AllocationMatrix> {
-        if self.saved_population.is_empty() {
-            return Vec::new();
-        }
-        let old_index: HashMap<JobId, usize> = self
-            .saved_job_ids
-            .iter()
-            .enumerate()
-            .map(|(i, &id)| (id, i))
-            .collect();
-        let num_nodes = spec.num_nodes();
-        self.saved_population
-            .iter()
-            .map(|old| {
-                let mut m = AllocationMatrix::zeros(jobs.len(), num_nodes);
-                for (j, job) in jobs.iter().enumerate() {
-                    if let Some(&oj) = old_index.get(&job.id) {
-                        if oj < old.num_jobs() {
-                            let mut row = old.row(oj).to_vec();
-                            row.resize(num_nodes, 0);
-                            m.set_row(j, row);
-                        }
+}
+
+/// Adapts a saved population to a new job set and cluster width:
+/// surviving jobs keep their evolved rows (truncated or zero-padded to
+/// `num_nodes`), new jobs start with empty rows, and departed jobs'
+/// rows are dropped. Shared by the flat path's cross-interval warm
+/// start and the racked path's per-rack carry-over (where it also
+/// remaps rows after rack reshuffles).
+fn reconcile_population(
+    saved: &[AllocationMatrix],
+    saved_ids: &[JobId],
+    jobs: &[SchedJob],
+    num_nodes: usize,
+) -> Vec<AllocationMatrix> {
+    if saved.is_empty() {
+        return Vec::new();
+    }
+    let old_index: HashMap<JobId, usize> = saved_ids
+        .iter()
+        .enumerate()
+        .map(|(i, &id)| (id, i))
+        .collect();
+    saved
+        .iter()
+        .map(|old| {
+            let mut m = AllocationMatrix::zeros(jobs.len(), num_nodes);
+            for (j, job) in jobs.iter().enumerate() {
+                if let Some(&oj) = old_index.get(&job.id) {
+                    if oj < old.num_jobs() {
+                        let mut row = old.row(oj).to_vec();
+                        row.resize(num_nodes, 0);
+                        m.set_row(j, row);
                     }
                 }
-                m
-            })
-            .collect()
-    }
+            }
+            m
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -428,6 +646,41 @@ mod tests {
         for j in 0..3 {
             assert!(a.gpus_of(j) >= 1, "job {j} starved:\n{a}");
         }
+    }
+
+    #[test]
+    fn quiet_racks_replay_without_searching() {
+        let spec = ClusterSpec::homogeneous(4, 4).unwrap();
+        let topo = Topology::grouped(4, 2).unwrap();
+        let mut s = sched();
+        s.set_topology(Some(topo));
+        let mut rng = StdRng::seed_from_u64(5);
+        let jobs: Vec<SchedJob> = (0..4).map(job).collect();
+
+        let first = s.schedule(&jobs, &spec, &mut rng);
+        let cold = s.take_interval_stats().expect("cold interval ran");
+        assert!(cold.ga.generations_run > 0);
+
+        // Identical inputs: every rack replays its carried answer —
+        // same plan, zero generations, zero solves, every row reused.
+        let second = s.schedule(&jobs, &spec, &mut rng);
+        assert_eq!(second, first, "a quiet interval must replay the plan");
+        let quiet = s.take_interval_stats().expect("quiet interval ran");
+        assert_eq!(quiet.ga.generations_run, 0);
+        assert_eq!(quiet.ga.fitness_evals, 0);
+        assert_eq!(quiet.speedup.solves, 0);
+        assert_eq!(quiet.speedup.rows_reused, jobs.len() as u64);
+
+        // Touch one job's weight: its rack re-searches, work resumes.
+        let mut churned = jobs.clone();
+        churned[0].weight = 2.0;
+        let a = s.schedule(&churned, &spec, &mut rng);
+        assert!(a.is_feasible(&spec));
+        let stats = s.take_interval_stats().expect("churned interval ran");
+        assert!(
+            stats.ga.generations_run > 0,
+            "a changed rack must re-search"
+        );
     }
 
     #[test]

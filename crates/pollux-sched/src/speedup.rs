@@ -61,6 +61,45 @@ impl SchedJob {
     pub fn is_running(&self) -> bool {
         self.current_placement.iter().any(|&g| g > 0)
     }
+
+    /// A version stamp over the job's speedup-relevant inputs: the
+    /// θsys throughput parameters, the gradient-noise scale, the
+    /// batch-size limits, and the feasible GPU range. Two jobs with
+    /// equal stamps *almost certainly* produce bit-identical speedup
+    /// rows; the incremental table build uses the stamp as a cheap
+    /// prefilter and confirms with exact model equality, so a hash
+    /// collision can never corrupt a schedule. The weight and the
+    /// current placement are deliberately excluded: neither enters
+    /// `SPEEDUP_j` (Eqn 15).
+    pub fn speedup_version(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a64 offset basis
+        let mut mix = |bits: u64| {
+            for byte in bits.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        let tp = &self.model.throughput;
+        for v in [
+            tp.alpha_grad,
+            tp.beta_grad,
+            tp.alpha_sync_local,
+            tp.beta_sync_local,
+            tp.alpha_sync_node,
+            tp.beta_sync_node,
+            tp.gamma,
+        ] {
+            mix(v.to_bits());
+        }
+        mix(self.model.efficiency.m0());
+        mix(self.model.efficiency.noise_scale().to_bits());
+        mix(self.model.limits.min);
+        mix(self.model.limits.max_global);
+        mix(self.model.limits.max_per_gpu);
+        mix(u64::from(self.min_gpus));
+        mix(u64::from(self.gpu_cap));
+        h
+    }
 }
 
 /// One shard of the memo table: shape-level speedups plus the per-job
@@ -203,8 +242,17 @@ pub struct SpeedupTableStats {
     /// Lookups outside the table bounds (answered 0 without touching
     /// memory; only reachable through unrepaired candidate matrices).
     pub misses: u64,
-    /// Golden-section solves spent building the table.
+    /// Golden-section solves spent building the table. Reused rows
+    /// carry their original per-row solve count forward, so this total
+    /// is identical to a from-scratch build — it participates in the
+    /// golden-digested `SchedIntervalSample`.
     pub solves: u64,
+    /// Rows copied verbatim from the previous interval's table by
+    /// [`SpeedupTable::build_reusing`] instead of being re-solved.
+    /// Purely observational (never serialized into golden output):
+    /// reuse is bit-exact by construction.
+    #[serde(default)]
+    pub rows_reused: u64,
 }
 
 impl SpeedupTableStats {
@@ -213,6 +261,7 @@ impl SpeedupTableStats {
         self.hits += other.hits;
         self.misses += other.misses;
         self.solves += other.solves;
+        self.rows_reused += other.rows_reused;
     }
 }
 
@@ -232,16 +281,57 @@ impl SpeedupTableStats {
 /// [`GoodputModel::speedup`] for every shape reachable from a repaired
 /// allocation matrix.
 ///
-/// Rebuild the table whenever the jobs' goodput models change, i.e. at
-/// every scheduling interval.
+/// Rebuild the table whenever the jobs' goodput models change — but
+/// jobs whose speedup-relevant inputs did *not* change can have their
+/// rows copied forward from the previous interval's table via
+/// [`Self::build_reusing`], skipping their golden-section solves
+/// entirely.
 #[derive(Debug, Default)]
 pub struct SpeedupTable {
     values: Vec<f64>,
     num_jobs: usize,
     max_gpus: u32,
+    /// Whether distributed (`N ≥ 2`) rows were solved; rows from a
+    /// table that skipped them are not reusable by one that needs
+    /// them (and vice versa — the stored zeros would alias real
+    /// values).
+    include_distributed: bool,
+    /// Per-row provenance: the exact inputs each row is a pure
+    /// function of, enabling cross-interval row reuse.
+    row_keys: Vec<RowKey>,
+    /// Per-row golden-section solve counts, carried forward with
+    /// reused rows so the `solves` total always equals a fresh build.
+    row_solves: Vec<u64>,
     solves: u64,
+    rows_reused: u64,
     hits: AtomicU64,
     misses: AtomicU64,
+}
+
+/// The inputs one table row is a pure function of. A previous row is
+/// reused only when *every* field matches exactly (the `version`
+/// stamp is a prefilter; `model` equality is the authority), which is
+/// what makes incremental builds bit-identical by construction.
+#[derive(Debug, Clone, PartialEq)]
+struct RowKey {
+    id: JobId,
+    version: u64,
+    model: GoodputModel,
+    /// Feasible GPU range the profile was solved over (`min_gpus` and
+    /// `gpu_cap` clamped to the cluster's total GPUs — a cluster
+    /// resize can dirty a row even when the job itself is unchanged).
+    lo: u32,
+    hi: u32,
+}
+
+/// One worker's output for one job row: either a freshly solved
+/// profile or a verbatim copy of the previous interval's row.
+struct RowStripe {
+    colocated: Vec<f64>,
+    distributed: Vec<f64>,
+    solves: u64,
+    reused: bool,
+    key: RowKey,
 }
 
 impl SpeedupTable {
@@ -254,34 +344,127 @@ impl SpeedupTable {
     /// two nodes — a single-node cluster can never produce an `N ≥ 2`
     /// placement, so those rows stay zero for free.
     pub fn build(jobs: &[SchedJob], spec: &ClusterSpec, threads: usize) -> Self {
+        Self::build_reusing(jobs, spec, threads, None)
+    }
+
+    /// Like [`Self::build`], but copies rows forward from `prev` (the
+    /// previous interval's table) for every job whose speedup-relevant
+    /// inputs are unchanged, re-solving only dirty rows.
+    ///
+    /// A row is clean when the job id is found in `prev` and its
+    /// [`RowKey`] — goodput model, feasible GPU range — matches
+    /// exactly, and the two tables agree on column count and
+    /// distributed coverage. Reused rows keep their original per-row
+    /// solve counts, so `stats().solves` is identical to a fresh
+    /// build; the values are identical bit for bit because each row is
+    /// a pure function of its key (`debug_assert`-cross-checked
+    /// against a from-scratch build).
+    pub fn build_reusing(
+        jobs: &[SchedJob],
+        spec: &ClusterSpec,
+        threads: usize,
+        prev: Option<&SpeedupTable>,
+    ) -> Self {
         let total = spec.total_gpus();
         let max_gpus = jobs.iter().map(|j| j.gpu_cap.min(total)).max().unwrap_or(0);
         let include_distributed = spec.num_nodes() >= 2;
         let cols = max_gpus as usize;
+        let prev =
+            prev.filter(|p| p.max_gpus == max_gpus && p.include_distributed == include_distributed);
+        let prev_rows: HashMap<JobId, usize> = prev
+            .map(|p| {
+                p.row_keys
+                    .iter()
+                    .enumerate()
+                    .map(|(i, k)| (k.id, i))
+                    .collect()
+            })
+            .unwrap_or_default();
         let stripes = parallel_map(jobs.len(), threads, |i| {
             let job = &jobs[i];
             let lo = job.min_gpus.max(1);
             let hi = job.gpu_cap.min(total);
-            job.model
-                .speedup_profile(lo..=hi, max_gpus, include_distributed)
+            let key = RowKey {
+                id: job.id,
+                version: job.speedup_version(),
+                model: job.model,
+                lo,
+                hi,
+            };
+            if let Some(p) = prev {
+                if let Some(&pi) = prev_rows.get(&job.id) {
+                    let pk = &p.row_keys[pi];
+                    if pk.version == key.version
+                        && pk.lo == lo
+                        && pk.hi == hi
+                        && pk.model == key.model
+                    {
+                        let base = pi * 2 * cols;
+                        return RowStripe {
+                            colocated: p.values[base..base + cols].to_vec(),
+                            distributed: p.values[base + cols..base + 2 * cols].to_vec(),
+                            solves: p.row_solves[pi],
+                            reused: true,
+                            key,
+                        };
+                    }
+                }
+            }
+            let profile = job
+                .model
+                .speedup_profile(lo..=hi, max_gpus, include_distributed);
+            RowStripe {
+                colocated: profile.colocated,
+                distributed: profile.distributed,
+                solves: profile.solves,
+                reused: false,
+                key,
+            }
         });
         let mut values = Vec::with_capacity(jobs.len() * 2 * cols);
+        let mut row_keys = Vec::with_capacity(jobs.len());
+        let mut row_solves = Vec::with_capacity(jobs.len());
         let mut solves = 0;
-        for profile in stripes {
-            debug_assert_eq!(profile.colocated.len(), cols);
-            debug_assert_eq!(profile.distributed.len(), cols);
-            values.extend_from_slice(&profile.colocated);
-            values.extend_from_slice(&profile.distributed);
-            solves += profile.solves;
+        let mut rows_reused = 0;
+        for stripe in stripes {
+            debug_assert_eq!(stripe.colocated.len(), cols);
+            debug_assert_eq!(stripe.distributed.len(), cols);
+            values.extend_from_slice(&stripe.colocated);
+            values.extend_from_slice(&stripe.distributed);
+            solves += stripe.solves;
+            rows_reused += u64::from(stripe.reused);
+            row_keys.push(stripe.key);
+            row_solves.push(stripe.solves);
         }
-        Self {
+        let table = Self {
             values,
             num_jobs: jobs.len(),
             max_gpus,
+            include_distributed,
+            row_keys,
+            row_solves,
             solves,
+            rows_reused,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+        };
+        #[cfg(debug_assertions)]
+        if table.rows_reused > 0 {
+            let fresh = Self::build(jobs, spec, 1);
+            debug_assert_eq!(
+                fresh.solves, table.solves,
+                "incremental build must carry exact solve counts"
+            );
+            debug_assert!(
+                fresh
+                    .values
+                    .iter()
+                    .zip(&table.values)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "incremental build must be bit-identical to a fresh build"
+            );
         }
+        table
     }
 
     /// `SPEEDUP` of job `job_idx` (its index in the `jobs` slice the
@@ -319,12 +502,19 @@ impl SpeedupTable {
         self.values.is_empty()
     }
 
+    /// Rows copied forward from a previous table by
+    /// [`Self::build_reusing`] (0 for a fresh build).
+    pub fn rows_reused(&self) -> u64 {
+        self.rows_reused
+    }
+
     /// Lookup and build counters since construction.
     pub fn stats(&self) -> SpeedupTableStats {
         SpeedupTableStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             solves: self.solves,
+            rows_reused: self.rows_reused,
         }
     }
 }
@@ -567,6 +757,108 @@ mod tests {
         assert!(table.is_empty());
         assert_eq!(table.stats().solves, 0);
         assert_eq!(table.speedup(0, PlacementShape::single()), 0.0);
+    }
+
+    /// Bitwise equality of two tables' stored values.
+    fn tables_bit_identical(a: &SpeedupTable, b: &SpeedupTable) -> bool {
+        a.values.len() == b.values.len()
+            && a.values
+                .iter()
+                .zip(&b.values)
+                .all(|(x, y)| x.to_bits() == y.to_bits())
+    }
+
+    #[test]
+    fn incremental_build_reuses_clean_rows_and_recomputes_dirty() {
+        let spec = ClusterSpec::homogeneous(4, 4).unwrap();
+        let mut jobs = vec![job(1, 8), job(2, 8), job(3, 8)];
+        let prev = SpeedupTable::build(&jobs, &spec, 1);
+        assert_eq!(prev.rows_reused(), 0);
+        // Dirty job 2's model: its row must be re-solved, the others
+        // copied forward.
+        jobs[1].model = test_model(128, 9000.0);
+        let table = SpeedupTable::build_reusing(&jobs, &spec, 1, Some(&prev));
+        assert_eq!(table.rows_reused(), 2);
+        let fresh = SpeedupTable::build(&jobs, &spec, 1);
+        assert!(tables_bit_identical(&table, &fresh));
+        assert_eq!(table.stats().solves, fresh.stats().solves);
+    }
+
+    #[test]
+    fn incremental_build_carries_exact_solve_counts_when_all_clean() {
+        let spec = ClusterSpec::homogeneous(4, 4).unwrap();
+        let jobs = vec![job(1, 8), job(2, 12)];
+        let prev = SpeedupTable::build(&jobs, &spec, 1);
+        let table = SpeedupTable::build_reusing(&jobs, &spec, 1, Some(&prev));
+        assert_eq!(table.rows_reused(), 2);
+        // Reused rows keep their original solve counts so the
+        // (golden-digested) totals match a fresh build exactly.
+        assert_eq!(table.stats().solves, prev.stats().solves);
+        assert!(tables_bit_identical(&table, &prev));
+    }
+
+    #[test]
+    fn weight_and_placement_changes_do_not_dirty_rows() {
+        let spec = ClusterSpec::homogeneous(4, 4).unwrap();
+        let mut jobs = vec![job(1, 8)];
+        let prev = SpeedupTable::build(&jobs, &spec, 1);
+        // Neither field enters Eqn 15's speedup, so neither is in the
+        // row key.
+        jobs[0].weight = 0.25;
+        jobs[0].current_placement = vec![2, 0, 0, 0];
+        let table = SpeedupTable::build_reusing(&jobs, &spec, 1, Some(&prev));
+        assert_eq!(table.rows_reused(), 1);
+    }
+
+    #[test]
+    fn arrivals_and_departures_reuse_surviving_rows() {
+        let spec = ClusterSpec::homogeneous(4, 4).unwrap();
+        let prev = SpeedupTable::build(&[job(1, 8), job(2, 8), job(3, 8)], &spec, 1);
+        // Job 1 departs, job 4 arrives, jobs 2-3 survive (in new
+        // positions: row reuse is keyed by id, not index).
+        let jobs = vec![job(4, 8), job(2, 8), job(3, 8)];
+        let table = SpeedupTable::build_reusing(&jobs, &spec, 1, Some(&prev));
+        assert_eq!(table.rows_reused(), 2);
+        assert!(tables_bit_identical(
+            &table,
+            &SpeedupTable::build(&jobs, &spec, 1)
+        ));
+    }
+
+    #[test]
+    fn table_shape_mismatch_disables_reuse() {
+        let spec = ClusterSpec::homogeneous(4, 4).unwrap();
+        let jobs = vec![job(1, 8)];
+        let prev = SpeedupTable::build(&jobs, &spec, 1);
+        // A new arrival with a larger cap widens max_gpus: the old
+        // columns no longer line up, so nothing is copied.
+        let widened = vec![job(1, 8), job(2, 12)];
+        let table = SpeedupTable::build_reusing(&widened, &spec, 1, Some(&prev));
+        assert_eq!(table.rows_reused(), 0);
+        // A gpu_cap change also moves the job's own feasible range
+        // (the `hi` bound), dirtying just that row.
+        let capped = vec![{
+            let mut j = job(1, 8);
+            j.gpu_cap = 6;
+            j
+        }];
+        let recapped = SpeedupTable::build_reusing(&capped, &spec, 1, Some(&prev));
+        assert_eq!(recapped.rows_reused(), 0);
+    }
+
+    #[test]
+    fn incremental_build_is_thread_count_invariant() {
+        let spec = ClusterSpec::homogeneous(4, 4).unwrap();
+        let mut jobs: Vec<SchedJob> = (0..9).map(|i| job(i, 4 + i % 5)).collect();
+        let prev = SpeedupTable::build(&jobs, &spec, 1);
+        jobs[4].model = test_model(256, 500.0);
+        let serial = SpeedupTable::build_reusing(&jobs, &spec, 1, Some(&prev));
+        for threads in [2usize, 4] {
+            let parallel = SpeedupTable::build_reusing(&jobs, &spec, threads, Some(&prev));
+            assert!(tables_bit_identical(&serial, &parallel));
+            assert_eq!(serial.rows_reused(), parallel.rows_reused());
+            assert_eq!(serial.stats().solves, parallel.stats().solves);
+        }
     }
 
     mod table_proptests {
