@@ -43,6 +43,30 @@ pub struct TuningDecision {
     pub goodput: f64,
 }
 
+/// The immutable half of one report-interval round, produced by
+/// [`PolluxAgent::plan_report`] against a frozen agent and applied by
+/// [`PolluxAgent::commit_report`].
+///
+/// The split exists so a driver that owns many agents (the simulator's
+/// report round) can fan the expensive parts — the θsys refit and the
+/// batch-size tune — over worker threads with only `&PolluxAgent`
+/// access, then commit the results serially in job order. The plan is
+/// computed against the *post-commit* state it describes: the tuning
+/// decision sees `stats` (if any) as the latest gradient statistics
+/// and the fresh fit (if one was produced), exactly as if
+/// `observe_gradient_stats` → `refit` → `tune` had run sequentially.
+#[derive(Debug, Clone)]
+pub struct ReportPlan {
+    /// Gradient statistics to install as the latest snapshot.
+    pub stats: Option<GradientStats>,
+    /// The θsys fit this round produced (`None` when no refit was
+    /// requested or the fit failed).
+    pub fitted: Option<FitReport>,
+    /// The tuning decision for the requested shape, if one was
+    /// requested and a goodput model exists.
+    pub tuning: Option<TuningDecision>,
+}
+
 /// Job-level profiling, model fitting, and tuning.
 ///
 /// # Examples
@@ -162,15 +186,23 @@ impl PolluxAgent {
     /// [`FitReport::used_warm_start`]). Returns `true` when a fit was
     /// produced (needs at least one valid observation).
     pub fn refit(&mut self) -> bool {
-        let obs = self.profiler.observations();
-        let warm = self.fitted.as_ref().map(|f| f.params);
-        match fit_throughput_params_warm(&obs, self.profiler.priors(), warm.as_ref()) {
+        match self.plan_fit() {
             Some(report) => {
                 self.fitted = Some(report);
                 true
             }
             None => false,
         }
+    }
+
+    /// The fit computation shared by [`refit`](Self::refit) and
+    /// [`plan_report`](Self::plan_report): θsys against all profiled
+    /// data, warm-started from the previous fit. Pure — does not touch
+    /// agent state.
+    fn plan_fit(&self) -> Option<FitReport> {
+        let obs = self.profiler.observations();
+        let warm = self.fitted.as_ref().map(|f| f.params);
+        fit_throughput_params_warm(&obs, self.profiler.priors(), warm.as_ref())
     }
 
     /// [`refit`](Self::refit) with telemetry: times the fit as an
@@ -252,6 +284,109 @@ impl PolluxAgent {
             gain: self.adascale.gain(&eff, m_star),
             goodput,
         })
+    }
+
+    /// Computes one report-interval round without mutating the agent:
+    /// optionally re-fits θsys (`refit`), and optionally tunes the
+    /// batch size for `tune_shape` against the hypothetical post-commit
+    /// state (`stats` installed, fresh fit applied). Equivalent to
+    /// `observe_gradient_stats(stats)` → `refit()` → `tune(shape)` on
+    /// a mutable agent, operation for operation — the simulator's
+    /// golden digests pin this. Apply the result with
+    /// [`commit_report`](Self::commit_report).
+    pub fn plan_report(
+        &self,
+        stats: Option<GradientStats>,
+        refit: bool,
+        tune_shape: Option<PlacementShape>,
+    ) -> ReportPlan {
+        let fitted = if refit { self.plan_fit() } else { None };
+        self.plan_with_fit(stats, fitted, tune_shape)
+    }
+
+    /// [`plan_report`](Self::plan_report) with the same telemetry as
+    /// [`refit_recorded`](Self::refit_recorded) around the fit (an
+    /// `agent/refit` span plus the refit counters and the
+    /// `agent/rmsle_1e6` histogram). Safe to call from worker threads:
+    /// counters are relaxed atomics and span events go straight to the
+    /// sink.
+    pub fn plan_report_recorded(
+        &self,
+        recorder: &pollux_telemetry::Recorder,
+        stats: Option<GradientStats>,
+        refit: bool,
+        tune_shape: Option<PlacementShape>,
+    ) -> ReportPlan {
+        let fitted = if refit {
+            let span = recorder.span("agent", "refit");
+            let fitted = self.plan_fit();
+            drop(span);
+            recorder.incr("agent", "refits", 1);
+            match &fitted {
+                Some(report) => {
+                    recorder.observe("agent", "rmsle_1e6", (report.rmsle.max(0.0) * 1e6) as u64);
+                    if report.used_warm_start {
+                        recorder.incr("agent", "refit_warm_accepted", 1);
+                    } else {
+                        recorder.incr("agent", "refit_cold", 1);
+                    }
+                }
+                None => recorder.incr("agent", "refit_failed", 1),
+            }
+            fitted
+        } else {
+            None
+        };
+        self.plan_with_fit(stats, fitted, tune_shape)
+    }
+
+    fn plan_with_fit(
+        &self,
+        stats: Option<GradientStats>,
+        fitted: Option<FitReport>,
+        tune_shape: Option<PlacementShape>,
+    ) -> ReportPlan {
+        let stats_effective = stats.or(self.latest_stats);
+        let params = fitted.as_ref().or(self.fitted.as_ref()).map(|f| f.params);
+        let tuning = tune_shape.and_then(|shape| {
+            // Mirrors `efficiency_model` with the planned stats in
+            // place of `latest_stats` — same ops, same bits.
+            let phi = stats_effective
+                .map(|s| s.noise_scale(self.m0()))
+                .unwrap_or(0.0);
+            let eff = EfficiencyModel::from_noise_scale(self.m0(), phi.max(0.0))
+                .expect("m0 >= 1 and phi >= 0 by construction");
+            let model = GoodputModel::new(params?, eff, self.limits)?;
+            let (m_star, goodput) = model.optimal_batch_size(shape)?;
+            Some(TuningDecision {
+                batch_size: m_star,
+                learning_rate: self.adascale.learning_rate(&eff, m_star),
+                gain: self.adascale.gain(&eff, m_star),
+                goodput,
+            })
+        });
+        ReportPlan {
+            stats,
+            fitted,
+            tuning,
+        }
+    }
+
+    /// Applies a [`ReportPlan`] produced by
+    /// [`plan_report`](Self::plan_report) against this same agent
+    /// state. Returns `true` when the plan carried a fresh fit (the
+    /// analogue of [`refit`](Self::refit) returning `true`).
+    pub fn commit_report(&mut self, plan: &ReportPlan) -> bool {
+        if let Some(stats) = plan.stats {
+            self.latest_stats = Some(stats);
+        }
+        match &plan.fitted {
+            Some(fit) => {
+                self.fitted = Some(fit.clone());
+                true
+            }
+            None => false,
+        }
     }
 }
 
@@ -395,6 +530,40 @@ mod tests {
         let mut a = agent();
         assert!(!a.refit());
         assert!(a.fit().is_none());
+    }
+
+    #[test]
+    fn plan_commit_equals_sequential_mutation() {
+        // plan_report/commit_report must replicate the sequential
+        // observe_gradient_stats → refit → tune path bit for bit, in
+        // every combination of (stats, refit, tune) requested.
+        let shape = PlacementShape::new(4, 1).unwrap();
+        let stats = GradientStats::new(18.0, 1.0).unwrap();
+        for (give_stats, refit, tune) in [
+            (true, true, true),
+            (true, false, true),
+            (false, true, true),
+            (false, true, false),
+            (false, false, false),
+        ] {
+            let mut seq = agent();
+            feed_profile(&mut seq, &[(1, 1, 128), (2, 1, 256), (4, 1, 512)]);
+            let mut planned = seq.clone();
+
+            let stats_in = give_stats.then_some(stats);
+            let plan = planned.plan_report(stats_in, refit, tune.then_some(shape));
+            let plan_fitted = planned.commit_report(&plan);
+
+            if let Some(s) = stats_in {
+                seq.observe_gradient_stats(s);
+            }
+            let seq_fitted = refit && seq.refit();
+            let seq_tuning = if tune { seq.tune(shape) } else { None };
+
+            assert_eq!(plan_fitted, seq_fitted);
+            assert_eq!(plan.tuning, seq_tuning);
+            assert_eq!(planned, seq, "case ({give_stats}, {refit}, {tune})");
+        }
     }
 
     #[test]

@@ -118,6 +118,18 @@ impl JobLifecycle {
         self.gputime += gpu_seconds;
     }
 
+    /// Overwrites attained service with a value the caller accumulated
+    /// out of band. The job-major simulator engine advances gputime in
+    /// a thread-private register over a whole chunk (seeded from
+    /// [`Self::gputime`], advanced by the same `+=` sequence
+    /// [`Self::accrue_gputime`] would have applied) and commits the
+    /// result absolutely here, so the stored bits are identical to the
+    /// incremental path.
+    #[inline]
+    pub fn set_gputime(&mut self, gpu_seconds: f64) {
+        self.gputime = gpu_seconds;
+    }
+
     /// Applies a GPU grant from a [`crate::Reallocation`] with
     /// `gpus > 0`. `triggers_restart` is the planner's decision: a job
     /// that had already started pays the checkpoint-restart delay and

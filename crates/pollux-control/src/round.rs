@@ -141,7 +141,7 @@ impl RoundPlanner {
     ///
     /// Pipeline: consult `policy.schedule_sparse` (policies that can
     /// name just their changed rows skip the dense matrix entirely —
-    /// see [`Self::plan_sparse`]); otherwise invoke `policy.schedule`,
+    /// see `Self::plan_sparse`); otherwise invoke `policy.schedule`,
     /// drain and time-stamp its interval stats, clamp the matrix to
     /// `spec` capacity, then diff each view's current placement
     /// against its new row. An empty view slice short-circuits to an
@@ -219,10 +219,7 @@ impl RoundPlanner {
     /// sequence instead of re-sorting.
     fn check_unique_ids(&mut self, views: &[PolicyJobView<'_>]) -> Result<(), RoundError> {
         if self.last_ids.len() == views.len()
-            && views
-                .iter()
-                .zip(&self.last_ids)
-                .all(|(v, &id)| v.id == id)
+            && views.iter().zip(&self.last_ids).all(|(v, &id)| v.id == id)
         {
             return Ok(());
         }
@@ -647,7 +644,9 @@ mod tests {
             rounds: vec![vec![]],
             next: 0,
         };
-        let outcome = planner.plan(&mut policy, 0.0, &views, &spec, &mut rng).unwrap();
+        let outcome = planner
+            .plan(&mut policy, 0.0, &views, &spec, &mut rng)
+            .unwrap();
         assert!(outcome.reallocations.is_empty());
         assert_eq!(planner.rows_materialized(), 0);
     }
@@ -686,7 +685,9 @@ mod tests {
             ]],
             next: 0,
         };
-        let outcome = planner.plan(&mut policy, 5.0, &views, &spec, &mut rng).unwrap();
+        let outcome = planner
+            .plan(&mut policy, 5.0, &views, &spec, &mut rng)
+            .unwrap();
         assert_eq!(outcome.reallocations.len(), 1);
         let r = &outcome.reallocations[0];
         assert_eq!(r.job, JobId(1));
@@ -725,9 +726,13 @@ mod tests {
             rounds: vec![vec![], vec![], vec![]],
             next: 0,
         };
-        planner.plan(&mut policy, 0.0, &views, &spec, &mut rng).unwrap();
+        planner
+            .plan(&mut policy, 0.0, &views, &spec, &mut rng)
+            .unwrap();
         // Round 2: identical sequence — revalidated by the O(n) scan.
-        planner.plan(&mut policy, 1.0, &views, &spec, &mut rng).unwrap();
+        planner
+            .plan(&mut policy, 1.0, &views, &spec, &mut rng)
+            .unwrap();
         // Round 3: the sequence changed AND now contains a duplicate —
         // the cache must not mask it.
         let dup = [view(2, &p0, false), view(2, &p0, false)];

@@ -103,11 +103,7 @@ pub struct SchedJobCache {
 impl SchedJobCache {
     /// Brings the cache in line with this round's views and returns
     /// the scheduler jobs. Equivalent to [`sched_jobs_from_views`].
-    pub fn refresh(
-        &mut self,
-        weights: &WeightConfig,
-        views: &[PolicyJobView<'_>],
-    ) -> &[SchedJob] {
+    pub fn refresh(&mut self, weights: &WeightConfig, views: &[PolicyJobView<'_>]) -> &[SchedJob] {
         let prior = self.jobs.len().min(views.len());
         self.jobs.truncate(views.len());
         self.from_report.truncate(views.len());

@@ -224,6 +224,51 @@ fn simulation_result_is_identical_across_sched_threads() {
     }
 }
 
+/// `engine_threads` parallelizes the job-major chunk loop and the
+/// report round's refit/tune fan-out; under the full Pollux stack (GA
+/// scheduling, batch adaptation, restarts, interference) it must not
+/// perturb one byte of the serialized result.
+#[test]
+fn simulation_result_is_identical_across_engine_threads() {
+    let run = |engine_threads: usize| -> String {
+        let mut c = PolluxConfig::default();
+        c.sched.ga = GaConfig {
+            population: 16,
+            generations: 8,
+            ..Default::default()
+        };
+        let policy = PolluxPolicy::new(c).unwrap();
+        let trace = tiny_trace();
+        let spec = ClusterSpec::homogeneous(4, 4).unwrap();
+        let sim = SimConfig {
+            max_sim_time: 10.0 * 3600.0,
+            interference_slowdown: 0.3,
+            engine_threads,
+            ..Default::default()
+        };
+        let result =
+            pollux_core::run_trace(policy, &trace, ConfigChoice::Tuned, spec, sim).unwrap();
+        serde_json::to_string(&result).expect("SimResult serializes")
+    };
+    let serial = run(1);
+    for threads in [2usize, 4] {
+        let parallel = run(threads);
+        if serial != parallel {
+            let pos = serial
+                .bytes()
+                .zip(parallel.bytes())
+                .position(|(a, b)| a != b)
+                .unwrap_or(serial.len().min(parallel.len()));
+            let lo = pos.saturating_sub(200);
+            panic!(
+                "SimResult bytes differ between engine_threads=1 and {threads} at byte {pos}:\nserial:   ...{}...\nparallel: ...{}...",
+                &serial[lo..(pos + 200).min(serial.len())],
+                &parallel[lo..(pos + 200).min(parallel.len())]
+            );
+        }
+    }
+}
+
 #[test]
 fn macro_stepped_engine_matches_reference_with_pollux_policy() {
     // The engine-level determinism suite (pollux-simulator's

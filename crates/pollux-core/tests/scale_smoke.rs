@@ -104,10 +104,10 @@ fn datacenter_scale_trace_completes_within_budget() {
 /// entries, even at 256 nodes × 1 000 jobs.
 #[test]
 fn quiet_round_materializes_no_rows_and_rebuilds_no_views() {
+    use pollux_cluster::{AllocationMatrix, JobId};
     use pollux_control::{
         PlacementDelta, PolicyJobView, RoundPlanner, SchedJobCache, SchedulingPolicy,
     };
-    use pollux_cluster::{AllocationMatrix, JobId};
     use pollux_models::BatchSizeLimits;
     use pollux_sched::WeightConfig;
     use pollux_workload::UserConfig;
@@ -135,7 +135,10 @@ fn quiet_round_materializes_no_rows_and_rebuilds_no_views() {
             _spec: &ClusterSpec,
             _rng: &mut StdRng,
         ) -> AllocationMatrix {
-            panic!("quiet rounds must stay on the sparse path ({} jobs)", jobs.len())
+            panic!(
+                "quiet rounds must stay on the sparse path ({} jobs)",
+                jobs.len()
+            )
         }
         fn schedule_sparse(
             &mut self,
@@ -186,15 +189,23 @@ fn quiet_round_materializes_no_rows_and_rebuilds_no_views() {
     // Round 1 warms both: the cache builds every entry, the planner
     // caches the id sequence.
     cache.refresh(&weights, &views);
-    let out = planner.plan(&mut Keep, 0.0, &views, &spec, &mut rng).unwrap();
+    let out = planner
+        .plan(&mut Keep, 0.0, &views, &spec, &mut rng)
+        .unwrap();
     assert!(out.reallocations.is_empty());
     assert_eq!(cache.last_rebuilt() as usize, JOBS);
 
     // Round 2 is quiet: zero rows materialized, zero views rebuilt.
     cache.refresh(&weights, &views);
-    let out = planner.plan(&mut Keep, 60.0, &views, &spec, &mut rng).unwrap();
+    let out = planner
+        .plan(&mut Keep, 60.0, &views, &spec, &mut rng)
+        .unwrap();
     assert!(out.reallocations.is_empty());
-    assert_eq!(planner.rows_materialized(), 0, "quiet round materialized rows");
+    assert_eq!(
+        planner.rows_materialized(),
+        0,
+        "quiet round materialized rows"
+    );
     assert_eq!(cache.last_rebuilt(), 0, "quiet round rebuilt views");
     assert_eq!(cache.last_reused() as usize, JOBS);
     eprintln!(

@@ -84,7 +84,7 @@ pub fn home_rack(job: &SchedJob, topo: &Topology) -> Option<u32> {
 /// when given, it seeds a second population member (surviving jobs
 /// keep their old rack, arrivals fall back to the greedy choice). On
 /// a quiet interval that member already scores at the previous
-/// optimum, so the search early-stops after [`EARLY_STOP_GENS`] stale
+/// optimum, so the search early-stops after `EARLY_STOP_GENS` stale
 /// generations — and, just as importantly, idle jobs (which have no
 /// home-rack keep-bonus anchoring them) stop reshuffling between
 /// racks from round to round, which is what keeps the phase-2

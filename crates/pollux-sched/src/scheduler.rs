@@ -323,7 +323,9 @@ impl PolluxSched {
         for (j, &r) in assignment.iter().enumerate() {
             members_of[r as usize].push(j);
         }
-        let occupied: Vec<usize> = (0..num_racks).filter(|&r| !members_of[r].is_empty()).collect();
+        let occupied: Vec<usize> = (0..num_racks)
+            .filter(|&r| !members_of[r].is_empty())
+            .collect();
 
         let mut prev_carry = std::mem::take(&mut self.rack_carry);
         prev_carry.resize_with(num_racks, RackCarry::default);
@@ -559,7 +561,6 @@ impl PolluxSched {
     ) -> AllocationMatrix {
         self.optimize(jobs, spec, rng).best
     }
-
 }
 
 /// Adapts a saved population to a new job set and cluster width:

@@ -352,7 +352,7 @@ impl SpeedupTable {
     /// inputs are unchanged, re-solving only dirty rows.
     ///
     /// A row is clean when the job id is found in `prev` and its
-    /// [`RowKey`] — goodput model, feasible GPU range — matches
+    /// `RowKey` — goodput model, feasible GPU range — matches
     /// exactly, and the two tables agree on column count and
     /// distributed coverage. Reused rows keep their original per-row
     /// solve counts, so `stats().solves` is identical to a fresh

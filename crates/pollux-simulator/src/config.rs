@@ -42,6 +42,15 @@ pub struct SimConfig {
     /// like the flat search.
     #[serde(default)]
     pub nodes_per_rack: u32,
+    /// Worker threads for the engine's own per-job work: the job-major
+    /// chunk advancement stripes and the report-round refit/tune
+    /// fan-out. `0` and `1` both mean fully serial (0 is the serde
+    /// default so configs predating the knob stay valid). Results are
+    /// byte-identical at any thread count — the engine draws all RNG
+    /// serially and commits per-job results in job order — so this is
+    /// purely a wall-clock knob.
+    #[serde(default)]
+    pub engine_threads: usize,
     /// RNG seed for measurement noise and policy randomness.
     pub seed: u64,
 }
@@ -60,6 +69,7 @@ impl Default for SimConfig {
             record_job_series: false,
             sched_threads: 1,
             nodes_per_rack: 0,
+            engine_threads: 1,
             seed: 0,
         }
     }

@@ -1,6 +1,6 @@
 //! The discrete-time simulation engine.
 //!
-//! # Macro-stepped execution
+//! # Macro-stepped, job-major execution
 //!
 //! [`Simulation::run`] does not iterate tick-by-tick. Between *event
 //! horizons* — the next arrival, restart-delay expiry, report tick,
@@ -9,16 +9,21 @@
 //! each job's own training progress and the per-tick measurement
 //! noise. So the engine computes per-job invariants once per
 //! macro-step (interference slowdown, iteration time, throughput, the
-//! profiler slot) and advances all intervening ticks in a tight inner
-//! loop; see `Simulation::advance_chunk` for the exact contract.
+//! profiler slot) and advances the intervening ticks **job-major**:
+//! each job's whole chunk runs as one tight loop over its private
+//! accumulators, making jobs independent work items for
+//! [`pollux_sched::parallel_map`]; see `Simulation::advance_chunk`
+//! for the exact contract. The previous tick-major macro inner loop is
+//! retained as [`Simulation::run_tick_major`] (the `bench_sim`
+//! comparison baseline), and the original per-tick stepper as
+//! [`Simulation::run_reference`].
 //!
 //! The determinism contract is strict: for a fixed seed the
 //! macro-stepped engine produces a `SimResult` **bit-identical** to
-//! the per-tick reference stepper retained as
-//! [`Simulation::run_reference`] (same RNG draw sequence, same f64
-//! addition order). The determinism suite in
-//! `tests/macro_step.rs` pins this with golden digests and a
-//! reference-equality proptest.
+//! both retained steppers, at any `engine_threads` count (same RNG
+//! draw sequence, same f64 addition order per accumulator). The
+//! determinism suite in `tests/macro_step.rs` pins this with golden
+//! digests and reference-equality proptests.
 
 use crate::config::SimConfig;
 use crate::interference::InterferenceIndex;
@@ -27,10 +32,11 @@ use crate::metrics::{
     ClusterSample, EventKind, JobRecord, JobSample, SchedIntervalSample, SchedulingEvent, SimResult,
 };
 use crate::policy::{PolicyJobView, SchedulingPolicy};
-use pollux_agent::ObservationRun;
+use pollux_agent::{ObservationRun, ReportPlan};
 use pollux_cluster::{ClusterSpec, JobId, NodeId, Topology};
 use pollux_control::{Reallocation, RoundPlanner};
-use pollux_models::GradientStats;
+use pollux_models::{GradientStats, PlacementShape};
+use pollux_sched::parallel_map;
 use pollux_telemetry::{Counter, HistogramHandle, NullSink, Recorder};
 use pollux_workload::{JobSpec, UserConfig};
 use rand::rngs::StdRng;
@@ -140,6 +146,11 @@ pub struct Simulation<P: SchedulingPolicy> {
     chunk_buf: Vec<ChunkCtx>,
     /// Recycled per-tick finish list.
     finished_buf: Vec<(usize, JobId)>,
+    /// Recycled measurement-noise buffer for the job-major chunk pass:
+    /// `truncated × n_run` eps values, drawn serially in the tick-major
+    /// RNG order but stored transposed (each running job's draws form
+    /// one contiguous column) so the per-job loop streams its column.
+    eps_buf: Vec<f64>,
     /// Telemetry handle (disabled by default; see
     /// [`Simulation::with_recorder`]). Purely observational: the
     /// determinism suite proves a `SimResult` is bit-identical with
@@ -175,6 +186,10 @@ struct EngineTelemetry {
     horizon_end: Counter,
     /// Distribution of chunk lengths in ticks.
     chunk_ticks: HistogramHandle,
+    /// θsys refits computed through the parallel report-round fan-out
+    /// (equals `agent/refits` attempts issued by the engine; kept
+    /// separate so captures show how much refit work was parallelizable).
+    refits_parallel: Counter,
 }
 
 impl EngineTelemetry {
@@ -190,6 +205,7 @@ impl EngineTelemetry {
             horizon_restart: rec.counter("engine", "horizon_restart"),
             horizon_end: rec.counter("engine", "horizon_end"),
             chunk_ticks: rec.histogram("engine", "chunk_ticks"),
+            refits_parallel: rec.counter("agent", "refits_parallel"),
         }
     }
 }
@@ -222,6 +238,9 @@ struct RunCtx {
     /// (`t_iter / (1 − slowdown)`; interference is indistinguishable
     /// from slowness to the agent).
     t_base: f64,
+    /// This job's column in the chunk's eps buffer: its position among
+    /// the running contexts, in ascending job order.
+    col: usize,
     /// Open profiler batch for this job's `(shape, batch)` key.
     obs: ObservationRun,
 }
@@ -232,6 +251,150 @@ struct ChunkOutcome {
     /// Whether the simulation is over (no arrivals left, all jobs
     /// finished).
     exit: bool,
+}
+
+/// Per-job result of one job-major chunk stripe, computed against
+/// immutable state on a worker thread and committed serially in job
+/// order.
+struct JobOutcome {
+    /// The job's attained service after the chunk (seeded from the
+    /// chunk-start value, advanced by the identical per-tick `+=`
+    /// sequence, committed absolutely via `JobLifecycle::set_gputime`).
+    gputime: f64,
+    /// Present for running jobs; `None` for restarting ones, which
+    /// only accrue GPU time.
+    run: Option<RunOutcome>,
+}
+
+struct RunOutcome {
+    /// Training progress after the chunk.
+    progress: f64,
+    /// Raw examples processed after the chunk.
+    examples: f64,
+    /// Whether progress crossed the job's total work. By the
+    /// truncation pre-scan's construction this can only happen on the
+    /// chunk's final tick.
+    finished: bool,
+    /// The advanced profiler batch (clone of the context's snapshot,
+    /// fed the identical observation sequence).
+    obs: ObservationRun,
+}
+
+/// Serial phase-1 output of one report round entry: everything the
+/// parallel plan phase needs, captured (and RNG-drawn) in job order.
+struct ReportPrep {
+    /// Index into `Simulation::jobs`.
+    idx: usize,
+    /// The noisy gradient-statistics observation for this round.
+    stats: Option<GradientStats>,
+    /// Whether the refit trigger fired (profiler gained information).
+    refit: bool,
+    /// Profiler configuration count at trigger evaluation, committed
+    /// to `last_fit_configs` when the fit succeeds.
+    configs: usize,
+    /// Profiler sample count at trigger evaluation.
+    samples: u64,
+    /// The placement to tune the batch size for (batch-adaptive
+    /// policies only).
+    tune_shape: Option<PlacementShape>,
+}
+
+/// Jobs per job-major work item. Each job's per-tick efficiency is a
+/// serial dependency chain (`progress → φ(progress) → progress`), so a
+/// one-job stripe is latency-bound on that chain; interleaving a small
+/// fixed block of independent jobs tick-by-tick keeps several chains
+/// in flight and makes the loop throughput-bound instead, exactly like
+/// the tick-major sweep — while the per-job working set (a block, not
+/// the whole cluster) stays cache-resident. The count is a fixed
+/// constant so the job → work-item mapping, and therefore the result,
+/// is independent of `engine_threads`.
+const STRIPE_BLOCK: usize = 8;
+
+/// Advances one block of up to [`STRIPE_BLOCK`] jobs over the whole
+/// (truncated) chunk: the job-major inner loop. Pure — reads the
+/// frozen contexts/jobs and returns per-job accumulators.
+///
+/// The loop is tick-outer *within the block* for instruction-level
+/// parallelism (see [`STRIPE_BLOCK`]), but every accumulator is
+/// per-job: each job's `progress`, `examples`, `gputime`, and profiler
+/// sum advance by operand-for-operand the tick-major sequence
+/// (efficiency at the job's own moving progress, then the `+=`
+/// accumulations, then the noisy observation). Accumulators of
+/// different jobs never interact, so interleaving leaves every job's
+/// bits identical to a standalone fold.
+fn advance_job_block(
+    block: &[ChunkCtx],
+    jobs: &[SimJob],
+    tlen: usize,
+    eps: &[f64],
+    dt: f64,
+) -> [Option<JobOutcome>; STRIPE_BLOCK] {
+    debug_assert!(!block.is_empty() && block.len() <= STRIPE_BLOCK);
+    let mut gputime = [0.0f64; STRIPE_BLOCK];
+    let mut progress = [0.0f64; STRIPE_BLOCK];
+    let mut examples = [0.0f64; STRIPE_BLOCK];
+    let mut obs: [Option<ObservationRun>; STRIPE_BLOCK] = Default::default();
+    for (k, ctx) in block.iter().enumerate() {
+        let job = &jobs[ctx.idx];
+        gputime[k] = job.lifecycle.gputime();
+        if let Some(rs) = &ctx.run {
+            progress[k] = job.progress;
+            examples[k] = job.examples_processed;
+            obs[k] = Some(rs.obs.clone());
+        }
+    }
+    for t in 0..tlen {
+        for (k, ctx) in block.iter().enumerate() {
+            let Some(rs) = &ctx.run else {
+                // Restarting: only GPU time accrues, one add per tick.
+                gputime[k] += ctx.gpu_dt;
+                continue;
+            };
+            let job = &jobs[ctx.idx];
+            let eff = job.true_efficiency_at(progress[k], rs.batch);
+            progress[k] += rs.throughput * eff * dt;
+            examples[k] += rs.tput_dt;
+            gputime[k] += ctx.gpu_dt;
+            let eps_t = eps[rs.col * tlen + t];
+            obs[k]
+                .as_mut()
+                .expect("running ctx has an open run")
+                .observe(rs.t_base * (1.0 + eps_t));
+            debug_assert!(
+                progress[k] < rs.work || t + 1 == tlen,
+                "job crossed its work mid-chunk: the truncation pre-scan missed a finish"
+            );
+        }
+    }
+    let mut out: [Option<JobOutcome>; STRIPE_BLOCK] = Default::default();
+    for (k, ctx) in block.iter().enumerate() {
+        out[k] = Some(JobOutcome {
+            gputime: gputime[k],
+            run: ctx.run.as_ref().map(|rs| RunOutcome {
+                progress: progress[k],
+                examples: examples[k],
+                finished: progress[k] >= rs.work,
+                obs: obs[k].take().expect("running ctx has an open run"),
+            }),
+        });
+    }
+    out
+}
+
+/// Removes every finished index from `active` in one ordered merge.
+/// Both lists are ascending (`active` by maintenance invariant,
+/// `finished` because finishes are detected in ascending job order),
+/// so a two-pointer sweep replaces the old O(active × finished)
+/// `retain(.. any ..)` scan.
+fn remove_finished_from_active(active: &mut Vec<usize>, finished: &[(usize, JobId)]) {
+    debug_assert!(finished.windows(2).all(|w| w[0].0 < w[1].0));
+    let mut f = 0;
+    active.retain(|&i| {
+        while f < finished.len() && finished[f].0 < i {
+            f += 1;
+        }
+        f >= finished.len() || finished[f].0 != i
+    });
 }
 
 /// First tick index `t >= lo` whose wall-clock time `t · dt` is at or
@@ -366,6 +529,7 @@ impl<P: SchedulingPolicy> Simulation<P> {
             view_buf: Vec::new(),
             chunk_buf: Vec::new(),
             finished_buf: Vec::new(),
+            eps_buf: Vec::new(),
             recorder: Recorder::disabled(),
             telem: EngineTelemetry::default(),
             restarts_total: 0,
@@ -407,11 +571,29 @@ impl<P: SchedulingPolicy> Simulation<P> {
     /// Runs the simulation to completion (all jobs finished) or to the
     /// configured time horizon, and returns the metrics.
     ///
-    /// Macro-stepped: boundary work (arrivals, wake-ups, reports,
-    /// scheduling) happens at event horizons; the ticks in between run
-    /// through `Self::advance_chunk` with per-job invariants hoisted.
-    /// Bit-identical to [`Self::run_reference`] for any fixed seed.
-    pub fn run(mut self) -> SimResult {
+    /// Macro-stepped and job-major: boundary work (arrivals, wake-ups,
+    /// reports, scheduling) happens at event horizons; the ticks in
+    /// between run through `Self::advance_chunk` with per-job
+    /// invariants hoisted and each job advanced over its whole chunk
+    /// in one stripe. Bit-identical to [`Self::run_tick_major`] and
+    /// [`Self::run_reference`] for any fixed seed, at any
+    /// `engine_threads` count.
+    pub fn run(self) -> SimResult {
+        self.run_macro(true)
+    }
+
+    /// The retained tick-major macro stepper: identical event-horizon
+    /// chunking, but the inner loop sweeps every running job each tick
+    /// (the pre-job-major layout). Kept as the `bench_sim` comparison
+    /// baseline isolating the job-major chunk advancement, and as an
+    /// extra equivalence anchor for the determinism suite. Always
+    /// serial inside chunks; report rounds share [`Self::run`]'s
+    /// two-phase path.
+    pub fn run_tick_major(self) -> SimResult {
+        self.run_macro(false)
+    }
+
+    fn run_macro(mut self, job_major: bool) -> SimResult {
         let dt = self.config.tick_seconds;
         let sched_every = (self.config.sched_interval / dt).round().max(1.0) as u64;
         let report_every = (self.config.report_interval / dt).round().max(1.0) as u64;
@@ -424,7 +606,11 @@ impl<P: SchedulingPolicy> Simulation<P> {
             now = tick as f64 * dt;
             self.tick_boundaries(tick, now, report_every, sched_every);
             let horizon = self.next_horizon(tick, dt, report_every, sched_every, max_ticks);
-            let chunk = self.advance_chunk(tick, horizon, dt);
+            let chunk = if job_major {
+                self.advance_chunk(tick, horizon, dt)
+            } else {
+                self.advance_chunk_tick_major(tick, horizon, dt)
+            };
             tick += chunk.ticks;
             now = (tick - 1) as f64 * dt;
             if chunk.exit {
@@ -537,32 +723,25 @@ impl<P: SchedulingPolicy> Simulation<P> {
         horizon.max(tick + 1)
     }
 
-    /// Advances up to `horizon - start` ticks with per-job invariants
-    /// hoisted, stopping early (after the tick in which it happens) at
-    /// the first job completion — a completion zeroes the job's
-    /// placement, which invalidates the cached interference vector for
-    /// the *next* tick.
-    ///
-    /// Bit-compatibility with the reference stepper:
-    /// - RNG: exactly one `gen_range(-noise..=noise)` per running job
-    ///   holding GPUs, in ascending job order, per tick — nothing else
-    ///   draws inside a chunk;
-    /// - f64 accumulation: `progress`, `examples_processed`,
-    ///   `gputime`, `node_seconds`, and the profiler sum advance by
-    ///   one addition per tick in the original order; cached products
-    ///   (`gpus · dt`, `throughput · dt`, `t_iter / (1 − slow)`) have
-    ///   bit-identical operands to the per-tick recomputation;
-    /// - efficiency is recomputed per tick through the same
-    ///   `SimJob::true_efficiency` path — it is a nonlinear function
-    ///   of the job's own moving progress and cannot be hoisted.
-    fn advance_chunk(&mut self, start: u64, horizon: u64, dt: f64) -> ChunkOutcome {
+    /// Builds the per-job chunk contexts shared by both macro paths:
+    /// refreshes interference, hoists the per-job invariants, opens
+    /// the profiler runs, and applies the analytic completion lower
+    /// bound to the chunk length. Returns the context vector (taken
+    /// from the recycled buffer), the bounded chunk length, and the
+    /// number of running (GPU-holding) contexts.
+    fn chunk_setup(&mut self, start: u64, horizon: u64, dt: f64) -> (Vec<ChunkCtx>, u64, usize) {
         self.compute_interference();
-        let noise = self.config.measurement_noise;
-        let node_dt = self.spec.num_nodes() as f64 * dt;
-        let arrivals_empty = self.arrivals.is_empty();
-
+        // `compute_interference` sizes the vector to the full job
+        // list; a shorter vector would silently under-slow the jobs
+        // it misses, so fail loudly instead of defaulting to 0.
+        debug_assert_eq!(
+            self.slowdown.len(),
+            self.jobs.len(),
+            "interference slowdown vector must cover every job"
+        );
         let mut ctxs = std::mem::take(&mut self.chunk_buf);
         let mut max_len = horizon - start;
+        let mut n_run = 0usize;
 
         let jobs = &mut self.jobs;
         for &idx in &self.active {
@@ -581,7 +760,7 @@ impl<P: SchedulingPolicy> Simulation<P> {
             }
             let Some(shape) = job.shape() else { continue };
             let m = job.batch_size;
-            let slow = self.slowdown.get(idx).copied().unwrap_or(0.0);
+            let slow = self.slowdown[idx];
             let t_iter = job.true_t_iter(shape, m);
             let throughput = (m as f64 / t_iter) * (1.0 - slow);
             let tput_dt = throughput * dt;
@@ -590,8 +769,8 @@ impl<P: SchedulingPolicy> Simulation<P> {
             // ≤ 1, so progress grows by at most `throughput · dt` per
             // tick and the job cannot finish in fewer than
             // ⌊remaining / (throughput · dt)⌋ ticks. Purely a
-            // chunk-length heuristic — the per-tick finish check below
-            // stays authoritative, so correctness never depends on it.
+            // chunk-length heuristic — the finish detection stays
+            // authoritative, so correctness never depends on it.
             let remaining = job.spec.work - job.progress;
             if tput_dt > 0.0 && remaining > 0.0 {
                 let lb = (remaining / tput_dt).floor();
@@ -610,11 +789,197 @@ impl<P: SchedulingPolicy> Simulation<P> {
                     throughput,
                     tput_dt,
                     t_base: t_iter / (1.0 - slow),
+                    col: n_run,
                     obs,
                 }),
             });
+            n_run += 1;
+        }
+        (ctxs, max_len, n_run)
+    }
+
+    /// Advances up to `horizon - start` ticks **job-major**: each job's
+    /// whole chunk runs as one tight loop over its private accumulators
+    /// (an independent `parallel_map` work item), with results
+    /// committed serially in job order.
+    ///
+    /// The pass is structured so every observable stays bit-identical
+    /// to the tick-major sweep:
+    /// 1. *Truncation pre-scan* (serial). The measurement noise only
+    ///    feeds the profiler — progress never sees it — so each job's
+    ///    finish tick is computable before any eps is drawn. Candidate
+    ///    jobs (`remaining ≤ cap · tput_dt`, with slack for f64
+    ///    rounding) replay their progress fold to find the first
+    ///    crossing; the chunk truncates at the earliest one, which is
+    ///    exactly where the tick-major loop would have aborted.
+    /// 2. *eps pre-draw* (serial). Exactly `truncated × n_run` draws in
+    ///    the tick-major order — per tick, ascending job order — stored
+    ///    transposed so each job's draws form one contiguous column.
+    ///    The RNG stream is untouched: same count, same order.
+    /// 3. *Job stripes* (parallelizable, `engine_threads`). Fixed
+    ///    blocks of [`STRIPE_BLOCK`] jobs fold their whole chunk over
+    ///    their eps columns ([`advance_job_block`]): per-job
+    ///    accumulators see the identical operand sequence as the
+    ///    tick-major sweep, and `node_seconds` is the only cross-job
+    ///    accumulator — advanced serially at commit by the same
+    ///    per-tick additions.
+    /// 4. *Commit* (serial, ascending job order): write back progress /
+    ///    examples / gputime, record the profiler runs, finish jobs
+    ///    that crossed (only possible on the final tick, by step 1),
+    ///    and emit events — all in the tick-major order.
+    fn advance_chunk(&mut self, start: u64, horizon: u64, dt: f64) -> ChunkOutcome {
+        let noise = self.config.measurement_noise;
+        let threads = self.config.engine_threads.max(1);
+        let node_dt = self.spec.num_nodes() as f64 * dt;
+        let arrivals_empty = self.arrivals.is_empty();
+
+        let (mut ctxs, max_len, n_run) = self.chunk_setup(start, horizon, dt);
+
+        // Truncation pre-scan: find the earliest finish tick across
+        // jobs (1-based, ≤ the current cap). A job can cross `work`
+        // within `cap` ticks only if `remaining ≤ cap · tput_dt`
+        // (efficiency ≤ 1); the 1e-6 slack over-approximates f64
+        // rounding in the progress fold, so a real finisher is never
+        // filtered out — at worst a non-finisher replays its fold.
+        // Candidates replay the exact progress arithmetic (same
+        // operands as the main stripe), so the detected tick is exact.
+        let mut truncated = max_len;
+        for ctx in &ctxs {
+            let Some(rs) = &ctx.run else { continue };
+            let job = &self.jobs[ctx.idx];
+            let remaining = rs.work - job.progress;
+            if remaining > 0.0 && remaining > truncated as f64 * rs.tput_dt * (1.0 + 1e-6) {
+                continue;
+            }
+            let mut progress = job.progress;
+            for t in 1..=truncated {
+                let eff = job.true_efficiency_at(progress, rs.batch);
+                progress += rs.throughput * eff * dt;
+                if progress >= rs.work {
+                    truncated = t;
+                    break;
+                }
+            }
+        }
+        let tlen = truncated as usize;
+
+        // eps pre-draw: tick-major draw order, job-major (transposed)
+        // storage. Nothing else draws inside a chunk.
+        let mut eps = std::mem::take(&mut self.eps_buf);
+        eps.clear();
+        eps.resize(n_run * tlen, 0.0);
+        {
+            let rng = &mut self.rng;
+            for t in 0..tlen {
+                for ctx in &ctxs {
+                    let Some(rs) = &ctx.run else { continue };
+                    eps[rs.col * tlen + t] = rng.gen_range(-noise..=noise);
+                }
+            }
         }
 
+        // Job stripes: pure per-block folds over immutable state, in
+        // fixed blocks of `STRIPE_BLOCK` jobs (see its doc for why).
+        // With `engine_threads <= 1` this runs inline with no spawns.
+        let outcomes = {
+            let jobs: &[SimJob] = &self.jobs;
+            let ctxs_ref: &[ChunkCtx] = &ctxs;
+            let eps_ref: &[f64] = &eps;
+            let n_blocks = ctxs_ref.len().div_ceil(STRIPE_BLOCK);
+            parallel_map(n_blocks, threads, |b| {
+                let lo = b * STRIPE_BLOCK;
+                let hi = (lo + STRIPE_BLOCK).min(ctxs_ref.len());
+                advance_job_block(&ctxs_ref[lo..hi], jobs, tlen, eps_ref, dt)
+            })
+        };
+
+        // Serial commit in job order.
+        let finish_now = (start + truncated - 1) as f64 * dt;
+        let mut finished = std::mem::take(&mut self.finished_buf);
+        let jobs = &mut self.jobs;
+        let outs = outcomes.into_iter().flatten().flatten();
+        for (ctx, out) in ctxs.iter().zip(outs) {
+            let job = &mut jobs[ctx.idx];
+            job.lifecycle.set_gputime(out.gputime);
+            let Some(run) = out.run else { continue };
+            job.progress = run.progress;
+            job.examples_processed = run.examples;
+            if run.finished {
+                job.lifecycle.finish(finish_now + dt);
+                self.interference.clear_job(ctx.idx, &job.placement);
+                job.placement.iter_mut().for_each(|g| *g = 0);
+                finished.push((ctx.idx, job.spec.id));
+            }
+            // Commit the batched profiler observations (including for
+            // jobs that just finished — the tick-major loop records up
+            // to and including the finish tick too).
+            job.agent.record_observation_run(run.obs);
+        }
+        for _ in 0..truncated {
+            self.node_seconds += node_dt;
+        }
+        let mut exit = false;
+        if !finished.is_empty() {
+            for &(_, id) in finished.iter() {
+                self.events.push(SchedulingEvent {
+                    time: finish_now + dt,
+                    job: id,
+                    kind: EventKind::Finished,
+                    gpus: 0,
+                });
+            }
+            remove_finished_from_active(&mut self.active, &finished);
+            exit = arrivals_empty && self.active.is_empty();
+        }
+
+        ctxs.clear();
+        self.chunk_buf = ctxs;
+        finished.clear();
+        self.finished_buf = finished;
+        eps.clear();
+        self.eps_buf = eps;
+
+        self.telem.chunks.add(1);
+        self.telem.ticks.add(truncated);
+        self.telem.chunk_ticks.observe(truncated);
+        if truncated < horizon - start {
+            // A completion (or its prediction) cut the chunk short of
+            // its event horizon.
+            self.telem.mid_chunk_aborts.add(1);
+        }
+
+        ChunkOutcome {
+            ticks: truncated,
+            exit,
+        }
+    }
+
+    /// The retained tick-major chunk advancement (the pre-job-major
+    /// inner loop): sweeps every context each tick, drawing eps inline
+    /// and aborting after the tick of the first completion. Driven by
+    /// [`Self::run_tick_major`] as the benchmark baseline and an extra
+    /// determinism anchor.
+    ///
+    /// Bit-compatibility with the reference stepper:
+    /// - RNG: exactly one `gen_range(-noise..=noise)` per running job
+    ///   holding GPUs, in ascending job order, per tick — nothing else
+    ///   draws inside a chunk;
+    /// - f64 accumulation: `progress`, `examples_processed`,
+    ///   `gputime`, `node_seconds`, and the profiler sum advance by
+    ///   one addition per tick in the original order; cached products
+    ///   (`gpus · dt`, `throughput · dt`, `t_iter / (1 − slow)`) have
+    ///   bit-identical operands to the per-tick recomputation;
+    /// - efficiency is recomputed per tick through the same
+    ///   `SimJob::true_efficiency` path — it is a nonlinear function
+    ///   of the job's own moving progress and cannot be hoisted.
+    fn advance_chunk_tick_major(&mut self, start: u64, horizon: u64, dt: f64) -> ChunkOutcome {
+        let noise = self.config.measurement_noise;
+        let node_dt = self.spec.num_nodes() as f64 * dt;
+        let arrivals_empty = self.arrivals.is_empty();
+
+        let (mut ctxs, max_len, _n_run) = self.chunk_setup(start, horizon, dt);
+
+        let jobs = &mut self.jobs;
         let rng = &mut self.rng;
         let interference = &mut self.interference;
         let mut finished = std::mem::take(&mut self.finished_buf);
@@ -658,8 +1023,7 @@ impl<P: SchedulingPolicy> Simulation<P> {
                         gpus: 0,
                     });
                 }
-                self.active
-                    .retain(|i| !finished.iter().any(|&(f, _)| f == *i));
+                remove_finished_from_active(&mut self.active, &finished);
                 exit = arrivals_empty && self.active.is_empty();
                 break 'ticks;
             }
@@ -704,8 +1068,9 @@ impl<P: SchedulingPolicy> Simulation<P> {
     /// The one departure is bookkeeping the macro path's shared
     /// boundary code requires: finished jobs are also pruned from
     /// `self.active` (the pre-refactor engine had no active index and
-    /// re-scanned all jobs instead). That retain runs only on finish
-    /// ticks and never changes the trajectory.
+    /// re-scanned all jobs instead). That pruning — the same ordered
+    /// merge the macro paths use — runs only on finish ticks and never
+    /// changes the trajectory.
     fn advance_tick_reference(&mut self, now: f64, dt: f64) {
         let slowdown = self.interference_slowdowns_reference();
         let noise = self.config.measurement_noise;
@@ -752,8 +1117,7 @@ impl<P: SchedulingPolicy> Simulation<P> {
             });
         }
         if !finished.is_empty() {
-            self.active
-                .retain(|i| !finished.iter().any(|&(f, _)| f == *i));
+            remove_finished_from_active(&mut self.active, &finished);
         }
     }
 
@@ -815,15 +1179,40 @@ impl<P: SchedulingPolicy> Simulation<P> {
     /// Agent reporting interval: refresh gradient statistics, refit
     /// θsys when the profile gained information, and re-tune batch
     /// sizes for batch-adaptive policies.
+    ///
+    /// Runs as a deterministic two-phase round; rounds where the
+    /// trigger fires for at least one job (i.e. phase 2 performs real
+    /// θsys fits) are timed under an `engine/report_round` span —
+    /// emitting the span unconditionally would cost one event per
+    /// round (tens of thousands per simulated week) and blow the
+    /// recorder's ≤ 5% overhead budget for telemetry-heavy runs, while
+    /// no-refit rounds contribute negligibly to the phase anyway.
+    ///
+    /// 1. *Prepare* (serial, ascending job order): draw the per-job
+    ///    φ-noise eps — the RNG stream is identical to the sequential
+    ///    path — and evaluate the refit trigger against the profiler
+    ///    counts (which the round itself never changes).
+    /// 2. *Plan* (parallelizable, `engine_threads`): each job's refit
+    ///    and batch-size tune run as a pure
+    ///    [`PolluxAgent::plan_report_recorded`] against the frozen
+    ///    agent — the expensive θsys fit dominates this phase.
+    /// 3. *Commit* (serial, ascending job order): apply each plan's
+    ///    `(FitReport, batch_size)`, update the refit bookkeeping, and
+    ///    (for non-adaptive policies) consult the policy's batch
+    ///    override — policies are never touched off-thread.
     fn report_and_tune(&mut self, _now: f64) {
         let policy = &self.policy;
         let adapt = policy.adapts_batch_size();
         let config = self.config;
+        let threads = config.engine_threads.max(1);
         let recorder = &self.recorder;
         let rng = &mut self.rng;
         let jobs = &mut self.jobs;
+
+        // Phase 1: serial RNG draws and trigger evaluation.
+        let mut preps: Vec<ReportPrep> = Vec::new();
         for &i in &self.active {
-            let job = &mut jobs[i];
+            let job = &jobs[i];
             if !job.is_running() {
                 continue;
             }
@@ -831,9 +1220,7 @@ impl<P: SchedulingPolicy> Simulation<P> {
             // agent in (variance, |grad|²) form.
             let eps: f64 = rng.gen_range(-config.phi_noise..=config.phi_noise);
             let phi_obs = (job.true_phi() * (1.0 + eps)).max(0.0);
-            if let Some(stats) = GradientStats::new(phi_obs / job.profile.m0 as f64, 1.0) {
-                job.agent.observe_gradient_stats(stats);
-            }
+            let stats = GradientStats::new(phi_obs / job.profile.m0 as f64, 1.0);
 
             // Refit only when the profiler actually learned something
             // substantial, keeping the simulation fast without changing
@@ -847,19 +1234,50 @@ impl<P: SchedulingPolicy> Simulation<P> {
             let config_trigger = configs > job.last_fit_configs
                 && (job.last_fit_configs < 8 || configs >= 2 * job.last_fit_configs);
             let sample_trigger = samples >= 4 * job.last_fit_samples.max(1);
-            if configs > 0
-                && (config_trigger || sample_trigger)
-                && job.agent.refit_recorded(recorder)
-            {
-                job.last_fit_configs = configs;
-                job.last_fit_samples = samples;
+            let refit = configs > 0 && (config_trigger || sample_trigger);
+            preps.push(ReportPrep {
+                idx: i,
+                stats,
+                refit,
+                configs,
+                samples,
+                tune_shape: if adapt { job.shape() } else { None },
+            });
+        }
+
+        // Phase 2: pure per-job plans over immutable agents. Inline
+        // (no spawns) when `engine_threads <= 1`. Only rounds doing
+        // actual fit work are worth a span event (see the doc above).
+        let _span = preps
+            .iter()
+            .any(|p| p.refit)
+            .then(|| self.recorder.span("engine", "report_round"));
+        let plans: Vec<ReportPlan> = {
+            let jobs_ref: &[SimJob] = jobs;
+            let preps_ref: &[ReportPrep] = &preps;
+            parallel_map(preps_ref.len(), threads, |k| {
+                let p = &preps_ref[k];
+                jobs_ref[p.idx]
+                    .agent
+                    .plan_report_recorded(recorder, p.stats, p.refit, p.tune_shape)
+            })
+        };
+        let refits = preps.iter().filter(|p| p.refit).count() as u64;
+        if refits > 0 {
+            self.telem.refits_parallel.add(refits);
+        }
+
+        // Phase 3: serial commit in job order.
+        for (p, plan) in preps.iter().zip(&plans) {
+            let job = &mut jobs[p.idx];
+            if job.agent.commit_report(plan) {
+                job.last_fit_configs = p.configs;
+                job.last_fit_samples = p.samples;
             }
 
             if adapt {
-                if let Some(shape) = job.shape() {
-                    if let Some(d) = job.agent.tune(shape) {
-                        job.batch_size = d.batch_size;
-                    }
+                if let Some(d) = plan.tuning {
+                    job.batch_size = d.batch_size;
                 }
             } else {
                 let chosen = policy.choose_batch_size(&job.policy_view());

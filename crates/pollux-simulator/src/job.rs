@@ -147,7 +147,19 @@ impl SimJob {
 
     /// The **true** statistical efficiency at batch size `m` right now.
     pub fn true_efficiency(&self, m: u64) -> f64 {
-        EfficiencyModel::from_noise_scale(self.profile.m0, self.true_phi())
+        self.true_efficiency_at(self.progress, m)
+    }
+
+    /// [`true_efficiency`](Self::true_efficiency) evaluated at a
+    /// caller-supplied progress value instead of the stored one. The
+    /// job-major engine advances progress in a thread-private register
+    /// across a whole chunk and needs the efficiency curve at each
+    /// intermediate value; the operations are identical to the
+    /// stored-progress path, so feeding back the same progress yields
+    /// the same bits.
+    pub fn true_efficiency_at(&self, progress: f64, m: u64) -> f64 {
+        let frac = (progress / self.spec.work).clamp(0.0, 1.0);
+        EfficiencyModel::from_noise_scale(self.profile.m0, self.profile.phi_at(frac))
             .expect("phi > 0 from the profile")
             .efficiency(m)
     }

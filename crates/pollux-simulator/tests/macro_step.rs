@@ -33,6 +33,19 @@ fn fnv1a64(bytes: &[u8]) -> u64 {
 
 /// Small-model workload with staggered arrivals.
 fn workload(n: usize, stagger: f64, seed: u64) -> Vec<(JobSpec, UserConfig)> {
+    workload_scaled(n, stagger, seed, 1.0)
+}
+
+/// [`workload`] with every job's total work scaled by `work_scale`.
+/// Small scales force jobs to cross their finish line in the middle of
+/// long chunks, exercising the job-major stepper's truncate-and-replay
+/// path.
+fn workload_scaled(
+    n: usize,
+    stagger: f64,
+    seed: u64,
+    work_scale: f64,
+) -> Vec<(JobSpec, UserConfig)> {
     let trace = TraceGenerator::new(TraceConfig {
         num_jobs: 40,
         seed,
@@ -48,6 +61,7 @@ fn workload(n: usize, stagger: f64, seed: u64) -> Vec<(JobSpec, UserConfig)> {
         .map(|(i, mut spec)| {
             spec.id = JobId(i as u32);
             spec.submit_time = i as f64 * stagger;
+            spec.work *= work_scale;
             let user = spec.tuned;
             (spec, user)
         })
@@ -164,18 +178,30 @@ fn quiet_config() -> SimConfig {
     }
 }
 
+/// Which engine variant a run goes through. All three must be
+/// bit-identical for a fixed seed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Stepper {
+    /// `Simulation::run`: macro-stepped, job-major chunks.
+    JobMajor,
+    /// `Simulation::run_tick_major`: macro-stepped, tick-major chunks.
+    TickMajor,
+    /// `Simulation::run_reference`: the pre-refactor one-tick loop.
+    Reference,
+}
+
 fn json_of<P: SchedulingPolicy>(
     cfg: SimConfig,
     spec: ClusterSpec,
     policy: P,
     wl: Vec<(JobSpec, UserConfig)>,
-    reference: bool,
+    stepper: Stepper,
 ) -> String {
     let sim = Simulation::new(cfg, spec, policy, wl).unwrap();
-    let result = if reference {
-        sim.run_reference()
-    } else {
-        sim.run()
+    let result = match stepper {
+        Stepper::JobMajor => sim.run(),
+        Stepper::TickMajor => sim.run_tick_major(),
+        Stepper::Reference => sim.run_reference(),
     };
     serde_json::to_string(&result).expect("SimResult serializes")
 }
@@ -186,7 +212,7 @@ fn digest_of<P: SchedulingPolicy>(
     policy: P,
     wl: Vec<(JobSpec, UserConfig)>,
 ) -> u64 {
-    fnv1a64(json_of(cfg, spec, policy, wl, false).as_bytes())
+    fnv1a64(json_of(cfg, spec, policy, wl, Stepper::JobMajor).as_bytes())
 }
 
 /// Panics with the first differing byte region when two serialized
@@ -252,7 +278,7 @@ fn reference_stepper_matches_goldens() {
             ClusterSpec::homogeneous(3, 4).unwrap(),
             Churn,
             workload(8, 300.0, 3),
-            true,
+            Stepper::Reference,
         )
         .as_bytes(),
     );
@@ -263,11 +289,108 @@ fn reference_stepper_matches_goldens() {
             ClusterSpec::homogeneous(2, 4).unwrap(),
             FcfsPacked { gpus: 2 },
             workload(6, 45.0, 11),
-            true,
+            Stepper::Reference,
         )
         .as_bytes(),
     );
     assert_eq!(quiet, GOLDEN_QUIET, "reference drifted: 0x{quiet:016x}");
+}
+
+/// The retained tick-major chunk stepper must also reproduce the
+/// pinned digests: it shares the event-horizon chunking and the
+/// two-phase report round with `run()`, differing only in the inner
+/// chunk loop's layout.
+#[test]
+fn tick_major_stepper_matches_goldens() {
+    let churn = fnv1a64(
+        json_of(
+            churn_config(),
+            ClusterSpec::homogeneous(3, 4).unwrap(),
+            Churn,
+            workload(8, 300.0, 3),
+            Stepper::TickMajor,
+        )
+        .as_bytes(),
+    );
+    assert_eq!(churn, GOLDEN_CHURN, "tick-major drifted: 0x{churn:016x}");
+    let quiet = fnv1a64(
+        json_of(
+            quiet_config(),
+            ClusterSpec::homogeneous(2, 4).unwrap(),
+            FcfsPacked { gpus: 2 },
+            workload(6, 45.0, 11),
+            Stepper::TickMajor,
+        )
+        .as_bytes(),
+    );
+    assert_eq!(quiet, GOLDEN_QUIET, "tick-major drifted: 0x{quiet:016x}");
+}
+
+/// `engine_threads` may only change wall-clock time, never a byte of
+/// the result: the job-major chunk loop and the report round's
+/// refit/tune fan-out both commit in job order regardless of which
+/// worker computed what. The pinned goldens are the oracle, so this
+/// also proves the parallel paths equal the pre-refactor serial
+/// engine — the churn trajectory drives restarts, interference, batch
+/// re-tuning, and refits through the parallel report round.
+#[test]
+fn golden_digests_hold_at_any_engine_thread_count() {
+    for threads in [1usize, 2, 4] {
+        let cfg = SimConfig {
+            engine_threads: threads,
+            ..churn_config()
+        };
+        let spec = ClusterSpec::homogeneous(3, 4).unwrap();
+        let d = digest_of(cfg, spec, Churn, workload(8, 300.0, 3));
+        assert_eq!(
+            d, GOLDEN_CHURN,
+            "engine_threads={threads} perturbed the churn trajectory: 0x{d:016x}"
+        );
+        let cfg = SimConfig {
+            engine_threads: threads,
+            ..quiet_config()
+        };
+        let spec = ClusterSpec::homogeneous(2, 4).unwrap();
+        let d = digest_of(cfg, spec, FcfsPacked { gpus: 2 }, workload(6, 45.0, 11));
+        assert_eq!(
+            d, GOLDEN_QUIET,
+            "engine_threads={threads} perturbed the quiet trajectory: 0x{d:016x}"
+        );
+    }
+}
+
+/// Forced mid-chunk finishes: scale every job's work down so jobs
+/// cross their finish line far from any event horizon, then require
+/// the job-major stepper (at several thread counts) to match the
+/// reference tick loop bit for bit. This pins the truncate-and-replay
+/// rule — the chunk must cut at the earliest finish tick and replay
+/// overrunning jobs over the truncated prefix without consuming extra
+/// RNG draws.
+#[test]
+fn mid_chunk_finishes_are_bit_identical_across_steppers() {
+    for work_scale in [0.01f64, 0.05, 0.2] {
+        let wl = workload_scaled(8, 300.0, 3, work_scale);
+        let spec = ClusterSpec::homogeneous(3, 4).unwrap();
+        let reference = json_of(
+            churn_config(),
+            spec.clone(),
+            Churn,
+            wl.clone(),
+            Stepper::Reference,
+        );
+        for threads in [1usize, 2, 4] {
+            let cfg = SimConfig {
+                engine_threads: threads,
+                ..churn_config()
+            };
+            let job_major = json_of(cfg, spec.clone(), Churn, wl.clone(), Stepper::JobMajor);
+            assert_byte_identical(
+                &job_major,
+                &reference,
+                &format!("work_scale={work_scale} engine_threads={threads}"),
+            );
+        }
+    }
 }
 
 /// The `nodes_per_rack` knob must not perturb a single byte of the
@@ -368,11 +491,13 @@ fn golden_trajectories_survive_live_telemetry() {
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(10))]
-    /// Bitwise equality of the macro-stepped engine and the reference
-    /// tick-stepper on random small workloads: varied arrival
-    /// staggering, cluster shapes, interference levels, measurement
-    /// noise, and both churny (restart/preemption/interference-heavy)
-    /// and quiet placement policies.
+    /// Bitwise equality of the job-major engine, the retained
+    /// tick-major chunk stepper, and the reference tick-stepper on
+    /// random small workloads: varied arrival staggering, cluster
+    /// shapes, interference levels, measurement noise, engine thread
+    /// counts, work scales small enough to force mid-chunk finishes,
+    /// and both churny (restart/preemption/interference-heavy) and
+    /// quiet placement policies.
     #[test]
     fn macro_step_equals_reference_stepper(
         n_jobs in 1usize..6,
@@ -385,35 +510,37 @@ proptest! {
         noise in 0.0f64..0.15,
         hours in 0.4f64..2.5,
         churny in 0u32..2,
+        engine_threads in 1usize..5,
+        work_scale in 0.02f64..1.0,
     ) {
         let cfg = SimConfig {
             max_sim_time: hours * 3600.0,
             interference_slowdown: interference,
             measurement_noise: noise,
             seed: sim_seed,
+            engine_threads,
             ..Default::default()
         };
         let spec = ClusterSpec::homogeneous(nodes, gpus).unwrap();
-        let wl = workload(n_jobs, stagger, wl_seed);
-        let (a, b) = if churny == 1 {
-            (
-                json_of(cfg, spec.clone(), Churn, wl.clone(), false),
-                json_of(cfg, spec, Churn, wl, true),
-            )
+        let wl = workload_scaled(n_jobs, stagger, wl_seed, work_scale);
+        let runs: Vec<String> = if churny == 1 {
+            [Stepper::JobMajor, Stepper::TickMajor, Stepper::Reference]
+                .map(|s| json_of(cfg, spec.clone(), Churn, wl.clone(), s))
+                .into_iter()
+                .collect()
         } else {
-            (
-                json_of(cfg, spec.clone(), FcfsPacked { gpus: 2 }, wl.clone(), false),
-                json_of(cfg, spec, FcfsPacked { gpus: 2 }, wl, true),
-            )
+            [Stepper::JobMajor, Stepper::TickMajor, Stepper::Reference]
+                .map(|s| json_of(cfg, spec.clone(), FcfsPacked { gpus: 2 }, wl.clone(), s))
+                .into_iter()
+                .collect()
         };
-        assert_byte_identical(
-            &a,
-            &b,
-            &format!(
-                "jobs={n_jobs} stagger={stagger:.1} wl_seed={wl_seed} sim_seed={sim_seed} \
-                 nodes={nodes} gpus={gpus} interference={interference:.2} noise={noise:.3} \
-                 hours={hours:.2} churny={churny}"
-            ),
+        let label = format!(
+            "jobs={n_jobs} stagger={stagger:.1} wl_seed={wl_seed} sim_seed={sim_seed} \
+             nodes={nodes} gpus={gpus} interference={interference:.2} noise={noise:.3} \
+             hours={hours:.2} churny={churny} engine_threads={engine_threads} \
+             work_scale={work_scale:.3}"
         );
+        assert_byte_identical(&runs[0], &runs[2], &format!("job-major vs reference: {label}"));
+        assert_byte_identical(&runs[1], &runs[2], &format!("tick-major vs reference: {label}"));
     }
 }
