@@ -5,6 +5,17 @@
 //! (first-start time, restart count, attained GPU-time). The simulator
 //! engine and the live `ClusterService` both hold one [`JobLifecycle`]
 //! per job and apply the same transitions through the same methods.
+//!
+//! A lifecycle can carry a timeline emitter
+//! ([`JobLifecycle::attach_telemetry`]): each successful transition
+//! then emits one `Event::Timeline` instant — `"start"`, `"restart"`,
+//! `"wake"`, `"preempt"`, `"finish"` — stamped with the caller's
+//! simulation time. Emission is observational only: it never touches
+//! the state machine, so runs with and without an emitter are
+//! bit-identical. Drivers on wall-clock time (the live service) simply
+//! never attach one.
+
+use pollux_telemetry::Recorder;
 
 /// Lifecycle of a job under the control plane.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -30,7 +41,7 @@ pub enum JobState {
 /// Fields are private on purpose: every mutation goes through a named
 /// transition, so restart/queue-time/GPU-time semantics exist in one
 /// place instead of being re-implemented by each driver.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct JobLifecycle {
     state: JobState,
     /// First time the job received GPUs.
@@ -39,6 +50,20 @@ pub struct JobLifecycle {
     num_restarts: u32,
     /// Attained GPU-time in GPU-seconds.
     gputime: f64,
+    /// Timeline emitter: the job's id plus a recorder. `None` until
+    /// [`Self::attach_telemetry`]; excluded from equality (two
+    /// lifecycles in the same state are equal regardless of who is
+    /// listening).
+    emitter: Option<(u64, Recorder)>,
+}
+
+impl PartialEq for JobLifecycle {
+    fn eq(&self, other: &Self) -> bool {
+        self.state == other.state
+            && self.start_time == other.start_time
+            && self.num_restarts == other.num_restarts
+            && self.gputime == other.gputime
+    }
 }
 
 impl Default for JobLifecycle {
@@ -55,6 +80,22 @@ impl JobLifecycle {
             start_time: None,
             num_restarts: 0,
             gputime: 0.0,
+            emitter: None,
+        }
+    }
+
+    /// Attaches a timeline emitter: every subsequent transition emits
+    /// an `Event::Timeline` instant tagged with `job` (the job's
+    /// numeric id). Disabled recorders cost one branch per
+    /// transition.
+    pub fn attach_telemetry(&mut self, job: u64, recorder: Recorder) {
+        self.emitter = Some((job, recorder));
+    }
+
+    #[inline]
+    fn emit(&self, kind: &'static str, time: f64) {
+        if let Some((job, recorder)) = &self.emitter {
+            recorder.timeline("lifecycle", kind, time, *job, &[], &[]);
         }
     }
 
@@ -145,19 +186,22 @@ impl JobLifecycle {
                 until: now + restart_delay,
             };
             self.num_restarts += 1;
+            self.emit("restart", now);
         } else {
             self.state = JobState::Running;
             self.start_time = Some(now);
+            self.emit("start", now);
         }
     }
 
-    /// Takes all GPUs away: progress is checkpointed, the job waits.
-    /// Returns whether the job was active (running or restarting);
-    /// pending and finished jobs are unaffected.
-    pub fn preempt(&mut self) -> bool {
+    /// Takes all GPUs away at time `now`: progress is checkpointed,
+    /// the job waits. Returns whether the job was active (running or
+    /// restarting); pending and finished jobs are unaffected.
+    pub fn preempt(&mut self, now: f64) -> bool {
         match self.state {
             JobState::Running | JobState::Restarting { .. } => {
                 self.state = JobState::Pending;
+                self.emit("preempt", now);
                 true
             }
             JobState::Pending | JobState::Finished { .. } => false,
@@ -170,6 +214,7 @@ impl JobLifecycle {
         if let JobState::Restarting { until } = self.state {
             if now >= until {
                 self.state = JobState::Running;
+                self.emit("wake", now);
                 return true;
             }
         }
@@ -186,6 +231,7 @@ impl JobLifecycle {
             return false;
         }
         self.state = JobState::Finished { at };
+        self.emit("finish", at);
         true
     }
 }
@@ -251,7 +297,7 @@ mod tests {
         // Nor can a stale grant or preemption.
         l.grant(true, 91.0, 30.0);
         assert_eq!(l.state(), JobState::Finished { at: 75.0 });
-        assert!(!l.preempt());
+        assert!(!l.preempt(92.0));
         assert_eq!(l.state(), JobState::Finished { at: 75.0 });
     }
 
@@ -259,7 +305,7 @@ mod tests {
     fn preempt_then_resume_counts_a_restart() {
         let mut l = JobLifecycle::new();
         l.grant(false, 0.0, 30.0);
-        assert!(l.preempt());
+        assert!(l.preempt(200.0));
         assert_eq!(l.state(), JobState::Pending);
         assert_eq!(l.num_restarts(), 0, "preemption itself is free");
         assert!(l.has_started(), "start survives preemption");
@@ -269,8 +315,59 @@ mod tests {
         assert_eq!(l.num_restarts(), 1);
         // Preempting a pending job is a no-op.
         let mut p = JobLifecycle::new();
-        assert!(!p.preempt());
+        assert!(!p.preempt(0.0));
         assert_eq!(p.state(), JobState::Pending);
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn transitions_emit_timeline_instants() {
+        use pollux_telemetry::{Event, MemorySink};
+        use std::sync::Arc;
+
+        let sink = Arc::new(MemorySink::new(64));
+        let mut l = JobLifecycle::new();
+        l.attach_telemetry(17, Recorder::new(sink.clone()));
+        l.grant(false, 5.0, 30.0); // start
+        l.grant(true, 60.0, 30.0); // restart
+        assert!(l.wake(90.0)); // wake
+        assert!(l.preempt(120.0)); // preempt
+        l.grant(true, 150.0, 30.0); // restart again
+        assert!(l.finish(170.0)); // finish (wins over the restart)
+        assert!(!l.finish(180.0), "duplicate finish must not re-emit");
+
+        let seen: Vec<(String, f64)> = sink
+            .drain()
+            .into_iter()
+            .filter_map(|e| match e {
+                Event::Timeline {
+                    name, time, job, ..
+                } => {
+                    assert_eq!(job, 17);
+                    Some((name.to_string(), time))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            seen,
+            vec![
+                ("start".to_string(), 5.0),
+                ("restart".to_string(), 60.0),
+                ("wake".to_string(), 90.0),
+                ("preempt".to_string(), 120.0),
+                ("restart".to_string(), 150.0),
+                ("finish".to_string(), 170.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn equality_ignores_the_emitter() {
+        let mut a = JobLifecycle::new();
+        let b = JobLifecycle::new();
+        a.attach_telemetry(1, Recorder::disabled());
+        assert_eq!(a, b);
     }
 
     #[test]

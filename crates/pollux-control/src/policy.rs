@@ -212,6 +212,18 @@ pub trait SchedulingPolicy {
     /// discards it. Implementations must uphold the determinism
     /// contract: recording may not change any scheduling decision.
     fn attach_telemetry(&mut self, _recorder: Recorder) {}
+
+    /// Drains the decision audit of the most recent `schedule` call,
+    /// if the policy built one (Pollux does, and only while a recorder
+    /// is attached — see `pollux_telemetry::RoundExplain`). The driver
+    /// calls this after applying a round, stamps the record with the
+    /// round time and interference co-residents, and emits it through
+    /// the recorder. Purely observational: implementations must derive
+    /// the record without drawing RNG or perturbing cached state. The
+    /// default reports nothing.
+    fn take_round_explain(&mut self) -> Option<pollux_telemetry::RoundExplain> {
+        None
+    }
 }
 
 impl<P: SchedulingPolicy + ?Sized> SchedulingPolicy for Box<P> {
@@ -271,5 +283,9 @@ impl<P: SchedulingPolicy + ?Sized> SchedulingPolicy for Box<P> {
 
     fn attach_telemetry(&mut self, recorder: Recorder) {
         (**self).attach_telemetry(recorder)
+    }
+
+    fn take_round_explain(&mut self) -> Option<pollux_telemetry::RoundExplain> {
+        (**self).take_round_explain()
     }
 }

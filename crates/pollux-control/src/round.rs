@@ -88,6 +88,11 @@ pub struct RoundPlanner {
     /// span (`engine/reschedule` in the simulator, `control/plan` in
     /// the live service).
     reallocations_ctr: Counter,
+    /// Recorder for per-reallocation `"placement"` timeline diffs.
+    /// Disabled by default; emission happens only where a
+    /// [`Reallocation`] is materialized, which is already O(churn) —
+    /// quiet rounds emit nothing.
+    recorder: Recorder,
     /// Recycled duplicate-check scratch.
     ids_buf: Vec<JobId>,
     /// The previous round's id sequence in view order. When this
@@ -112,6 +117,7 @@ impl RoundPlanner {
     /// never changes a planned outcome.
     pub fn attach_telemetry(&mut self, recorder: Recorder) {
         self.reallocations_ctr = recorder.counter("control", "reallocations");
+        self.recorder = recorder;
     }
 
     /// Cumulative number of placement rows the diff phase has copied
@@ -198,6 +204,14 @@ impl RoundPlanner {
             let mut new_row = matrix_row.to_vec();
             new_row.resize(num_nodes, 0);
             self.rows_materialized += 1;
+            self.recorder.timeline(
+                "round",
+                "placement",
+                now,
+                view.id.0 as u64,
+                view.current_placement,
+                &new_row,
+            );
             reallocations.push(Reallocation {
                 job: view.id,
                 row,
@@ -271,6 +285,14 @@ impl RoundPlanner {
                 continue; // Pending -> pending: nothing happened.
             }
             self.rows_materialized += 1;
+            self.recorder.timeline(
+                "round",
+                "placement",
+                now,
+                view.id.0 as u64,
+                view.current_placement,
+                &new_row,
+            );
             reallocations.push(Reallocation {
                 job: view.id,
                 row: delta.row,
@@ -472,7 +494,7 @@ mod tests {
         // The caller applies the preemption through the lifecycle.
         let mut lifecycle = crate::JobLifecycle::new();
         lifecycle.grant(false, 0.0, 30.0);
-        assert!(lifecycle.preempt());
+        assert!(lifecycle.preempt(60.0));
         assert_eq!(lifecycle.num_restarts(), 0);
 
         let idle = vec![0u32, 0];

@@ -65,7 +65,8 @@ impl PolluxPolicy {
             autoscaler,
             adapt_batch_size: config.adapt_batch_size,
             cache: SchedJobCache::default(),
-            views_rebuilt_ctr: pollux_telemetry::Counter::default(),
+            views_rebuilt_ctr: pollux_telemetry::Recorder::disabled()
+                .counter("control", "views_rebuilt"),
         })
     }
 
@@ -138,6 +139,12 @@ impl SchedulingPolicy for PolluxPolicy {
                 table_misses: s.speedup.misses,
                 table_solves: s.speedup.solves,
             })
+    }
+
+    fn take_round_explain(&mut self) -> Option<pollux_telemetry::RoundExplain> {
+        // Built by PolluxSched only while an enabled recorder is
+        // attached; the driver stamps time and co-residents.
+        self.sched.take_round_explain()
     }
 
     fn attach_telemetry(&mut self, recorder: pollux_telemetry::Recorder) {

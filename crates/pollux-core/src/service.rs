@@ -211,7 +211,7 @@ impl Shared {
             let desired = planner.desired_nodes(policy, now, &views, &spec, rng);
             drop(views);
             if let Some(nodes) = desired {
-                if self.resize_cluster(nodes.max(1)) {
+                if self.resize_cluster(nodes.max(1), now) {
                     snaps = self.snapshot_jobs();
                 }
             }
@@ -250,7 +250,7 @@ impl Shared {
                         .lifecycle
                         .grant(r.triggers_restart, now, self.restart_delay);
                 } else {
-                    entry.lifecycle.preempt();
+                    entry.lifecycle.preempt(now);
                 }
             }
         }
@@ -288,7 +288,7 @@ impl Shared {
     /// jobs that held GPUs on removed nodes (the same whole-job
     /// preemption rule as the simulator's engine). Returns whether the
     /// cluster actually changed.
-    fn resize_cluster(&self, nodes: u32) -> bool {
+    fn resize_cluster(&self, nodes: u32, now: f64) -> bool {
         let new_n = nodes as usize;
         {
             let mut spec = self.spec.write();
@@ -307,7 +307,7 @@ impl Shared {
             entry.placement.resize(new_n, 0);
             if loses_gpus {
                 entry.placement.iter_mut().for_each(|g| *g = 0);
-                entry.lifecycle.preempt();
+                entry.lifecycle.preempt(now);
             }
         }
         true

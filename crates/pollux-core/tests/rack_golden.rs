@@ -123,7 +123,17 @@ fn single_rack_topology_is_byte_identical_to_flat() {
 /// exactly once for the package. Flat and single-rack runs never
 /// enter the racked path, so GOLDEN_CHURN/GOLDEN_QUIET and the
 /// single-rack ≡ flat byte-identity above are unaffected.
-const GOLDEN_FOUR_RACK: u64 = 0xa323_945d_078a_0207;
+///
+/// Re-pinned a second time (from `0xa323_945d_078a_0207`) for the
+/// job-major chunk/report-round restructure, which landed with the
+/// flat digests verified but left this constant stale: the two-phase
+/// report round snapshots every refit trigger before any commit, so
+/// a refit can shift by one report round relative to the interleaved
+/// order, perturbing the racked quiet-rack detection (exact subproblem
+/// equality) and with it the racked RNG stream. The flat macro_step
+/// digests were unaffected and still pass against their original
+/// constants.
+const GOLDEN_FOUR_RACK: u64 = 0xe724_718b_11a3_8cdb;
 
 #[test]
 fn golden_trajectory_four_racks() {

@@ -19,11 +19,14 @@
 //!   to `<path>.<policy>.json`.
 //! - `POLLUX_TRACE_OUT=<path>` — save the generated workload trace as
 //!   JSON (reusable input for custom drivers).
+//! - `POLLUX_CHROME_TRACE=<path>` — after all runs, export the
+//!   telemetry capture as a Chrome trace (requires
+//!   `POLLUX_TELEMETRY_OUT`); open it in <https://ui.perfetto.dev>.
 
 use pollux_baselines::{Optimus, Tiresias, TiresiasConfig};
 use pollux_cluster::ClusterSpec;
 use pollux_core::{run_trace_recorded, ConfigChoice, PolluxConfig, PolluxPolicy};
-use pollux_experiments::common::capture_recorder;
+use pollux_experiments::common::{capture_recorder, dump_timeline_artifacts};
 use pollux_sched::GaConfig;
 use pollux_simulator::{SchedulingPolicy, SimConfig};
 use pollux_workload::{TraceConfig, TraceGenerator};
@@ -137,4 +140,5 @@ fn main() {
             seed,
         );
     }
+    dump_timeline_artifacts();
 }

@@ -3,17 +3,30 @@
 //! ```sh
 //! POLLUX_TELEMETRY_OUT=/tmp/cap.jsonl pollux-sim pollux 1
 //! telemetry-report /tmp/cap.jsonl
+//! telemetry-report /tmp/cap.jsonl --chrome-trace /tmp/trace.json
+//! telemetry-report /tmp/cap.jsonl --prefix sched/ --kind span
 //! ```
 //!
 //! Prints a wall-clock span breakdown per subsystem, cumulative
-//! counter totals, histogram percentiles, and a digest of each
-//! time-series (e.g. the per-interval cluster goodput samples).
-//! Counters and histograms are cumulative snapshots re-emitted at
-//! every flush, so the report keeps the *latest* snapshot per name;
-//! spans and points are summed/collected over the whole file.
+//! counter totals, histogram percentiles, a digest of each
+//! time-series (e.g. the per-interval cluster goodput samples), the
+//! simulation-time timeline summary, and the scheduling-round decision
+//! audit. Counters and histograms are cumulative snapshots re-emitted
+//! at every flush, so the report keeps the *latest* snapshot per name;
+//! spans, points, and timeline events are summed/collected over the
+//! whole file.
+//!
+//! Flags:
+//! - `--chrome-trace <out.json>`: also export the capture as a Chrome
+//!   trace (open in Perfetto / `chrome://tracing`). The export always
+//!   uses the full capture, unaffected by the filters below.
+//! - `--prefix <p>`: only report `subsystem/name` entries starting
+//!   with `p`.
+//! - `--kind <span|count|hist|point|timeline|round>`: only report one
+//!   event kind (repeatable).
 
 use pollux_experiments::common::render_table;
-use pollux_telemetry::{Event, HistogramSnapshot};
+use pollux_telemetry::{chrome, Event, HistogramSnapshot, RoundExplain};
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader};
 
@@ -33,22 +46,79 @@ struct PointAgg {
     last_fields: Vec<(String, f64)>,
 }
 
+#[derive(Default)]
+struct TimelineAgg {
+    count: u64,
+    first_time: f64,
+    last_time: f64,
+    jobs: std::collections::BTreeSet<u64>,
+}
+
 fn ms(ns: u64) -> String {
     format!("{:.2}", ns as f64 / 1e6)
 }
 
-fn main() {
-    let path = match std::env::args().nth(1) {
-        Some(p) => p,
-        None => {
-            eprintln!("usage: telemetry-report <capture.jsonl>");
-            std::process::exit(2);
+fn event_kind(e: &Event) -> &'static str {
+    match e {
+        Event::Span { .. } => "span",
+        Event::Count { .. } => "count",
+        Event::Hist { .. } => "hist",
+        Event::Point { .. } => "point",
+        Event::Timeline { .. } => "timeline",
+        Event::Round(_) => "round",
+    }
+}
+
+struct Options {
+    path: String,
+    chrome_out: Option<String>,
+    prefix: Option<String>,
+    kinds: Vec<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: telemetry-report <capture.jsonl> [--chrome-trace <out.json>] \
+         [--prefix <p>] [--kind <span|count|hist|point|timeline|round>]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut args = std::env::args().skip(1);
+    let mut path = None;
+    let mut chrome_out = None;
+    let mut prefix = None;
+    let mut kinds = Vec::new();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--chrome-trace" => chrome_out = Some(args.next().unwrap_or_else(|| usage())),
+            "--prefix" => prefix = Some(args.next().unwrap_or_else(|| usage())),
+            "--kind" => {
+                let k = args.next().unwrap_or_else(|| usage());
+                if !["span", "count", "hist", "point", "timeline", "round"].contains(&k.as_str()) {
+                    usage();
+                }
+                kinds.push(k);
+            }
+            _ if path.is_none() && !a.starts_with("--") => path = Some(a),
+            _ => usage(),
         }
-    };
-    let file = match std::fs::File::open(&path) {
+    }
+    Options {
+        path: path.unwrap_or_else(|| usage()),
+        chrome_out,
+        prefix,
+        kinds,
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    let file = match std::fs::File::open(&opts.path) {
         Ok(f) => f,
         Err(e) => {
-            eprintln!("cannot open {path}: {e}");
+            eprintln!("cannot open {}: {e}", opts.path);
             std::process::exit(1);
         }
     };
@@ -57,8 +127,12 @@ fn main() {
     let mut counters: BTreeMap<(String, String), u64> = BTreeMap::new();
     let mut hists: BTreeMap<(String, String), HistogramSnapshot> = BTreeMap::new();
     let mut points: BTreeMap<(String, String), PointAgg> = BTreeMap::new();
+    let mut timeline: BTreeMap<(String, String), TimelineAgg> = BTreeMap::new();
+    let mut rounds: Vec<RoundExplain> = Vec::new();
+    let mut all_events: Vec<Event> = Vec::new();
     let mut lines = 0u64;
     let mut skipped = 0u64;
+    let mut filtered = 0u64;
 
     for line in BufReader::new(file).lines() {
         let line = match line {
@@ -76,6 +150,21 @@ fn main() {
             skipped += 1;
             continue;
         };
+        if opts.chrome_out.is_some() {
+            // The trace wants the unfiltered capture.
+            all_events.push(event.clone());
+        }
+        let ident = format!("{}/{}", event.subsystem(), event.name());
+        if let Some(p) = &opts.prefix {
+            if !ident.starts_with(p.as_str()) {
+                filtered += 1;
+                continue;
+            }
+        }
+        if !opts.kinds.is_empty() && !opts.kinds.iter().any(|k| k == event_kind(&event)) {
+            filtered += 1;
+            continue;
+        }
         let key = (event.subsystem().to_string(), event.name().to_string());
         match event {
             Event::Span { dur_ns, .. } => {
@@ -102,10 +191,37 @@ fn main() {
                     .map(|(k, v)| (k.into_owned(), v))
                     .collect();
             }
+            Event::Timeline { time, job, .. } => {
+                let agg = timeline.entry(key).or_default();
+                if agg.count == 0 {
+                    agg.first_time = time;
+                }
+                agg.count += 1;
+                agg.last_time = time;
+                agg.jobs.insert(job);
+            }
+            Event::Round(explain) => rounds.push(explain),
         }
     }
 
-    println!("capture: {path} ({lines} events, {skipped} unparseable)\n");
+    print!(
+        "capture: {} ({lines} events, {skipped} unparseable",
+        opts.path
+    );
+    if filtered > 0 {
+        print!(", {filtered} filtered out");
+    }
+    println!(")\n");
+
+    // A lossy capture can silently understate everything below: shout.
+    if let Some(&dropped) = counters.get(&("telemetry".into(), "dropped_events".into())) {
+        if dropped > 0 {
+            eprintln!(
+                "WARNING: the sink dropped {dropped} events (capacity overflow); \
+                 totals and timelines below are incomplete.\n"
+            );
+        }
+    }
 
     if !spans.is_empty() {
         let total: u64 = spans.values().map(|a| a.total_ns).sum();
@@ -156,7 +272,7 @@ fn main() {
                     format!("{sub}/{name}"),
                     s.count.to_string(),
                     pct(s, 50.0),
-                    pct(s, 90.0),
+                    pct(s, 95.0),
                     pct(s, 99.0),
                 ]
             })
@@ -164,7 +280,7 @@ fn main() {
         println!("histograms (log₂ buckets; percentiles are bucket midpoints):");
         print!(
             "{}",
-            render_table(&["histogram", "count", "p50", "p90", "p99"], &rows)
+            render_table(&["histogram", "count", "p50", "p95", "p99"], &rows)
         );
         println!();
     }
@@ -191,6 +307,91 @@ fn main() {
         print!(
             "{}",
             render_table(&["series", "points", "time range (s)", "last point"], &rows)
+        );
+        println!();
+    }
+
+    if !timeline.is_empty() {
+        let rows: Vec<Vec<String>> = timeline
+            .iter()
+            .map(|((sub, name), a)| {
+                vec![
+                    format!("{sub}/{name}"),
+                    a.count.to_string(),
+                    a.jobs.len().to_string(),
+                    format!("{:.0}..{:.0}", a.first_time, a.last_time),
+                ]
+            })
+            .collect();
+        println!("timeline (simulation time):");
+        print!(
+            "{}",
+            render_table(&["event", "count", "jobs", "time range (s)"], &rows)
+        );
+        println!();
+    }
+
+    if !rounds.is_empty() {
+        const SHOW: usize = 20;
+        let skipped_rounds = rounds.len().saturating_sub(SHOW);
+        let rows: Vec<Vec<String>> = rounds
+            .iter()
+            .skip(skipped_rounds)
+            .map(|r| {
+                let moved = r.jobs.iter().filter(|j| j.restart_penalty > 0.0).count();
+                let rack_moves = r
+                    .jobs
+                    .iter()
+                    .filter(|j| j.rack_before >= 0 && j.rack_before != j.rack_after)
+                    .count();
+                let interfering = r.jobs.iter().filter(|j| !j.co_residents.is_empty()).count();
+                vec![
+                    format!("{:.0}", r.time),
+                    r.jobs.len().to_string(),
+                    format!("{:.3}", r.fitness_before),
+                    format!("{:.3}", r.fitness),
+                    format!("{:+.3}", r.fitness - r.fitness_before),
+                    if r.racked { "yes" } else { "no" }.to_string(),
+                    moved.to_string(),
+                    rack_moves.to_string(),
+                    interfering.to_string(),
+                ]
+            })
+            .collect();
+        println!("scheduling-round audit ({} rounds total):", rounds.len());
+        if skipped_rounds > 0 {
+            println!("  (showing the last {SHOW}; {skipped_rounds} earlier rounds elided)");
+        }
+        print!(
+            "{}",
+            render_table(
+                &[
+                    "time (s)",
+                    "jobs",
+                    "fitness before",
+                    "fitness",
+                    "delta",
+                    "racked",
+                    "restarts charged",
+                    "rack moves",
+                    "co-resident jobs",
+                ],
+                &rows,
+            )
+        );
+        println!();
+    }
+
+    if let Some(out) = &opts.chrome_out {
+        let (trace, stats) = chrome::export_with_stats(&all_events);
+        if let Err(e) = std::fs::write(out, &trace) {
+            eprintln!("cannot write {out}: {e}");
+            std::process::exit(1);
+        }
+        println!(
+            "chrome trace: {out} ({} slices, {} counter samples, {} instants) — \
+             open in https://ui.perfetto.dev or chrome://tracing",
+            stats.slices, stats.counters, stats.instants
         );
     }
 }

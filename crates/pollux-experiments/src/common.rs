@@ -4,7 +4,7 @@
 use pollux_cluster::ClusterSpec;
 use pollux_sched::GaConfig;
 use pollux_simulator::SimConfig;
-use pollux_telemetry::{JsonlSink, Recorder};
+use pollux_telemetry::{chrome, Event, JsonlSink, Recorder};
 use pollux_workload::{JobSpec, TraceConfig, TraceGenerator};
 use std::sync::{Arc, OnceLock};
 
@@ -65,6 +65,46 @@ pub fn capture_recorder() -> Recorder {
             None => Recorder::disabled(),
         })
         .clone()
+}
+
+/// Dumps end-of-run timeline artifacts from the process capture.
+///
+/// When `POLLUX_CHROME_TRACE` names an output file, the JSONL capture
+/// written via [`capture_recorder`] (so `POLLUX_TELEMETRY_OUT` must
+/// also be set) is flushed, re-read, and exported as a Chrome trace —
+/// per-node placement slices, goodput/queue counter tracks, restart
+/// instants — loadable in Perfetto or `chrome://tracing`. Call this
+/// once, after every simulation in the process has finished; it is a
+/// no-op when the variable is unset.
+pub fn dump_timeline_artifacts() {
+    let Some(out) = std::env::var_os("POLLUX_CHROME_TRACE") else {
+        return;
+    };
+    let Some(capture) = std::env::var_os("POLLUX_TELEMETRY_OUT") else {
+        eprintln!("POLLUX_CHROME_TRACE is set but POLLUX_TELEMETRY_OUT is not; nothing captured");
+        return;
+    };
+    capture_recorder().flush();
+    let text = match std::fs::read_to_string(&capture) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read capture {capture:?}: {e}");
+            return;
+        }
+    };
+    let events: Vec<Event> = text
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .filter_map(Event::parse_jsonl)
+        .collect();
+    let (trace, stats) = chrome::export_with_stats(&events);
+    match std::fs::write(&out, &trace) {
+        Ok(()) => eprintln!(
+            "chrome trace: {out:?} ({} slices, {} counter samples, {} instants)",
+            stats.slices, stats.counters, stats.instants
+        ),
+        Err(e) => eprintln!("cannot write chrome trace {out:?}: {e}"),
+    }
 }
 
 /// Mean of a slice (None when empty).

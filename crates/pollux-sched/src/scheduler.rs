@@ -6,13 +6,15 @@
 //! the scheduler reconciles the saved population with job arrivals and
 //! completions, evolves it, and returns the best allocation matrix.
 
+use crate::fitness::FitnessConfig;
 use crate::ga::{GaConfig, GaOutcome, GaRunStats, GeneticAlgorithm};
 use crate::par::parallel_map;
 use crate::rackga;
-use crate::speedup::{SchedJob, SpeedupTable, SpeedupTableStats};
+use crate::speedup::{pure_speedup, SchedJob, SpeedupTable, SpeedupTableStats};
 use crate::weights::WeightConfig;
 use pollux_cluster::{AllocationMatrix, ClusterSpec, JobId, NodeId, NodeSpec, Topology};
-use pollux_telemetry::Recorder;
+use pollux_models::PlacementShape;
+use pollux_telemetry::{JobExplain, Recorder, RoundExplain};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -71,6 +73,9 @@ pub struct PolluxSched {
     last_interval: Option<SchedIntervalStats>,
     cumulative_speedup: SpeedupTableStats,
     recorder: Recorder,
+    /// The decision audit of the most recent interval, built only
+    /// while a recorder is attached (see [`Self::take_round_explain`]).
+    last_explain: Option<RoundExplain>,
     /// Rack layout for the two-phase (rack, then GPU) search. `None`
     /// or a single rack → the flat search, bit for bit.
     topology: Option<Topology>,
@@ -129,6 +134,7 @@ impl PolluxSched {
             last_interval: None,
             cumulative_speedup: SpeedupTableStats::default(),
             recorder: Recorder::disabled(),
+            last_explain: None,
             topology: None,
             prev_table: None,
             rack_carry: Vec::new(),
@@ -244,6 +250,18 @@ impl PolluxSched {
         rec.incr("sched", "table_misses", speedup.misses);
         rec.incr("sched", "table_solves", speedup.solves);
         rec.incr("sched", "table_rows_reused", speedup.rows_reused);
+        self.last_explain = self.recorder.is_enabled().then(|| {
+            // Flat path: no rack phase ran, so both rack columns carry
+            // the −1 sentinel.
+            build_explain(
+                &self.config.ga.fitness,
+                jobs,
+                &outcome.best,
+                outcome.best_fitness,
+                false,
+                |_, _| (-1, -1),
+            )
+        });
         self.saved_population = outcome.population.clone();
         self.saved_job_ids = jobs.iter().map(|j| j.id).collect();
         // Each path owns its own carry-over; switching paths starts
@@ -516,6 +534,21 @@ impl PolluxSched {
         rec.incr("sched", "table_rows_reused", speedup.rows_reused);
         rec.incr("sched", "racks_evolved", active.len() as u64);
         rec.incr("sched", "racks_reused", racks_reused);
+        self.last_explain = self.recorder.is_enabled().then(|| {
+            // `assign_carry` still holds the previous interval's rack
+            // assignment here; the new one lands below.
+            build_explain(
+                &self.config.ga.fitness,
+                jobs,
+                &best,
+                best_fitness,
+                true,
+                |j, job| {
+                    let before = self.assign_carry.get(&job.id).map_or(-1, |&r| r as i64);
+                    (before, assignment[j] as i64)
+                },
+            )
+        });
         self.saved_population = Vec::new();
         self.saved_job_ids = jobs.iter().map(|j| j.id).collect();
         self.prev_table = None;
@@ -540,6 +573,17 @@ impl PolluxSched {
         self.last_interval.take()
     }
 
+    /// Drains the decision audit of the most recent
+    /// [`Self::optimize`] call. Built only while an *enabled* recorder
+    /// is attached ([`Self::set_recorder`]) so the audit costs nothing
+    /// otherwise; the construction itself draws no RNG and touches no
+    /// cached state, so schedules are bit-identical either way. The
+    /// caller (the round pipeline) stamps `time` and `co_residents`
+    /// before emitting the record.
+    pub fn take_round_explain(&mut self) -> Option<RoundExplain> {
+        self.last_explain.take()
+    }
+
     /// Cumulative speedup-table counters across every interval since
     /// construction — the backing value of the
     /// `pollux.sched.speedup.stats` service key.
@@ -560,6 +604,80 @@ impl PolluxSched {
         rng: &mut R,
     ) -> AllocationMatrix {
         self.optimize(jobs, spec, rng).best
+    }
+}
+
+/// The SPEEDUP a placement row would deliver, computed counter-free
+/// ([`pure_speedup`]) so audit construction never perturbs the
+/// golden-digested table/cache hit statistics. Unallocated and
+/// infeasible rows score 0, mirroring [`crate::fitness::contribution`].
+fn row_speedup(job: &SchedJob, row: &[u32]) -> f64 {
+    let gpus: u32 = row.iter().sum();
+    let nodes = row.iter().filter(|&&g| g > 0).count() as u32;
+    match PlacementShape::new(gpus, nodes) {
+        Some(shape) => pure_speedup(job, shape),
+        None => 0.0,
+    }
+}
+
+/// Assembles the per-round decision audit: for every job, the SPEEDUP
+/// of its currently applied placement vs. the one just chosen, its
+/// fairness weight, the restart penalty the fitness function charged
+/// (running jobs whose row changed — the same condition as
+/// [`crate::fitness::contribution`]), and the rack assignment diff
+/// supplied by `rack_of` (−1 = flat search / previously unassigned).
+/// `fitness_before` is the weighted mean SPEEDUP of the *incumbent*
+/// placements — keeping them charges no penalty — so `fitness −
+/// fitness_before` is the value the round's moves bought. `time` and
+/// `co_residents` are left for the driver, which knows the clock and
+/// the node occupancies.
+fn build_explain<F: Fn(usize, &SchedJob) -> (i64, i64)>(
+    fitness_config: &FitnessConfig,
+    jobs: &[SchedJob],
+    best: &AllocationMatrix,
+    best_fitness: f64,
+    racked: bool,
+    rack_of: F,
+) -> RoundExplain {
+    let mut weight_total = 0.0;
+    let mut before_weighted = 0.0;
+    let mut rows = Vec::with_capacity(jobs.len());
+    for (j, job) in jobs.iter().enumerate() {
+        let new_row = best.row(j);
+        let speedup_before = row_speedup(job, &job.current_placement);
+        let speedup_after = row_speedup(job, new_row);
+        let moved = job.is_running() && new_row != job.current_placement.as_slice();
+        let (rack_before, rack_after) = rack_of(j, job);
+        weight_total += job.weight;
+        before_weighted += job.weight * speedup_before;
+        rows.push(JobExplain {
+            job: job.id.0 as u64,
+            weight: job.weight,
+            speedup_before,
+            speedup_after,
+            restart_penalty: if moved {
+                fitness_config.restart_penalty
+            } else {
+                0.0
+            },
+            rack_before,
+            rack_after,
+            gpus_before: job.current_placement.iter().sum(),
+            gpus_after: new_row.iter().sum(),
+            co_residents: Vec::new(),
+        });
+    }
+    let fitness_before = if weight_total > 0.0 {
+        before_weighted / weight_total
+    } else {
+        0.0
+    };
+    RoundExplain {
+        time: 0.0,
+        fitness: best_fitness,
+        fitness_before,
+        racked,
+        jobs: rows,
     }
 }
 
@@ -744,6 +862,68 @@ mod tests {
         let after = s.speedup_stats();
         assert!(after.hits > before.hits);
         assert!(after.solves > before.solves);
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn round_explain_audits_flat_and_racked_intervals() {
+        use pollux_telemetry::MemorySink;
+        use std::sync::Arc;
+
+        let spec = ClusterSpec::homogeneous(4, 4).unwrap();
+        let jobs: Vec<SchedJob> = (0..3).map(job).collect();
+        let mut s = sched();
+        let mut rng = StdRng::seed_from_u64(7);
+
+        // No recorder → no audit is built.
+        let first = s.schedule(&jobs, &spec, &mut rng);
+        assert!(s.take_round_explain().is_none());
+
+        s.set_recorder(Recorder::new(Arc::new(MemorySink::new(64))));
+        let mut jobs2 = jobs.clone();
+        for (j, job) in jobs2.iter_mut().enumerate() {
+            job.current_placement = first.row(j).to_vec();
+        }
+        let second = s.schedule(&jobs2, &spec, &mut rng);
+        let explain = s.take_round_explain().expect("audit built when recording");
+        assert!(!explain.racked);
+        assert_eq!(explain.jobs.len(), jobs2.len());
+        assert!(s.take_round_explain().is_none(), "audit drains once");
+        for (j, je) in explain.jobs.iter().enumerate() {
+            assert_eq!(je.job, u64::from(jobs2[j].id.0));
+            assert_eq!(je.weight, 1.0);
+            assert_eq!(je.rack_before, -1, "flat path has no racks");
+            assert_eq!(je.rack_after, -1);
+            assert_eq!(
+                je.gpus_before,
+                jobs2[j].current_placement.iter().sum::<u32>()
+            );
+            assert_eq!(je.gpus_after, second.row(j).iter().sum::<u32>());
+            assert!(je.speedup_before > 0.0, "incumbents were allocated");
+            let moved = second.row(j) != jobs2[j].current_placement.as_slice();
+            assert_eq!(je.restart_penalty, if moved { 0.25 } else { 0.0 });
+            assert_eq!(je.co_residents, Vec::<u64>::new(), "driver fills these");
+        }
+        assert_eq!(explain.time, 0.0, "driver stamps the clock");
+        assert!(explain.fitness_before > 0.0);
+
+        // Racked path: rack columns carry the phase-1 assignment.
+        s.set_topology(Some(Topology::grouped(4, 2).unwrap()));
+        s.schedule(&jobs2, &spec, &mut rng);
+        let racked = s.take_round_explain().expect("racked audit");
+        assert!(racked.racked);
+        for je in &racked.jobs {
+            assert_eq!(je.rack_before, -1, "first racked interval has no carry");
+            assert!((0..2).contains(&je.rack_after), "assigned to a real rack");
+        }
+        s.schedule(&jobs2, &spec, &mut rng);
+        let again = s.take_round_explain().expect("second racked audit");
+        for (prev, cur) in racked.jobs.iter().zip(&again.jobs) {
+            assert_eq!(
+                cur.rack_before, prev.rack_after,
+                "rack_before is last interval's assignment"
+            );
+        }
     }
 
     #[test]

@@ -102,6 +102,23 @@ impl SchedJob {
     }
 }
 
+/// Counter-free `SPEEDUP_j` evaluation: the same feasibility gates and
+/// canonicalization as [`SpeedupCache::speedup`] / [`SpeedupTable`],
+/// but computed directly from the goodput model with **no** hit/miss
+/// accounting. The table and cache counters flow into the
+/// golden-digested `SchedIntervalSample`, so observational consumers —
+/// the per-round decision audit (`RoundExplain`) above all — must use
+/// this instead of the counted lookups to keep digests byte-identical
+/// with telemetry on and off.
+pub fn pure_speedup(job: &SchedJob, shape: PlacementShape) -> f64 {
+    if shape.gpus < job.min_gpus || shape.gpus > job.gpu_cap {
+        return 0.0;
+    }
+    let shape = PlacementShape::new(shape.gpus, shape.nodes.min(2))
+        .expect("nodes >= 1 preserved by canonicalization");
+    job.model.speedup(shape)
+}
+
 /// One shard of the memo table: shape-level speedups plus the per-job
 /// reference goodput (the Eqn 15 denominator) for the jobs hashed to
 /// this shard.
@@ -656,6 +673,35 @@ mod tests {
         // (8,2) and (8,4)-style aliases collapse; here every shape is
         // already canonical, so the table holds jobs × shapes entries.
         assert_eq!(cache.len(), queries_per_thread);
+    }
+
+    #[test]
+    fn pure_speedup_matches_counted_lookups_without_counting() {
+        let mut j = job(1, 16);
+        j.min_gpus = 2;
+        let spec = ClusterSpec::homogeneous(4, 4).unwrap();
+        let table = SpeedupTable::build(std::slice::from_ref(&j), &spec, 1);
+        let before = table.stats();
+        for gpus in 1u32..=16 {
+            for nodes in 1u32..=4.min(gpus) {
+                let shape = PlacementShape::new(gpus, nodes).unwrap();
+                assert_eq!(
+                    pure_speedup(&j, shape).to_bits(),
+                    table.speedup(0, shape).to_bits(),
+                    "shape ({gpus},{nodes})"
+                );
+            }
+        }
+        // The table counted the comparison lookups; pure_speedup itself
+        // must have added nothing beyond them.
+        let after = table.stats();
+        assert_eq!(after.hits + after.misses - before.hits - before.misses, {
+            let mut n = 0;
+            for gpus in 1u32..=16 {
+                n += 4.min(gpus) as u64;
+            }
+            n
+        });
     }
 
     #[test]

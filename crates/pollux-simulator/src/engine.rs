@@ -547,6 +547,17 @@ impl<P: SchedulingPolicy> Simulation<P> {
         self.telem = EngineTelemetry::new(&recorder);
         self.policy.attach_telemetry(recorder.clone());
         self.planner.attach_telemetry(recorder.clone());
+        // Topology metadata for trace consumers (the Chrome exporter
+        // groups node tracks by rack from this point).
+        recorder.point(
+            "engine",
+            "topology",
+            0.0,
+            &[
+                ("num_nodes", self.spec.num_nodes() as f64),
+                ("nodes_per_rack", f64::from(self.config.nodes_per_rack)),
+            ],
+        );
         self.recorder = recorder;
         self
     }
@@ -1161,8 +1172,23 @@ impl<P: SchedulingPolicy> Simulation<P> {
                 let (spec, user) = self.arrivals.pop().expect("checked non-empty");
                 self.active.push(self.jobs.len());
                 self.interference.push_job(); // Spawns with no placement.
-                self.jobs
-                    .push(SimJob::new(spec, user, self.spec.num_nodes()));
+                let mut job = SimJob::new(spec, user, self.spec.num_nodes());
+                if self.recorder.is_enabled() {
+                    // The job's lifecycle emits its own transitions
+                    // from here on; the arrival instant carries the
+                    // submit time, not the macro-step boundary.
+                    let id = u64::from(job.spec.id.0);
+                    job.lifecycle.attach_telemetry(id, self.recorder.clone());
+                    self.recorder.timeline(
+                        "lifecycle",
+                        "arrival",
+                        job.spec.submit_time,
+                        id,
+                        &[],
+                        &[],
+                    );
+                }
+                self.jobs.push(job);
             } else {
                 break;
             }
@@ -1326,6 +1352,31 @@ impl<P: SchedulingPolicy> Simulation<P> {
             let i = self.active[r.row];
             self.apply_reallocation(i, r, now);
         }
+        // Round decision audit: the policy builds it only while a
+        // recorder is attached; the engine owns the clock and the
+        // post-round node occupancies, so it stamps both here. The
+        // audit is observational — nothing below feeds back into
+        // scheduling or the digested SimResult.
+        if self.recorder.is_enabled() {
+            if let Some(mut explain) = self.policy.take_round_explain() {
+                explain.time = now;
+                for (k, je) in explain.jobs.iter_mut().enumerate() {
+                    let i = self.active[k];
+                    debug_assert_eq!(
+                        je.job,
+                        u64::from(self.jobs[i].spec.id.0),
+                        "explain rows follow view order"
+                    );
+                    je.co_residents = self
+                        .interference
+                        .co_residents(i)
+                        .into_iter()
+                        .map(|idx| u64::from(self.jobs[idx as usize].spec.id.0))
+                        .collect();
+                }
+                self.recorder.round_explain(explain);
+            }
+        }
     }
 
     /// Applies one planned reallocation: the placement row itself, the
@@ -1362,7 +1413,7 @@ impl<P: SchedulingPolicy> Simulation<P> {
         } else {
             // Preempted: progress is checkpointed, the job waits. The
             // planner only emits zero-GPU decisions for placed jobs.
-            job.lifecycle.preempt();
+            job.lifecycle.preempt(now);
             event_kind = EventKind::Preempted;
             event_gpus = 0;
         }
@@ -1376,7 +1427,7 @@ impl<P: SchedulingPolicy> Simulation<P> {
 
     /// Resizes the cluster to `nodes` homogeneous nodes, preempting
     /// jobs that held GPUs on removed nodes.
-    fn resize_cluster(&mut self, nodes: u32, _now: f64) {
+    fn resize_cluster(&mut self, nodes: u32, now: f64) {
         let old_n = self.spec.num_nodes();
         let new_n = nodes as usize;
         if new_n == old_n {
@@ -1396,7 +1447,7 @@ impl<P: SchedulingPolicy> Simulation<P> {
                 // The whole job is preempted (partial placements would
                 // change its world silently).
                 job.placement.iter_mut().for_each(|g| *g = 0);
-                job.lifecycle.preempt();
+                job.lifecycle.preempt(now);
             }
         }
         // Placements were edited wholesale, bypassing the index's

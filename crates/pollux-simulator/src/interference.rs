@@ -142,6 +142,23 @@ impl InterferenceIndex {
         }
     }
 
+    /// The jobs sharing at least one node with job `j`, ascending and
+    /// deduplicated. O(occupancy of j's nodes); used by the round
+    /// audit to report interference co-residents, never by the
+    /// scheduling hot path.
+    pub fn co_residents(&self, j: usize) -> Vec<u32> {
+        let j = j as u32;
+        let mut out: Vec<u32> = self
+            .occupants
+            .iter()
+            .filter(|occ| occ.binary_search(&j).is_ok())
+            .flat_map(|occ| occ.iter().copied().filter(|&o| o != j))
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
     fn insert(&mut self, n: usize, j: usize) {
         let occ = &mut self.occupants[n];
         let j = j as u32;
@@ -211,6 +228,20 @@ mod tests {
         assert_eq!(ix.nodes_held(0), 2);
         ix.apply(0, &[1, 1], &[2]);
         assert_eq!(ix.nodes_held(0), 1);
+    }
+
+    #[test]
+    fn co_residents_lists_node_sharers_once() {
+        let mut ix = InterferenceIndex::new(3);
+        for _ in 0..3 {
+            ix.push_job();
+        }
+        ix.apply(0, &[0, 0, 0], &[1, 1, 0]);
+        ix.apply(1, &[0, 0, 0], &[2, 2, 0]); // shares nodes 0 AND 1 with job 0
+        ix.apply(2, &[0, 0, 0], &[0, 0, 4]); // alone on node 2
+        assert_eq!(ix.co_residents(0), vec![1]);
+        assert_eq!(ix.co_residents(1), vec![0]);
+        assert_eq!(ix.co_residents(2), Vec::<u32>::new());
     }
 
     #[test]

@@ -60,6 +60,96 @@ pub enum Event {
         /// Named values, in emission order.
         fields: Vec<(Cow<'static, str>, f64)>,
     },
+    /// A placement-timeline event: a job lifecycle transition
+    /// (`"arrival"`, `"start"`, `"restart"`, `"wake"`, `"preempt"`,
+    /// `"finish"` — `old`/`new` empty) or a placement diff
+    /// (`"placement"` — `old`/`new` are cluster-width GPUs-per-node
+    /// rows). Timestamps are simulation seconds; wall clock never
+    /// enters this variant.
+    Timeline {
+        /// Subsystem emitting the event (`"lifecycle"` or `"round"`).
+        subsystem: Cow<'static, str>,
+        /// Event kind (doubles as the event name).
+        name: Cow<'static, str>,
+        /// Simulation time of the transition (seconds).
+        time: f64,
+        /// Job identifier (`JobId.0` widened).
+        job: u64,
+        /// Previous GPUs-per-node row (empty for instants).
+        old: Vec<u32>,
+        /// New GPUs-per-node row (empty for instants).
+        new: Vec<u32>,
+    },
+    /// One scheduling round's decision audit (see [`RoundExplain`]).
+    /// Fixed `("sched", "round_explain")` identity.
+    Round(RoundExplain),
+}
+
+/// Why one scheduling round decided what it did: the fitness the
+/// optimizer achieved, the fitness of leaving every job where it was,
+/// and a per-job breakdown ([`JobExplain`]). Serialized through
+/// [`Event::Round`]; all quantities are derived from scheduler state
+/// without touching its RNG or cached counters, so emitting (or not
+/// emitting) a `RoundExplain` never perturbs the simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundExplain {
+    /// Simulation time of the round (seconds).
+    pub time: f64,
+    /// Weighted-average SPEEDUP fitness of the chosen allocation
+    /// (restart penalties included).
+    pub fitness: f64,
+    /// Fitness of the status-quo allocation (no penalties — nothing
+    /// would move), for the round's fitness delta.
+    pub fitness_before: f64,
+    /// Whether the rack-decomposed GA path produced this round.
+    pub racked: bool,
+    /// Per-job decisions, in scheduler row order.
+    pub jobs: Vec<JobExplain>,
+}
+
+/// One job's slice of a [`RoundExplain`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobExplain {
+    /// Job identifier (`JobId.0` widened).
+    pub job: u64,
+    /// Fairness weight used by the fitness function.
+    pub weight: f64,
+    /// SPEEDUP of the job's placement entering the round.
+    pub speedup_before: f64,
+    /// SPEEDUP of the placement the round chose.
+    pub speedup_after: f64,
+    /// Restart penalty charged against this job in the chosen
+    /// allocation (0 when it did not move or had not started).
+    pub restart_penalty: f64,
+    /// Rack assigned in the previous racked round (-1 if none).
+    pub rack_before: i64,
+    /// Rack assigned this round (-1 for the flat path).
+    pub rack_after: i64,
+    /// GPUs held entering the round.
+    pub gpus_before: u32,
+    /// GPUs granted by the round.
+    pub gpus_after: u32,
+    /// Jobs sharing at least one node with this one after the round
+    /// (interference co-residents), ascending.
+    pub co_residents: Vec<u64>,
+}
+
+fn write_u32_arr(out: &mut String, vals: &[u32]) {
+    out.push('[');
+    for (i, v) in vals.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{v}"));
+    }
+    out.push(']');
+}
+
+fn parse_u32_arr(v: &JsonValue) -> Option<Vec<u32>> {
+    v.as_arr()?
+        .iter()
+        .map(|x| x.as_u64().map(|n| n.min(u32::MAX as u64) as u32))
+        .collect()
 }
 
 impl Event {
@@ -69,7 +159,9 @@ impl Event {
             Event::Span { subsystem, .. }
             | Event::Count { subsystem, .. }
             | Event::Hist { subsystem, .. }
-            | Event::Point { subsystem, .. } => subsystem,
+            | Event::Point { subsystem, .. }
+            | Event::Timeline { subsystem, .. } => subsystem,
+            Event::Round(_) => "sched",
         }
     }
 
@@ -79,7 +171,9 @@ impl Event {
             Event::Span { name, .. }
             | Event::Count { name, .. }
             | Event::Hist { name, .. }
-            | Event::Point { name, .. } => name,
+            | Event::Point { name, .. }
+            | Event::Timeline { name, .. } => name,
+            Event::Round(_) => "round_explain",
         }
     }
 
@@ -148,6 +242,63 @@ impl Event {
                 }
                 out.push_str("}}");
             }
+            Event::Timeline {
+                subsystem,
+                name,
+                time,
+                job,
+                old,
+                new,
+            } => {
+                header(&mut out, "timeline", subsystem, name);
+                out.push_str(",\"time\":");
+                json::write_f64(&mut out, *time);
+                out.push_str(&format!(",\"job\":{job},\"old\":"));
+                write_u32_arr(&mut out, old);
+                out.push_str(",\"new\":");
+                write_u32_arr(&mut out, new);
+                out.push('}');
+            }
+            Event::Round(ex) => {
+                header(&mut out, "round", "sched", "round_explain");
+                out.push_str(",\"time\":");
+                json::write_f64(&mut out, ex.time);
+                out.push_str(",\"fitness\":");
+                json::write_f64(&mut out, ex.fitness);
+                out.push_str(",\"fitness_before\":");
+                json::write_f64(&mut out, ex.fitness_before);
+                out.push_str(if ex.racked {
+                    ",\"racked\":true"
+                } else {
+                    ",\"racked\":false"
+                });
+                out.push_str(",\"jobs\":[");
+                for (i, j) in ex.jobs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!("{{\"job\":{},\"weight\":", j.job));
+                    json::write_f64(&mut out, j.weight);
+                    out.push_str(",\"su_before\":");
+                    json::write_f64(&mut out, j.speedup_before);
+                    out.push_str(",\"su_after\":");
+                    json::write_f64(&mut out, j.speedup_after);
+                    out.push_str(",\"penalty\":");
+                    json::write_f64(&mut out, j.restart_penalty);
+                    out.push_str(&format!(
+                        ",\"rack_before\":{},\"rack_after\":{},\"gpus_before\":{},\"gpus_after\":{},\"co\":[",
+                        j.rack_before, j.rack_after, j.gpus_before, j.gpus_after
+                    ));
+                    for (k, c) in j.co_residents.iter().enumerate() {
+                        if k > 0 {
+                            out.push(',');
+                        }
+                        out.push_str(&format!("{c}"));
+                    }
+                    out.push_str("]}");
+                }
+                out.push_str("]}");
+            }
         }
         out
     }
@@ -206,6 +357,42 @@ impl Event {
                     fields,
                 })
             }
+            "timeline" => Some(Event::Timeline {
+                subsystem: sub,
+                name,
+                time: v.get("time")?.as_f64().unwrap_or(0.0),
+                job: v.get("job")?.as_u64()?,
+                old: parse_u32_arr(v.get("old")?)?,
+                new: parse_u32_arr(v.get("new")?)?,
+            }),
+            "round" => {
+                let mut jobs = Vec::new();
+                for j in v.get("jobs")?.as_arr()? {
+                    let mut co = Vec::new();
+                    for c in j.get("co")?.as_arr()? {
+                        co.push(c.as_u64()?);
+                    }
+                    jobs.push(JobExplain {
+                        job: j.get("job")?.as_u64()?,
+                        weight: j.get("weight")?.as_f64()?,
+                        speedup_before: j.get("su_before")?.as_f64()?,
+                        speedup_after: j.get("su_after")?.as_f64()?,
+                        restart_penalty: j.get("penalty")?.as_f64()?,
+                        rack_before: j.get("rack_before")?.as_f64()? as i64,
+                        rack_after: j.get("rack_after")?.as_f64()? as i64,
+                        gpus_before: j.get("gpus_before")?.as_u64()?.min(u32::MAX as u64) as u32,
+                        gpus_after: j.get("gpus_after")?.as_u64()?.min(u32::MAX as u64) as u32,
+                        co_residents: co,
+                    });
+                }
+                Some(Event::Round(RoundExplain {
+                    time: v.get("time")?.as_f64().unwrap_or(0.0),
+                    fitness: v.get("fitness")?.as_f64().unwrap_or(0.0),
+                    fitness_before: v.get("fitness_before")?.as_f64().unwrap_or(0.0),
+                    racked: matches!(v.get("racked")?, JsonValue::Bool(true)),
+                    jobs,
+                }))
+            }
             _ => None,
         }
     }
@@ -243,6 +430,40 @@ mod tests {
                 time: 3600.0,
                 fields: vec![("goodput".into(), 120.5), ("used_gpus".into(), 14.0)],
             },
+            Event::Timeline {
+                subsystem: "round".into(),
+                name: "placement".into(),
+                time: 120.0,
+                job: 7,
+                old: vec![0, 0, 2, 0],
+                new: vec![4, 4, 0, 0],
+            },
+            Event::Timeline {
+                subsystem: "lifecycle".into(),
+                name: "finish".into(),
+                time: 9000.25,
+                job: 3,
+                old: vec![],
+                new: vec![],
+            },
+            Event::Round(RoundExplain {
+                time: 60.0,
+                fitness: 0.83,
+                fitness_before: 0.79,
+                racked: true,
+                jobs: vec![JobExplain {
+                    job: 7,
+                    weight: 1.0,
+                    speedup_before: 0.5,
+                    speedup_after: 0.75,
+                    restart_penalty: 0.25,
+                    rack_before: -1,
+                    rack_after: 2,
+                    gpus_before: 2,
+                    gpus_after: 8,
+                    co_residents: vec![3, 9],
+                }],
+            }),
         ];
         for e in events {
             let line = e.to_jsonl();

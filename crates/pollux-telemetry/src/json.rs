@@ -226,9 +226,32 @@ impl<'a> Parser<'a> {
                         let hex = self.bytes.get(self.pos..self.pos + 4)?;
                         self.pos += 4;
                         let code = u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
-                        // Surrogate pairs are not needed for telemetry
-                        // names; map unpaired surrogates to U+FFFD.
-                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        if (0xd800..0xdc00).contains(&code) {
+                            // High surrogate: recombine with the low
+                            // surrogate that must follow (standard
+                            // JSON encodes astral-plane characters as
+                            // \uD8xx\uDCxx pairs). A missing or
+                            // malformed partner degrades to U+FFFD
+                            // without consuming it.
+                            let lo = self
+                                .bytes
+                                .get(self.pos..self.pos + 6)
+                                .filter(|tail| tail.starts_with(b"\\u"))
+                                .and_then(|tail| std::str::from_utf8(&tail[2..]).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .filter(|lo| (0xdc00..0xe000).contains(lo));
+                            match lo {
+                                Some(lo) => {
+                                    self.pos += 6;
+                                    let scalar = 0x10000 + ((code - 0xd800) << 10) + (lo - 0xdc00);
+                                    out.push(char::from_u32(scalar).unwrap_or('\u{fffd}'));
+                                }
+                                None => out.push('\u{fffd}'),
+                            }
+                        } else {
+                            // Lone low surrogates map to U+FFFD.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
                     }
                     _ => return None,
                 },
@@ -304,6 +327,20 @@ mod tests {
         let mut out = String::new();
         write_f64(&mut out, f64::NAN);
         assert_eq!(out, "null");
+    }
+
+    #[test]
+    fn surrogate_pairs_recombine() {
+        // Serde-style writers escape astral-plane characters as
+        // surrogate pairs; our reader must accept them.
+        let v = parse("\"\\ud83d\\ude00\"").unwrap();
+        assert_eq!(v.as_str(), Some("\u{1f600}"));
+        // Lone surrogates (either half) degrade to U+FFFD.
+        assert_eq!(parse(r#""\ud83d""#).unwrap().as_str(), Some("\u{fffd}"));
+        assert_eq!(parse(r#""\ude00x""#).unwrap().as_str(), Some("\u{fffd}x"));
+        // A high surrogate followed by a non-surrogate escape keeps
+        // the follower intact.
+        assert_eq!(parse(r#""\ud83dA""#).unwrap().as_str(), Some("\u{fffd}A"));
     }
 
     #[test]

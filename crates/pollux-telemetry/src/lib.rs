@@ -46,13 +46,14 @@
 //! assert!(sink.len() >= 4);
 //! ```
 
+pub mod chrome;
 mod event;
 mod histogram;
 pub mod json;
 mod recorder;
 mod sink;
 
-pub use event::Event;
+pub use event::{Event, JobExplain, RoundExplain};
 pub use histogram::{Histogram, HistogramSnapshot, NUM_BUCKETS};
 pub use recorder::{Counter, HistogramHandle, Recorder, SpanGuard};
 pub use sink::{JsonlSink, MemorySink, NullSink, Sink};
@@ -116,6 +117,7 @@ mod tests {
                     assert_eq!(fields.len(), 2);
                     points += 1;
                 }
+                other => panic!("unexpected event {other:?}"),
             }
         }
         assert_eq!((spans, counts, hists, points), (1, 1, 1, 1));

@@ -12,7 +12,7 @@ use std::sync::Arc;
 #[cfg(feature = "telemetry")]
 mod enabled {
     use super::*;
-    use crate::event::Event;
+    use crate::event::{Event, RoundExplain};
     use crate::histogram::Histogram;
     use std::collections::BTreeMap;
     use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -194,6 +194,40 @@ mod enabled {
             }
         }
 
+        /// Emits one placement-timeline event (see
+        /// [`Event::Timeline`]). The placement slices are cloned only
+        /// when a sink is attached, so disabled recorders pay one
+        /// branch.
+        pub fn timeline(
+            &self,
+            subsystem: &'static str,
+            kind: &'static str,
+            time: f64,
+            job: u64,
+            old: &[u32],
+            new: &[u32],
+        ) {
+            if let Some(inner) = &self.inner {
+                inner.emit(Event::Timeline {
+                    subsystem: subsystem.into(),
+                    name: kind.into(),
+                    time,
+                    job,
+                    old: old.to_vec(),
+                    new: new.to_vec(),
+                });
+            }
+        }
+
+        /// Emits one scheduling-round audit record. Callers should
+        /// build the [`RoundExplain`] only when [`Self::is_enabled`]
+        /// to keep the disabled path free.
+        pub fn round_explain(&self, explain: RoundExplain) {
+            if let Some(inner) = &self.inner {
+                inner.emit(Event::Round(explain));
+            }
+        }
+
         /// Emits cumulative snapshots of every counter and histogram,
         /// then flushes the sink. Call at the end of a run; repeated
         /// flushes re-emit the (monotone) cumulative values, and
@@ -353,6 +387,21 @@ mod disabled {
             _fields: &[(&'static str, f64)],
         ) {
         }
+
+        /// No-op.
+        pub fn timeline(
+            &self,
+            _subsystem: &'static str,
+            _kind: &'static str,
+            _time: f64,
+            _job: u64,
+            _old: &[u32],
+            _new: &[u32],
+        ) {
+        }
+
+        /// Accepts and drops the record: telemetry is compiled out.
+        pub fn round_explain(&self, _explain: crate::event::RoundExplain) {}
 
         /// No-op.
         pub fn flush(&self) {}

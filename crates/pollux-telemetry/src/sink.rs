@@ -79,6 +79,25 @@ impl Sink for MemorySink {
         }
         q.push_back(event);
     }
+
+    /// If any events were evicted, appends a
+    /// `("telemetry", "dropped_events")` count so report tooling can
+    /// warn that the capture is incomplete. Pushed directly into the
+    /// queue — the drop marker itself never evicts (or counts as) a
+    /// dropped event.
+    fn flush(&self) {
+        let dropped = self.dropped.load(Ordering::Relaxed);
+        if dropped > 0 {
+            self.events
+                .lock()
+                .expect("sink lock")
+                .push_back(Event::Count {
+                    subsystem: "telemetry".into(),
+                    name: "dropped_events".into(),
+                    value: dropped,
+                });
+        }
+    }
 }
 
 /// Appends each event as one JSONL line to a file, buffered.
@@ -138,6 +157,29 @@ mod tests {
             .collect();
         assert_eq!(kept, vec![2, 3, 4]);
         assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn memory_sink_flush_surfaces_dropped_count() {
+        let sink = MemorySink::new(2);
+        for v in 0..5 {
+            sink.record(count(v));
+        }
+        sink.flush();
+        let events = sink.drain();
+        assert_eq!(
+            events.last(),
+            Some(&Event::Count {
+                subsystem: "telemetry".into(),
+                name: "dropped_events".into(),
+                value: 3,
+            })
+        );
+        // No drops → no marker.
+        let quiet = MemorySink::new(8);
+        quiet.record(count(0));
+        quiet.flush();
+        assert_eq!(quiet.len(), 1);
     }
 
     #[test]

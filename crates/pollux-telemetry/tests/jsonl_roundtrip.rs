@@ -1,0 +1,171 @@
+//! Property tests: every [`Event`] survives a `to_jsonl` →
+//! `parse_jsonl` round trip, including subsystem/name/field strings
+//! full of quotes, backslashes, control characters, and non-ASCII
+//! text (multi-byte UTF-8 and astral-plane characters).
+
+use pollux_telemetry::{Event, JobExplain, RoundExplain};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::borrow::Cow;
+
+/// Characters chosen to stress the hand-rolled JSON writer/reader:
+/// the two escape-introducers, every named escape, raw control
+/// characters, 2-, 3-, and 4-byte UTF-8 sequences, and plain ASCII.
+const PALETTE: &[char] = &[
+    'a',
+    'Z',
+    '0',
+    ' ',
+    '"',
+    '\\',
+    '/',
+    '\n',
+    '\t',
+    '\r',
+    '\u{8}',
+    '\u{c}',
+    '\u{1}',
+    '\u{1f}',
+    '\u{7f}',
+    'é',
+    'ß',
+    '→',
+    '☃',
+    '子',
+    '\u{fffd}',
+    '😀',
+    '🚀',
+    '\u{10fffd}',
+];
+
+fn nasty_string() -> impl Strategy<Value = String> {
+    vec(0usize..PALETTE.len(), 0..24).prop_map(|idx| idx.into_iter().map(|i| PALETTE[i]).collect())
+}
+
+fn round_trips(e: Event) {
+    let line = e.to_jsonl();
+    let back = Event::parse_jsonl(&line);
+    assert_eq!(back.as_ref(), Some(&e), "through {line}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn span_round_trips(
+        sub in nasty_string(),
+        name in nasty_string(),
+        start_ns in 0u64..(1 << 53),
+        dur_ns in 0u64..(1 << 53),
+    ) {
+        round_trips(Event::Span {
+            subsystem: Cow::Owned(sub),
+            name: Cow::Owned(name),
+            start_ns,
+            dur_ns,
+        });
+    }
+
+    #[test]
+    fn count_round_trips(
+        sub in nasty_string(),
+        name in nasty_string(),
+        value in 0u64..(1 << 53),
+    ) {
+        round_trips(Event::Count {
+            subsystem: Cow::Owned(sub),
+            name: Cow::Owned(name),
+            value,
+        });
+    }
+
+    #[test]
+    fn hist_round_trips(
+        sub in nasty_string(),
+        name in nasty_string(),
+        count in 0u64..(1 << 53),
+        buckets in vec((0u8..64, 0u64..(1 << 40)), 0..8),
+    ) {
+        round_trips(Event::Hist {
+            subsystem: Cow::Owned(sub),
+            name: Cow::Owned(name),
+            count,
+            buckets,
+        });
+    }
+
+    #[test]
+    fn point_round_trips(
+        sub in nasty_string(),
+        name in nasty_string(),
+        time in -1e9f64..1e9,
+        fields in vec((nasty_string(), -1e12f64..1e12), 0..5),
+    ) {
+        round_trips(Event::Point {
+            subsystem: Cow::Owned(sub),
+            name: Cow::Owned(name),
+            time,
+            fields: fields
+                .into_iter()
+                .map(|(k, v)| (Cow::Owned(k), v))
+                .collect(),
+        });
+    }
+
+    #[test]
+    fn timeline_round_trips(
+        sub in nasty_string(),
+        kind in nasty_string(),
+        time in 0f64..1e9,
+        job in 0u64..(1 << 53),
+        old in vec(0u32..64, 0..12),
+        new in vec(0u32..64, 0..12),
+    ) {
+        round_trips(Event::Timeline {
+            subsystem: Cow::Owned(sub),
+            name: Cow::Owned(kind),
+            time,
+            job,
+            old,
+            new,
+        });
+    }
+
+    #[test]
+    fn round_explain_round_trips(
+        time in 0f64..1e9,
+        fitness in -10f64..10.0,
+        fitness_before in -10f64..10.0,
+        racked in 0u8..2,
+        jobs in vec(
+            (
+                (0u64..(1 << 53), 0f64..100.0, 0f64..16.0, 0f64..16.0),
+                (0f64..1.0, -1i64..64, -1i64..64, 0u32..1024, 0u32..1024),
+                vec(0u64..(1 << 53), 0..6),
+            ),
+            0..5,
+        ),
+    ) {
+        round_trips(Event::Round(RoundExplain {
+            time,
+            fitness,
+            fitness_before,
+            racked: racked == 1,
+            jobs: jobs
+                .into_iter()
+                .map(|((job, weight, su_b, su_a), (pen, rb, ra, gb, ga), co)| JobExplain {
+                    job,
+                    weight,
+                    speedup_before: su_b,
+                    speedup_after: su_a,
+                    restart_penalty: pen,
+                    rack_before: rb,
+                    rack_after: ra,
+                    gpus_before: gb,
+                    gpus_after: ga,
+                    co_residents: co,
+                })
+                .collect(),
+        }));
+    }
+}
