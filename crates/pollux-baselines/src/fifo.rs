@@ -1,0 +1,140 @@
+//! Gang-scheduled FIFO with backfill.
+//!
+//! The classic HPC baseline: jobs start in arrival order, each as an
+//! all-or-nothing gang of its requested GPU count, and once running
+//! are never preempted ([`pollux_simulator::NoPreemption`] — the only
+//! non-preemptive policy in the zoo). When the head of the queue does
+//! not fit the free GPUs, later jobs that do fit backfill around it,
+//! which keeps utilization up at the cost of possibly delaying the
+//! head further (no reservation).
+
+use pollux_cluster::ClusterSpec;
+use pollux_simulator::{
+    AdmissionPolicy, Admitted, ConsolidatedPlacement, NoPreemption, PolicyJobView, StagedScheduler,
+};
+use rand::rngs::StdRng;
+
+/// FIFO-with-backfill admission over the free GPUs: arrival order,
+/// skipping jobs that do not fit.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FifoAdmission;
+
+impl AdmissionPolicy for FifoAdmission {
+    fn name(&self) -> &'static str {
+        "fifo-backfill"
+    }
+
+    fn admit(
+        &mut self,
+        _now: f64,
+        jobs: &[PolicyJobView<'_>],
+        held: &[bool],
+        free: &[u32],
+        _spec: &ClusterSpec,
+        _rng: &mut StdRng,
+    ) -> Vec<Admitted> {
+        let mut order: Vec<usize> = (0..jobs.len()).filter(|&j| !held[j]).collect();
+        order.sort_by(|&a, &b| {
+            jobs[a]
+                .submit_time
+                .partial_cmp(&jobs[b].submit_time)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        let mut budget: u32 = free.iter().sum();
+        let mut admitted = Vec::new();
+        for &j in &order {
+            let need = jobs[j].user.gpus.max(1);
+            if need <= budget {
+                admitted.push(Admitted { row: j, gpus: need });
+                budget -= need;
+            }
+        }
+        admitted
+    }
+}
+
+/// Gang-scheduled FIFO with backfill: arrival-order admission over the
+/// free GPUs, consolidated placement, and no preemption.
+pub fn fifo_backfill() -> StagedScheduler {
+    StagedScheduler::new(
+        "fifo+backfill",
+        FifoAdmission,
+        ConsolidatedPlacement::admitted_order(),
+        NoPreemption,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pollux_cluster::JobId;
+    use pollux_models::BatchSizeLimits;
+    use pollux_simulator::SchedulingPolicy;
+    use pollux_workload::UserConfig;
+    use rand::SeedableRng;
+
+    fn view<'a>(id: u32, gpus: u32, submit: f64, placement: &'a [u32]) -> PolicyJobView<'a> {
+        PolicyJobView {
+            id: JobId(id),
+            user: UserConfig {
+                gpus,
+                batch_size: 128,
+            },
+            profile: None,
+            limits: BatchSizeLimits::new(128, 1024, 512).unwrap(),
+            report: None,
+            gputime: 0.0,
+            submit_time: submit,
+            current_placement: placement,
+            started: false,
+            batch_size: 128,
+            remaining_work: 1e6,
+        }
+    }
+
+    #[test]
+    fn runs_in_arrival_order() {
+        let empty = vec![0u32];
+        let jobs = vec![view(0, 4, 50.0, &empty), view(1, 4, 10.0, &empty)];
+        let spec = ClusterSpec::homogeneous(1, 4).unwrap();
+        let mut p = fifo_backfill();
+        let mut rng = StdRng::seed_from_u64(0);
+        let m = p.schedule(100.0, &jobs, &spec, &mut rng);
+        assert_eq!(m.gpus_of(1), 4, "earlier arrival runs first");
+        assert_eq!(m.gpus_of(0), 0);
+    }
+
+    #[test]
+    fn never_preempts_running_jobs() {
+        // A running job keeps its GPUs even when an earlier-submitted
+        // job shows up (e.g. after a restart-requeue).
+        let holding = vec![4u32];
+        let empty = vec![0u32];
+        let jobs = vec![view(0, 4, 50.0, &holding), view(1, 4, 10.0, &empty)];
+        let spec = ClusterSpec::homogeneous(1, 4).unwrap();
+        let mut p = fifo_backfill();
+        let mut rng = StdRng::seed_from_u64(0);
+        let m = p.schedule(100.0, &jobs, &spec, &mut rng);
+        assert_eq!(m.row(0), &[4], "running gang is never disturbed");
+        assert_eq!(m.gpus_of(1), 0);
+    }
+
+    #[test]
+    fn backfills_around_a_blocked_head() {
+        let running = vec![2u32];
+        let empty = vec![0u32];
+        let jobs = vec![
+            view(0, 2, 0.0, &running), // running, holds 2 of 4
+            view(1, 4, 10.0, &empty),  // head of queue, needs 4 > 2 free
+            view(2, 2, 20.0, &empty),  // fits the remaining 2
+        ];
+        let spec = ClusterSpec::homogeneous(1, 4).unwrap();
+        let mut p = fifo_backfill();
+        let mut rng = StdRng::seed_from_u64(0);
+        let m = p.schedule(100.0, &jobs, &spec, &mut rng);
+        assert_eq!(m.gpus_of(0), 2);
+        assert_eq!(m.gpus_of(1), 0, "head waits for a full gang");
+        assert_eq!(m.gpus_of(2), 2, "later small job backfills");
+    }
+}

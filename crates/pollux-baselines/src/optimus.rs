@@ -11,23 +11,35 @@
 //!   rather than a convergence-curve extrapolation;
 //! - a minimum GPU count is enforced so the user batch size fits in
 //!   GPU memory.
+//!
+//! Decomposed Blox-style (DESIGN.md §10): [`OptimusAdmission`] owns
+//! the minimum-allocation pass and the marginal-gain GPU auction;
+//! placement is the shared [`ConsolidatedPlacement`] packing largest
+//! jobs first; preemption is [`PreemptAll`]. [`optimus`] composes the
+//! three. The staged form is pinned byte-identical to the
+//! pre-decomposition monolith by
+//! `pollux-core/tests/baseline_golden.rs`.
 
-use crate::placement::{keep_placement, pack_consolidated};
-use pollux_cluster::{AllocationMatrix, ClusterSpec};
+use pollux_cluster::ClusterSpec;
 use pollux_models::PlacementShape;
-use pollux_simulator::{PolicyJobView, SchedulingPolicy};
+use pollux_simulator::{
+    AdmissionPolicy, Admitted, ConsolidatedPlacement, PolicyJobView, PreemptAll, StagedScheduler,
+};
 use rand::rngs::StdRng;
 
-/// The Optimus+Oracle scheduling policy.
+/// The Optimus+Oracle admission stage: every job gets the fewest GPUs
+/// its user batch size fits on (in submission order while capacity
+/// lasts), then spare GPUs go one at a time to the job with the best
+/// marginal remaining-time reduction.
 #[derive(Debug, Clone, Default)]
-pub struct Optimus {
+pub struct OptimusAdmission {
     /// GPUs per node, used to predict the shape of a K-GPU packed
     /// placement when estimating marginal gains.
     gpus_per_node_hint: u32,
 }
 
-impl Optimus {
-    /// Creates the policy. `gpus_per_node_hint` lets marginal-gain
+impl OptimusAdmission {
+    /// Creates the stage. `gpus_per_node_hint` lets marginal-gain
     /// estimation assume consolidated placements (0 = derive from the
     /// cluster at schedule time).
     pub fn new(gpus_per_node_hint: u32) -> Self {
@@ -69,32 +81,32 @@ impl Optimus {
     }
 }
 
-impl SchedulingPolicy for Optimus {
+impl AdmissionPolicy for OptimusAdmission {
     fn name(&self) -> &'static str {
-        "optimus+oracle"
+        "marginal-gain"
     }
 
-    fn schedule(
+    fn admit(
         &mut self,
         _now: f64,
         jobs: &[PolicyJobView<'_>],
+        held: &[bool],
+        free: &[u32],
         spec: &ClusterSpec,
         _rng: &mut StdRng,
-    ) -> AllocationMatrix {
+    ) -> Vec<Admitted> {
         let gpus_per_node = if self.gpus_per_node_hint > 0 {
             self.gpus_per_node_hint
         } else {
             spec.iter().map(|(_, s)| s.gpus).max().unwrap_or(1)
         };
-        let total = spec.total_gpus();
 
-        // Phase 1: GPU counts. Give every job its minimum (in
-        // submission order while capacity lasts), then add GPUs one at
-        // a time to the job with the best marginal remaining-time
-        // reduction.
+        // Give every job its minimum (in submission order while
+        // capacity lasts), then add GPUs one at a time to the job with
+        // the best marginal remaining-time reduction.
         let mut assigned: Vec<u32> = vec![0; jobs.len()];
-        let mut budget = total;
-        let mut order: Vec<usize> = (0..jobs.len()).collect();
+        let mut budget: u32 = free.iter().sum();
+        let mut order: Vec<usize> = (0..jobs.len()).filter(|&j| !held[j]).collect();
         order.sort_by(|&a, &b| {
             jobs[a]
                 .submit_time
@@ -112,7 +124,7 @@ impl SchedulingPolicy for Optimus {
             let mut best: Option<(usize, f64)> = None;
             for (j, view) in jobs.iter().enumerate() {
                 if assigned[j] == 0 {
-                    continue; // Didn't even fit its minimum.
+                    continue; // Held, or didn't even fit its minimum.
                 }
                 let cur = self.remaining_time(view, assigned[j], gpus_per_node);
                 let next = self.remaining_time(view, assigned[j] + 1, gpus_per_node);
@@ -130,32 +142,28 @@ impl SchedulingPolicy for Optimus {
             }
         }
 
-        // Phase 2: placement. Keep unchanged GPU counts in place when
-        // possible; pack the rest consolidated, largest jobs first.
-        let mut matrix = AllocationMatrix::zeros(jobs.len(), spec.num_nodes());
-        let mut free: Vec<u32> = spec.iter().map(|(_, s)| s.gpus).collect();
-        let mut to_place = Vec::new();
-        for (j, view) in jobs.iter().enumerate() {
-            let current: u32 = view.current_placement.iter().sum();
-            if assigned[j] > 0
-                && current == assigned[j]
-                && keep_placement(view.current_placement, &mut free)
-            {
-                for (n, &g) in view.current_placement.iter().enumerate() {
-                    matrix.set(j, n, g);
-                }
-            } else if assigned[j] > 0 {
-                to_place.push(j);
-            }
-        }
-        to_place.sort_by(|&a, &b| assigned[b].cmp(&assigned[a]));
-        for j in to_place {
-            if let Some(row) = pack_consolidated(assigned[j], &mut free) {
-                matrix.set_row(j, row);
-            }
-        }
-        matrix
+        // Row order: the largest-first placement stage re-sorts, so the
+        // admitted order only breaks its ties — exactly as the
+        // monolith's stable sort over row-ordered candidates did.
+        (0..jobs.len())
+            .filter(|&j| assigned[j] > 0)
+            .map(|j| Admitted {
+                row: j,
+                gpus: assigned[j],
+            })
+            .collect()
     }
+}
+
+/// The Optimus+Oracle scheduling policy: marginal-gain admission,
+/// consolidated placement largest-first, full preemption.
+pub fn optimus(gpus_per_node_hint: u32) -> StagedScheduler {
+    StagedScheduler::new(
+        "optimus+oracle",
+        OptimusAdmission::new(gpus_per_node_hint),
+        ConsolidatedPlacement::largest_first(),
+        PreemptAll,
+    )
 }
 
 #[cfg(test)]
@@ -164,6 +172,7 @@ mod tests {
     use pollux_agent::PolluxAgent;
     use pollux_cluster::JobId;
     use pollux_models::GradientStats;
+    use pollux_simulator::SchedulingPolicy;
     use pollux_workload::{ModelKind, ModelProfile, UserConfig};
     use rand::SeedableRng;
 
@@ -228,7 +237,7 @@ mod tests {
         let b = Owned::new(ModelKind::ResNet18Cifar10, 4000.0, 2);
         let jobs = vec![a.view(0, 2.0e6, 1024), b.view(1, 2.0e5, 1024)];
         let spec = ClusterSpec::homogeneous(2, 4).unwrap();
-        let mut opt = Optimus::new(4);
+        let mut opt = optimus(4);
         let mut rng = StdRng::seed_from_u64(0);
         let m = opt.schedule(0.0, &jobs, &spec, &mut rng);
         assert!(
@@ -247,7 +256,7 @@ mod tests {
         let a = Owned::new(ModelKind::DeepSpeech2Arctic, 300.0, 2);
         let jobs = vec![a.view(0, 1e6, 256)];
         let spec = ClusterSpec::homogeneous(2, 4).unwrap();
-        let mut opt = Optimus::new(4);
+        let mut opt = optimus(4);
         let mut rng = StdRng::seed_from_u64(0);
         let m = opt.schedule(0.0, &jobs, &spec, &mut rng);
         assert!(m.gpus_of(0) >= 4, "got {} GPUs", m.gpus_of(0));
@@ -260,7 +269,7 @@ mod tests {
         let a = Owned::new(ModelKind::Yolov3Voc, 100.0, 4);
         let jobs = vec![a.view(0, 1e6, 8)];
         let spec = ClusterSpec::homogeneous(4, 4).unwrap();
-        let mut opt = Optimus::new(4);
+        let mut opt = optimus(4);
         let mut rng = StdRng::seed_from_u64(0);
         let m = opt.schedule(0.0, &jobs, &spec, &mut rng);
         assert!(
@@ -291,7 +300,7 @@ mod tests {
             remaining_work: 1e6,
         }];
         let spec = ClusterSpec::homogeneous(2, 4).unwrap();
-        let mut opt = Optimus::new(4);
+        let mut opt = optimus(4);
         let mut rng = StdRng::seed_from_u64(0);
         let m = opt.schedule(0.0, &jobs, &spec, &mut rng);
         assert_eq!(m.gpus_of(0), 1);
@@ -303,7 +312,7 @@ mod tests {
         // Pretend the job currently runs with the count Optimus would
         // assign; its placement must be preserved.
         let spec = ClusterSpec::homogeneous(2, 4).unwrap();
-        let mut opt = Optimus::new(4);
+        let mut opt = optimus(4);
         let mut rng = StdRng::seed_from_u64(0);
         let first = {
             let jobs = vec![a.view(0, 1e6, 8)];
@@ -315,5 +324,15 @@ mod tests {
             opt.schedule(60.0, &jobs, &spec, &mut rng)
         };
         assert_eq!(second.row(0), first.row(0));
+    }
+
+    #[test]
+    fn stage_names_identify_the_decomposition() {
+        let opt = optimus(4);
+        assert_eq!(opt.name(), "optimus+oracle");
+        assert_eq!(
+            opt.stage_names(),
+            ("marginal-gain", "consolidated-largest-first", "preempt-all")
+        );
     }
 }

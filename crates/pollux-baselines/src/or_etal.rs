@@ -8,10 +8,22 @@
 //! training progress, the recommended size is reached quickly and then
 //! stays flat (Fig 10a) — it cannot know that large batches are
 //! statistically wasteful early in training.
+//!
+//! Decomposed Blox-style (DESIGN.md §10): [`OrEtAlAdmission`] owns
+//! the single-tenant whole-cluster grant plus the `desired_nodes` /
+//! `choose_batch_size` autoscaling hooks (admission controls cluster
+//! entry, so it owns sizing too); placement is the shared
+//! [`ConsolidatedPlacement`] (a whole-cluster grant packs to every
+//! node's full capacity); preemption is [`PreemptAll`]. [`or_etal`]
+//! composes the three. The staged form is pinned byte-identical to the
+//! pre-decomposition monolith by
+//! `pollux-core/tests/baseline_golden.rs`.
 
-use pollux_cluster::{AllocationMatrix, ClusterSpec};
+use pollux_cluster::ClusterSpec;
 use pollux_models::PlacementShape;
-use pollux_simulator::{PolicyJobView, SchedulingPolicy};
+use pollux_simulator::{
+    AdmissionPolicy, Admitted, ConsolidatedPlacement, PolicyJobView, PreemptAll, StagedScheduler,
+};
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 
@@ -40,14 +52,16 @@ impl Default for OrEtAlConfig {
     }
 }
 
-/// The Or et al. policy: single-tenant throughput-driven autoscaling.
+/// The Or et al. admission stage: single-tenant — the first job gets
+/// every free GPU — plus the throughput-driven node recommendation and
+/// linear batch scaling hooks.
 #[derive(Debug, Clone, Default)]
-pub struct OrEtAlAutoscaler {
+pub struct OrEtAlAdmission {
     config: OrEtAlConfig,
 }
 
-impl OrEtAlAutoscaler {
-    /// Creates the policy.
+impl OrEtAlAdmission {
+    /// Creates the stage.
     pub fn new(config: OrEtAlConfig) -> Self {
         Self { config }
     }
@@ -72,7 +86,7 @@ impl OrEtAlAutoscaler {
 
     /// The largest node count whose throughput-scaling efficiency
     /// versus one node stays above the threshold.
-    fn recommend_nodes(&self, job: &PolicyJobView<'_>) -> u32 {
+    pub fn recommend_nodes(&self, job: &PolicyJobView<'_>) -> u32 {
         let Some(base) = self.throughput_at(job, 1) else {
             return self.config.min_nodes;
         };
@@ -90,9 +104,30 @@ impl OrEtAlAutoscaler {
     }
 }
 
-impl SchedulingPolicy for OrEtAlAutoscaler {
+impl AdmissionPolicy for OrEtAlAdmission {
     fn name(&self) -> &'static str {
-        "or-etal"
+        "single-tenant"
+    }
+
+    fn admit(
+        &mut self,
+        _now: f64,
+        jobs: &[PolicyJobView<'_>],
+        held: &[bool],
+        free: &[u32],
+        _spec: &ClusterSpec,
+        _rng: &mut StdRng,
+    ) -> Vec<Admitted> {
+        // Hand every free GPU to the (first) job — the single-tenant
+        // scenario of Fig 10.
+        let total: u32 = free.iter().sum();
+        if jobs.is_empty() || held.first() == Some(&true) || total == 0 {
+            return Vec::new();
+        }
+        vec![Admitted {
+            row: 0,
+            gpus: total,
+        }]
     }
 
     fn desired_nodes(
@@ -106,23 +141,6 @@ impl SchedulingPolicy for OrEtAlAutoscaler {
         jobs.first().map(|j| self.recommend_nodes(j))
     }
 
-    fn schedule(
-        &mut self,
-        _now: f64,
-        jobs: &[PolicyJobView<'_>],
-        spec: &ClusterSpec,
-        _rng: &mut StdRng,
-    ) -> AllocationMatrix {
-        // Hand the whole cluster to the job (single-tenant scenario).
-        let mut m = AllocationMatrix::zeros(jobs.len(), spec.num_nodes());
-        if !jobs.is_empty() {
-            for (n, node) in spec.iter() {
-                m.set(0, n.index(), node.gpus);
-            }
-        }
-        m
-    }
-
     fn choose_batch_size(&self, job: &PolicyJobView<'_>) -> Option<u64> {
         let gpus: u32 = job.current_placement.iter().sum();
         if gpus == 0 {
@@ -133,12 +151,23 @@ impl SchedulingPolicy for OrEtAlAutoscaler {
     }
 }
 
+/// The Or et al. policy: single-tenant throughput-driven autoscaling.
+pub fn or_etal(config: OrEtAlConfig) -> StagedScheduler {
+    StagedScheduler::new(
+        "or-etal",
+        OrEtAlAdmission::new(config),
+        ConsolidatedPlacement::admitted_order(),
+        PreemptAll,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use pollux_agent::PolluxAgent;
     use pollux_cluster::JobId;
     use pollux_models::GradientStats;
+    use pollux_simulator::SchedulingPolicy;
     use pollux_workload::{ModelKind, ModelProfile, UserConfig};
     use rand::SeedableRng;
 
@@ -210,8 +239,8 @@ mod tests {
         // the recommendation lands near the maximum — Fig 10a's flat
         // high line.
         let owned = Owned::new(16);
-        let policy = OrEtAlAutoscaler::default();
-        let n = policy.recommend_nodes(&owned.view());
+        let stage = OrEtAlAdmission::default();
+        let n = stage.recommend_nodes(&owned.view());
         assert!(n >= 8, "recommended only {n} nodes");
     }
 
@@ -220,9 +249,9 @@ mod tests {
         // Throughput-based scaling ignores training progress by
         // construction: same report, same recommendation.
         let owned = Owned::new(16);
-        let policy = OrEtAlAutoscaler::default();
-        let a = policy.recommend_nodes(&owned.view());
-        let b = policy.recommend_nodes(&owned.view());
+        let stage = OrEtAlAdmission::default();
+        let a = stage.recommend_nodes(&owned.view());
+        let b = stage.recommend_nodes(&owned.view());
         assert_eq!(a, b);
     }
 
@@ -246,26 +275,26 @@ mod tests {
             batch_size: profile.m0,
             remaining_work: 1e8,
         };
-        let policy = OrEtAlAutoscaler::default();
-        assert_eq!(policy.recommend_nodes(&view), 1);
+        let stage = OrEtAlAdmission::default();
+        assert_eq!(stage.recommend_nodes(&view), 1);
     }
 
     #[test]
     fn batch_scales_linearly_with_gpus_up_to_cap() {
         let owned = Owned::new(4);
-        let policy = OrEtAlAutoscaler::default();
+        let stage = OrEtAlAdmission::default();
         let v = owned.view();
-        assert_eq!(policy.batch_for(&v, 1), v.limits.max_per_gpu);
-        assert_eq!(policy.batch_for(&v, 4), v.limits.max_per_gpu * 4);
+        assert_eq!(stage.batch_for(&v, 1), v.limits.max_per_gpu);
+        assert_eq!(stage.batch_for(&v, 4), v.limits.max_per_gpu * 4);
         // Capped at the global limit for very large clusters.
-        let huge = policy.batch_for(&v, 100_000);
+        let huge = stage.batch_for(&v, 100_000);
         assert_eq!(huge, v.limits.max_global);
     }
 
     #[test]
     fn schedule_gives_job_the_whole_cluster() {
         let owned = Owned::new(2);
-        let mut policy = OrEtAlAutoscaler::default();
+        let mut policy = or_etal(OrEtAlConfig::default());
         let spec = ClusterSpec::homogeneous(2, 4).unwrap();
         let mut rng = StdRng::seed_from_u64(0);
         let views = vec![owned.view()];
@@ -278,12 +307,24 @@ mod tests {
     fn choose_batch_size_uses_current_gpus() {
         let mut owned = Owned::new(2);
         owned.placement = vec![4, 4];
-        let policy = OrEtAlAutoscaler::default();
+        let policy = or_etal(OrEtAlConfig::default());
         let v = owned.view();
         assert_eq!(policy.choose_batch_size(&v), Some(v.limits.max_per_gpu * 8));
         // Unplaced jobs: no choice.
         owned.placement = vec![0, 0];
         let v = owned.view();
         assert_eq!(policy.choose_batch_size(&v), None);
+    }
+
+    #[test]
+    fn desired_nodes_sizes_for_the_first_job() {
+        let owned = Owned::new(16);
+        let mut policy = or_etal(OrEtAlConfig::default());
+        let spec = ClusterSpec::homogeneous(16, 4).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let views = vec![owned.view()];
+        let n = policy.desired_nodes(0.0, &views, &spec, &mut rng).unwrap();
+        assert!(n >= 8, "recommended only {n} nodes");
+        assert!(policy.desired_nodes(0.0, &[], &spec, &mut rng).is_none());
     }
 }

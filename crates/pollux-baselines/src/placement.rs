@@ -1,60 +1,15 @@
-//! Consolidated placement helpers shared by the baselines.
+//! Consolidated placement, shared by the baselines.
 //!
 //! Both Tiresias and Optimus co-locate job replicas onto as few nodes
 //! as possible (Sec. 2.3 notes Tiresias "co-locates job replicas for
-//! more efficient synchronization").
+//! more efficient synchronization"). The heuristic used to live here
+//! as two free functions copied inline into each baseline; it is now
+//! the default [`ConsolidatedPlacement`] stage in
+//! `pollux_control::stages`, re-exported here (with its helpers) for
+//! existing callers. The edge-case tests below pin the packing and
+//! spreading behavior through the re-export.
 
-/// Attempts to place `need` GPUs onto the nodes with free capacities
-/// `free`, using as few nodes as possible (fullest-free-first).
-///
-/// Returns the per-node allocation row, or `None` when the total free
-/// capacity is insufficient. On success the `free` vector is updated
-/// in place.
-pub fn pack_consolidated(need: u32, free: &mut [u32]) -> Option<Vec<u32>> {
-    if need == 0 {
-        return Some(vec![0; free.len()]);
-    }
-    let total: u32 = free.iter().sum();
-    if total < need {
-        return None;
-    }
-    // Nodes sorted by free capacity descending (stable on index for
-    // determinism).
-    let mut order: Vec<usize> = (0..free.len()).collect();
-    order.sort_by(|&a, &b| free[b].cmp(&free[a]).then(a.cmp(&b)));
-
-    let mut row = vec![0u32; free.len()];
-    let mut remaining = need;
-    for &n in &order {
-        if remaining == 0 {
-            break;
-        }
-        let take = remaining.min(free[n]);
-        if take > 0 {
-            row[n] = take;
-            free[n] -= take;
-            remaining -= take;
-        }
-    }
-    debug_assert_eq!(remaining, 0, "total capacity was checked upfront");
-    Some(row)
-}
-
-/// Tries to keep a job's existing placement: succeeds when every node
-/// still has the required free capacity. On success, capacity is
-/// deducted from `free`.
-pub fn keep_placement(current: &[u32], free: &mut [u32]) -> bool {
-    if current.len() != free.len() {
-        return false;
-    }
-    if current.iter().zip(free.iter()).any(|(&c, &f)| c > f) {
-        return false;
-    }
-    for (f, &c) in free.iter_mut().zip(current) {
-        *f -= c;
-    }
-    true
-}
+pub use pollux_control::{keep_placement, pack_consolidated, ConsolidatedPlacement};
 
 #[cfg(test)]
 mod tests {
@@ -74,6 +29,16 @@ mod tests {
         let mut free = vec![4, 4];
         let row = pack_consolidated(3, &mut free).unwrap();
         assert_eq!(row.iter().filter(|&&g| g > 0).count(), 1);
+    }
+
+    #[test]
+    fn spreads_across_nodes_only_when_forced() {
+        // 6 GPUs cannot fit one 4-GPU node: spill onto the next
+        // fullest, touching as few nodes as possible.
+        let mut free = vec![4, 4, 4];
+        let row = pack_consolidated(6, &mut free).unwrap();
+        assert_eq!(row.iter().filter(|&&g| g > 0).count(), 2);
+        assert_eq!(row.iter().sum::<u32>(), 6);
     }
 
     #[test]

@@ -8,10 +8,19 @@
 //! within each queue jobs are served FIFO by submission time. Jobs are
 //! preempted when higher-priority jobs need their GPUs, and replicas
 //! are placed consolidated (fewest nodes).
+//!
+//! Decomposed Blox-style (DESIGN.md §10): [`TiresiasAdmission`] owns
+//! the two-queue LAS priority and backfill prefix selection; placement
+//! is the shared [`ConsolidatedPlacement`] in admitted order;
+//! preemption is [`PreemptAll`] (any running job yields to a higher
+//! priority). [`tiresias`] composes the three. The staged form is
+//! pinned byte-identical to the pre-decomposition monolith by
+//! `pollux-core/tests/baseline_golden.rs`.
 
-use crate::placement::{keep_placement, pack_consolidated};
-use pollux_cluster::{AllocationMatrix, ClusterSpec};
-use pollux_simulator::{PolicyJobView, SchedulingPolicy};
+use pollux_cluster::ClusterSpec;
+use pollux_simulator::{
+    AdmissionPolicy, Admitted, ConsolidatedPlacement, PolicyJobView, PreemptAll, StagedScheduler,
+};
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 
@@ -33,36 +42,38 @@ impl Default for TiresiasConfig {
     }
 }
 
-/// The Tiresias scheduling policy.
+/// The Tiresias admission stage: discretized least-attained-service
+/// priorities (two queues, FIFO within each), then the backfilled
+/// prefix of jobs whose user GPU counts fit the free capacity.
 #[derive(Debug, Clone, Default)]
-pub struct Tiresias {
+pub struct TiresiasAdmission {
     config: TiresiasConfig,
 }
 
-impl Tiresias {
-    /// Creates the policy.
+impl TiresiasAdmission {
+    /// Creates the stage.
     pub fn new(config: TiresiasConfig) -> Self {
         Self { config }
     }
 }
 
-impl SchedulingPolicy for Tiresias {
+impl AdmissionPolicy for TiresiasAdmission {
     fn name(&self) -> &'static str {
-        "tiresias"
+        "las-two-queue"
     }
 
-    fn schedule(
+    fn admit(
         &mut self,
         _now: f64,
         jobs: &[PolicyJobView<'_>],
-        spec: &ClusterSpec,
+        held: &[bool],
+        free: &[u32],
+        _spec: &ClusterSpec,
         _rng: &mut StdRng,
-    ) -> AllocationMatrix {
-        let mut matrix = AllocationMatrix::zeros(jobs.len(), spec.num_nodes());
-
+    ) -> Vec<Admitted> {
         // Priority order: high queue (attained < threshold) first,
         // FIFO within queue.
-        let mut order: Vec<usize> = (0..jobs.len()).collect();
+        let mut order: Vec<usize> = (0..jobs.len()).filter(|&j| !held[j]).collect();
         order.sort_by(|&a, &b| {
             let qa = jobs[a].gputime >= self.config.queue_threshold;
             let qb = jobs[b].gputime >= self.config.queue_threshold;
@@ -74,53 +85,38 @@ impl SchedulingPolicy for Tiresias {
             )
         });
 
-        // Select the prefix of jobs that fit in total capacity
+        // Admit the prefix of jobs that fit in total capacity
         // (backfilling past jobs that do not fit).
-        let mut budget = spec.total_gpus();
-        let mut selected = Vec::new();
+        let mut budget: u32 = free.iter().sum();
+        let mut admitted = Vec::new();
         for &j in &order {
             let need = jobs[j].user.gpus.max(1);
             if need <= budget {
-                selected.push(j);
+                admitted.push(Admitted { row: j, gpus: need });
                 budget -= need;
             }
         }
-
-        let mut free: Vec<u32> = spec.iter().map(|(_, s)| s.gpus).collect();
-
-        // First pass: keep placements of already-running selected jobs
-        // to avoid gratuitous checkpoint-restarts.
-        let mut needs_placing = Vec::new();
-        for &j in &selected {
-            let view = &jobs[j];
-            let current_gpus: u32 = view.current_placement.iter().sum();
-            if current_gpus == view.user.gpus.max(1)
-                && keep_placement(view.current_placement, &mut free)
-            {
-                for (n, &g) in view.current_placement.iter().enumerate() {
-                    matrix.set(j, n, g);
-                }
-            } else {
-                needs_placing.push(j);
-            }
-        }
-
-        // Second pass: consolidated placement for the rest.
-        for j in needs_placing {
-            let need = jobs[j].user.gpus.max(1);
-            if let Some(row) = pack_consolidated(need, &mut free) {
-                matrix.set_row(j, row);
-            }
-        }
-        matrix
+        admitted
     }
+}
+
+/// The Tiresias scheduling policy: LAS two-queue admission,
+/// consolidated placement in priority order, full preemption.
+pub fn tiresias(config: TiresiasConfig) -> StagedScheduler {
+    StagedScheduler::new(
+        "tiresias",
+        TiresiasAdmission::new(config),
+        ConsolidatedPlacement::admitted_order(),
+        PreemptAll,
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pollux_cluster::JobId;
+    use pollux_cluster::{ClusterSpec, JobId};
     use pollux_models::BatchSizeLimits;
+    use pollux_simulator::SchedulingPolicy;
     use pollux_workload::{ModelKind, UserConfig};
     use rand::SeedableRng;
 
@@ -176,7 +172,7 @@ mod tests {
             ctx.view(1, 4, 0.0, 10.0, &empty),
         ];
         let spec = ClusterSpec::homogeneous(2, 4).unwrap();
-        let mut t = Tiresias::default();
+        let mut t = tiresias(TiresiasConfig::default());
         let mut rng = StdRng::seed_from_u64(0);
         let m = t.schedule(0.0, &jobs, &spec, &mut rng);
         assert_eq!(m.gpus_of(0), 2);
@@ -196,7 +192,7 @@ mod tests {
             ctx.view(1, 4, 0.0, 100.0, &empty),
         ];
         let spec = ClusterSpec::homogeneous(1, 4).unwrap();
-        let mut t = Tiresias::default();
+        let mut t = tiresias(TiresiasConfig::default());
         let mut rng = StdRng::seed_from_u64(0);
         let m = t.schedule(200.0, &jobs, &spec, &mut rng);
         assert_eq!(m.gpus_of(1), 4, "new job should preempt:\n{m}");
@@ -212,7 +208,7 @@ mod tests {
             ctx.view(1, 4, 0.0, 10.0, &empty),
         ];
         let spec = ClusterSpec::homogeneous(1, 4).unwrap();
-        let mut t = Tiresias::default();
+        let mut t = tiresias(TiresiasConfig::default());
         let mut rng = StdRng::seed_from_u64(0);
         let m = t.schedule(100.0, &jobs, &spec, &mut rng);
         // Earlier submission wins.
@@ -226,7 +222,7 @@ mod tests {
         let placed = vec![0u32, 2];
         let jobs = vec![ctx.view(0, 2, 100.0, 0.0, &placed)];
         let spec = ClusterSpec::homogeneous(2, 4).unwrap();
-        let mut t = Tiresias::default();
+        let mut t = tiresias(TiresiasConfig::default());
         let mut rng = StdRng::seed_from_u64(0);
         let m = t.schedule(60.0, &jobs, &spec, &mut rng);
         assert_eq!(m.row(0), &[0, 2], "placement should be preserved");
@@ -243,7 +239,7 @@ mod tests {
             ctx.view(1, 2, 0.0, 10.0, &empty),
         ];
         let spec = ClusterSpec::homogeneous(1, 4).unwrap();
-        let mut t = Tiresias::default();
+        let mut t = tiresias(TiresiasConfig::default());
         let mut rng = StdRng::seed_from_u64(0);
         let m = t.schedule(0.0, &jobs, &spec, &mut rng);
         assert_eq!(m.gpus_of(0), 0);
@@ -256,11 +252,21 @@ mod tests {
         let empty = vec![0u32; 4];
         let jobs = vec![ctx.view(0, 4, 0.0, 0.0, &empty)];
         let spec = ClusterSpec::homogeneous(4, 4).unwrap();
-        let mut t = Tiresias::default();
+        let mut t = tiresias(TiresiasConfig::default());
         let mut rng = StdRng::seed_from_u64(0);
         let m = t.schedule(0.0, &jobs, &spec, &mut rng);
         // All 4 GPUs on one node.
         assert_eq!(m.nodes_of(0), 1);
         assert_eq!(m.gpus_of(0), 4);
+    }
+
+    #[test]
+    fn stage_names_identify_the_decomposition() {
+        let t = tiresias(TiresiasConfig::default());
+        assert_eq!(t.name(), "tiresias");
+        assert_eq!(
+            t.stage_names(),
+            ("las-two-queue", "consolidated", "preempt-all")
+        );
     }
 }

@@ -16,7 +16,10 @@
 //! - [`RoundPlanner`]: the pure reschedule-round pipeline — invoke the
 //!   policy over the views, clamp the returned matrix to capacity, and
 //!   diff old vs new placements into explicit [`Reallocation`]
-//!   decisions which the caller applies to its own job store.
+//!   decisions which the caller applies to its own job store;
+//! - [`StagedScheduler`] + the [`stages`] module: the Blox-style
+//!   decomposition of a policy into admission / placement / preemption
+//!   stages, composed back into a [`SchedulingPolicy`] (DESIGN.md §10).
 //!
 //! Nothing here reads clocks, sleeps, or touches global state: `now`
 //! is always an input and the RNG is caller-owned, so the same core is
@@ -28,8 +31,13 @@ pub mod lifecycle;
 pub mod policy;
 pub mod round;
 pub mod sched_jobs;
+pub mod stages;
 
 pub use lifecycle::{JobLifecycle, JobState};
 pub use policy::{PlacementDelta, PolicyJobView, SchedIntervalSample, SchedulingPolicy};
 pub use round::{Reallocation, RoundError, RoundOutcome, RoundPlanner};
 pub use sched_jobs::{bootstrap_sched_job, sched_jobs_from_views, SchedJobCache};
+pub use stages::{
+    keep_placement, pack_consolidated, AdmissionPolicy, Admitted, ConsolidatedPlacement,
+    NoPreemption, PlacementPolicy, PreemptAll, PreemptionPolicy, StagedScheduler,
+};

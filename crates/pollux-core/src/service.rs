@@ -423,6 +423,7 @@ impl ClusterService {
     /// is invalid (e.g. inconsistent autoscale thresholds).
     pub fn start(config: ServiceConfig, spec: ClusterSpec) -> Result<Self, ServiceError> {
         let mut policy = PolluxPolicy::new(config.pollux).ok_or(ServiceError::InvalidConfig)?;
+        config.telemetry.meta("sched", "policy", policy.name());
         policy.attach_telemetry(config.telemetry.clone());
         let mut planner = RoundPlanner::new();
         planner.attach_telemetry(config.telemetry.clone());

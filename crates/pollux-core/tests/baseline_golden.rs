@@ -1,0 +1,155 @@
+//! Golden-trajectory digests for the baseline schedulers.
+//!
+//! The Blox-style decomposition of Tiresias, Optimus+Oracle, and
+//! Or et al. into admission / placement / preemption stages is a pure
+//! refactor: for a fixed seed the staged port must reproduce the exact
+//! `SimResult` bytes (and RNG draw order — none of the baselines draw)
+//! of the pre-refactor monolith. These digests were captured from the
+//! monolithic implementations at the commit introducing the staged
+//! scheduler and are never allowed to drift.
+//!
+//! Workload: the repo's standard 64-job × 16-node churn anchor (the
+//! same staggered, work-scaled trace the timeline-fidelity suite
+//! uses), which exercises preemptions, restarts, backfill, and
+//! consolidated placement in all three policies.
+
+use pollux_baselines::{optimus, or_etal, tiresias, TiresiasConfig};
+use pollux_cluster::{ClusterSpec, JobId};
+use pollux_core::{run_trace, ConfigChoice};
+use pollux_simulator::{SchedulingPolicy, SimConfig};
+use pollux_workload::{JobSpec, ModelKind, TraceConfig, TraceGenerator};
+
+/// FNV-1a 64-bit digest; tiny, dependency-free, and stable.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// 64 staggered jobs drawn from the trace generator, work scaled down
+/// so a healthy fraction finishes inside the horizon.
+fn churn_trace_64() -> Vec<JobSpec> {
+    let trace = TraceGenerator::new(TraceConfig {
+        num_jobs: 200,
+        seed: 13,
+        ..Default::default()
+    })
+    .unwrap()
+    .generate();
+    let jobs: Vec<JobSpec> = trace
+        .into_iter()
+        .filter(|j| j.kind == ModelKind::ResNet18Cifar10 || j.kind == ModelKind::NeuMFMovieLens)
+        .take(64)
+        .enumerate()
+        .map(|(i, mut spec)| {
+            spec.id = JobId(i as u32);
+            spec.submit_time = i as f64 * 90.0;
+            spec.work *= 0.05;
+            spec
+        })
+        .collect();
+    assert_eq!(jobs.len(), 64, "trace filter must yield 64 jobs");
+    jobs
+}
+
+fn digest_of<P: SchedulingPolicy>(policy: P) -> u64 {
+    let spec = ClusterSpec::homogeneous(16, 4).unwrap();
+    let sim = SimConfig {
+        max_sim_time: 24.0 * 3600.0,
+        interference_slowdown: 0.3,
+        seed: 17,
+        ..Default::default()
+    };
+    let result = run_trace(policy, &churn_trace_64(), ConfigChoice::Tuned, spec, sim)
+        .expect("valid simulation inputs");
+    fnv1a64(
+        serde_json::to_string(&result)
+            .expect("SimResult serializes")
+            .as_bytes(),
+    )
+}
+
+/// Captured from the monolithic `Tiresias` (pre-decomposition).
+const GOLDEN_TIRESIAS: u64 = 0x7164_4c87_c626_8a16;
+/// Captured from the monolithic `Optimus` (pre-decomposition).
+const GOLDEN_OPTIMUS: u64 = 0x5355_e002_7cdd_e804;
+/// Captured from the monolithic `OrEtAlAutoscaler` (pre-decomposition).
+const GOLDEN_OR_ETAL: u64 = 0x6903_56cd_ceb4_d6aa;
+
+#[test]
+fn tiresias_reproduces_the_monolith_digest() {
+    let d = digest_of(tiresias(TiresiasConfig::default()));
+    assert_eq!(
+        d, GOLDEN_TIRESIAS,
+        "Tiresias trajectory drifted: 0x{d:016x}"
+    );
+}
+
+#[test]
+fn optimus_reproduces_the_monolith_digest() {
+    let d = digest_of(optimus(4));
+    assert_eq!(d, GOLDEN_OPTIMUS, "Optimus trajectory drifted: 0x{d:016x}");
+}
+
+#[test]
+fn or_etal_reproduces_the_monolith_digest() {
+    let d = digest_of(or_etal(or_etal_config()));
+    assert_eq!(d, GOLDEN_OR_ETAL, "Or-et-al trajectory drifted: 0x{d:016x}");
+}
+
+fn or_etal_config() -> pollux_baselines::or_etal::OrEtAlConfig {
+    pollux_baselines::or_etal::OrEtAlConfig::default()
+}
+
+/// Telemetry is observational: with a live recorder attached (stage
+/// metas and `control/admitted` / `control/preempted` counters all
+/// firing), the staged ports still reproduce the monolith digests
+/// byte-for-byte.
+#[test]
+fn digests_are_unchanged_with_telemetry_attached() {
+    use pollux_core::run_trace_recorded;
+    use pollux_telemetry::{MemorySink, Recorder};
+    use std::sync::Arc;
+
+    let digest_recorded = |policy: Box<dyn SchedulingPolicy>| -> u64 {
+        let spec = ClusterSpec::homogeneous(16, 4).unwrap();
+        let sim = SimConfig {
+            max_sim_time: 24.0 * 3600.0,
+            interference_slowdown: 0.3,
+            seed: 17,
+            ..Default::default()
+        };
+        let sink = Arc::new(MemorySink::new(1 << 20));
+        let recorder = Recorder::new(sink.clone() as Arc<dyn pollux_telemetry::Sink>);
+        let result = run_trace_recorded(
+            policy,
+            &churn_trace_64(),
+            ConfigChoice::Tuned,
+            spec,
+            sim,
+            recorder,
+        )
+        .expect("valid simulation inputs");
+        if cfg!(feature = "telemetry") {
+            assert!(!sink.is_empty(), "live recorder captured nothing");
+        }
+        fnv1a64(
+            serde_json::to_string(&result)
+                .expect("SimResult serializes")
+                .as_bytes(),
+        )
+    };
+
+    assert_eq!(
+        digest_recorded(Box::new(tiresias(TiresiasConfig::default()))),
+        GOLDEN_TIRESIAS
+    );
+    assert_eq!(digest_recorded(Box::new(optimus(4))), GOLDEN_OPTIMUS);
+    assert_eq!(
+        digest_recorded(Box::new(or_etal(or_etal_config()))),
+        GOLDEN_OR_ETAL
+    );
+}

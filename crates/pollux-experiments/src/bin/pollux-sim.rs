@@ -23,7 +23,7 @@
 //!   telemetry capture as a Chrome trace (requires
 //!   `POLLUX_TELEMETRY_OUT`); open it in <https://ui.perfetto.dev>.
 
-use pollux_baselines::{Optimus, Tiresias, TiresiasConfig};
+use pollux_baselines::{optimus, tiresias, TiresiasConfig};
 use pollux_cluster::ClusterSpec;
 use pollux_core::{run_trace_recorded, ConfigChoice, PolluxConfig, PolluxPolicy};
 use pollux_experiments::common::{capture_recorder, dump_timeline_artifacts};
@@ -120,12 +120,12 @@ fn main() {
     if which == "tiresias" || which == "all" {
         run_one(
             "tiresias",
-            Box::new(Tiresias::new(TiresiasConfig::default())),
+            Box::new(tiresias(TiresiasConfig::default())),
             seed,
         );
     }
     if which == "optimus" || which == "all" {
-        run_one("optimus", Box::new(Optimus::new(4)), seed);
+        run_one("optimus", Box::new(optimus(4)), seed);
     }
     if which == "pollux" || which == "all" {
         let mut cfg = PolluxConfig::default();

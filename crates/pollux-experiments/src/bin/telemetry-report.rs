@@ -22,8 +22,8 @@
 //!   uses the full capture, unaffected by the filters below.
 //! - `--prefix <p>`: only report `subsystem/name` entries starting
 //!   with `p`.
-//! - `--kind <span|count|hist|point|timeline|round>`: only report one
-//!   event kind (repeatable).
+//! - `--kind <span|count|hist|point|timeline|meta|round>`: only report
+//!   one event kind (repeatable).
 
 use pollux_experiments::common::render_table;
 use pollux_telemetry::{chrome, Event, HistogramSnapshot, RoundExplain};
@@ -65,6 +65,7 @@ fn event_kind(e: &Event) -> &'static str {
         Event::Hist { .. } => "hist",
         Event::Point { .. } => "point",
         Event::Timeline { .. } => "timeline",
+        Event::Meta { .. } => "meta",
         Event::Round(_) => "round",
     }
 }
@@ -79,7 +80,7 @@ struct Options {
 fn usage() -> ! {
     eprintln!(
         "usage: telemetry-report <capture.jsonl> [--chrome-trace <out.json>] \
-         [--prefix <p>] [--kind <span|count|hist|point|timeline|round>]"
+         [--prefix <p>] [--kind <span|count|hist|point|timeline|meta|round>]"
     );
     std::process::exit(2);
 }
@@ -96,7 +97,11 @@ fn parse_args() -> Options {
             "--prefix" => prefix = Some(args.next().unwrap_or_else(|| usage())),
             "--kind" => {
                 let k = args.next().unwrap_or_else(|| usage());
-                if !["span", "count", "hist", "point", "timeline", "round"].contains(&k.as_str()) {
+                if ![
+                    "span", "count", "hist", "point", "timeline", "meta", "round",
+                ]
+                .contains(&k.as_str())
+                {
                     usage();
                 }
                 kinds.push(k);
@@ -128,6 +133,7 @@ fn main() {
     let mut hists: BTreeMap<(String, String), HistogramSnapshot> = BTreeMap::new();
     let mut points: BTreeMap<(String, String), PointAgg> = BTreeMap::new();
     let mut timeline: BTreeMap<(String, String), TimelineAgg> = BTreeMap::new();
+    let mut meta: BTreeMap<(String, String), String> = BTreeMap::new();
     let mut rounds: Vec<RoundExplain> = Vec::new();
     let mut all_events: Vec<Event> = Vec::new();
     let mut lines = 0u64;
@@ -200,6 +206,10 @@ fn main() {
                 agg.last_time = time;
                 agg.jobs.insert(job);
             }
+            Event::Meta { value, .. } => {
+                // Latest value wins, like counters.
+                meta.insert(key, value.into_owned());
+            }
             Event::Round(explain) => rounds.push(explain),
         }
     }
@@ -221,6 +231,16 @@ fn main() {
                  totals and timelines below are incomplete.\n"
             );
         }
+    }
+
+    if !meta.is_empty() {
+        let rows: Vec<Vec<String>> = meta
+            .iter()
+            .map(|((sub, name), v)| vec![format!("{sub}/{name}"), v.clone()])
+            .collect();
+        println!("metadata:");
+        print!("{}", render_table(&["key", "value"], &rows));
+        println!();
     }
 
     if !spans.is_empty() {

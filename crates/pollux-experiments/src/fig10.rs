@@ -9,7 +9,7 @@
 //! completion time.
 
 use crate::common::render_table;
-use pollux_baselines::OrEtAlAutoscaler;
+use pollux_baselines::or_etal;
 use pollux_cluster::{ClusterSpec, JobId};
 use pollux_core::{run_trace_recorded, ConfigChoice, PolluxConfig, PolluxPolicy};
 use pollux_sched::{AutoscaleConfig, GaConfig};
@@ -158,7 +158,7 @@ pub fn run(work_scale: f64, max_nodes: u32) -> Fig10Result {
             max_nodes,
             ..Default::default()
         };
-        let policy = OrEtAlAutoscaler::new(cfg);
+        let policy = or_etal(cfg);
         extract(
             run_trace_recorded(
                 policy,

@@ -22,6 +22,7 @@
 //! | [`fig10`] | Fig 10a/10b — cloud auto-scaling comparison |
 //! | [`ablations`] | extra ablations: γ-norm, restart penalty, search backends |
 //! | [`ext_accum`] | extension: gradient accumulation in the goodput search |
+//! | [`zoo`] | policy-zoo head-to-head across every registered scheduler |
 //!
 //! Multi-trace averages run their independent `(policy, trace)` cells
 //! on a worker pool via [`sweep`]; results are byte-identical to the
@@ -42,3 +43,4 @@ pub mod fig9;
 pub mod sweep;
 pub mod table2;
 pub mod table3;
+pub mod zoo;

@@ -7,7 +7,7 @@ use crate::common::{
     testbed_cluster,
 };
 use crate::sweep::sweep;
-use pollux_baselines::{Optimus, Tiresias, TiresiasConfig};
+use pollux_baselines::{optimus, tiresias, TiresiasConfig};
 use pollux_core::{run_trace_recorded, ConfigChoice, PolluxConfig, PolluxPolicy};
 use pollux_simulator::{SchedulingPolicy, SimResult};
 use serde::{Deserialize, Serialize};
@@ -108,8 +108,8 @@ fn make_policy(policy: Policy, opts: &Table2Options) -> Box<dyn SchedulingPolicy
             cfg.sched.weights.lambda = opts.lambda;
             Box::new(PolluxPolicy::new(cfg).expect("valid config"))
         }
-        Policy::OptimusOracle => Box::new(Optimus::new(4)),
-        Policy::Tiresias => Box::new(Tiresias::new(TiresiasConfig::default())),
+        Policy::OptimusOracle => Box::new(optimus(4)),
+        Policy::Tiresias => Box::new(tiresias(TiresiasConfig::default())),
     }
 }
 

@@ -1,0 +1,620 @@
+//! The policy zoo: a name → constructor registry over every scheduler
+//! in the repo, plus a config-driven head-to-head sweep.
+//!
+//! The Blox-style stage decomposition (DESIGN.md §10) makes new
+//! schedulers one-stage cheap, so the zoo is how they earn their keep:
+//! [`registry`] lists every policy by name, [`run`] plays any subset
+//! of them against the same traces on the same cluster, and the
+//! resulting [`ZooResult`] is one table of JCT / queue-percentile /
+//! goodput columns per policy. Staged entries also report which
+//! admission / placement / preemption stages they compose, so
+//! one-stage-apart pairs (e.g. `tiresias` vs `gandiva-packing`) read
+//! as controlled comparisons.
+//!
+//! The `policy-zoo` bin wraps this module in a CLI; per-policy
+//! telemetry captures and Chrome traces hang off the same run via
+//! [`run_with_recorder`].
+
+use crate::common::{experiment_ga, experiment_sim, mean, render_table, testbed_cluster};
+use crate::sweep::sweep;
+use pollux_baselines::{
+    fifo_backfill, gandiva_packing, optimus, or_etal, srsf, srtf, tiresias, TiresiasConfig,
+};
+use pollux_core::{run_trace_recorded, ConfigChoice, PolluxConfig, PolluxPolicy};
+use pollux_simulator::{SchedulingPolicy, SimResult, StagedScheduler};
+use pollux_telemetry::Recorder;
+use pollux_workload::{JobSpec, TraceConfig, TraceGenerator};
+use serde::{Deserialize, Serialize};
+
+/// A freshly-built zoo policy: either the Pollux GA scheduler on its
+/// direct [`SchedulingPolicy`] implementation, or a staged
+/// composition.
+pub enum ZooPolicy {
+    /// A policy with its own monolithic `schedule` (Pollux).
+    Direct(Box<dyn SchedulingPolicy>),
+    /// A Blox-style admission/placement/preemption composition.
+    Staged(StagedScheduler),
+}
+
+impl ZooPolicy {
+    /// Stage names of a staged composition (`None` for direct
+    /// policies).
+    pub fn stage_names(&self) -> Option<(&'static str, &'static str, &'static str)> {
+        match self {
+            ZooPolicy::Direct(_) => None,
+            ZooPolicy::Staged(s) => Some(s.stage_names()),
+        }
+    }
+
+    /// Erases the construction detail for the simulation driver.
+    pub fn into_policy(self) -> Box<dyn SchedulingPolicy> {
+        match self {
+            ZooPolicy::Direct(p) => p,
+            ZooPolicy::Staged(s) => Box::new(s),
+        }
+    }
+}
+
+/// One registry entry: a stable name plus a constructor.
+#[derive(Debug)]
+pub struct ZooEntry {
+    /// Policy name as it appears in tables, configs, and telemetry
+    /// (`sched/policy`).
+    pub name: &'static str,
+    /// One-line description for `policy-zoo --list` and the README.
+    pub summary: &'static str,
+    ctor: fn() -> ZooPolicy,
+}
+
+impl ZooEntry {
+    /// Builds a fresh policy instance.
+    pub fn build(&self) -> ZooPolicy {
+        (self.ctor)()
+    }
+}
+
+fn build_pollux() -> ZooPolicy {
+    let mut cfg = PolluxConfig::default();
+    cfg.sched.ga = experiment_ga();
+    ZooPolicy::Direct(Box::new(
+        PolluxPolicy::new(cfg).expect("default config is valid"),
+    ))
+}
+fn build_tiresias() -> ZooPolicy {
+    ZooPolicy::Staged(tiresias(TiresiasConfig::default()))
+}
+fn build_optimus() -> ZooPolicy {
+    ZooPolicy::Staged(optimus(4))
+}
+fn build_or_etal() -> ZooPolicy {
+    ZooPolicy::Staged(or_etal(Default::default()))
+}
+fn build_srtf() -> ZooPolicy {
+    ZooPolicy::Staged(srtf())
+}
+fn build_srsf() -> ZooPolicy {
+    ZooPolicy::Staged(srsf())
+}
+fn build_fifo() -> ZooPolicy {
+    ZooPolicy::Staged(fifo_backfill())
+}
+fn build_gandiva() -> ZooPolicy {
+    ZooPolicy::Staged(gandiva_packing())
+}
+
+static REGISTRY: &[ZooEntry] = &[
+    ZooEntry {
+        name: "pollux",
+        summary: "co-adaptive goodput optimization (the paper's scheduler)",
+        ctor: build_pollux,
+    },
+    ZooEntry {
+        name: "tiresias",
+        summary: "least-attained-service two-queue, consolidated placement",
+        ctor: build_tiresias,
+    },
+    ZooEntry {
+        name: "optimus+oracle",
+        summary: "marginal-gain allocation with a remaining-work oracle",
+        ctor: build_optimus,
+    },
+    ZooEntry {
+        name: "or-etal",
+        summary: "single-tenant throughput-based autoscaling (Or et al.)",
+        ctor: build_or_etal,
+    },
+    ZooEntry {
+        name: "srtf",
+        summary: "shortest remaining time first, backfilled",
+        ctor: build_srtf,
+    },
+    ZooEntry {
+        name: "srsf",
+        summary: "shortest remaining service (time x GPUs) first",
+        ctor: build_srsf,
+    },
+    ZooEntry {
+        name: "fifo+backfill",
+        summary: "gang FIFO with backfill, never preempts",
+        ctor: build_fifo,
+    },
+    ZooEntry {
+        name: "gandiva-packing",
+        summary: "LAS admission with Gandiva-style best-fit packing",
+        ctor: build_gandiva,
+    },
+];
+
+/// Every registered policy, in fixed table order.
+pub fn registry() -> &'static [ZooEntry] {
+    REGISTRY
+}
+
+/// Looks a policy up by name.
+pub fn lookup(name: &str) -> Option<&'static ZooEntry> {
+    REGISTRY.iter().find(|e| e.name == name)
+}
+
+/// A `--policies` name that is not in the registry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownPolicy(pub String);
+
+impl std::fmt::Display for UnknownPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let known: Vec<&str> = REGISTRY.iter().map(|e| e.name).collect();
+        write!(
+            f,
+            "unknown policy {:?}; registered: {}",
+            self.0,
+            known.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownPolicy {}
+
+/// Options sizing the head-to-head run.
+#[derive(Debug, Clone)]
+pub struct ZooOptions {
+    /// Policies to run (empty = the whole registry).
+    pub policies: Vec<String>,
+    /// Independently-seeded traces averaged per policy.
+    pub traces: u64,
+    /// Jobs per trace (`None` = the standard 160-job workload).
+    pub jobs: Option<usize>,
+    /// Workload scale (1.0 = the paper's 8-hour submission window).
+    pub load: f64,
+    /// Per-job configuration source.
+    pub choice: ConfigChoice,
+    /// Interference slowdown injected (0 = none).
+    pub interference: f64,
+}
+
+impl Default for ZooOptions {
+    fn default() -> Self {
+        Self {
+            policies: Vec::new(),
+            traces: 2,
+            jobs: None,
+            load: 1.0,
+            choice: ConfigChoice::Tuned,
+            interference: 0.0,
+        }
+    }
+}
+
+/// One policy's row of the head-to-head table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ZooRow {
+    /// Registry name.
+    pub policy: String,
+    /// `(admission, placement, preemption)` for staged policies.
+    pub stages: Option<(String, String, String)>,
+    /// Mean of per-trace average JCTs (hours).
+    pub avg_jct_hours: f64,
+    /// Mean median JCT (hours).
+    pub p50_jct_hours: f64,
+    /// Mean 95th-percentile JCT (hours).
+    pub p95_jct_hours: f64,
+    /// Mean 99th-percentile JCT (hours).
+    pub p99_jct_hours: f64,
+    /// Mean queueing delay (hours).
+    pub avg_wait_hours: f64,
+    /// Mean 99th-percentile queueing delay (hours).
+    pub p99_wait_hours: f64,
+    /// Mean makespan (hours).
+    pub makespan_hours: f64,
+    /// Mean time-averaged cluster statistical efficiency.
+    pub avg_efficiency: f64,
+    /// Mean per-job lifetime goodput (useful examples/s).
+    pub job_goodput: f64,
+    /// Jobs unfinished at the horizon, summed over traces.
+    pub unfinished: usize,
+}
+
+/// The full head-to-head result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ZooResult {
+    /// One row per policy, in request (or registry) order.
+    pub rows: Vec<ZooRow>,
+    /// Traces averaged per policy.
+    pub traces: usize,
+    /// Jobs per trace.
+    pub jobs: usize,
+}
+
+impl ZooResult {
+    /// Renders the result as *real* JSON (the vendored `serde_json`
+    /// stub emits `Debug` text, so machine-readable dumps are
+    /// hand-rolled here, like the telemetry JSONL codec and the
+    /// Chrome exporter). The row schema is pinned by the CI zoo
+    /// smoke, which parses this output with Python's `json`.
+    pub fn to_json(&self) -> String {
+        use pollux_telemetry::json::{write_f64, write_str};
+        let mut out = String::with_capacity(256 * self.rows.len() + 64);
+        out.push_str("{\"rows\":[");
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"policy\":");
+            write_str(&mut out, &row.policy);
+            out.push_str(",\"stages\":");
+            match &row.stages {
+                Some((adm, plc, pre)) => {
+                    out.push('[');
+                    write_str(&mut out, adm);
+                    out.push(',');
+                    write_str(&mut out, plc);
+                    out.push(',');
+                    write_str(&mut out, pre);
+                    out.push(']');
+                }
+                None => out.push_str("null"),
+            }
+            let nums: &[(&str, f64)] = &[
+                ("avg_jct_hours", row.avg_jct_hours),
+                ("p50_jct_hours", row.p50_jct_hours),
+                ("p95_jct_hours", row.p95_jct_hours),
+                ("p99_jct_hours", row.p99_jct_hours),
+                ("avg_wait_hours", row.avg_wait_hours),
+                ("p99_wait_hours", row.p99_wait_hours),
+                ("makespan_hours", row.makespan_hours),
+                ("avg_efficiency", row.avg_efficiency),
+                ("job_goodput", row.job_goodput),
+            ];
+            for (key, v) in nums {
+                out.push(',');
+                write_str(&mut out, key);
+                out.push(':');
+                write_f64(&mut out, *v);
+            }
+            out.push_str(&format!(",\"unfinished\":{}}}", row.unfinished));
+        }
+        out.push_str(&format!(
+            "],\"traces\":{},\"jobs\":{}}}\n",
+            self.traces, self.jobs
+        ));
+        out
+    }
+}
+
+/// The head-to-head table's column headers. Pinned by the CI smoke
+/// test so downstream parsers can rely on the schema.
+pub fn table_headers() -> &'static [&'static str] {
+    &[
+        "policy",
+        "avg JCT (h)",
+        "p50/p95/p99 JCT (h)",
+        "avg wait (h)",
+        "p99 wait (h)",
+        "makespan (h)",
+        "stat. eff.",
+        "goodput (ex/s)",
+        "unfinished",
+    ]
+}
+
+/// Generates the `i`-th zoo trace (the standard evaluation trace,
+/// optionally resized).
+pub fn zoo_trace(i: u64, opts: &ZooOptions) -> Vec<JobSpec> {
+    let mut cfg = TraceConfig {
+        seed: 1000 + i,
+        load_multiplier: opts.load,
+        ..Default::default()
+    };
+    if let Some(jobs) = opts.jobs {
+        cfg.num_jobs = jobs;
+    }
+    TraceGenerator::new(cfg)
+        .expect("static config is valid")
+        .generate()
+}
+
+/// Runs one `(policy, trace index)` cell.
+fn run_cell(entry: &ZooEntry, i: u64, opts: &ZooOptions, recorder: Recorder) -> SimResult {
+    let trace = zoo_trace(i, opts);
+    let mut sim = experiment_sim(i);
+    sim.interference_slowdown = opts.interference;
+    run_trace_recorded(
+        entry.build().into_policy(),
+        &trace,
+        opts.choice,
+        testbed_cluster(),
+        sim,
+        recorder,
+    )
+    .expect("valid simulation inputs")
+}
+
+fn summarize(entry: &ZooEntry, results: &[SimResult]) -> ZooRow {
+    let collect = |f: &dyn Fn(&SimResult) -> Option<f64>| -> f64 {
+        let vals: Vec<f64> = results.iter().filter_map(f).collect();
+        mean(&vals).unwrap_or(0.0)
+    };
+    let h = 1.0 / 3600.0;
+    let stages = entry
+        .build()
+        .stage_names()
+        .map(|(a, p, y)| (a.to_string(), p.to_string(), y.to_string()));
+    ZooRow {
+        policy: entry.name.to_string(),
+        stages,
+        avg_jct_hours: collect(&|r| r.avg_jct().map(|v| v * h)),
+        p50_jct_hours: collect(&|r| r.percentile_jct(50.0).map(|v| v * h)),
+        p95_jct_hours: collect(&|r| r.percentile_jct(95.0).map(|v| v * h)),
+        p99_jct_hours: collect(&|r| r.percentile_jct(99.0).map(|v| v * h)),
+        avg_wait_hours: collect(&|r| r.summary().avg_wait.map(|v| v * h)),
+        p99_wait_hours: collect(&|r| r.summary().p99_wait.map(|v| v * h)),
+        makespan_hours: collect(&|r| Some(r.makespan() * h)),
+        avg_efficiency: collect(&|r| r.avg_cluster_efficiency()),
+        job_goodput: collect(&|r| r.mean_job_goodput()),
+        unfinished: results.iter().map(|r| r.unfinished()).sum(),
+    }
+}
+
+/// Resolves `opts.policies` against the registry (empty = all).
+///
+/// # Errors
+///
+/// [`UnknownPolicy`] naming the first unrecognized entry.
+pub fn resolve(opts: &ZooOptions) -> Result<Vec<&'static ZooEntry>, UnknownPolicy> {
+    if opts.policies.is_empty() {
+        return Ok(registry().iter().collect());
+    }
+    opts.policies
+        .iter()
+        .map(|n| lookup(n).ok_or_else(|| UnknownPolicy(n.clone())))
+        .collect()
+}
+
+/// Runs the head-to-head sweep with the process-wide capture recorder
+/// (`POLLUX_TELEMETRY_OUT`).
+///
+/// # Errors
+///
+/// [`UnknownPolicy`] when `opts.policies` names an unregistered
+/// policy.
+pub fn run(opts: &ZooOptions) -> Result<ZooResult, UnknownPolicy> {
+    run_with_recorder(opts, |_| crate::common::capture_recorder())
+}
+
+/// [`run`] with a caller-supplied recorder per policy, so each policy's
+/// telemetry (and Chrome trace) can land in its own capture file.
+/// Per-trace cells run on the [`sweep`] worker pool; cells are
+/// independent, so the table is identical to a serial loop.
+///
+/// # Errors
+///
+/// [`UnknownPolicy`] when `opts.policies` names an unregistered
+/// policy.
+pub fn run_with_recorder(
+    opts: &ZooOptions,
+    recorder_for: impl Fn(&'static str) -> Recorder,
+) -> Result<ZooResult, UnknownPolicy> {
+    let entries = resolve(opts)?;
+    let traces = opts.traces.max(1);
+    let rows = entries
+        .iter()
+        .map(|entry| {
+            let recorder = recorder_for(entry.name);
+            let results: Vec<SimResult> =
+                sweep(traces, |i| run_cell(entry, i, opts, recorder.clone()));
+            recorder.flush();
+            summarize(entry, &results)
+        })
+        .collect();
+    Ok(ZooResult {
+        rows,
+        traces: traces as usize,
+        jobs: zoo_trace(0, opts).len(),
+    })
+}
+
+impl std::fmt::Display for ZooResult {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "Policy zoo: {} policies x {} trace(s), {} jobs on 16x4 GPUs",
+            self.rows.len(),
+            self.traces,
+            self.jobs
+        )?;
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.policy.clone(),
+                    format!("{:.2}", r.avg_jct_hours),
+                    format!(
+                        "{:.2}/{:.1}/{:.1}",
+                        r.p50_jct_hours, r.p95_jct_hours, r.p99_jct_hours
+                    ),
+                    format!("{:.2}", r.avg_wait_hours),
+                    format!("{:.1}", r.p99_wait_hours),
+                    format!("{:.1}", r.makespan_hours),
+                    format!("{:.1}%", r.avg_efficiency * 100.0),
+                    format!("{:.1}", r.job_goodput),
+                    format!("{}", r.unfinished),
+                ]
+            })
+            .collect();
+        write!(f, "{}", render_table(table_headers(), &rows))?;
+        writeln!(f, "\nstage composition (staged policies):")?;
+        let stage_rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| match &r.stages {
+                Some((a, p, y)) => vec![r.policy.clone(), a.clone(), p.clone(), y.clone()],
+                None => vec![r.policy.clone(), "-".into(), "-".into(), "-".into()],
+            })
+            .collect();
+        write!(
+            f,
+            "{}",
+            render_table(
+                &["policy", "admission", "placement", "preemption"],
+                &stage_rows
+            )
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_the_advertised_zoo() {
+        let names: Vec<&str> = registry().iter().map(|e| e.name).collect();
+        assert!(names.len() >= 7, "zoo shrank: {names:?}");
+        for expect in [
+            "pollux",
+            "tiresias",
+            "optimus+oracle",
+            "or-etal",
+            "srtf",
+            "srsf",
+            "fifo+backfill",
+            "gandiva-packing",
+        ] {
+            assert!(names.contains(&expect), "missing {expect}");
+        }
+        // Names are unique (they key telemetry and output files).
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+
+    #[test]
+    fn staged_entries_report_their_stages() {
+        let s = lookup("gandiva-packing").unwrap().build();
+        assert_eq!(
+            s.stage_names(),
+            Some(("las-two-queue", "best-fit-packing", "preempt-all"))
+        );
+        assert_eq!(lookup("pollux").unwrap().build().stage_names(), None);
+        // tiresias and gandiva-packing differ in exactly one stage.
+        let t = lookup("tiresias").unwrap().build().stage_names().unwrap();
+        let g = lookup("gandiva-packing")
+            .unwrap()
+            .build()
+            .stage_names()
+            .unwrap();
+        assert_eq!(t.0, g.0);
+        assert_ne!(t.1, g.1);
+        assert_eq!(t.2, g.2);
+    }
+
+    #[test]
+    fn unknown_policy_is_a_typed_error() {
+        let opts = ZooOptions {
+            policies: vec!["tiresias".into(), "nope".into()],
+            ..Default::default()
+        };
+        let err = resolve(&opts).unwrap_err();
+        assert_eq!(err, UnknownPolicy("nope".into()));
+        assert!(err.to_string().contains("registered"));
+    }
+
+    #[test]
+    fn table_schema_is_stable() {
+        // CI and downstream parsers pin this schema; change it
+        // deliberately (update EXPERIMENTS.md and the README) or not
+        // at all.
+        assert_eq!(
+            table_headers(),
+            &[
+                "policy",
+                "avg JCT (h)",
+                "p50/p95/p99 JCT (h)",
+                "avg wait (h)",
+                "p99 wait (h)",
+                "makespan (h)",
+                "stat. eff.",
+                "goodput (ex/s)",
+                "unfinished",
+            ]
+        );
+    }
+
+    #[test]
+    fn to_json_parses_back_with_the_pinned_row_schema() {
+        // The CI zoo smoke feeds `--json` output to Python's `json`
+        // module; the in-repo parser must accept it too, with every
+        // pinned key present.
+        let result = ZooResult {
+            rows: vec![ZooRow {
+                policy: "optimus+oracle".into(),
+                stages: Some((
+                    "marginal-gain".into(),
+                    "consolidated-largest-first".into(),
+                    "preempt-all".into(),
+                )),
+                avg_jct_hours: 0.5,
+                p50_jct_hours: 0.25,
+                p95_jct_hours: 1.5,
+                p99_jct_hours: 2.0,
+                avg_wait_hours: 0.1,
+                p99_wait_hours: 0.4,
+                makespan_hours: 6.0,
+                avg_efficiency: 0.9,
+                job_goodput: 1234.5,
+                unfinished: 3,
+            }],
+            traces: 2,
+            jobs: 64,
+        };
+        let parsed = pollux_telemetry::json::parse(&result.to_json()).expect("valid JSON");
+        let rows = parsed.get("rows").and_then(|r| r.as_arr()).unwrap();
+        assert_eq!(rows.len(), 1);
+        let row = &rows[0];
+        assert_eq!(
+            row.get("policy").and_then(|v| v.as_str()),
+            Some("optimus+oracle")
+        );
+        let stages = row.get("stages").and_then(|v| v.as_arr()).unwrap();
+        assert_eq!(stages[0].as_str(), Some("marginal-gain"));
+        for key in [
+            "avg_jct_hours",
+            "p50_jct_hours",
+            "p95_jct_hours",
+            "p99_jct_hours",
+            "avg_wait_hours",
+            "p99_wait_hours",
+            "makespan_hours",
+            "avg_efficiency",
+            "job_goodput",
+            "unfinished",
+        ] {
+            assert!(
+                row.get(key).and_then(|v| v.as_f64()).is_some(),
+                "missing {key}"
+            );
+        }
+        assert_eq!(parsed.get("traces").and_then(|v| v.as_u64()), Some(2));
+        assert_eq!(parsed.get("jobs").and_then(|v| v.as_u64()), Some(64));
+    }
+}

@@ -545,6 +545,11 @@ impl<P: SchedulingPolicy> Simulation<P> {
     /// `tests/macro_step.rs`).
     pub fn with_recorder(mut self, recorder: Recorder) -> Self {
         self.telem = EngineTelemetry::new(&recorder);
+        // Identify the policy in the capture so reports and Chrome
+        // traces from different zoo runs are self-describing; staged
+        // policies additionally emit their per-stage names from
+        // `attach_telemetry`.
+        recorder.meta("sched", "policy", self.policy.name());
         self.policy.attach_telemetry(recorder.clone());
         self.planner.attach_telemetry(recorder.clone());
         // Topology metadata for trace consumers (the Chrome exporter

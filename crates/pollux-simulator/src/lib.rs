@@ -32,4 +32,8 @@ pub use engine::{SimBuildError, Simulation};
 pub use interference::InterferenceIndex;
 pub use job::{JobLifecycle, JobState, SimJob};
 pub use metrics::{ClusterSample, JobRecord, SchedIntervalSample, SimResult};
+pub use policy::{
+    AdmissionPolicy, Admitted, ConsolidatedPlacement, NoPreemption, PlacementPolicy, PreemptAll,
+    PreemptionPolicy, StagedScheduler,
+};
 pub use policy::{PolicyJobView, SchedulingPolicy};

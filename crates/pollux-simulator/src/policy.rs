@@ -8,4 +8,8 @@
 //! `ClusterService` drives the very same interface; the simulator
 //! builds its views with [`crate::SimJob::policy_view`].
 
+pub use pollux_control::{
+    AdmissionPolicy, Admitted, ConsolidatedPlacement, NoPreemption, PlacementPolicy, PreemptAll,
+    PreemptionPolicy, StagedScheduler,
+};
 pub use pollux_control::{PolicyJobView, SchedulingPolicy};

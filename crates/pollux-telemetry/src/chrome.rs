@@ -25,7 +25,7 @@
 
 use crate::event::Event;
 use crate::json;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Process id for cluster-wide counter tracks and instant markers.
 const CLUSTER_PID: u64 = 0;
@@ -230,10 +230,40 @@ pub fn chrome_trace(events: &[Event]) -> String {
     }
     let rack_of = |node: u32| -> u64 { node.checked_div(nodes_per_rack).unwrap_or(0) as u64 };
 
+    // Scheduler identity, if the run stamped any (`sched/*` metas):
+    // the policy names the cluster process so zoo traces are
+    // self-describing in the Perfetto process list, and every meta is
+    // echoed under `otherData`. Values are deduplicated and joined
+    // sorted, so a capture holding several sequential runs stays
+    // order-independent.
+    let mut metas: BTreeMap<(String, String), BTreeSet<String>> = BTreeMap::new();
+    for e in events {
+        if let Event::Meta {
+            subsystem,
+            name,
+            value,
+        } = e
+        {
+            metas
+                .entry((subsystem.to_string(), name.to_string()))
+                .or_default()
+                .insert(value.to_string());
+        }
+    }
+    let joined = |key: (&str, &str)| -> Option<String> {
+        metas
+            .get(&(key.0.to_string(), key.1.to_string()))
+            .map(|vs| vs.iter().cloned().collect::<Vec<_>>().join(", "))
+    };
+    let cluster_name = match joined(("sched", "policy")) {
+        Some(p) => format!("cluster ({p})"),
+        None => "cluster".to_string(),
+    };
+
     let mut rows: Vec<Row> = Vec::new();
 
     // Process / thread names.
-    push_meta(&mut rows, CLUSTER_PID, None, "process_name", "cluster");
+    push_meta(&mut rows, CLUSTER_PID, None, "process_name", &cluster_name);
     let num_racks = if num_nodes == 0 {
         0
     } else {
@@ -400,7 +430,21 @@ pub fn chrome_trace(events: &[Event]) -> String {
         out.push('\n');
         out.push_str(&row.body);
     }
-    out.push_str("\n]}\n");
+    out.push_str("\n]");
+    if !metas.is_empty() {
+        out.push_str(",\"otherData\":{");
+        for (i, ((sub, name), vs)) in metas.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::write_str(&mut out, &format!("{sub}/{name}"));
+            out.push(':');
+            let joined = vs.iter().cloned().collect::<Vec<_>>().join(", ");
+            json::write_str(&mut out, &joined);
+        }
+        out.push('}');
+    }
+    out.push_str("}\n");
     out
 }
 

@@ -80,6 +80,18 @@ pub enum Event {
         /// New GPUs-per-node row (empty for instants).
         new: Vec<u32>,
     },
+    /// A string-valued metadata record, e.g. `("sched", "policy")` =
+    /// `"tiresias"` so report tooling and the Chrome trace can say
+    /// which policy (and which stages) produced a capture. Unlike
+    /// [`Event::Point`] fields, the value is text, not `f64`.
+    Meta {
+        /// Subsystem owning the metadata.
+        subsystem: Cow<'static, str>,
+        /// Metadata key.
+        name: Cow<'static, str>,
+        /// Metadata value.
+        value: Cow<'static, str>,
+    },
     /// One scheduling round's decision audit (see [`RoundExplain`]).
     /// Fixed `("sched", "round_explain")` identity.
     Round(RoundExplain),
@@ -160,7 +172,8 @@ impl Event {
             | Event::Count { subsystem, .. }
             | Event::Hist { subsystem, .. }
             | Event::Point { subsystem, .. }
-            | Event::Timeline { subsystem, .. } => subsystem,
+            | Event::Timeline { subsystem, .. }
+            | Event::Meta { subsystem, .. } => subsystem,
             Event::Round(_) => "sched",
         }
     }
@@ -172,7 +185,8 @@ impl Event {
             | Event::Count { name, .. }
             | Event::Hist { name, .. }
             | Event::Point { name, .. }
-            | Event::Timeline { name, .. } => name,
+            | Event::Timeline { name, .. }
+            | Event::Meta { name, .. } => name,
             Event::Round(_) => "round_explain",
         }
     }
@@ -257,6 +271,16 @@ impl Event {
                 write_u32_arr(&mut out, old);
                 out.push_str(",\"new\":");
                 write_u32_arr(&mut out, new);
+                out.push('}');
+            }
+            Event::Meta {
+                subsystem,
+                name,
+                value,
+            } => {
+                header(&mut out, "meta", subsystem, name);
+                out.push_str(",\"value\":");
+                json::write_str(&mut out, value);
                 out.push('}');
             }
             Event::Round(ex) => {
@@ -365,6 +389,11 @@ impl Event {
                 old: parse_u32_arr(v.get("old")?)?,
                 new: parse_u32_arr(v.get("new")?)?,
             }),
+            "meta" => Some(Event::Meta {
+                subsystem: sub,
+                name,
+                value: Cow::Owned(v.get("value")?.as_str()?.to_string()),
+            }),
             "round" => {
                 let mut jobs = Vec::new();
                 for j in v.get("jobs")?.as_arr()? {
@@ -445,6 +474,11 @@ mod tests {
                 job: 3,
                 old: vec![],
                 new: vec![],
+            },
+            Event::Meta {
+                subsystem: "sched".into(),
+                name: "policy".into(),
+                value: "tiresias \"quoted\"".into(),
             },
             Event::Round(RoundExplain {
                 time: 60.0,

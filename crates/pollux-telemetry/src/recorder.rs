@@ -194,6 +194,19 @@ mod enabled {
             }
         }
 
+        /// Emits one string-valued metadata record (e.g.
+        /// `("sched", "policy")` = `"tiresias"`). Report tooling keeps
+        /// the latest value per `(subsystem, name)`.
+        pub fn meta(&self, subsystem: &'static str, name: &'static str, value: &str) {
+            if let Some(inner) = &self.inner {
+                inner.emit(Event::Meta {
+                    subsystem: subsystem.into(),
+                    name: name.into(),
+                    value: std::borrow::Cow::Owned(value.to_string()),
+                });
+            }
+        }
+
         /// Emits one placement-timeline event (see
         /// [`Event::Timeline`]). The placement slices are cloned only
         /// when a sink is attached, so disabled recorders pay one
@@ -285,6 +298,12 @@ mod enabled {
     }
 
     impl Counter {
+        /// A detached handle that records nothing until replaced by a
+        /// live one from [`Recorder::counter`].
+        pub fn detached() -> Self {
+            Counter { cell: None }
+        }
+
         /// Adds `delta` to the counter.
         #[inline]
         pub fn add(&self, delta: u64) {
@@ -389,6 +408,9 @@ mod disabled {
         }
 
         /// No-op.
+        pub fn meta(&self, _subsystem: &'static str, _name: &'static str, _value: &str) {}
+
+        /// No-op.
         pub fn timeline(
             &self,
             _subsystem: &'static str,
@@ -417,6 +439,12 @@ mod disabled {
     pub struct Counter;
 
     impl Counter {
+        /// A detached handle (identical to every other handle in this
+        /// build).
+        pub fn detached() -> Self {
+            Counter
+        }
+
         /// No-op.
         #[inline]
         pub fn add(&self, _delta: u64) {}

@@ -1,7 +1,7 @@
 //! End-to-end integration tests: workload generation → simulation →
 //! the Pollux policy and baselines, across crate boundaries.
 
-use pollux::baselines::{Tiresias, TiresiasConfig};
+use pollux::baselines::{tiresias, TiresiasConfig};
 use pollux::cluster::ClusterSpec;
 use pollux::core::{run_trace, ConfigChoice, PolluxConfig, PolluxPolicy};
 use pollux::sched::GaConfig;
@@ -92,7 +92,7 @@ fn pollux_beats_tiresias_on_scalable_workload() {
     )
     .unwrap();
     let tiresias = run_trace(
-        Tiresias::new(TiresiasConfig::default()),
+        tiresias(TiresiasConfig::default()),
         &trace,
         ConfigChoice::Tuned,
         spec,
